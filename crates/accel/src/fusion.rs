@@ -1,0 +1,340 @@
+//! Llama-2 operator fusion.
+//!
+//! Fusion groups the decode graph's ops into **composite kernels**: a
+//! kernel is launched once and its member ops stream data to each other
+//! through on-fabric FIFOs, so every value produced *and fully consumed
+//! inside* one kernel is never materialized in any memory — the
+//! "minimizes the intermediate data writes/read between operations" effect
+//! the paper claims.
+//!
+//! The pass is a single forward walk with three boundary rules tuned to the
+//! Llama-2 structure (and validated by the tests below):
+//!
+//! 1. `RmsNorm` starts a new kernel — norms begin the two natural
+//!    composites (`norm→QKV→RoPE→KV-append` and `norm→SwiGLU-FFN`).
+//! 2. `Attention` is always a kernel of its own (its cost is
+//!    context-length dependent and it reads the HBM-resident KV cache).
+//! 3. A `MatMul` whose activation input was not produced inside the
+//!    current kernel starts a new one (it would otherwise stall the
+//!    stream waiting for an external buffer).
+//!
+//! A kernel also closes when it reaches `max_ops` members (composite
+//! datapath depth is bounded on real fabric).
+
+use std::collections::HashSet;
+
+use crate::ir::{Graph, OpKind, ValueId};
+
+/// A composite kernel: indices into [`Graph::ops`], in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// Member op indices (contiguous, increasing).
+    pub ops: Vec<usize>,
+    /// Display label (first member's label, with member count).
+    pub label: String,
+}
+
+/// A fused (or trivially per-op) execution schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Kernels in launch order.
+    pub kernels: Vec<Kernel>,
+}
+
+/// Per-value materialization classes induced by a schedule.
+#[derive(Debug, Clone)]
+pub struct ValueClasses {
+    /// Values that live entirely inside one kernel (never materialized).
+    pub internal: HashSet<ValueId>,
+    /// Values crossing kernel boundaries (must be placed by the memory
+    /// planner), with their producing kernel index.
+    pub materialized: Vec<(ValueId, usize)>,
+}
+
+/// Summary statistics of a fusion outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionReport {
+    /// Kernels in the schedule.
+    pub kernels: usize,
+    /// Total ops (unchanged by fusion).
+    pub ops: usize,
+    /// Values eliminated (kept in on-fabric streams).
+    pub internal_values: usize,
+    /// Values still materialized between kernels.
+    pub materialized_values: usize,
+}
+
+/// Maximum ops per composite kernel on the shipped design.
+pub const MAX_OPS_PER_KERNEL: usize = 8;
+
+/// Builds the execution schedule. With `enabled == false` every op gets
+/// its own kernel (the paper's "none fused" variant).
+#[must_use]
+pub fn fuse(graph: &Graph, enabled: bool) -> Schedule {
+    fuse_with_limit(graph, enabled, MAX_OPS_PER_KERNEL)
+}
+
+/// [`fuse`] with an explicit composite-depth limit (for ablations).
+#[must_use]
+pub fn fuse_with_limit(graph: &Graph, enabled: bool, max_ops: usize) -> Schedule {
+    assert!(max_ops >= 1, "kernel must hold at least one op");
+    if !enabled {
+        let kernels = graph
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| Kernel { ops: vec![i], label: op.label.clone() })
+            .collect();
+        return Schedule { kernels };
+    }
+
+    let mut kernels: Vec<Kernel> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    // Values produced by ops already in `current`.
+    let mut produced_here: HashSet<ValueId> = HashSet::new();
+
+    let flush = |current: &mut Vec<usize>,
+                 produced: &mut HashSet<ValueId>,
+                 kernels: &mut Vec<Kernel>| {
+        if current.is_empty() {
+            return;
+        }
+        let first = &graph.ops[current[0]];
+        let label = if current.len() == 1 {
+            first.label.clone()
+        } else {
+            format!("{}+{}", first.label, current.len() - 1)
+        };
+        kernels.push(Kernel { ops: std::mem::take(current), label });
+        produced.clear();
+    };
+
+    for (i, op) in graph.ops.iter().enumerate() {
+        let starts_new = match op.kind {
+            OpKind::RmsNorm | OpKind::Attention { .. } => true,
+            OpKind::MatMul { .. } => {
+                !op.inputs.iter().all(|v| produced_here.contains(v))
+            }
+            _ => false,
+        } || current.len() >= max_ops;
+        if starts_new {
+            flush(&mut current, &mut produced_here, &mut kernels);
+        }
+        current.push(i);
+        produced_here.extend(op.outputs.iter().copied());
+        // Attention never accepts co-tenants after it either.
+        if matches!(op.kind, OpKind::Attention { .. }) {
+            flush(&mut current, &mut produced_here, &mut kernels);
+        }
+    }
+    flush(&mut current, &mut produced_here, &mut kernels);
+    Schedule { kernels }
+}
+
+impl Schedule {
+    /// Total ops across kernels.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.kernels.iter().map(|k| k.ops.len()).sum()
+    }
+
+    /// Index of the kernel containing op `op_idx`.
+    #[must_use]
+    pub fn kernel_of(&self, op_idx: usize) -> usize {
+        self.kernels
+            .iter()
+            .position(|k| k.ops.contains(&op_idx))
+            .expect("op not in any kernel")
+    }
+
+    /// Classifies every value as internal (fused away) or materialized.
+    #[must_use]
+    pub fn classify(&self, graph: &Graph) -> ValueClasses {
+        // kernel index per op.
+        let mut op_kernel = vec![0usize; graph.ops.len()];
+        for (ki, k) in self.kernels.iter().enumerate() {
+            for &oi in &k.ops {
+                op_kernel[oi] = ki;
+            }
+        }
+        let output = graph.output();
+        let mut internal = HashSet::new();
+        let mut materialized = Vec::new();
+        for (oi, op) in graph.ops.iter().enumerate() {
+            for &out in &op.outputs {
+                let producer_k = op_kernel[oi];
+                let consumers = graph.consumers(out);
+                let crosses = out == output
+                    || consumers.iter().any(|&ci| op_kernel[ci] != producer_k);
+                if crosses {
+                    materialized.push((out, producer_k));
+                } else {
+                    internal.insert(out);
+                }
+            }
+        }
+        ValueClasses { internal, materialized }
+    }
+
+    /// Summary report.
+    #[must_use]
+    pub fn report(&self, graph: &Graph) -> FusionReport {
+        let classes = self.classify(graph);
+        FusionReport {
+            kernels: self.kernels.len(),
+            ops: self.op_count(),
+            internal_values: classes.internal.len(),
+            materialized_values: classes.materialized.len(),
+        }
+    }
+
+    /// Checks that the kernels partition `0..graph.ops.len()` in order.
+    pub fn validate(&self, graph: &Graph) -> Result<(), String> {
+        let mut expected = 0usize;
+        for k in &self.kernels {
+            if k.ops.is_empty() {
+                return Err("empty kernel".into());
+            }
+            for &oi in &k.ops {
+                if oi != expected {
+                    return Err(format!("op {oi} out of order (expected {expected})"));
+                }
+                expected += 1;
+            }
+        }
+        if expected != graph.ops.len() {
+            return Err(format!("schedule covers {expected} of {} ops", graph.ops.len()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::build_decode_graph;
+    use speedllm_llama::config::ModelConfig;
+
+    fn graph() -> Graph {
+        build_decode_graph(&ModelConfig::test_tiny())
+    }
+
+    #[test]
+    fn unfused_schedule_is_one_op_per_kernel() {
+        let g = graph();
+        let s = fuse(&g, false);
+        assert_eq!(s.kernels.len(), g.ops.len());
+        s.validate(&g).unwrap();
+        // Nothing is internal without fusion.
+        assert!(s.classify(&g).internal.is_empty());
+    }
+
+    #[test]
+    fn fused_schedule_partitions_all_ops() {
+        let g = graph();
+        let s = fuse(&g, true);
+        s.validate(&g).unwrap();
+        assert_eq!(s.op_count(), g.ops.len());
+        assert!(s.kernels.len() < g.ops.len() / 2, "fusion should merge aggressively");
+    }
+
+    #[test]
+    fn expected_kernel_structure_per_layer() {
+        // test_tiny has 2 layers, 16 ops each + embed + 2 final ops.
+        // Expected kernels: embed | per layer: [norm+qkv+rope2+kvappend]
+        // [attention] [wo+add] [norm+w1+w3+silu+mul+w2+add] | [norm+cls].
+        let g = graph();
+        let s = fuse(&g, true);
+        let cfg = ModelConfig::test_tiny();
+        assert_eq!(s.kernels.len(), 1 + 4 * cfg.n_layers + 1);
+        // First layer's QKV kernel has 7 members.
+        assert_eq!(s.kernels[1].ops.len(), 7);
+        // Attention alone.
+        assert_eq!(s.kernels[2].ops.len(), 1);
+        // wo + residual.
+        assert_eq!(s.kernels[3].ops.len(), 2);
+        // FFN composite: norm, w1, w3, silu, mul, w2, add = 7.
+        assert_eq!(s.kernels[4].ops.len(), 7);
+    }
+
+    #[test]
+    fn fusion_eliminates_most_intermediates() {
+        let g = graph();
+        let fused = fuse(&g, true).report(&g);
+        let unfused = fuse(&g, false).report(&g);
+        assert_eq!(unfused.internal_values, 0);
+        assert!(fused.internal_values > fused.materialized_values,
+            "fused: {fused:?}");
+        assert_eq!(
+            fused.internal_values + fused.materialized_values,
+            unfused.materialized_values,
+            "total value count preserved"
+        );
+    }
+
+    #[test]
+    fn graph_output_always_materialized() {
+        let g = graph();
+        for enabled in [false, true] {
+            let classes = fuse(&g, enabled).classify(&g);
+            assert!(classes.materialized.iter().any(|(v, _)| *v == g.output()));
+        }
+    }
+
+    #[test]
+    fn max_ops_limit_respected() {
+        let g = graph();
+        for limit in [1, 2, 3, 5, 8] {
+            let s = fuse_with_limit(&g, true, limit);
+            s.validate(&g).unwrap();
+            assert!(s.kernels.iter().all(|k| k.ops.len() <= limit), "limit {limit}");
+        }
+    }
+
+    #[test]
+    fn limit_one_equals_unfused_partitioning() {
+        let g = graph();
+        let s1 = fuse_with_limit(&g, true, 1);
+        assert_eq!(s1.kernels.len(), g.ops.len());
+    }
+
+    #[test]
+    fn kernel_of_maps_back() {
+        let g = graph();
+        let s = fuse(&g, true);
+        for (ki, k) in s.kernels.iter().enumerate() {
+            for &oi in &k.ops {
+                assert_eq!(s.kernel_of(oi), ki);
+            }
+        }
+    }
+
+    #[test]
+    fn attention_is_always_isolated() {
+        let g = graph();
+        let s = fuse(&g, true);
+        for k in &s.kernels {
+            let has_attn = k
+                .ops
+                .iter()
+                .any(|&oi| matches!(g.ops[oi].kind, OpKind::Attention { .. }));
+            if has_attn {
+                assert_eq!(k.ops.len(), 1, "attention kernel must be solo");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_internal_values_have_no_external_consumers() {
+        let g = graph();
+        let s = fuse(&g, true);
+        let classes = s.classify(&g);
+        for &v in &classes.internal {
+            let producer_op = g.producer(v).unwrap();
+            let pk = s.kernel_of(producer_op);
+            for ci in g.consumers(v) {
+                assert_eq!(s.kernel_of(ci), pk, "internal value {v:?} escapes");
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The paper's three co-design optimizations as a toggleable configuration.
+//!
+//! [`OptConfig`] selects which of SpeedLLM's optimizations are active; the
+//! four named presets are exactly the variants Fig. 2 compares:
+//!
+//! | preset | stream parallel | memory reuse | operator fusion |
+//! |---|---|---|---|
+//! | [`OptConfig::full`] (ours) | ✓ | ✓ | ✓ |
+//! | [`OptConfig::no_parallel`] | ✗ | ✓ | ✓ |
+//! | [`OptConfig::no_fuse`] | ✓ | ✓ | ✗ |
+//! | [`OptConfig::unoptimized`] | ✗ | ✗ | ✗ |
+
+use speedllm_fpga_sim::mpe::Precision;
+
+/// Which SpeedLLM optimizations are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OptConfig {
+    /// Customized data pipeline: double-buffered read–compute–write tiles
+    /// on dedicated DMA/compute resources, with wide multi-channel
+    /// streaming and pipelined kernel enqueue.
+    pub stream_parallel: bool,
+    /// Memory-allocation reuse: liveness-driven cyclic recycling of
+    /// on-chip buffer segments; off disables it, forcing every intermediate
+    /// through a freshly allocated HBM buffer with an allocation stall.
+    pub memory_reuse: bool,
+    /// Llama-2 operator fusion: composite kernels that keep chain
+    /// intermediates in on-fabric streams.
+    pub operator_fusion: bool,
+    /// Arithmetic precision of the Matrix Processing Engine.
+    pub precision: Precision,
+}
+
+impl OptConfig {
+    /// SpeedLLM with all three optimizations (the paper's "ours").
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            stream_parallel: true,
+            memory_reuse: true,
+            operator_fusion: true,
+            precision: Precision::Fp32,
+        }
+    }
+
+    /// Fig 2(b)'s "none parallel tech" variant.
+    #[must_use]
+    pub fn no_parallel() -> Self {
+        Self {
+            stream_parallel: false,
+            ..Self::full()
+        }
+    }
+
+    /// Fig 2(b)'s "none fused" variant.
+    #[must_use]
+    pub fn no_fuse() -> Self {
+        Self {
+            operator_fusion: false,
+            ..Self::full()
+        }
+    }
+
+    /// The memory-reuse ablation (not a paper headline variant, used by the
+    /// ablation benches).
+    #[must_use]
+    pub fn no_reuse() -> Self {
+        Self {
+            memory_reuse: false,
+            ..Self::full()
+        }
+    }
+
+    /// The unoptimized baseline accelerator Fig 2(a) compares against.
+    #[must_use]
+    pub fn unoptimized() -> Self {
+        Self {
+            stream_parallel: false,
+            memory_reuse: false,
+            operator_fusion: false,
+            precision: Precision::Fp32,
+        }
+    }
+
+    /// SpeedLLM with the int8 MPE design point (quantized weights).
+    #[must_use]
+    pub fn full_int8() -> Self {
+        Self {
+            precision: Precision::Int8,
+            ..Self::full()
+        }
+    }
+
+    /// The four variants of Fig. 2, in presentation order.
+    #[must_use]
+    pub fn paper_variants() -> [(&'static str, OptConfig); 4] {
+        [
+            ("SpeedLLM (ours)", Self::full()),
+            ("no-fuse", Self::no_fuse()),
+            ("no-parallel", Self::no_parallel()),
+            ("unoptimized", Self::unoptimized()),
+        ]
+    }
+
+    /// All eight corners of the optimization cube (for the ablation sweep
+    /// example), fp32.
+    #[must_use]
+    pub fn all_corners() -> Vec<(String, OptConfig)> {
+        let mut out = Vec::with_capacity(8);
+        for bits in 0u8..8 {
+            let cfg = OptConfig {
+                stream_parallel: bits & 4 != 0,
+                memory_reuse: bits & 2 != 0,
+                operator_fusion: bits & 1 != 0,
+                precision: Precision::Fp32,
+            };
+            out.push((cfg.short_name(), cfg));
+        }
+        out
+    }
+
+    /// Compact name like `P+R+F`, `p+r+f` (capital = enabled).
+    #[must_use]
+    pub fn short_name(&self) -> String {
+        format!(
+            "{}{}{}{}",
+            if self.stream_parallel { 'P' } else { 'p' },
+            if self.memory_reuse { 'R' } else { 'r' },
+            if self.operator_fusion { 'F' } else { 'f' },
+            match self.precision {
+                Precision::Fp32 => "",
+                Precision::Int8 => "/i8",
+            }
+        )
+    }
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_toggles() {
+        let f = OptConfig::full();
+        assert!(f.stream_parallel && f.memory_reuse && f.operator_fusion);
+        let u = OptConfig::unoptimized();
+        assert!(!u.stream_parallel && !u.memory_reuse && !u.operator_fusion);
+        assert!(!OptConfig::no_parallel().stream_parallel);
+        assert!(OptConfig::no_parallel().operator_fusion);
+        assert!(!OptConfig::no_fuse().operator_fusion);
+        assert!(OptConfig::no_fuse().stream_parallel);
+        assert!(!OptConfig::no_reuse().memory_reuse);
+    }
+
+    #[test]
+    fn paper_variants_are_distinct() {
+        let v = OptConfig::paper_variants();
+        for i in 0..v.len() {
+            for j in i + 1..v.len() {
+                assert_ne!(v[i].1, v[j].1, "{} vs {}", v[i].0, v[j].0);
+            }
+        }
+    }
+
+    #[test]
+    fn all_corners_covers_the_cube() {
+        let corners = OptConfig::all_corners();
+        assert_eq!(corners.len(), 8);
+        let unique: std::collections::HashSet<_> = corners.iter().map(|(_, c)| *c).collect();
+        assert_eq!(unique.len(), 8);
+    }
+
+    #[test]
+    fn short_names_encode_toggles() {
+        assert_eq!(OptConfig::full().short_name(), "PRF");
+        assert_eq!(OptConfig::unoptimized().short_name(), "prf");
+        assert_eq!(OptConfig::full_int8().short_name(), "PRF/i8");
+    }
+}

@@ -1,0 +1,463 @@
+//! Host runtime: model + tokenizer + accelerator sessions.
+//!
+//! [`AcceleratedLlm`] owns the immutable assets (weights, tokenizer, the
+//! chosen optimization configuration); [`Session`] wraps one engine
+//! instance with a sampler and runs the paper's host loop — tokenize,
+//! prefill, decode — while collecting the metrics Fig. 2 reports: total
+//! inference latency (host timing function), decode throughput (generated
+//! tokens over decode-stage time), and energy.
+
+use std::sync::Arc;
+
+use speedllm_fpga_sim::cycles::{ClockDomain, Cycles};
+use speedllm_fpga_sim::power::EnergyBreakdown;
+use speedllm_fpga_sim::stats::SimStats;
+use speedllm_llama::config::ModelConfig;
+use speedllm_llama::sampler::{Sampler, SamplerKind};
+use speedllm_llama::tokenizer::{Tokenizer, TOKEN_BOS, TOKEN_EOS};
+use speedllm_llama::weights::TransformerWeights;
+
+use crate::engine::{AccelConfig, Engine, EngineError};
+use crate::opt::OptConfig;
+
+/// Errors surfaced by the runtime.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Engine construction failed (design does not fit the device).
+    Engine(EngineError),
+    /// The prompt does not fit the model's context window.
+    PromptTooLong {
+        /// Prompt length in tokens.
+        tokens: usize,
+        /// Context window.
+        seq_len: usize,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Engine(e) => write!(f, "{e}"),
+            RuntimeError::PromptTooLong { tokens, seq_len } => {
+                write!(f, "prompt of {tokens} tokens exceeds context window {seq_len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<EngineError> for RuntimeError {
+    fn from(e: EngineError) -> Self {
+        RuntimeError::Engine(e)
+    }
+}
+
+/// An accelerated model: immutable weights + tokenizer + configuration.
+pub struct AcceleratedLlm {
+    weights: Arc<TransformerWeights>,
+    tokenizer: Arc<Tokenizer>,
+    opt: OptConfig,
+    accel: AccelConfig,
+}
+
+impl AcceleratedLlm {
+    /// Wraps existing weights and tokenizer.
+    pub fn new(
+        weights: TransformerWeights,
+        tokenizer: Tokenizer,
+        opt: OptConfig,
+    ) -> Result<Self, RuntimeError> {
+        let accel = AccelConfig::for_opt(&opt);
+        // Fail fast if the design point does not fit the device.
+        accel
+            .validate()
+            .map_err(|e| RuntimeError::Engine(EngineError::OverBudget(e)))?;
+        Ok(Self {
+            weights: Arc::new(weights),
+            tokenizer: Arc::new(tokenizer),
+            opt,
+            accel,
+        })
+    }
+
+    /// Builds a synthetic model of the given architecture (seeded weights
+    /// and vocabulary) — the substitution for the real TinyStories
+    /// checkpoint (DESIGN.md §2).
+    pub fn synthetic(config: ModelConfig, seed: u64, opt: OptConfig) -> Result<Self, RuntimeError> {
+        let weights = TransformerWeights::synthetic(config, seed);
+        let tokenizer = Tokenizer::synthetic(config.vocab_size, seed ^ 0x5eed);
+        Self::new(weights, tokenizer, opt)
+    }
+
+    /// The model architecture.
+    #[must_use]
+    pub fn config(&self) -> &ModelConfig {
+        &self.weights.config
+    }
+
+    /// The active optimization selection.
+    #[must_use]
+    pub fn opt(&self) -> &OptConfig {
+        &self.opt
+    }
+
+    /// The design point.
+    #[must_use]
+    pub fn accel_config(&self) -> &AccelConfig {
+        &self.accel
+    }
+
+    /// Sets the chunked-prefill length for sessions opened afterwards
+    /// (1 = paper-faithful token-at-a-time; clamped to 1..=64).
+    pub fn set_prefill_chunk(&mut self, chunk: usize) {
+        self.accel.prefill_chunk = chunk.clamp(1, 64);
+    }
+
+    /// The tokenizer.
+    #[must_use]
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// Shared handle to the weights.
+    #[must_use]
+    pub fn weights(&self) -> &Arc<TransformerWeights> {
+        &self.weights
+    }
+
+    /// Opens an inference session with the given sampling policy.
+    #[must_use]
+    pub fn session(&self, sampler: SamplerKind, seed: u64) -> Session {
+        let engine = Engine::with_config(Arc::clone(&self.weights), self.opt, self.accel)
+            .expect("validated at construction");
+        Session {
+            engine,
+            tokenizer: Arc::clone(&self.tokenizer),
+            sampler: Sampler::new(sampler, seed),
+        }
+    }
+}
+
+/// Generated tokens and text of one inference.
+#[derive(Debug, Clone)]
+pub struct GenerationOutput {
+    /// Prompt token ids (BOS included).
+    pub prompt_tokens: Vec<u32>,
+    /// Generated token ids (EOS excluded).
+    pub generated_tokens: Vec<u32>,
+    /// Decoded text of the generation.
+    pub text: String,
+}
+
+/// The paper's metrics for one inference run.
+#[derive(Debug, Clone)]
+pub struct InferenceReport {
+    /// What was generated.
+    pub output: GenerationOutput,
+    /// Kernel clock used for time conversion.
+    pub clock: ClockDomain,
+    /// Device cycles spent in prefill.
+    pub prefill_cycles: Cycles,
+    /// Device cycles spent in decode.
+    pub decode_cycles: Cycles,
+    /// Per-decode-token cycle counts (latency distribution).
+    pub per_token_cycles: Vec<Cycles>,
+    /// Aggregated device activity (prefill + decode).
+    pub stats: SimStats,
+    /// Energy breakdown over the whole inference.
+    pub energy: EnergyBreakdown,
+}
+
+impl InferenceReport {
+    /// Total inference latency in seconds (the paper's latency metric).
+    #[must_use]
+    pub fn total_latency_s(&self) -> f64 {
+        self.clock.to_seconds(self.prefill_cycles + self.decode_cycles)
+    }
+
+    /// Decode throughput in tokens/s (the paper's throughput metric).
+    #[must_use]
+    pub fn decode_tokens_per_s(&self) -> f64 {
+        let secs = self.clock.to_seconds(self.decode_cycles);
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.output.generated_tokens.len() as f64 / secs
+    }
+
+    /// Energy efficiency in tokens per joule (Fig 2(b)'s metric).
+    #[must_use]
+    pub fn tokens_per_joule(&self) -> f64 {
+        let j = self.energy.total_j();
+        if j == 0.0 {
+            return 0.0;
+        }
+        self.output.generated_tokens.len() as f64 / j
+    }
+
+    /// Average power over the run, watts.
+    #[must_use]
+    pub fn avg_power_w(&self) -> f64 {
+        self.energy.avg_power_w(&self.clock, self.stats.total_cycles)
+    }
+}
+
+/// One inference session: engine + sampler state.
+pub struct Session {
+    engine: Engine,
+    tokenizer: Arc<Tokenizer>,
+    sampler: Sampler,
+}
+
+impl Session {
+    /// Mutable access to the engine (trace capture, ablations).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// The engine.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Runs a full inference: tokenize, prefill, decode up to
+    /// `max_new_tokens` (stopping at EOS/BOS). Resets the session's
+    /// context first; use [`Session::append_generate`] for multi-turn
+    /// conversations that keep the KV cache.
+    pub fn generate(
+        &mut self,
+        prompt: &str,
+        max_new_tokens: usize,
+    ) -> Result<InferenceReport, RuntimeError> {
+        self.engine.reset();
+        self.run_turn(prompt, max_new_tokens)
+    }
+
+    /// Continues the conversation **without resetting the KV cache**: the
+    /// new turn's tokens are appended after everything generated so far
+    /// (BOS is only added on an empty context), so earlier turns stay
+    /// visible to attention — real multi-turn chat, paying prefill only
+    /// for the new text.
+    pub fn append_generate(
+        &mut self,
+        prompt: &str,
+        max_new_tokens: usize,
+    ) -> Result<InferenceReport, RuntimeError> {
+        self.run_turn(prompt, max_new_tokens)
+    }
+
+    fn run_turn(
+        &mut self,
+        prompt: &str,
+        max_new_tokens: usize,
+    ) -> Result<InferenceReport, RuntimeError> {
+        let seq_len = self.engine.graph().config.seq_len;
+        let start = self.engine.context_len();
+        let prompt_tokens = self.tokenizer.encode(prompt, start == 0, false);
+        if start + prompt_tokens.len() > seq_len {
+            return Err(RuntimeError::PromptTooLong {
+                tokens: start + prompt_tokens.len(),
+                seq_len,
+            });
+        }
+
+        let mut stats = SimStats::default();
+        let mut prefill_cycles = Cycles::ZERO;
+        let mut logits: Vec<f32> = Vec::new();
+        let chunk = self.engine.config().prefill_chunk.clamp(1, 64);
+        let mut pos0 = start;
+        let prompt_end = start + prompt_tokens.len();
+        while pos0 < prompt_end {
+            let end = (pos0 + chunk).min(prompt_end);
+            let step = self
+                .engine
+                .prefill_chunk(&prompt_tokens[pos0 - start..end - start], pos0);
+            prefill_cycles += step.cycles;
+            stats.accumulate(&step.stats);
+            logits = step.logits;
+            pos0 = end;
+        }
+
+        let mut decode_cycles = Cycles::ZERO;
+        let mut per_token_cycles = Vec::new();
+        let mut generated = Vec::new();
+        let mut pos = prompt_end;
+        while generated.len() < max_new_tokens && pos < seq_len {
+            let next = self.sampler.sample(&logits);
+            if next == TOKEN_EOS || next == TOKEN_BOS {
+                break;
+            }
+            generated.push(next);
+            let step = self.engine.decode_step(next, pos);
+            decode_cycles += step.cycles;
+            per_token_cycles.push(step.cycles);
+            stats.accumulate(&step.stats);
+            logits = step.logits;
+            pos += 1;
+        }
+
+        let text = self.tokenizer.decode(&generated);
+        let energy = self.engine.power_model().energy(&stats);
+        Ok(InferenceReport {
+            output: GenerationOutput {
+                prompt_tokens,
+                generated_tokens: generated,
+                text,
+            },
+            clock: self.engine.power_model().clock,
+            prefill_cycles,
+            decode_cycles,
+            per_token_cycles,
+            stats,
+            energy,
+        })
+    }
+
+    /// Runs only the forward pass for `token` at `pos` (low-level access
+    /// used by the equivalence tests).
+    pub fn step(&mut self, token: u32, pos: usize) -> crate::engine::StepResult {
+        self.engine.decode_step(token, pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system(opt: OptConfig) -> AcceleratedLlm {
+        AcceleratedLlm::synthetic(ModelConfig::test_tiny(), 42, opt).unwrap()
+    }
+
+    #[test]
+    fn generate_produces_tokens_and_metrics() {
+        let sys = system(OptConfig::full());
+        let mut s = sys.session(SamplerKind::Argmax, 0);
+        let r = s.generate("hello", 8).unwrap();
+        assert!(!r.output.prompt_tokens.is_empty());
+        assert!(r.output.generated_tokens.len() <= 8);
+        assert!(r.total_latency_s() > 0.0);
+        assert!(r.decode_tokens_per_s() > 0.0 || r.output.generated_tokens.is_empty());
+        assert!(r.energy.total_j() > 0.0);
+        assert!(r.avg_power_w() > 0.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let sys = system(OptConfig::full());
+        let mut a = sys.session(SamplerKind::Temperature(0.9), 7);
+        let mut b = sys.session(SamplerKind::Temperature(0.9), 7);
+        let ra = a.generate("once upon", 10).unwrap();
+        let rb = b.generate("once upon", 10).unwrap();
+        assert_eq!(ra.output.generated_tokens, rb.output.generated_tokens);
+        assert_eq!(ra.decode_cycles, rb.decode_cycles);
+    }
+
+    #[test]
+    fn variants_generate_identical_tokens() {
+        // The co-design is functionally transparent: every fp32 variant
+        // must sample the same token sequence.
+        let mut outputs = Vec::new();
+        for (_, opt) in OptConfig::paper_variants() {
+            let sys = system(opt);
+            let mut s = sys.session(SamplerKind::Argmax, 0);
+            outputs.push(s.generate("abc", 6).unwrap().output.generated_tokens);
+        }
+        for o in &outputs[1..] {
+            assert_eq!(o, &outputs[0]);
+        }
+    }
+
+    #[test]
+    fn full_beats_unoptimized_end_to_end() {
+        let full = system(OptConfig::full());
+        let unopt = system(OptConfig::unoptimized());
+        let rf = full.session(SamplerKind::Argmax, 0).generate("speed", 6).unwrap();
+        let ru = unopt.session(SamplerKind::Argmax, 0).generate("speed", 6).unwrap();
+        assert_eq!(rf.output.generated_tokens, ru.output.generated_tokens);
+        let speedup = ru.total_latency_s() / rf.total_latency_s();
+        assert!(speedup > 2.0, "speedup only {speedup:.2}x");
+        // Energy efficiency ordering too.
+        assert!(rf.tokens_per_joule() > ru.tokens_per_joule());
+    }
+
+    #[test]
+    fn prompt_too_long_is_rejected() {
+        let sys = system(OptConfig::full());
+        let mut s = sys.session(SamplerKind::Argmax, 0);
+        let long: String = "word ".repeat(200);
+        match s.generate(&long, 1) {
+            Err(RuntimeError::PromptTooLong { tokens, seq_len }) => {
+                assert!(tokens > seq_len);
+            }
+            other => panic!("expected PromptTooLong, got {other:?}", other = other.map(|r| r.output.text)),
+        }
+    }
+
+    #[test]
+    fn respects_context_window() {
+        let sys = system(OptConfig::full());
+        let mut s = sys.session(SamplerKind::Argmax, 0);
+        let r = s.generate("a b c", 10_000).unwrap();
+        assert!(
+            r.output.prompt_tokens.len() + r.output.generated_tokens.len()
+                <= sys.config().seq_len
+        );
+    }
+
+    #[test]
+    fn append_generate_keeps_context() {
+        let sys = system(OptConfig::full());
+        let mut s = sys.session(SamplerKind::Argmax, 0);
+        let first = s.generate("hello", 4).unwrap();
+        let ctx_after_first = s.engine().context_len();
+        assert_eq!(
+            ctx_after_first,
+            first.output.prompt_tokens.len() + first.output.generated_tokens.len()
+        );
+        let second = s.append_generate("more", 4).unwrap();
+        // Context grew past the first turn instead of resetting.
+        assert!(s.engine().context_len() > ctx_after_first);
+        // Second turn's prompt has no BOS (context not empty).
+        assert_ne!(second.output.prompt_tokens.first(), Some(&1u32));
+        // Multi-turn runs are deterministic: replaying the same two turns
+        // in a fresh session reproduces both outputs and timings.
+        let mut replay = sys.session(SamplerKind::Argmax, 0);
+        let first_b = replay.generate("hello", 4).unwrap();
+        let second_b = replay.append_generate("more", 4).unwrap();
+        assert_eq!(first.output.generated_tokens, first_b.output.generated_tokens);
+        assert_eq!(second.output.generated_tokens, second_b.output.generated_tokens);
+        assert_eq!(second.decode_cycles, second_b.decode_cycles);
+        // The second turn paid prefill only for its own (short) prompt.
+        assert!(second.output.prompt_tokens.len() < first.output.prompt_tokens.len() + 4);
+    }
+
+    #[test]
+    fn append_generate_rejects_context_overflow() {
+        let sys = system(OptConfig::full());
+        let mut s = sys.session(SamplerKind::Argmax, 0);
+        s.generate("a b c d e f", 8).unwrap();
+        let mut last = Ok(());
+        for _ in 0..20 {
+            match s.append_generate("even more words to push the window", 8) {
+                Ok(_) => {}
+                Err(e) => {
+                    last = Err(e);
+                    break;
+                }
+            }
+        }
+        assert!(matches!(last, Err(RuntimeError::PromptTooLong { .. })));
+    }
+
+    #[test]
+    fn per_token_cycles_align_with_decode_total() {
+        let sys = system(OptConfig::full());
+        let mut s = sys.session(SamplerKind::Argmax, 0);
+        let r = s.generate("x", 5).unwrap();
+        let sum: u64 = r.per_token_cycles.iter().map(|c| c.0).sum();
+        assert_eq!(sum, r.decode_cycles.0);
+        assert_eq!(r.per_token_cycles.len(), r.output.generated_tokens.len());
+    }
+}

@@ -1,0 +1,81 @@
+//! Context-length ablation: per-token decode cost grows with the cached
+//! context (KV paging). The int8 KV cache (extension) cuts attention
+//! *traffic* ~4x; at TinyStories scale the wall-clock effect is modest
+//! (attention pages are small next to weight streams) but the energy-side
+//! traffic saving is exact — both are printed. Criterion then measures a
+//! long-context decode step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_accel::engine::{AccelConfig, Engine};
+use speedllm_accel::opt::OptConfig;
+use speedllm_fpga_sim::mpe::Precision;
+use speedllm_llama::config::ModelConfig;
+use speedllm_llama::weights::TransformerWeights;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn build(kv: Precision, weights: &Arc<TransformerWeights>) -> Engine {
+    let mut cfg = AccelConfig::for_opt(&OptConfig::full());
+    cfg.kv_precision = kv;
+    Engine::with_config(Arc::clone(weights), OptConfig::full(), cfg).unwrap()
+}
+
+fn print_sweep() {
+    println!("--- decode cost vs context length (stories15M, seq 256) ---");
+    let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::stories15m(), 42));
+    let mut f32kv = build(Precision::Fp32, &weights);
+    let mut i8kv = build(Precision::Int8, &weights);
+    let checkpoints = [0usize, 64, 128, 255];
+    let mut next = 0usize;
+    for pos in 0..=255 {
+        let a = f32kv.decode_step(1 + (pos % 100) as u32, pos);
+        let b = i8kv.decode_step(1 + (pos % 100) as u32, pos);
+        if next < checkpoints.len() && pos == checkpoints[next] {
+            println!(
+                "ctx {pos:>3}: f32-KV {:>6} cyc, {:>9} B read | int8-KV {:>6} cyc, {:>9} B read ({:.2}x time, {:.2}x bytes)",
+                a.cycles.0,
+                a.stats.hbm.read_bytes,
+                b.cycles.0,
+                b.stats.hbm.read_bytes,
+                a.cycles.0 as f64 / b.cycles.0 as f64,
+                a.stats.hbm.read_bytes as f64 / b.stats.hbm.read_bytes as f64,
+            );
+            next += 1;
+        }
+    }
+    println!("------------------------------------------------------------");
+}
+
+fn bench_long_context(c: &mut Criterion) {
+    print_sweep();
+    let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::stories260k(), 42));
+    for (name, kv) in [("f32", Precision::Fp32), ("int8", Precision::Int8)] {
+        let mut engine = build(kv, &weights);
+        for pos in 0..256 {
+            engine.decode_step(1, pos);
+        }
+        let mut pos = 256usize;
+        c.bench_function(&format!("ablation/decode_ctx256_kv_{name}"), |b| {
+            b.iter(|| {
+                let r = engine.decode_step(black_box(3), pos);
+                pos += 1;
+                if pos >= 500 {
+                    // Reset and refill to the measurement window.
+                    engine.reset();
+                    for p in 0..256 {
+                        engine.decode_step(1, p);
+                    }
+                    pos = 256;
+                }
+                black_box(r.cycles)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_long_context
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation bench for the **memory-reuse pool sizing** (DESIGN.md §4):
+//! sweeps the on-chip activation pool and prints high-water mark and HBM
+//! overflow, then criterion-measures the planner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_accel::fusion::fuse;
+use speedllm_accel::ir::build_decode_graph;
+use speedllm_accel::memplan::{plan, plan_with_strategy, AllocStrategy};
+use speedllm_llama::config::ModelConfig;
+use std::hint::black_box;
+
+fn print_ablation() {
+    println!("--- reuse-pool sizing ablation (stories15M) ---");
+    let graph = build_decode_graph(&ModelConfig::stories15m());
+    let schedule = fuse(&graph, true);
+    for pool in [16u64 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20] {
+        let p = plan(&graph, &schedule, true, pool);
+        println!(
+            "pool {:>8} B: high-water {:>7} B, {} values on-chip, {} overflow to HBM ({} B)",
+            pool,
+            p.ocm_high_water,
+            p.ocm_values(),
+            p.overflowed,
+            p.hbm_activation_bytes
+        );
+    }
+    // Strategy comparison at the shipped pool size.
+    for (name, strat) in [("first-fit", AllocStrategy::FirstFit), ("best-fit", AllocStrategy::BestFit)] {
+        let p = plan_with_strategy(&graph, &schedule, true, 2 << 20, strat);
+        println!(
+            "strategy {name:<9}: high-water {:>7} B over {} allocations",
+            p.ocm_high_water, p.ocm_allocs
+        );
+    }
+    // Contrast: reuse disabled.
+    let naive = plan(&graph, &schedule, false, 2 << 20);
+    println!(
+        "reuse OFF       : {} values in HBM ({} B of round-trips)",
+        naive.hbm_values(),
+        naive.hbm_activation_bytes
+    );
+    println!("------------------------------------------------");
+}
+
+fn bench_planner(c: &mut Criterion) {
+    print_ablation();
+    let graph = build_decode_graph(&ModelConfig::stories15m());
+    let schedule = fuse(&graph, true);
+    c.bench_function("ablation/memplan_reuse_15m", |b| {
+        b.iter(|| black_box(plan(&graph, &schedule, true, 2 << 20).ocm_high_water))
+    });
+    c.bench_function("ablation/memplan_naive_15m", |b| {
+        b.iter(|| black_box(plan(&graph, &schedule, false, 2 << 20).hbm_values()))
+    });
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation bench for **chunked prefill** (extension beyond the paper):
+//! prints prefill latency vs chunk length (weight-stream amortization) and
+//! criterion-measures the chunked engine pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_accel::engine::{AccelConfig, Engine};
+use speedllm_accel::opt::OptConfig;
+use speedllm_llama::config::ModelConfig;
+use speedllm_llama::weights::TransformerWeights;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn print_ablation() {
+    println!("--- chunked-prefill ablation (stories260K, 32-token prompt) ---");
+    let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::stories260k(), 42));
+    let tokens: Vec<u32> = (0..32).map(|i| 5 + i as u32).collect();
+    let mut base_cycles = 0u64;
+    for chunk in [1usize, 2, 4, 8, 16, 32] {
+        let mut engine =
+            Engine::with_config(Arc::clone(&weights), OptConfig::full(), AccelConfig::for_opt(&OptConfig::full()))
+                .unwrap();
+        let mut cycles = 0u64;
+        let mut reads = 0u64;
+        let mut pos = 0usize;
+        while pos < tokens.len() {
+            let end = (pos + chunk).min(tokens.len());
+            let r = engine.prefill_chunk(&tokens[pos..end], pos);
+            cycles += r.cycles.0;
+            reads += r.stats.hbm.read_bytes;
+            pos = end;
+        }
+        if chunk == 1 {
+            base_cycles = cycles;
+        }
+        println!(
+            "chunk {chunk:>2}: {cycles:>8} cycles ({:.2}x), {reads:>9} B HBM read",
+            base_cycles as f64 / cycles as f64
+        );
+    }
+    println!("----------------------------------------------------------------");
+}
+
+fn bench_prefill(c: &mut Criterion) {
+    print_ablation();
+    let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::stories260k(), 42));
+    let tokens: Vec<u32> = (0..16).map(|i| 5 + i as u32).collect();
+    for chunk in [1usize, 16] {
+        let mut engine = Engine::new(Arc::clone(&weights), OptConfig::full()).unwrap();
+        c.bench_function(&format!("ablation/prefill_chunk_{chunk}"), |b| {
+            b.iter(|| {
+                engine.reset();
+                let mut pos = 0usize;
+                let mut total = 0u64;
+                while pos < tokens.len() {
+                    let end = (pos + chunk).min(tokens.len());
+                    total += engine.prefill_chunk(black_box(&tokens[pos..end]), pos).cycles.0;
+                    pos = end;
+                }
+                black_box(total)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_prefill
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Substrate microbenchmarks: the CPU reference kernels at stories15M
+//! dimensions — serial vs scoped-thread matvec, RMSNorm, softmax, RoPE —
+//! plus a full reference forward step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_llama::config::ModelConfig;
+use speedllm_llama::forward::{MatVecStrategy, Transformer};
+use speedllm_llama::ops;
+use speedllm_llama::parallel::par_matvec;
+use speedllm_llama::rng::Xoshiro256;
+use speedllm_llama::weights::TransformerWeights;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let cfg = ModelConfig::stories15m();
+    let (rows, cols) = (cfg.hidden_dim, cfg.dim);
+    let mut rng = Xoshiro256::seed_from_u64(1);
+    let mut w = vec![0.0f32; rows * cols];
+    let mut x = vec![0.0f32; cols];
+    rng.fill_normal(&mut w, 0.02);
+    rng.fill_normal(&mut x, 1.0);
+    let mut out = vec![0.0f32; rows];
+
+    c.bench_function("cpu/matvec_serial_768x288", |b| {
+        b.iter(|| {
+            ops::matvec(black_box(&mut out), &w, &x, rows, cols);
+            black_box(out[0])
+        })
+    });
+    c.bench_function("cpu/matvec_par4_768x288", |b| {
+        b.iter(|| {
+            par_matvec(black_box(&mut out), &w, &x, rows, cols, 4);
+            black_box(out[0])
+        })
+    });
+
+    // Classifier-sized matvec is the big one: vocab x dim.
+    let vrows = cfg.vocab_size;
+    let mut wv = vec![0.0f32; vrows * cols];
+    rng.fill_normal(&mut wv, 0.02);
+    let mut vout = vec![0.0f32; vrows];
+    c.bench_function("cpu/matvec_serial_32000x288", |b| {
+        b.iter(|| {
+            ops::matvec(black_box(&mut vout), &wv, &x, vrows, cols);
+            black_box(vout[0])
+        })
+    });
+    c.bench_function("cpu/matvec_par_32000x288", |b| {
+        let threads = speedllm_llama::parallel::recommended_threads();
+        b.iter(|| {
+            par_matvec(black_box(&mut vout), &wv, &x, vrows, cols, threads);
+            black_box(vout[0])
+        })
+    });
+
+    let gain = vec![1.0f32; cols];
+    let mut nbuf = x.clone();
+    c.bench_function("cpu/rmsnorm_288", |b| {
+        b.iter(|| {
+            ops::rmsnorm(black_box(&mut nbuf), &x, &gain);
+            black_box(nbuf[0])
+        })
+    });
+
+    let mut sm = vec![0.0f32; 256];
+    rng.fill_normal(&mut sm, 1.0);
+    c.bench_function("cpu/softmax_256", |b| {
+        let src = sm.clone();
+        b.iter(|| {
+            sm.copy_from_slice(&src);
+            ops::softmax(black_box(&mut sm));
+            black_box(sm[0])
+        })
+    });
+
+    let mut q = x.clone();
+    c.bench_function("cpu/rope_288", |b| {
+        b.iter(|| {
+            ops::rope_inplace(black_box(&mut q), 17, cfg.head_dim(), ops::ROPE_THETA);
+            black_box(q[0])
+        })
+    });
+
+    // Full reference decode step on stories260K (15M is too slow for tight
+    // criterion loops in CI).
+    let weights = TransformerWeights::synthetic(ModelConfig::stories260k(), 42);
+    let mut serial = Transformer::new(weights.clone());
+    let mut parallel = Transformer::new(weights);
+    parallel.set_strategy(MatVecStrategy::Parallel { threads: 4 });
+    let mut pos = 0usize;
+    c.bench_function("cpu/forward_260k_serial", |b| {
+        b.iter(|| {
+            let l = serial.forward(black_box(3), pos % 500);
+            pos += 1;
+            black_box(l[0])
+        })
+    });
+    let mut pos2 = 0usize;
+    c.bench_function("cpu/forward_260k_par4", |b| {
+        b.iter(|| {
+            let l = parallel.forward(black_box(3), pos2 % 500);
+            pos2 += 1;
+            black_box(l[0])
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_kernels
+}
+criterion_main!(benches);

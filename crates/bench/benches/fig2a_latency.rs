@@ -1,0 +1,66 @@
+//! Criterion bench behind **Fig 2(a)**: decode-step cost of the SpeedLLM
+//! variants. The simulated (device) latency series is printed once at
+//! startup — that is the figure's data; the criterion numbers measure the
+//! simulator's own host-side throughput for regression tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_accel::opt::OptConfig;
+use speedllm_bench::{fig2a_workloads, headline_preset, run_paper_variants, SAMPLER, SEED};
+use speedllm_llama::config::ModelConfig;
+use std::hint::black_box;
+
+fn print_figure_series() {
+    println!("--- Fig 2(a) series (simulated device latency, stories15M) ---");
+    let preset = headline_preset();
+    for w in fig2a_workloads() {
+        let ms = run_paper_variants(&preset, &w);
+        let ours = speedllm_bench::find(&ms, "SpeedLLM (ours)");
+        let unopt = speedllm_bench::find(&ms, "unoptimized");
+        println!(
+            "{:<16} ours {:>9.3} ms  unopt {:>9.3} ms  speedup {:.2}x",
+            w.name,
+            ours.latency_s() * 1e3,
+            unopt.latency_s() * 1e3,
+            unopt.latency_s() / ours.latency_s()
+        );
+    }
+    println!("----------------------------------------------------------------");
+}
+
+fn bench_decode_step(c: &mut Criterion) {
+    print_figure_series();
+    let mut group = c.benchmark_group("fig2a/decode_step");
+    for (name, opt) in OptConfig::paper_variants() {
+        let system = speedllm_accel::runtime::AcceleratedLlm::synthetic(
+            ModelConfig::stories260k(),
+            SEED,
+            opt,
+        )
+        .unwrap();
+        let mut session = system.session(SAMPLER, SEED);
+        // Warm the context so attention has work to do.
+        for pos in 0..4 {
+            session.step(1 + pos as u32, pos);
+        }
+        let mut pos = 4usize;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = session.step(black_box(7), pos);
+                pos += 1;
+                if pos >= 500 {
+                    session.engine_mut().reset();
+                    pos = 0;
+                }
+                black_box(r.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_decode_step
+}
+criterion_main!(benches);

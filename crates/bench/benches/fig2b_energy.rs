@@ -1,0 +1,32 @@
+//! Criterion bench behind **Fig 2(b)**: the energy-efficiency series is
+//! printed once (the figure's data); criterion then measures the energy
+//! model's evaluation cost on realistic per-inference stats.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_bench::{fig2b_workload, headline_preset, run_paper_variants};
+use speedllm_fpga_sim::power::PowerModel;
+use std::hint::black_box;
+
+fn bench_energy(c: &mut Criterion) {
+    println!("--- Fig 2(b) series (tokens per joule, stories15M story-128) ---");
+    let ms = run_paper_variants(&headline_preset(), &fig2b_workload());
+    let ours = speedllm_bench::find(&ms, "SpeedLLM (ours)");
+    for m in &ms {
+        println!(
+            "{:<16} {:>8.0} tok/J   (ours/this = {:.2}x)",
+            m.variant,
+            m.tokens_per_joule(),
+            ours.tokens_per_joule() / m.tokens_per_joule()
+        );
+    }
+    println!("-----------------------------------------------------------------");
+
+    let stats = ms[0].report.stats;
+    let pm = PowerModel::u280();
+    c.bench_function("fig2b/energy_model", |b| {
+        b.iter(|| black_box(pm.energy(black_box(&stats)).total_j()))
+    });
+}
+
+criterion_group!(benches, bench_energy);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Quantization microbenchmarks: Q8_0 quantize/dequantize and the int8
+//! matvec vs the f32 matvec, plus the simulated int8-vs-fp32 accelerator
+//! comparison (the paper's mixed-precision motivation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_accel::opt::OptConfig;
+use speedllm_accel::runtime::AcceleratedLlm;
+use speedllm_llama::config::ModelConfig;
+use speedllm_llama::ops;
+use speedllm_llama::quant::{QuantMatrix, QuantTensor};
+use speedllm_llama::rng::Xoshiro256;
+use std::hint::black_box;
+
+fn print_precision_comparison() {
+    println!("--- int8 vs fp32 accelerator (stories260K, simulated) ---");
+    for (name, opt) in [("fp32", OptConfig::full()), ("int8", OptConfig::full_int8())] {
+        let sys = AcceleratedLlm::synthetic(ModelConfig::stories260k(), 42, opt).unwrap();
+        let mut session = sys.session(speedllm_llama::sampler::SamplerKind::Argmax, 0);
+        let r = session.generate("once upon a time", 32).unwrap();
+        println!(
+            "{name}: {:>8.0} tok/s, {:>7.0} tok/J, {} HBM read bytes/token",
+            r.decode_tokens_per_s(),
+            r.tokens_per_joule(),
+            r.stats.hbm.read_bytes / (r.output.generated_tokens.len() as u64 + r.output.prompt_tokens.len() as u64).max(1)
+        );
+    }
+    println!("----------------------------------------------------------");
+}
+
+fn bench_quant(c: &mut Criterion) {
+    print_precision_comparison();
+    let (rows, cols) = (768usize, 288usize);
+    let mut rng = Xoshiro256::seed_from_u64(5);
+    let mut w = vec![0.0f32; rows * cols];
+    let mut x = vec![0.0f32; cols];
+    rng.fill_normal(&mut w, 0.02);
+    rng.fill_normal(&mut x, 1.0);
+
+    c.bench_function("quant/quantize_768x288", |b| {
+        b.iter(|| black_box(QuantMatrix::quantize(black_box(&w), rows, cols).bytes()))
+    });
+
+    let qm = QuantMatrix::quantize(&w, rows, cols);
+    let mut out = vec![0.0f32; rows];
+    c.bench_function("quant/matvec_int8_768x288", |b| {
+        b.iter(|| {
+            qm.matvec(black_box(&mut out), &x);
+            black_box(out[0])
+        })
+    });
+    c.bench_function("quant/matvec_f32_768x288", |b| {
+        b.iter(|| {
+            ops::matvec(black_box(&mut out), &w, &x, rows, cols);
+            black_box(out[0])
+        })
+    });
+
+    let data: Vec<f32> = (0..4096).map(|i| ((i * 31 % 997) as f32 - 498.0) / 100.0).collect();
+    c.bench_function("quant/tensor_roundtrip_4096", |b| {
+        b.iter(|| {
+            let qt = QuantTensor::quantize(black_box(&data));
+            black_box(qt.dequantize()[0])
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_quant
+}
+criterion_main!(benches);

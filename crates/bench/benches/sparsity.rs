@@ -1,0 +1,77 @@
+//! Sparsity study (the paper's §1 motivation: FPGAs exploit sparsity that
+//! "fails to translate into real-world performance gains" on GPUs).
+//! Prints the simulated matvec latency vs block-sparsity level on the
+//! SpeedLLM MPE — where pruned blocks are skipped — against a GPU, where
+//! unstructured/block sparsity at this granularity gives no dense-kernel
+//! speedup; then criterion-measures the sparse CPU kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_fpga_sim::hbm::{Hbm, HbmConfig};
+use speedllm_fpga_sim::mpe::{Mpe, MpeConfig};
+use speedllm_llama::rng::Xoshiro256;
+use speedllm_llama::sparse::BlockSparseMatrix;
+use std::hint::black_box;
+
+const BLOCK: usize = 8;
+
+fn print_study() {
+    println!("--- block-sparsity study (stories15M FFN matvec, 768x288) ---");
+    let mpe = Mpe::new(MpeConfig::u280_fp32());
+    let hbm = Hbm::new(HbmConfig::u280());
+    let (rows, cols) = (768usize, 288usize);
+    let dense_bytes = (rows * cols * 4) as u64;
+    let dense_read = hbm.transfer_cost(dense_bytes, 24);
+    let dense_compute = mpe.tile_cost(rows, cols);
+    let dense_cycles = dense_read.max(dense_compute);
+    for sparsity in [0.0f64, 0.25, 0.5, 0.75, 0.9] {
+        let density = 1.0 - sparsity;
+        let bytes = ((dense_bytes as f64) * density) as u64 + (rows * cols / BLOCK * 4) as u64 / 8;
+        let read = hbm.transfer_cost(bytes, 24);
+        let compute = mpe.sparse_tile_cost(rows, cols, density, BLOCK);
+        let cycles = read.max(compute);
+        println!(
+            "sparsity {:>4.0}%: FPGA {:>5} cycles ({:.2}x) | GPU 1.00x (dense kernel)",
+            sparsity * 100.0,
+            cycles.0,
+            dense_cycles.0 as f64 / cycles.0 as f64
+        );
+    }
+    println!("--------------------------------------------------------------");
+}
+
+fn bench_sparse_kernels(c: &mut Criterion) {
+    print_study();
+    let (rows, cols) = (768usize, 288usize);
+    let mut rng = Xoshiro256::seed_from_u64(3);
+    let mut w = vec![0.0f32; rows * cols];
+    let mut x = vec![0.0f32; cols];
+    rng.fill_normal(&mut w, 0.02);
+    rng.fill_normal(&mut x, 1.0);
+    let mut out = vec![0.0f32; rows];
+
+    c.bench_function("sparsity/dense_matvec", |b| {
+        b.iter(|| {
+            speedllm_llama::ops::matvec(black_box(&mut out), &w, &x, rows, cols);
+            black_box(out[0])
+        })
+    });
+    for sparsity in [0.5f32, 0.9] {
+        let m = BlockSparseMatrix::prune(&w, rows, cols, BLOCK, sparsity);
+        c.bench_function(&format!("sparsity/sparse_matvec_{:.0}pct", sparsity * 100.0), |b| {
+            b.iter(|| {
+                m.matvec(black_box(&mut out), &x);
+                black_box(out[0])
+            })
+        });
+    }
+    c.bench_function("sparsity/prune_768x288", |b| {
+        b.iter(|| black_box(BlockSparseMatrix::prune(&w, rows, cols, BLOCK, 0.5).nnz_blocks()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_sparse_kernels
+}
+criterion_main!(benches);

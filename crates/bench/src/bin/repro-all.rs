@@ -1,0 +1,24 @@
+//! Runs every reproduction in sequence (Fig 2(a), Fig 2(b), §3.2.2 cost
+//! table) — the one-shot artifact-evaluation entry point whose output
+//! EXPERIMENTS.md records.
+//!
+//! Run: `cargo run --release -p speedllm-bench --bin repro-all`
+
+use std::process::Command;
+
+fn main() {
+    // Each experiment is its own binary; run them in-process order so the
+    // combined output is stable. Falling back to direct invocation keeps
+    // this runnable both via cargo and from target/release directly.
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("exe dir");
+    for bin in ["repro-fig2a", "repro-fig2b", "repro-cost"] {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+    println!("all reproductions complete.");
+}

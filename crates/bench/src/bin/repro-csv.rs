@@ -1,0 +1,117 @@
+//! Emits every figure's data series as CSV files (plot-ready artifacts),
+//! mirroring the human-readable `repro-*` binaries.
+//!
+//! Run: `cargo run --release -p speedllm-bench --bin repro-csv -- [outdir]`
+//! (default `./repro-csv-out`).
+
+use std::path::PathBuf;
+
+use speedllm_accel::opt::OptConfig;
+use speedllm_bench::{
+    fig2a_workloads, fig2b_workload, headline_preset, model_presets, run_paper_variants,
+    run_variant, Table,
+};
+use speedllm_gpu_model::{GpuSpec, U280_PRICE_USD};
+
+fn main() {
+    let outdir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("repro-csv-out"));
+    std::fs::create_dir_all(&outdir).expect("create output directory");
+
+    // --- Fig 2(a): latency/throughput per workload per variant ---
+    let mut fig2a = Table::new(&[
+        "workload",
+        "gen_tokens",
+        "variant",
+        "latency_s",
+        "decode_tokens_per_s",
+        "speedup_vs_unoptimized",
+    ]);
+    let preset = headline_preset();
+    for w in fig2a_workloads() {
+        let ms = run_paper_variants(&preset, &w);
+        let base = speedllm_bench::find(&ms, "unoptimized").latency_s();
+        for m in &ms {
+            fig2a.row(vec![
+                w.name.into(),
+                w.gen_tokens.to_string(),
+                m.variant.into(),
+                format!("{:.9}", m.latency_s()),
+                format!("{:.3}", m.tokens_per_s()),
+                format!("{:.4}", base / m.latency_s()),
+            ]);
+        }
+    }
+    write(&outdir, "fig2a_latency.csv", &fig2a);
+
+    // --- Fig 2(a) inset: model-size sweep ---
+    let mut sweep = Table::new(&["model", "params", "variant", "latency_s", "tokens_per_s"]);
+    let w = fig2b_workload();
+    for preset in model_presets() {
+        for m in run_paper_variants(&preset, &w) {
+            sweep.row(vec![
+                preset.name.into(),
+                preset.config.param_count().to_string(),
+                m.variant.into(),
+                format!("{:.9}", m.latency_s()),
+                format!("{:.3}", m.tokens_per_s()),
+            ]);
+        }
+    }
+    write(&outdir, "fig2a_model_sweep.csv", &sweep);
+
+    // --- Fig 2(b): energy ---
+    let mut fig2b = Table::new(&[
+        "variant",
+        "energy_j",
+        "tokens_per_joule",
+        "avg_power_w",
+        "hbm_read_bytes",
+        "hbm_write_bytes",
+        "kernel_launches",
+        "alloc_stalls",
+    ]);
+    for m in run_paper_variants(&headline_preset(), &fig2b_workload()) {
+        fig2b.row(vec![
+            m.variant.into(),
+            format!("{:.9}", m.report.energy.total_j()),
+            format!("{:.3}", m.tokens_per_joule()),
+            format!("{:.3}", m.report.avg_power_w()),
+            m.report.stats.hbm.read_bytes.to_string(),
+            m.report.stats.hbm.write_bytes.to_string(),
+            m.report.stats.kernel_launches.to_string(),
+            m.report.stats.alloc_stalls.to_string(),
+        ]);
+    }
+    write(&outdir, "fig2b_energy.csv", &fig2b);
+
+    // --- Cost table ---
+    let mut cost = Table::new(&["device", "tokens_per_s", "price_usd", "tokens_per_s_per_usd"]);
+    let ours = run_variant(&headline_preset(), &fig2b_workload(), "SpeedLLM", OptConfig::full());
+    cost.row(vec![
+        "SpeedLLM/U280".into(),
+        format!("{:.3}", ours.tokens_per_s()),
+        format!("{U280_PRICE_USD:.0}"),
+        format!("{:.6}", ours.tokens_per_s() / U280_PRICE_USD),
+    ]);
+    for gpu in GpuSpec::paper_gpus() {
+        let t = gpu.decode_tokens_per_s(&headline_preset().config, 72, 2.0);
+        cost.row(vec![
+            gpu.name.into(),
+            format!("{t:.3}"),
+            format!("{:.0}", gpu.price_usd),
+            format!("{:.6}", t / gpu.price_usd),
+        ]);
+    }
+    write(&outdir, "cost_efficiency.csv", &cost);
+
+    println!("wrote 4 CSV files to {}", outdir.display());
+}
+
+fn write(dir: &std::path::Path, name: &str, table: &Table) {
+    let path = dir.join(name);
+    std::fs::write(&path, table.render_csv()).expect("write csv");
+    println!("  {} ({} rows)", path.display(), table.len());
+}

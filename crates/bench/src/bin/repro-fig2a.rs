@@ -1,0 +1,81 @@
+//! Regenerates **Fig 2(a)**: latency and decode throughput of SpeedLLM vs
+//! the unoptimized accelerator, across the Fig-2a workload grid on
+//! stories15M plus a model-size sweep.
+//!
+//! Paper claim: "delivering a latency speedup of up to 4.8 times".
+//!
+//! Run: `cargo run --release -p speedllm-bench --bin repro-fig2a`
+
+use speedllm_bench::{
+    fig2a_workloads, fmt_seconds, headline_preset, model_presets, run_paper_variants, Table,
+};
+
+fn main() {
+    println!("=== Fig 2(a): latency & throughput, SpeedLLM vs unoptimized ===\n");
+
+    let preset = headline_preset();
+    println!("workload grid on {} ({}):\n", preset.name, preset.config);
+    let mut table = Table::new(&[
+        "workload",
+        "gen",
+        "ours latency",
+        "unopt latency",
+        "speedup",
+        "ours tok/s",
+        "unopt tok/s",
+    ]);
+    let mut max_speedup: f64 = 0.0;
+    for w in fig2a_workloads() {
+        let ms = run_paper_variants(&preset, &w);
+        let ours = speedllm_bench::find(&ms, "SpeedLLM (ours)");
+        let unopt = speedllm_bench::find(&ms, "unoptimized");
+        let speedup = unopt.latency_s() / ours.latency_s();
+        max_speedup = max_speedup.max(speedup);
+        table.row(vec![
+            w.name.into(),
+            format!("{}", w.gen_tokens),
+            fmt_seconds(ours.latency_s()),
+            fmt_seconds(unopt.latency_s()),
+            format!("{speedup:.2}x"),
+            format!("{:.0}", ours.tokens_per_s()),
+            format!("{:.0}", unopt.tokens_per_s()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("model-size sweep (story-128 workload):\n");
+    let w = speedllm_bench::fig2b_workload();
+    let mut table = Table::new(&[
+        "model",
+        "params",
+        "ours latency",
+        "unopt latency",
+        "speedup",
+        "ours tok/s",
+    ]);
+    for preset in model_presets() {
+        let ms = run_paper_variants(&preset, &w);
+        let ours = speedllm_bench::find(&ms, "SpeedLLM (ours)");
+        let unopt = speedllm_bench::find(&ms, "unoptimized");
+        let speedup = unopt.latency_s() / ours.latency_s();
+        // stories260K is a degenerate, launch-bound regime (the model is
+        // smaller than one HBM burst train); it is reported in the sweep
+        // but excluded from the headline max, which the paper states for
+        // the deployed stories15M workload.
+        if preset.config.param_count() > 1_000_000 {
+            max_speedup = max_speedup.max(speedup);
+        }
+        table.row(vec![
+            preset.name.into(),
+            format!("{:.1}M", preset.config.param_count() as f64 / 1e6),
+            fmt_seconds(ours.latency_s()),
+            fmt_seconds(unopt.latency_s()),
+            format!("{speedup:.2}x"),
+            format!("{:.0}", ours.tokens_per_s()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "max latency speedup observed (stories15M+ workloads): {max_speedup:.2}x (paper: up to 4.8x)"
+    );
+}

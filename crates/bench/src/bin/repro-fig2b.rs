@@ -1,0 +1,78 @@
+//! Regenerates **Fig 2(b)**: energy efficiency of SpeedLLM vs the
+//! no-parallel, no-fusion, and unoptimized variants on the stories15M
+//! decode workload.
+//!
+//! Paper claims: "Compared to no fuse accelerator, our method achieves
+//! 1.01× energy efficiency" and "ours achieves 1.18× better energy
+//! efficiency than an unoptimized accelerator".
+//!
+//! Run: `cargo run --release -p speedllm-bench --bin repro-fig2b`
+
+use speedllm_bench::{fig2b_workload, fmt_joules, headline_preset, run_paper_variants, Table};
+
+fn main() {
+    println!("=== Fig 2(b): energy efficiency across design variants ===\n");
+    let preset = headline_preset();
+    let w = fig2b_workload();
+    println!(
+        "workload: {} on {} ({} new tokens)\n",
+        w.name, preset.name, w.gen_tokens
+    );
+
+    let ms = run_paper_variants(&preset, &w);
+    let ours = speedllm_bench::find(&ms, "SpeedLLM (ours)");
+
+    let mut table = Table::new(&[
+        "variant",
+        "energy",
+        "tokens/J",
+        "rel. efficiency",
+        "avg power",
+        "tok/s",
+    ]);
+    for m in &ms {
+        table.row(vec![
+            m.variant.into(),
+            fmt_joules(m.report.energy.total_j()),
+            format!("{:.0}", m.tokens_per_joule()),
+            format!("{:.2}x", ours.tokens_per_joule() / m.tokens_per_joule()),
+            format!("{:.1} W", m.report.avg_power_w()),
+            format!("{:.0}", m.tokens_per_s()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let no_fuse = speedllm_bench::find(&ms, "no-fuse");
+    let unopt = speedllm_bench::find(&ms, "unoptimized");
+    println!(
+        "ours vs no-fuse:     {:.2}x tokens/J (paper: 1.01x)",
+        ours.tokens_per_joule() / no_fuse.tokens_per_joule()
+    );
+    println!(
+        "ours vs unoptimized: {:.2}x tokens/J (paper: 1.18x)",
+        ours.tokens_per_joule() / unopt.tokens_per_joule()
+    );
+
+    println!("\nenergy breakdown (ours):");
+    let e = &ours.report.energy;
+    let mut breakdown = Table::new(&["component", "energy", "share"]);
+    let total = e.total_j();
+    for (name, j) in [
+        ("HBM dynamic", e.hbm_j),
+        ("OCM dynamic", e.ocm_j),
+        ("MPE dynamic", e.mpe_dyn_j),
+        ("SFU dynamic", e.sfu_dyn_j),
+        ("kernel launches", e.launch_j),
+        ("MPE static (gated)", e.mpe_static_j),
+        ("DMA static (gated)", e.dma_static_j),
+        ("SFU static (gated)", e.sfu_static_j),
+        ("baseline", e.baseline_j),
+    ] {
+        breakdown.row(vec![
+            name.into(),
+            fmt_joules(j),
+            format!("{:.1}%", 100.0 * j / total),
+        ]);
+    }
+    println!("{}", breakdown.render());
+}

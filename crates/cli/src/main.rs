@@ -1,0 +1,331 @@
+//! `speedllm` — command-line front end of the SpeedLLM simulator.
+//!
+//! ```text
+//! speedllm generate --preset stories15m --prompt "Once upon a time" --steps 64
+//! speedllm compare  --preset stories15m --prompt "Hello" --steps 32
+//! speedllm inspect  --preset stories15m --variant full [--dot graph.dot]
+//! speedllm trace    --preset stories260k --variant full
+//! speedllm devices  --preset stories15m
+//! speedllm help
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{parse_preset, parse_sampler, parse_variant, Args};
+use speedllm_accel::opt::OptConfig;
+use speedllm_accel::report::{fmt_bytes, fmt_joules, fmt_seconds, Table};
+use speedllm_accel::runtime::AcceleratedLlm;
+use speedllm_fpga_sim::resources::Resources;
+use speedllm_gpu_model::{GpuSpec, U280_PRICE_USD};
+use speedllm_llama::tokenizer::Tokenizer;
+use speedllm_llama::weights::TransformerWeights;
+
+const HELP: &str = "\
+speedllm — FPGA LLM-accelerator simulator (SpeedLLM reproduction)
+
+USAGE: speedllm <command> [--flag value]...
+
+COMMANDS
+  generate   run one inference and print text + metrics
+             --preset NAME | --model FILE --tokenizer FILE
+             --prompt STR  --steps N  --variant V  --sampler S  --seed N
+             --chunk N (chunked prefill, 1..64)
+  compare    run all four Fig-2 variants on one workload
+             --preset NAME --prompt STR --steps N --seed N
+  inspect    print graph/schedule/memory-plan/resource summary
+             --preset NAME --variant V [--dot FILE]
+  trace      ASCII Gantt of one decode step's device timeline
+             --preset NAME --variant V [--chrome FILE]
+  devices    tokens/s/$ table: simulated U280 vs GPU rooflines
+             --preset NAME --steps N
+  eval       perplexity of each MPE/KV precision vs the fp32 reference
+             --preset NAME --tokens N --seed N
+  help       this text
+
+VALUES
+  presets:  stories260k stories15m stories42m stories110m tiny
+  variants: full no-fuse no-parallel no-reuse unoptimized int8
+  samplers: argmax | temp:T | topp:T,P | topk:T,K
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "compare" => cmd_compare(&args),
+        "inspect" => cmd_inspect(&args),
+        "trace" => cmd_trace(&args),
+        "devices" => cmd_devices(&args),
+        "eval" => cmd_eval(&args),
+        other => Err(format!("unknown command `{other}`; try `speedllm help`").into()),
+    }
+}
+
+fn build_system(args: &Args, opt: OptConfig) -> Result<AcceleratedLlm, Box<dyn std::error::Error>> {
+    let seed = args.get_u64("seed", 42)?;
+    if let Some(model_path) = args.get("model") {
+        let tok_path = args
+            .get("tokenizer")
+            .ok_or("--model requires --tokenizer")?;
+        let weights = TransformerWeights::load(std::path::Path::new(model_path))?;
+        let tokenizer =
+            Tokenizer::load(std::path::Path::new(tok_path), weights.config.vocab_size)?;
+        Ok(AcceleratedLlm::new(weights, tokenizer, opt)?)
+    } else {
+        let preset = parse_preset(args.get_or("preset", "stories15m"))?;
+        Ok(AcceleratedLlm::synthetic(preset, seed, opt)?)
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.expect_only(&[
+        "preset", "model", "tokenizer", "prompt", "steps", "variant", "sampler", "seed", "chunk",
+    ])?;
+    let opt = parse_variant(args.get_or("variant", "full"))?;
+    let sampler = parse_sampler(args.get_or("sampler", "argmax"))?;
+    let steps = args.get_usize("steps", 48)?;
+    let chunk = args.get_usize("chunk", 1)?;
+    if !(1..=64).contains(&chunk) {
+        return Err("--chunk must be in 1..=64".into());
+    }
+    let mut system = build_system(args, opt)?;
+    set_prefill_chunk(&mut system, chunk, opt)?;
+    let prompt = args.get_or("prompt", "Once upon a time");
+    let mut session = system.session(sampler, args.get_u64("seed", 42)?);
+    let report = session.generate(prompt, steps)?;
+
+    println!("model:   {}", system.config());
+    println!("variant: {} ({})", opt.short_name(), args.get_or("variant", "full"));
+    println!("prompt:  {prompt:?}");
+    println!("output:  {:?}", report.output.text);
+    println!();
+    println!("latency:    {}", fmt_seconds(report.total_latency_s()));
+    println!("throughput: {:.0} tok/s", report.decode_tokens_per_s());
+    println!("energy:     {} ({:.0} tok/J)", fmt_joules(report.energy.total_j()), report.tokens_per_joule());
+    println!(
+        "traffic:    {} HBM read, {} HBM write, {} on-chip",
+        fmt_bytes(report.stats.hbm.read_bytes),
+        fmt_bytes(report.stats.hbm.write_bytes),
+        fmt_bytes(report.stats.ocm_read_bytes + report.stats.ocm_write_bytes),
+    );
+    Ok(())
+}
+
+/// `AcceleratedLlm` validates its design at construction, so rebuilding
+/// with a modified chunk requires going through a fresh config.
+fn set_prefill_chunk(
+    system: &mut AcceleratedLlm,
+    chunk: usize,
+    _opt: OptConfig,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if chunk != 1 && system.accel_config().prefill_chunk != chunk {
+        // Sessions read prefill_chunk from the engine config; expose the
+        // knob by rebuilding the system's AccelConfig via its public API.
+        system.set_prefill_chunk(chunk);
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.expect_only(&["preset", "prompt", "steps", "seed"])?;
+    let steps = args.get_usize("steps", 32)?;
+    let prompt = args.get_or("prompt", "Once upon a time");
+    let seed = args.get_u64("seed", 42)?;
+    let preset = parse_preset(args.get_or("preset", "stories15m"))?;
+
+    let mut table = Table::new(&["variant", "latency", "tok/s", "tok/J", "speedup"]);
+    let mut base_latency = None;
+    let mut rows = Vec::new();
+    for (name, opt) in OptConfig::paper_variants() {
+        let system = AcceleratedLlm::synthetic(preset, seed, opt)?;
+        let mut session = system.session(speedllm_llama::sampler::SamplerKind::Argmax, seed);
+        let r = session.generate(prompt, steps)?;
+        if name == "unoptimized" {
+            base_latency = Some(r.total_latency_s());
+        }
+        rows.push((name, r));
+    }
+    let base = base_latency.expect("unoptimized variant present");
+    for (name, r) in &rows {
+        table.row(vec![
+            (*name).into(),
+            fmt_seconds(r.total_latency_s()),
+            format!("{:.0}", r.decode_tokens_per_s()),
+            format!("{:.0}", r.tokens_per_joule()),
+            format!("{:.2}x", base / r.total_latency_s()),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.expect_only(&["preset", "variant", "dot", "seed"])?;
+    let preset = parse_preset(args.get_or("preset", "stories15m"))?;
+    let opt = parse_variant(args.get_or("variant", "full"))?;
+
+    use speedllm_accel::fusion::fuse;
+    use speedllm_accel::ir::{build_decode_graph, dot};
+    use speedllm_accel::memplan::plan;
+
+    let graph = build_decode_graph(&preset);
+    let schedule = fuse(&graph, opt.operator_fusion);
+    let cfg = speedllm_accel::engine::AccelConfig::for_opt(&opt);
+    let mplan = plan(&graph, &schedule, opt.memory_reuse, cfg.activation_pool_bytes);
+
+    println!("model:    {preset}");
+    println!("variant:  {}", opt.short_name());
+    let (mpe_ops, sfu_ops) = graph.op_census();
+    println!(
+        "graph:    {} ops ({mpe_ops} MPE, {sfu_ops} SFU), {} values",
+        graph.ops.len(),
+        graph.values.len()
+    );
+    let rep = schedule.report(&graph);
+    println!(
+        "schedule: {} kernels; {} values fused away, {} materialized",
+        rep.kernels, rep.internal_values, rep.materialized_values
+    );
+    println!(
+        "memory:   {} values on-chip (peak {}), {} in HBM ({})",
+        mplan.ocm_values(),
+        fmt_bytes(mplan.ocm_high_water),
+        mplan.hbm_values(),
+        fmt_bytes(mplan.hbm_activation_bytes),
+    );
+    let used = cfg.resource_usage();
+    let budget = Resources::u280_budget();
+    let u = used.utilization(&budget);
+    println!(
+        "fabric:   LUT {:.0}%  FF {:.0}%  DSP {:.0}%  BRAM {:.0}%  URAM {:.0}%",
+        u[0] * 100.0,
+        u[1] * 100.0,
+        u[2] * 100.0,
+        u[3] * 100.0,
+        u[4] * 100.0
+    );
+
+    if let Some(path) = args.get("dot") {
+        let text = dot::schedule_to_dot(&graph, &schedule, Some(&mplan));
+        std::fs::write(path, &text)?;
+        println!("wrote {} bytes of DOT to {path}", text.len());
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.expect_only(&["preset", "variant", "seed", "width", "chrome"])?;
+    let preset = parse_preset(args.get_or("preset", "stories260k"))?;
+    let opt = parse_variant(args.get_or("variant", "full"))?;
+    let width = args.get_usize("width", 100)?;
+    let system = AcceleratedLlm::synthetic(preset, args.get_u64("seed", 42)?, opt)?;
+    let mut session = system.session(speedllm_llama::sampler::SamplerKind::Argmax, 0);
+    session.step(1, 0);
+    session.step(2, 1);
+    session.engine_mut().capture_trace(8192);
+    let r = session.step(3, 2);
+    let trace = session.engine_mut().take_trace().expect("trace");
+    println!(
+        "one decode step, variant {}: {} cycles",
+        opt.short_name(),
+        r.cycles.0
+    );
+    print!("{}", trace.render_gantt(width));
+    if let Some(path) = args.get("chrome") {
+        let json = trace.to_chrome_json(&speedllm_fpga_sim::cycles::ClockDomain::U280_KERNEL);
+        std::fs::write(path, &json)?;
+        println!("wrote Chrome trace ({} bytes) to {path} — open in chrome://tracing", json.len());
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.expect_only(&["preset", "tokens", "seed"])?;
+    let preset = parse_preset(args.get_or("preset", "tiny"))?;
+    let n_tokens = args.get_usize("tokens", 24)?.max(2).min(preset.seq_len);
+    let seed = args.get_u64("seed", 42)?;
+
+    use speedllm_llama::eval::{evaluate_reference, evaluate_with};
+    use speedllm_llama::forward::Transformer;
+
+    let weights = TransformerWeights::synthetic(preset, seed);
+    let tokens: Vec<u32> = (0..n_tokens)
+        .map(|i| ((i as u64 * 37 + seed) % preset.vocab_size as u64) as u32)
+        .collect();
+    let base = evaluate_reference(&mut Transformer::new(weights.clone()), &tokens);
+
+    let mut table = Table::new(&["engine", "perplexity", "bits/token", "vs reference"]);
+    table.row(vec![
+        "CPU reference (fp32)".into(),
+        format!("{:.2}", base.perplexity()),
+        format!("{:.3}", base.bits_per_token()),
+        "1.000x".into(),
+    ]);
+    for (name, opt) in [
+        ("accelerator fp32", OptConfig::full()),
+        ("accelerator int8", OptConfig::full_int8()),
+    ] {
+        let sys = AcceleratedLlm::new(
+            weights.clone(),
+            Tokenizer::synthetic(preset.vocab_size, seed),
+            opt,
+        )?;
+        let mut session = sys.session(speedllm_llama::sampler::SamplerKind::Argmax, 0);
+        let r = evaluate_with(preset.vocab_size, &tokens, |t, p| session.step(t, p).logits);
+        table.row(vec![
+            name.into(),
+            format!("{:.2}", r.perplexity()),
+            format!("{:.3}", r.bits_per_token()),
+            format!("{:.3}x", r.perplexity() / base.perplexity()),
+        ]);
+    }
+    println!("scoring {} tokens on {preset}\n", n_tokens - 1);
+    println!("{}", table.render());
+    println!("(untrained synthetic weights: perplexity sits near the vocabulary size;\n the column to watch is the relative drift of quantized engines)");
+    Ok(())
+}
+
+fn cmd_devices(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.expect_only(&["preset", "steps", "seed"])?;
+    let preset = parse_preset(args.get_or("preset", "stories15m"))?;
+    let steps = args.get_usize("steps", 32)?;
+    let system = AcceleratedLlm::synthetic(preset, args.get_u64("seed", 42)?, OptConfig::full())?;
+    let mut session = system.session(speedllm_llama::sampler::SamplerKind::Argmax, 0);
+    let r = session.generate("Once upon a time", steps)?;
+
+    let mut table = Table::new(&["device", "tok/s", "price", "tok/s/$"]);
+    table.row(vec![
+        "SpeedLLM / U280".into(),
+        format!("{:.0}", r.decode_tokens_per_s()),
+        format!("{U280_PRICE_USD:.0}"),
+        format!("{:.3}", r.decode_tokens_per_s() / U280_PRICE_USD),
+    ]);
+    for gpu in GpuSpec::paper_gpus() {
+        let t = gpu.decode_tokens_per_s(&preset, steps / 2 + 8, 2.0);
+        table.row(vec![
+            gpu.name.into(),
+            format!("{t:.0}"),
+            format!("{:.0}", gpu.price_usd),
+            format!("{:.3}", t / gpu.price_usd),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}

@@ -1,0 +1,188 @@
+//! Cycle arithmetic and clock domains.
+//!
+//! All device timing is counted in integer kernel-clock cycles
+//! ([`Cycles`]); conversion to wall-clock time happens only at reporting
+//! boundaries through a [`ClockDomain`]. Keeping time integral makes the
+//! simulator deterministic and the pipeline recurrences exact.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A non-negative duration or timestamp in kernel-clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// The zero duration.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Saturating subtraction (useful for slack computations).
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two cycle counts.
+    #[must_use]
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.max(rhs.0))
+    }
+
+    /// Cycle count needed to move `bytes` at `bytes_per_cycle`, rounded up.
+    /// Zero-byte transfers cost zero cycles.
+    #[must_use]
+    pub fn for_bytes(bytes: u64, bytes_per_cycle: f64) -> Cycles {
+        assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
+        if bytes == 0 {
+            return Cycles::ZERO;
+        }
+        Cycles((bytes as f64 / bytes_per_cycle).ceil() as u64)
+    }
+
+    /// Cycle count needed to process `items` at `items_per_cycle`, rounded
+    /// up.
+    #[must_use]
+    pub fn for_items(items: u64, items_per_cycle: f64) -> Cycles {
+        assert!(items_per_cycle > 0.0, "throughput must be positive");
+        if items == 0 {
+            return Cycles::ZERO;
+        }
+        Cycles((items as f64 / items_per_cycle).ceil() as u64)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        assert!(self.0 >= rhs.0, "cycle subtraction underflow");
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+/// A clock domain with a fixed frequency; converts cycles to seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDomain {
+    freq_hz: f64,
+}
+
+impl ClockDomain {
+    /// The U280 kernel clock used throughout the reproduction (300 MHz, the
+    /// typical Vitis kernel target on this card).
+    pub const U280_KERNEL: ClockDomain = ClockDomain { freq_hz: 300.0e6 };
+
+    /// Creates a clock domain. `freq_hz` must be positive.
+    #[must_use]
+    pub fn new(freq_hz: f64) -> Self {
+        assert!(freq_hz > 0.0, "frequency must be positive");
+        Self { freq_hz }
+    }
+
+    /// The frequency in hertz.
+    #[must_use]
+    pub fn freq_hz(&self) -> f64 {
+        self.freq_hz
+    }
+
+    /// Converts a cycle count to seconds.
+    #[must_use]
+    pub fn to_seconds(&self, c: Cycles) -> f64 {
+        c.0 as f64 / self.freq_hz
+    }
+
+    /// Converts a cycle count to microseconds.
+    #[must_use]
+    pub fn to_micros(&self, c: Cycles) -> f64 {
+        self.to_seconds(c) * 1e6
+    }
+
+    /// Bytes per cycle delivered by a link of `bytes_per_sec` in this
+    /// domain.
+    #[must_use]
+    pub fn bytes_per_cycle(&self, bytes_per_sec: f64) -> f64 {
+        bytes_per_sec / self.freq_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(Cycles(3) + Cycles(4), Cycles(7));
+        assert_eq!(Cycles(10) - Cycles(4), Cycles(6));
+        assert_eq!(Cycles(3).max(Cycles(9)), Cycles(9));
+        assert_eq!(Cycles(3).saturating_sub(Cycles(9)), Cycles::ZERO);
+        let mut c = Cycles(1);
+        c += Cycles(2);
+        assert_eq!(c, Cycles(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = Cycles(1) - Cycles(2);
+    }
+
+    #[test]
+    fn for_bytes_rounds_up() {
+        assert_eq!(Cycles::for_bytes(0, 64.0), Cycles::ZERO);
+        assert_eq!(Cycles::for_bytes(64, 64.0), Cycles(1));
+        assert_eq!(Cycles::for_bytes(65, 64.0), Cycles(2));
+        assert_eq!(Cycles::for_bytes(100, 3.5), Cycles(29));
+    }
+
+    #[test]
+    fn for_items_rounds_up() {
+        assert_eq!(Cycles::for_items(9, 4.0), Cycles(3));
+        assert_eq!(Cycles::for_items(8, 4.0), Cycles(2));
+        assert_eq!(Cycles::for_items(0, 4.0), Cycles::ZERO);
+    }
+
+    #[test]
+    fn clock_conversion() {
+        let clk = ClockDomain::new(300.0e6);
+        assert!((clk.to_seconds(Cycles(300_000_000)) - 1.0).abs() < 1e-12);
+        assert!((clk.to_micros(Cycles(300)) - 1.0).abs() < 1e-9);
+        // 460.8 GB/s on a 300 MHz clock = 1536 B/cycle.
+        assert!((clk.bytes_per_cycle(460.8e9) - 1536.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn u280_kernel_clock_is_300mhz() {
+        assert_eq!(ClockDomain::U280_KERNEL.freq_hz(), 300.0e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        let _ = ClockDomain::new(0.0);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Cycles(2) < Cycles(10));
+        let mut v = vec![Cycles(5), Cycles(1), Cycles(3)];
+        v.sort();
+        assert_eq!(v, vec![Cycles(1), Cycles(3), Cycles(5)]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Device resource budget and utilization estimation.
+//!
+//! Every accelerator configuration must fit the XCU280's fabric. The
+//! estimator below turns a design point (MPE shape, SFU set, DMA engines,
+//! on-chip buffer high-water marks) into LUT/FF/DSP/BRAM/URAM counts using
+//! coarse per-block coefficients typical of Vitis HLS reports, and checks
+//! them against the budget — configurations that do not fit are rejected at
+//! construction time rather than producing fictitious timing.
+
+use crate::mpe::MpeConfig;
+use crate::sfu::SfuKind;
+
+/// A bundle of fabric resources (either a budget or a usage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Resources {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// DSP48E2 slices.
+    pub dsps: u64,
+    /// BRAM18 blocks.
+    pub bram18: u64,
+    /// URAM blocks.
+    pub uram: u64,
+}
+
+impl Resources {
+    /// The XCU280 device budget (datasheet values).
+    #[must_use]
+    pub fn u280_budget() -> Self {
+        Self {
+            luts: 1_304_000,
+            ffs: 2_607_000,
+            dsps: 9_024,
+            bram18: 4_032,
+            uram: 960,
+        }
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn plus(self, other: Resources) -> Resources {
+        Resources {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            dsps: self.dsps + other.dsps,
+            bram18: self.bram18 + other.bram18,
+            uram: self.uram + other.uram,
+        }
+    }
+
+    /// True when `self` fits within `budget` on every axis.
+    #[must_use]
+    pub fn fits(&self, budget: &Resources) -> bool {
+        self.luts <= budget.luts
+            && self.ffs <= budget.ffs
+            && self.dsps <= budget.dsps
+            && self.bram18 <= budget.bram18
+            && self.uram <= budget.uram
+    }
+
+    /// Utilization fractions against a budget, ordered
+    /// (lut, ff, dsp, bram, uram).
+    #[must_use]
+    pub fn utilization(&self, budget: &Resources) -> [f64; 5] {
+        let frac = |a: u64, b: u64| {
+            if b == 0 {
+                0.0
+            } else {
+                a as f64 / b as f64
+            }
+        };
+        [
+            frac(self.luts, budget.luts),
+            frac(self.ffs, budget.ffs),
+            frac(self.dsps, budget.dsps),
+            frac(self.bram18, budget.bram18),
+            frac(self.uram, budget.uram),
+        ]
+    }
+}
+
+/// Resource over-budget error, naming the first exceeded axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverBudget {
+    /// The axis that does not fit.
+    pub axis: &'static str,
+    /// Requested amount.
+    pub used: u64,
+    /// Available amount.
+    pub available: u64,
+}
+
+impl std::fmt::Display for OverBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "design does not fit the device: {} used {} of {}",
+            self.axis, self.used, self.available
+        )
+    }
+}
+
+impl std::error::Error for OverBudget {}
+
+/// Checks `used` against `budget`, reporting the first violated axis.
+pub fn check_fit(used: &Resources, budget: &Resources) -> Result<(), OverBudget> {
+    let axes: [(&'static str, u64, u64); 5] = [
+        ("LUT", used.luts, budget.luts),
+        ("FF", used.ffs, budget.ffs),
+        ("DSP", used.dsps, budget.dsps),
+        ("BRAM18", used.bram18, budget.bram18),
+        ("URAM", used.uram, budget.uram),
+    ];
+    for (axis, u, b) in axes {
+        if u > b {
+            return Err(OverBudget { axis, used: u, available: b });
+        }
+    }
+    Ok(())
+}
+
+/// Estimates the fabric cost of an MPE instance.
+///
+/// Coefficients are coarse Vitis-HLS-report figures: an fp32 MAC costs
+/// ~5 DSP plus several hundred LUT/FF of alignment and control, while an
+/// int8 MAC packs into half a DSP with only a few tens of LUTs — which is
+/// exactly why int8 design points can be much wider on the same fabric.
+#[must_use]
+pub fn estimate_mpe(config: &MpeConfig) -> Resources {
+    let macs = config.macs_per_cycle();
+    let (lut_per_mac, ff_per_mac) = match config.precision {
+        crate::mpe::Precision::Fp32 => (420, 610),
+        crate::mpe::Precision::Int8 => (60, 90),
+    };
+    Resources {
+        luts: macs * lut_per_mac + 20_000,
+        ffs: macs * ff_per_mac + 30_000,
+        dsps: config.dsp_count(),
+        bram18: (config.lanes as u64) * 2, // per-lane accumulator buffers
+        uram: 0,
+    }
+}
+
+/// Estimates the fabric cost of one SFU datapath.
+#[must_use]
+pub fn estimate_sfu(kind: SfuKind) -> Resources {
+    // exp/rsqrt tables dominate the reduce kinds.
+    let (luts, ffs, dsps, bram) = match kind {
+        SfuKind::RmsNorm => (9_000, 12_000, 18, 8),
+        SfuKind::Softmax => (12_000, 16_000, 24, 12),
+        SfuKind::Rope => (7_000, 9_000, 16, 10),
+        SfuKind::Silu => (6_000, 8_000, 12, 6),
+        SfuKind::Add => (2_000, 2_500, 8, 0),
+        SfuKind::Mul => (2_000, 2_500, 8, 0),
+    };
+    Resources { luts, ffs, dsps, bram18: bram, uram: 0 }
+}
+
+/// Estimates the fabric cost of one DMA engine striped over `channels`.
+#[must_use]
+pub fn estimate_dma(channels: usize) -> Resources {
+    Resources {
+        luts: 4_000 + 1_500 * channels as u64,
+        ffs: 6_000 + 2_000 * channels as u64,
+        dsps: 0,
+        bram18: 4 * channels as u64, // reorder/burst buffers
+        uram: 0,
+    }
+}
+
+/// Converts on-chip buffer high-water marks (bytes) into block counts.
+#[must_use]
+pub fn estimate_buffers(bram_bytes: u64, uram_bytes: u64) -> Resources {
+    Resources {
+        luts: 0,
+        ffs: 0,
+        dsps: 0,
+        bram18: bram_bytes.div_ceil(18 * 1024 / 8),
+        uram: uram_bytes.div_ceil(288 * 1024 / 8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_matches_datasheet() {
+        let b = Resources::u280_budget();
+        assert_eq!(b.dsps, 9024);
+        assert_eq!(b.bram18, 4032);
+        assert_eq!(b.uram, 960);
+    }
+
+    #[test]
+    fn shipped_fp32_design_fits() {
+        let total = estimate_mpe(&MpeConfig::u280_fp32())
+            .plus(estimate_dma(16))
+            .plus(estimate_dma(4))
+            .plus(estimate_buffers(2 << 20, 8 << 20));
+        let total = SfuKind::ALL
+            .iter()
+            .fold(total, |acc, &k| acc.plus(estimate_sfu(k)));
+        check_fit(&total, &Resources::u280_budget()).expect("shipped design must fit");
+    }
+
+    #[test]
+    fn oversized_mpe_rejected() {
+        let huge = MpeConfig {
+            lanes: 1024,
+            vec_width: 16,
+            pipeline_depth: 12,
+            precision: crate::mpe::Precision::Fp32,
+        };
+        let used = estimate_mpe(&huge);
+        let err = check_fit(&used, &Resources::u280_budget()).unwrap_err();
+        // A 16k-MAC fp32 array blows the LUT budget first (and DSP too).
+        assert_eq!(err.axis, "LUT");
+        assert!(used.dsps > Resources::u280_budget().dsps);
+    }
+
+    #[test]
+    fn fits_is_componentwise() {
+        let b = Resources { luts: 10, ffs: 10, dsps: 10, bram18: 10, uram: 10 };
+        let ok = Resources { luts: 10, ffs: 9, dsps: 0, bram18: 1, uram: 10 };
+        let bad = Resources { luts: 1, ffs: 1, dsps: 11, bram18: 1, uram: 1 };
+        assert!(ok.fits(&b));
+        assert!(!bad.fits(&b));
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let b = Resources::u280_budget();
+        let u = estimate_mpe(&MpeConfig::u280_fp32()).utilization(&b);
+        assert!(u.iter().all(|&f| (0.0..=1.0).contains(&f)), "{u:?}");
+        assert!(u[2] > 0.2, "DSP utilization should be significant: {}", u[2]);
+    }
+
+    #[test]
+    fn buffer_estimate_rounds_up_blocks() {
+        let r = estimate_buffers(1, 1);
+        assert_eq!(r.bram18, 1);
+        assert_eq!(r.uram, 1);
+        let r = estimate_buffers(18 * 1024 / 8 + 1, 0);
+        assert_eq!(r.bram18, 2);
+    }
+
+    #[test]
+    fn plus_adds_componentwise() {
+        let a = Resources { luts: 1, ffs: 2, dsps: 3, bram18: 4, uram: 5 };
+        let s = a.plus(a);
+        assert_eq!(s, Resources { luts: 2, ffs: 4, dsps: 6, bram18: 8, uram: 10 });
+    }
+}

@@ -1,0 +1,180 @@
+//! Special Function Unit (SFU) timing model.
+//!
+//! Fig. 1's SFU handles everything that is not a dense matmul: RMS
+//! normalization, softmax, rotary embeddings, SiLU, and element-wise
+//! add/multiply. Each kind is a pipelined datapath characterized by an
+//! issue throughput (elements per cycle), a pipeline latency, and a pass
+//! count (softmax and rmsnorm need a reduction pass before the map pass).
+
+use crate::cycles::Cycles;
+
+/// The operation kinds the SFU implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SfuKind {
+    /// Root-mean-square normalization (reduce + scale passes).
+    RmsNorm,
+    /// Numerically-stable softmax (max+sum reduce, then normalize).
+    Softmax,
+    /// Rotary position embedding (paired rotate, sincos lookup table).
+    Rope,
+    /// SiLU activation.
+    Silu,
+    /// Element-wise addition (residual connections).
+    Add,
+    /// Element-wise multiplication (SwiGLU gating).
+    Mul,
+}
+
+impl SfuKind {
+    /// All kinds, for iteration in reports and resource estimation.
+    pub const ALL: [SfuKind; 6] = [
+        SfuKind::RmsNorm,
+        SfuKind::Softmax,
+        SfuKind::Rope,
+        SfuKind::Silu,
+        SfuKind::Add,
+        SfuKind::Mul,
+    ];
+
+    /// Elements accepted per cycle once the pipeline is primed.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        match self {
+            SfuKind::RmsNorm => 4.0,
+            SfuKind::Softmax => 2.0,
+            SfuKind::Rope => 2.0,
+            SfuKind::Silu => 4.0,
+            SfuKind::Add => 8.0,
+            SfuKind::Mul => 8.0,
+        }
+    }
+
+    /// Pipeline latency (fill) in cycles.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        match self {
+            SfuKind::RmsNorm => 24, // accumulate + rsqrt
+            SfuKind::Softmax => 28, // max/sum reduce + exp
+            SfuKind::Rope => 10,
+            SfuKind::Silu => 12,
+            SfuKind::Add => 4,
+            SfuKind::Mul => 4,
+        }
+    }
+
+    /// Number of passes over the data (reductions need two).
+    #[must_use]
+    pub fn passes(&self) -> u64 {
+        match self {
+            SfuKind::RmsNorm | SfuKind::Softmax => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Per-run SFU activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SfuCounters {
+    /// Elements processed (summed over all kinds).
+    pub elements: u64,
+    /// Busy cycles accumulated.
+    pub busy_cycles: u64,
+    /// Operations issued.
+    pub ops: u64,
+}
+
+/// The SFU: timing + counters.
+#[derive(Debug, Clone, Default)]
+pub struct Sfu {
+    counters: SfuCounters,
+}
+
+impl Sfu {
+    /// Creates an idle SFU.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulated counters.
+    #[must_use]
+    pub fn counters(&self) -> &SfuCounters {
+        &self.counters
+    }
+
+    /// Cycle cost of applying `kind` to `elements` elements.
+    #[must_use]
+    pub fn op_cost(&self, kind: SfuKind, elements: usize) -> Cycles {
+        if elements == 0 {
+            return Cycles::ZERO;
+        }
+        let stream = Cycles::for_items(elements as u64, kind.throughput());
+        Cycles(kind.passes() * stream.0 + kind.latency())
+    }
+
+    /// Records an operation and returns its cost.
+    pub fn run(&mut self, kind: SfuKind, elements: usize) -> Cycles {
+        let cost = self.op_cost(kind, elements);
+        if elements > 0 {
+            self.counters.elements += elements as u64;
+            self.counters.busy_cycles += cost.0;
+            self.counters.ops += 1;
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_elements_is_free() {
+        let sfu = Sfu::new();
+        for kind in SfuKind::ALL {
+            assert_eq!(sfu.op_cost(kind, 0), Cycles::ZERO);
+        }
+    }
+
+    #[test]
+    fn reductions_cost_two_passes() {
+        let sfu = Sfu::new();
+        // 256 elements at 4/cycle = 64 per pass; rmsnorm has 2 passes + 24.
+        assert_eq!(sfu.op_cost(SfuKind::RmsNorm, 256), Cycles(2 * 64 + 24));
+        // Add is single pass: 256/8 = 32 + 4.
+        assert_eq!(sfu.op_cost(SfuKind::Add, 256), Cycles(36));
+    }
+
+    #[test]
+    fn cost_monotone_in_elements() {
+        let sfu = Sfu::new();
+        for kind in SfuKind::ALL {
+            assert!(sfu.op_cost(kind, 100) <= sfu.op_cost(kind, 1000));
+        }
+    }
+
+    #[test]
+    fn softmax_more_expensive_than_add() {
+        let sfu = Sfu::new();
+        assert!(sfu.op_cost(SfuKind::Softmax, 512) > sfu.op_cost(SfuKind::Add, 512));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut sfu = Sfu::new();
+        sfu.run(SfuKind::Silu, 768);
+        sfu.run(SfuKind::Mul, 768);
+        sfu.run(SfuKind::Add, 0); // no-op
+        let c = sfu.counters();
+        assert_eq!(c.elements, 1536);
+        assert_eq!(c.ops, 2);
+        assert!(c.busy_cycles > 0);
+    }
+
+    #[test]
+    fn small_ops_dominated_by_latency() {
+        let sfu = Sfu::new();
+        let c = sfu.op_cost(SfuKind::Rope, 2);
+        assert_eq!(c, Cycles(1 + 10));
+    }
+}

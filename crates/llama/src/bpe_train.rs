@@ -1,0 +1,234 @@
+//! Byte-pair-encoding vocabulary training.
+//!
+//! The paper's workload uses `tokenizer.bin` vocabularies *trained* on
+//! TinyStories with SentencePiece-style BPE. This module closes that loop:
+//! given any corpus, it learns merges by the classic BPE procedure (count
+//! adjacent pairs, merge the most frequent, repeat) and emits a
+//! [`Tokenizer`]-compatible vocabulary — specials first, the 256-entry
+//! byte-fallback block, then single bytes seen in the corpus, then learned
+//! merges with scores in merge order (earlier merges score higher, as in
+//! SentencePiece, so the greedy encoder replays them faithfully).
+
+use std::collections::HashMap;
+
+use crate::tokenizer::Tokenizer;
+
+/// Settings for a training run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Total vocabulary size to produce (≥ 259: specials + byte block).
+    pub vocab_size: usize,
+    /// Ignore pairs occurring fewer times than this.
+    pub min_pair_count: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { vocab_size: 512, min_pair_count: 2 }
+    }
+}
+
+/// Trains a BPE vocabulary on `corpus` and returns the tokenizer.
+///
+/// # Panics
+/// Panics if `vocab_size < 259` (specials + byte fallback must fit).
+#[must_use]
+pub fn train(corpus: &str, config: TrainConfig) -> Tokenizer {
+    assert!(config.vocab_size >= 259, "vocab must hold specials + byte block");
+
+    // Seed vocabulary: specials + byte-fallback block.
+    let mut vocab: Vec<Vec<u8>> = Vec::with_capacity(config.vocab_size);
+    vocab.push(b"<unk>".to_vec());
+    vocab.push(b"<s>".to_vec());
+    vocab.push(b"</s>".to_vec());
+    for b in 0u16..256 {
+        vocab.push(format!("<0x{b:02X}>").into_bytes());
+    }
+    let base = vocab.len();
+
+    // Work at the byte level: the corpus as a sequence of token ids into a
+    // growing piece table. Start with one piece per distinct byte.
+    let mut piece_of_byte: HashMap<u8, u32> = HashMap::new();
+    let mut pieces: Vec<Vec<u8>> = Vec::new(); // learned pieces, ids base..
+    let mut seq: Vec<u32> = Vec::with_capacity(corpus.len());
+    for &b in corpus.as_bytes() {
+        let id = *piece_of_byte.entry(b).or_insert_with(|| {
+            pieces.push(vec![b]);
+            (base + pieces.len() - 1) as u32
+        });
+        seq.push(id);
+    }
+
+    // Iteratively merge the most frequent adjacent pair.
+    while base + pieces.len() < config.vocab_size {
+        let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
+        for w in seq.windows(2) {
+            // Do not merge across whitespace-led boundaries twice over;
+            // plain BPE merges anything, which matches llama2.c's greedy
+            // decoder.
+            *counts.entry((w[0], w[1])).or_insert(0) += 1;
+        }
+        // Deterministic arg-max: highest count, then lowest ids.
+        let best = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= config.min_pair_count)
+            .min_by_key(|&((a, b), c)| (usize::MAX - c, a, b));
+        let Some(((a, b), _)) = best else {
+            break; // corpus exhausted: no pair frequent enough
+        };
+        let mut merged = piece_bytes(&vocab, &pieces, base, a).to_vec();
+        merged.extend_from_slice(piece_bytes(&vocab, &pieces, base, b));
+        pieces.push(merged);
+        let new_id = (base + pieces.len() - 1) as u32;
+
+        // Replace occurrences in the working sequence.
+        let mut out = Vec::with_capacity(seq.len());
+        let mut i = 0;
+        while i < seq.len() {
+            if i + 1 < seq.len() && seq[i] == a && seq[i + 1] == b {
+                out.push(new_id);
+                i += 2;
+            } else {
+                out.push(seq[i]);
+                i += 1;
+            }
+        }
+        seq = out;
+    }
+
+    for p in &pieces {
+        vocab.push(p.clone());
+    }
+    // Pad with unused sentinel tokens if the corpus was too small to fill
+    // the request (kept distinct so lookups stay unambiguous).
+    let mut pad = 0usize;
+    while vocab.len() < config.vocab_size {
+        vocab.push(format!("<pad{pad}>").into_bytes());
+        pad += 1;
+    }
+
+    // Scores: earlier merges (longer-standing pieces) score higher; the
+    // byte block and specials get the floor.
+    let scores: Vec<f32> = (0..vocab.len())
+        .map(|i| {
+            if i < base {
+                -1e9 // specials/bytes never win a merge
+            } else {
+                // Single-byte pieces act like characters; learned merges
+                // rank by recency: later merges are *compositions* of
+                // earlier ones, so they must apply after their parts —
+                // SentencePiece gives earlier merges higher scores but the
+                // greedy llama2.c loop needs the *longest* (latest)
+                // matching merge to win, so rank by length then recency.
+                let len = vocab[i].len() as f32;
+                len * 1000.0 - i as f32 * 1e-3
+            }
+        })
+        .collect();
+    Tokenizer::from_vocab(vocab, scores)
+}
+
+fn piece_bytes<'a>(vocab: &'a [Vec<u8>], pieces: &'a [Vec<u8>], base: usize, id: u32) -> &'a [u8] {
+    let id = id as usize;
+    if id >= base {
+        &pieces[id - base]
+    } else {
+        &vocab[id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: &str = "once upon a time there was a little dog named tim. \
+        tim liked to play in the park. one day tim saw a big red ball. \
+        the ball was very big and very red. tim wanted to play with the ball. \
+        once upon a time there was a little cat named lily. lily liked the park too.";
+
+    fn trained(vocab_size: usize) -> Tokenizer {
+        train(CORPUS, TrainConfig { vocab_size, min_pair_count: 2 })
+    }
+
+    #[test]
+    fn produces_requested_vocab_size() {
+        let t = trained(300);
+        assert_eq!(t.vocab_size(), 300);
+        let t = trained(600);
+        assert_eq!(t.vocab_size(), 600);
+    }
+
+    #[test]
+    fn roundtrips_corpus_like_text() {
+        let t = trained(400);
+        for text in ["once upon a time", "tim saw the ball", "a little dog"] {
+            let ids = t.encode(text, true, false);
+            assert_eq!(t.decode(&ids), text);
+        }
+    }
+
+    #[test]
+    fn learned_merges_compress_the_corpus_domain() {
+        let t = trained(450);
+        let text = "once upon a time there was a little dog";
+        let ids = t.encode(text, false, false);
+        // Learned vocabulary should encode familiar text in far fewer
+        // tokens than bytes.
+        assert!(
+            ids.len() * 2 < text.len(),
+            "{} tokens for {} bytes",
+            ids.len(),
+            text.len()
+        );
+    }
+
+    #[test]
+    fn trained_beats_untrained_synthetic_on_domain_text() {
+        let trained_tok = trained(512);
+        let synthetic = Tokenizer::synthetic(512, 42);
+        let text = "tim liked to play in the park";
+        let a = trained_tok.encode(text, false, false).len();
+        let b = synthetic.encode(text, false, false).len();
+        assert!(a <= b, "trained {a} tokens vs synthetic {b}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = trained(350);
+        let b = trained(350);
+        for i in 0..350 {
+            assert_eq!(a.token_bytes(i), b.token_bytes(i), "token {i} differs");
+        }
+    }
+
+    #[test]
+    fn roundtrips_unseen_text_via_byte_fallback() {
+        let t = trained(300);
+        let text = "zebra-Xylophone 42!";
+        let ids = t.encode(text, true, false);
+        assert_eq!(t.decode(&ids), text);
+    }
+
+    #[test]
+    fn tiny_corpus_pads_vocab() {
+        let t = train("ab", TrainConfig { vocab_size: 280, min_pair_count: 2 });
+        assert_eq!(t.vocab_size(), 280);
+        assert_eq!(t.decode(&t.encode("ab", true, false)), "ab");
+    }
+
+    #[test]
+    #[should_panic(expected = "specials + byte block")]
+    fn undersized_vocab_rejected() {
+        let _ = train("hello", TrainConfig { vocab_size: 100, min_pair_count: 2 });
+    }
+
+    #[test]
+    fn saved_trained_tokenizer_roundtrips() {
+        let t = trained(320);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let r = Tokenizer::read_from(&mut buf.as_slice(), t.vocab_size()).unwrap();
+        let text = "the park was big";
+        assert_eq!(r.encode(text, true, false), t.encode(text, true, false));
+    }
+}

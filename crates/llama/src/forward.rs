@@ -1,0 +1,298 @@
+//! Reference transformer forward pass (the CPU implementation of
+//! llama2.c's `forward()`), used both as the correctness oracle for the
+//! simulated accelerator and as the CPU baseline in examples.
+
+use crate::config::ModelConfig;
+use crate::kv_cache::KvCache;
+use crate::ops;
+use crate::weights::TransformerWeights;
+
+/// How dense matvecs are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatVecStrategy {
+    /// Single-threaded kernels — bit-deterministic, the correctness oracle.
+    Serial,
+    /// Row-partitioned scoped threads ([`crate::parallel::par_matvec`]).
+    Parallel {
+        /// Worker count; clamped to at least 1.
+        threads: usize,
+    },
+}
+
+/// Scratch buffers reused across forward calls (llama2.c's `RunState`).
+#[derive(Debug, Clone)]
+struct RunState {
+    /// Residual stream, `[dim]`.
+    x: Vec<f32>,
+    /// Normed input / attention output scratch, `[dim]`.
+    xb: Vec<f32>,
+    /// Second `[dim]` scratch (projection results).
+    xb2: Vec<f32>,
+    /// FFN gate activations, `[hidden_dim]`.
+    hb: Vec<f32>,
+    /// FFN up activations, `[hidden_dim]`.
+    hb2: Vec<f32>,
+    /// Query vector, `[dim]`.
+    q: Vec<f32>,
+    /// Key scratch for the current position, `[kv_dim]`.
+    k: Vec<f32>,
+    /// Value scratch for the current position, `[kv_dim]`.
+    v: Vec<f32>,
+    /// Attention scores for one head, `[seq_len]`.
+    att: Vec<f32>,
+    /// Output logits, `[vocab_size]`.
+    logits: Vec<f32>,
+}
+
+impl RunState {
+    fn new(c: &ModelConfig) -> Self {
+        Self {
+            x: vec![0.0; c.dim],
+            xb: vec![0.0; c.dim],
+            xb2: vec![0.0; c.dim],
+            hb: vec![0.0; c.hidden_dim],
+            hb2: vec![0.0; c.hidden_dim],
+            q: vec![0.0; c.dim],
+            k: vec![0.0; c.kv_dim()],
+            v: vec![0.0; c.kv_dim()],
+            att: vec![0.0; c.seq_len],
+            logits: vec![0.0; c.vocab_size],
+        }
+    }
+}
+
+/// Dispatches a dense matvec according to the chosen strategy.
+fn run_matvec(
+    strategy: MatVecStrategy,
+    out: &mut [f32],
+    w: &[f32],
+    x: &[f32],
+    rows: usize,
+    cols: usize,
+) {
+    match strategy {
+        MatVecStrategy::Serial => ops::matvec(out, w, x, rows, cols),
+        MatVecStrategy::Parallel { threads } => {
+            crate::parallel::par_matvec(out, w, x, rows, cols, threads.max(1));
+        }
+    }
+}
+
+/// A transformer with its weights, KV cache, and scratch state: everything
+/// needed to decode token-by-token.
+pub struct Transformer {
+    weights: TransformerWeights,
+    state: RunState,
+    kv: KvCache,
+    strategy: MatVecStrategy,
+}
+
+impl Transformer {
+    /// Wraps loaded or synthetic weights.
+    #[must_use]
+    pub fn new(weights: TransformerWeights) -> Self {
+        let state = RunState::new(&weights.config);
+        let kv = KvCache::new(&weights.config);
+        Self {
+            weights,
+            state,
+            kv,
+            strategy: MatVecStrategy::Serial,
+        }
+    }
+
+    /// Selects the matvec execution strategy.
+    pub fn set_strategy(&mut self, strategy: MatVecStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The architecture config.
+    #[must_use]
+    pub fn config(&self) -> &ModelConfig {
+        &self.weights.config
+    }
+
+    /// Borrow of the underlying weights.
+    #[must_use]
+    pub fn weights(&self) -> &TransformerWeights {
+        &self.weights
+    }
+
+    /// Current context length (positions already decoded).
+    #[must_use]
+    pub fn context_len(&self) -> usize {
+        self.kv.len()
+    }
+
+    /// Clears the KV cache to start a fresh sequence.
+    pub fn reset(&mut self) {
+        self.kv.reset();
+    }
+
+
+    /// Runs one decode step: processes `token` at position `pos` and
+    /// returns the logits over the vocabulary.
+    ///
+    /// # Panics
+    /// Panics if `pos` is outside the model's context window or `token` is
+    /// out of vocabulary.
+    pub fn forward(&mut self, token: u32, pos: usize) -> &[f32] {
+        let c = self.weights.config;
+        assert!(pos < c.seq_len, "pos {pos} outside context window {}", c.seq_len);
+        assert!((token as usize) < c.vocab_size, "token {token} out of vocab");
+        let dim = c.dim;
+        let kv_dim = c.kv_dim();
+        let head_dim = c.head_dim();
+        let gqa = c.gqa_group();
+
+        // Token embedding -> residual stream.
+        self.state
+            .x
+            .copy_from_slice(self.weights.embedding_row(token as usize));
+
+        for layer in 0..c.n_layers {
+            let st = &mut self.state;
+            let lw = &self.weights.layers[layer];
+
+            // ---- Attention block ----
+            ops::rmsnorm(&mut st.xb, &st.x, &lw.rms_att);
+            run_matvec(self.strategy, &mut st.q, &lw.wq, &st.xb, dim, dim);
+            run_matvec(self.strategy, &mut st.k, &lw.wk, &st.xb, kv_dim, dim);
+            run_matvec(self.strategy, &mut st.v, &lw.wv, &st.xb, kv_dim, dim);
+
+            // Rotary embeddings on q (all heads) and k (kv heads).
+            ops::rope_inplace(&mut st.q, pos, head_dim, ops::ROPE_THETA);
+            ops::rope_inplace(&mut st.k, pos, head_dim, ops::ROPE_THETA);
+            // Cache this position's K/V.
+            self.kv.store(layer, pos, &st.k, &st.v);
+
+            // Multi-head attention with grouped-query sharing.
+            for h in 0..c.n_heads {
+                let kv_head = h / gqa;
+                let q = &st.q[h * head_dim..(h + 1) * head_dim];
+                let att = &mut st.att[..pos + 1];
+                ops::attention_scores(att, q, |t| self.kv.key_head(layer, t, kv_head), pos);
+                ops::softmax(att);
+                let out = &mut st.xb[h * head_dim..(h + 1) * head_dim];
+                ops::attention_mix(out, att, |t| self.kv.value_head(layer, t, kv_head), pos);
+            }
+
+            // Output projection + residual.
+            run_matvec(self.strategy, &mut st.xb2, &lw.wo, &st.xb, dim, dim);
+            ops::add_inplace(&mut st.x, &st.xb2);
+
+            // ---- FFN block (SwiGLU) ----
+            ops::rmsnorm(&mut st.xb, &st.x, &lw.rms_ffn);
+            run_matvec(self.strategy, &mut st.hb, &lw.w1, &st.xb, c.hidden_dim, dim);
+            run_matvec(self.strategy, &mut st.hb2, &lw.w3, &st.xb, c.hidden_dim, dim);
+            ops::swiglu(&mut st.hb, &st.hb2);
+            run_matvec(self.strategy, &mut st.xb2, &lw.w2, &st.hb, dim, c.hidden_dim);
+            ops::add_inplace(&mut st.x, &st.xb2);
+        }
+
+        // Final norm + classifier.
+        ops::rmsnorm_inplace(&mut self.state.x, &self.weights.rms_final);
+        run_matvec(
+            self.strategy,
+            &mut self.state.logits,
+            self.weights.classifier(),
+            &self.state.x,
+            c.vocab_size,
+            dim,
+        );
+        &self.state.logits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::TransformerWeights;
+
+    fn model() -> Transformer {
+        Transformer::new(TransformerWeights::synthetic(ModelConfig::test_tiny(), 42))
+    }
+
+    #[test]
+    fn forward_produces_finite_logits() {
+        let mut t = model();
+        let logits = t.forward(5, 0);
+        assert_eq!(logits.len(), 64);
+        assert!(logits.iter().all(|x| x.is_finite()));
+        assert!(logits.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let mut a = model();
+        let mut b = model();
+        for pos in 0..4 {
+            let la = a.forward(pos as u32 + 1, pos).to_vec();
+            let lb = b.forward(pos as u32 + 1, pos).to_vec();
+            assert_eq!(la, lb);
+        }
+    }
+
+    #[test]
+    fn logits_depend_on_history() {
+        // Same token at pos 1 after different pos-0 tokens must differ.
+        let mut a = model();
+        let mut b = model();
+        a.forward(1, 0);
+        b.forward(2, 0);
+        let la = a.forward(3, 1).to_vec();
+        let lb = b.forward(3, 1).to_vec();
+        assert_ne!(la, lb);
+    }
+
+    #[test]
+    fn reset_restores_initial_behavior() {
+        let mut t = model();
+        let first = t.forward(7, 0).to_vec();
+        t.forward(9, 1);
+        t.reset();
+        let again = t.forward(7, 0).to_vec();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn parallel_strategy_matches_serial() {
+        let weights = TransformerWeights::synthetic(ModelConfig::stories260k(), 3);
+        let mut serial = Transformer::new(weights.clone());
+        let mut par = Transformer::new(weights);
+        par.set_strategy(MatVecStrategy::Parallel { threads: 4 });
+        for pos in 0..3 {
+            let a = serial.forward(10 + pos as u32, pos).to_vec();
+            let b = par.forward(10 + pos as u32, pos).to_vec();
+            let max_diff = a
+                .iter()
+                .zip(&b)
+                .fold(0.0f32, |m, (x, y)| m.max((x - y).abs()));
+            assert!(max_diff < 1e-4, "parallel diverged: {max_diff}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside context window")]
+    fn pos_overflow_panics() {
+        let mut t = model();
+        t.forward(0, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn bad_token_panics() {
+        let mut t = model();
+        t.forward(64, 0);
+    }
+
+    #[test]
+    fn context_len_advances() {
+        let mut t = model();
+        assert_eq!(t.context_len(), 0);
+        t.forward(1, 0);
+        assert_eq!(t.context_len(), 1);
+        t.forward(2, 1);
+        assert_eq!(t.context_len(), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! End-to-end text generation on the CPU reference model, with the same
+//! latency/throughput accounting the paper's host program performs (total
+//! inference time; decode throughput = generated tokens / decode time).
+
+use std::time::{Duration, Instant};
+
+use crate::forward::Transformer;
+use crate::sampler::Sampler;
+use crate::tokenizer::{Tokenizer, TOKEN_BOS, TOKEN_EOS};
+
+/// Limits and termination policy for a generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct GenerateOptions {
+    /// Maximum number of *new* tokens to produce.
+    pub max_new_tokens: usize,
+    /// Stop early if EOS is produced.
+    pub stop_at_eos: bool,
+}
+
+impl Default for GenerateOptions {
+    fn default() -> Self {
+        Self {
+            max_new_tokens: 64,
+            stop_at_eos: true,
+        }
+    }
+}
+
+/// Result of a generation run, including the paper's two headline metrics.
+#[derive(Debug, Clone)]
+pub struct GenerateOutput {
+    /// Prompt token ids (BOS included).
+    pub prompt_tokens: Vec<u32>,
+    /// Newly generated token ids (EOS excluded).
+    pub generated_tokens: Vec<u32>,
+    /// Decoded generated text.
+    pub text: String,
+    /// Wall-clock time of the prefill stage.
+    pub prefill_time: Duration,
+    /// Wall-clock time of the decode stage.
+    pub decode_time: Duration,
+}
+
+impl GenerateOutput {
+    /// Total inference latency (prefill + decode), the paper's latency
+    /// metric.
+    #[must_use]
+    pub fn total_latency(&self) -> Duration {
+        self.prefill_time + self.decode_time
+    }
+
+    /// Decode throughput in tokens per second, the paper's throughput
+    /// metric.
+    #[must_use]
+    pub fn decode_tokens_per_sec(&self) -> f64 {
+        let secs = self.decode_time.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.generated_tokens.len() as f64 / secs
+    }
+}
+
+/// Tokenizes `prompt`, prefills, then decodes up to
+/// `options.max_new_tokens` tokens with `sampler`.
+///
+/// The transformer is reset first, so each call is an independent sequence.
+///
+/// # Panics
+/// Panics if the prompt alone exceeds the model's context window.
+pub fn generate(
+    model: &mut Transformer,
+    tokenizer: &Tokenizer,
+    sampler: &mut Sampler,
+    prompt: &str,
+    options: GenerateOptions,
+) -> GenerateOutput {
+    model.reset();
+    let prompt_tokens = tokenizer.encode(prompt, true, false);
+    let seq_len = model.config().seq_len;
+    assert!(
+        prompt_tokens.len() <= seq_len,
+        "prompt of {} tokens exceeds context window {}",
+        prompt_tokens.len(),
+        seq_len
+    );
+
+    // Prefill: feed every prompt token; only the last logits matter.
+    let prefill_start = Instant::now();
+    let mut logits: Vec<f32> = Vec::new();
+    for (pos, &tok) in prompt_tokens.iter().enumerate() {
+        logits = model.forward(tok, pos).to_vec();
+    }
+    let prefill_time = prefill_start.elapsed();
+
+    // Decode: sample, feed back, repeat.
+    let decode_start = Instant::now();
+    let mut generated = Vec::with_capacity(options.max_new_tokens);
+    let start = prompt_tokens.len();
+    for pos in start..(start + options.max_new_tokens).min(seq_len) {
+        let next = sampler.sample(&logits);
+        if options.stop_at_eos && (next == TOKEN_EOS || next == TOKEN_BOS) {
+            break;
+        }
+        generated.push(next);
+        logits = model.forward(next, pos).to_vec();
+    }
+    let decode_time = decode_start.elapsed();
+
+    let text = tokenizer.decode(&generated);
+    GenerateOutput {
+        prompt_tokens,
+        generated_tokens: generated,
+        text,
+        prefill_time,
+        decode_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::weights::TransformerWeights;
+
+    fn setup() -> (Transformer, Tokenizer) {
+        let cfg = ModelConfig::test_tiny();
+        let model = Transformer::new(TransformerWeights::synthetic(cfg, 42));
+        let tokenizer = Tokenizer::synthetic(cfg.vocab_size, 42);
+        (model, tokenizer)
+    }
+
+    #[test]
+    fn generates_up_to_limit() {
+        let (mut model, tok) = setup();
+        let mut sampler = Sampler::argmax();
+        let opts = GenerateOptions { max_new_tokens: 8, stop_at_eos: false };
+        let out = generate(&mut model, &tok, &mut sampler, "ab", opts);
+        assert!(!out.prompt_tokens.is_empty());
+        assert!(out.generated_tokens.len() <= 8);
+        assert!(!out.generated_tokens.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_with_seeded_sampler() {
+        let (mut m1, tok) = setup();
+        let (mut m2, _) = setup();
+        let opts = GenerateOptions { max_new_tokens: 10, stop_at_eos: false };
+        let mut s1 = Sampler::new(crate::sampler::SamplerKind::Temperature(1.0), 5);
+        let mut s2 = Sampler::new(crate::sampler::SamplerKind::Temperature(1.0), 5);
+        let a = generate(&mut m1, &tok, &mut s1, "hi", opts);
+        let b = generate(&mut m2, &tok, &mut s2, "hi", opts);
+        assert_eq!(a.generated_tokens, b.generated_tokens);
+        assert_eq!(a.text, b.text);
+    }
+
+    #[test]
+    fn respects_context_window() {
+        let (mut model, tok) = setup();
+        let mut sampler = Sampler::argmax();
+        // Prompt close to the window; generation must stop at seq_len.
+        let opts = GenerateOptions { max_new_tokens: 1000, stop_at_eos: false };
+        let out = generate(&mut model, &tok, &mut sampler, "aaaa bbbb cccc", opts);
+        assert!(out.prompt_tokens.len() + out.generated_tokens.len() <= 32);
+    }
+
+    #[test]
+    fn consecutive_calls_reset_state() {
+        let (mut model, tok) = setup();
+        let mut sampler = Sampler::argmax();
+        let opts = GenerateOptions { max_new_tokens: 5, stop_at_eos: false };
+        let a = generate(&mut model, &tok, &mut sampler, "xy", opts);
+        let b = generate(&mut model, &tok, &mut sampler, "xy", opts);
+        assert_eq!(a.generated_tokens, b.generated_tokens);
+    }
+
+    #[test]
+    fn throughput_metric_is_positive() {
+        let (mut model, tok) = setup();
+        let mut sampler = Sampler::argmax();
+        let opts = GenerateOptions { max_new_tokens: 6, stop_at_eos: false };
+        let out = generate(&mut model, &tok, &mut sampler, "q", opts);
+        assert!(out.decode_tokens_per_sec() > 0.0);
+        assert!(out.total_latency() >= out.decode_time);
+    }
+}

@@ -1,0 +1,202 @@
+//! Key/value cache for autoregressive decoding.
+//!
+//! One contiguous buffer per layer per side (`K`, `V`), laid out
+//! `[seq_len, kv_dim]` row-major so that a timestep's keys for all KV heads
+//! are contiguous — the same layout the accelerator stages into HBM. Slices
+//! are handed out per `(layer, timestep, head)` so attention kernels never
+//! index raw offsets.
+
+use crate::config::ModelConfig;
+
+/// Per-layer K and V caches for a full context window.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    k: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    kv_dim: usize,
+    head_dim: usize,
+    seq_len: usize,
+    /// Number of positions currently filled (same for every layer).
+    len: usize,
+}
+
+impl KvCache {
+    /// Allocates an empty cache sized for `config`.
+    #[must_use]
+    pub fn new(config: &ModelConfig) -> Self {
+        let kv_dim = config.kv_dim();
+        let per_layer = config.seq_len * kv_dim;
+        Self {
+            k: (0..config.n_layers).map(|_| vec![0.0; per_layer]).collect(),
+            v: (0..config.n_layers).map(|_| vec![0.0; per_layer]).collect(),
+            kv_dim,
+            head_dim: config.head_dim(),
+            seq_len: config.seq_len,
+            len: 0,
+        }
+    }
+
+    /// Number of positions stored so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no positions have been stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of positions the cache can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Clears the logical contents (capacity is retained).
+    pub fn reset(&mut self) {
+        self.len = 0;
+    }
+
+    /// Writes the key and value rows for `pos` in `layer`. Positions must
+    /// be written in order; writing position `p` sets the logical length to
+    /// `p + 1` once the last layer has stored it.
+    ///
+    /// # Panics
+    /// Panics if `pos` exceeds capacity or the slices are misshapen.
+    pub fn store(&mut self, layer: usize, pos: usize, k: &[f32], v: &[f32]) {
+        assert!(pos < self.seq_len, "pos {pos} out of cache capacity {}", self.seq_len);
+        assert_eq!(k.len(), self.kv_dim, "bad key width");
+        assert_eq!(v.len(), self.kv_dim, "bad value width");
+        let off = pos * self.kv_dim;
+        self.k[layer][off..off + self.kv_dim].copy_from_slice(k);
+        self.v[layer][off..off + self.kv_dim].copy_from_slice(v);
+        if layer == self.k.len() - 1 {
+            self.len = self.len.max(pos + 1);
+        }
+    }
+
+    /// Key row for `(layer, pos)` across all KV heads.
+    #[must_use]
+    pub fn key_row(&self, layer: usize, pos: usize) -> &[f32] {
+        let off = pos * self.kv_dim;
+        &self.k[layer][off..off + self.kv_dim]
+    }
+
+    /// Value row for `(layer, pos)` across all KV heads.
+    #[must_use]
+    pub fn value_row(&self, layer: usize, pos: usize) -> &[f32] {
+        let off = pos * self.kv_dim;
+        &self.v[layer][off..off + self.kv_dim]
+    }
+
+    /// Key vector of one KV head at `(layer, pos)`.
+    #[must_use]
+    pub fn key_head(&self, layer: usize, pos: usize, kv_head: usize) -> &[f32] {
+        let row = self.key_row(layer, pos);
+        &row[kv_head * self.head_dim..(kv_head + 1) * self.head_dim]
+    }
+
+    /// Value vector of one KV head at `(layer, pos)`.
+    #[must_use]
+    pub fn value_head(&self, layer: usize, pos: usize, kv_head: usize) -> &[f32] {
+        let row = self.value_row(layer, pos);
+        &row[kv_head * self.head_dim..(kv_head + 1) * self.head_dim]
+    }
+
+    /// Mutable key row (used by in-place RoPE application).
+    pub fn key_row_mut(&mut self, layer: usize, pos: usize) -> &mut [f32] {
+        let off = pos * self.kv_dim;
+        &mut self.k[layer][off..off + self.kv_dim]
+    }
+
+    /// Total bytes of cached state for a full window.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        2 * self.k.len() * self.seq_len * self.kv_dim * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> KvCache {
+        KvCache::new(&ModelConfig::test_tiny())
+    }
+
+    #[test]
+    fn starts_empty_with_full_capacity() {
+        let c = cache();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 32);
+        assert_eq!(c.bytes(), ModelConfig::test_tiny().kv_cache_bytes());
+    }
+
+    #[test]
+    fn store_and_read_back() {
+        let mut c = cache();
+        let k: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let v: Vec<f32> = (0..8).map(|i| -(i as f32)).collect();
+        for layer in 0..2 {
+            c.store(layer, 0, &k, &v);
+        }
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.key_row(0, 0), &k[..]);
+        assert_eq!(c.value_row(1, 0), &v[..]);
+    }
+
+    #[test]
+    fn head_views_partition_the_row() {
+        let mut c = cache();
+        let k: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        c.store(0, 3, &k, &k);
+        // test_tiny: head_dim=4, 2 kv heads.
+        assert_eq!(c.key_head(0, 3, 0), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(c.key_head(0, 3, 1), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn len_tracks_last_layer_writes() {
+        let mut c = cache();
+        let z = vec![0.0f32; 8];
+        c.store(0, 0, &z, &z);
+        assert_eq!(c.len(), 0, "only first layer written");
+        c.store(1, 0, &z, &z);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reset_clears_len() {
+        let mut c = cache();
+        let z = vec![0.0f32; 8];
+        c.store(1, 0, &z, &z);
+        c.reset();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of cache capacity")]
+    fn overflow_panics() {
+        let mut c = cache();
+        let z = vec![0.0f32; 8];
+        c.store(0, 32, &z, &z);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad key width")]
+    fn misshapen_key_panics() {
+        let mut c = cache();
+        c.store(0, 0, &[0.0; 3], &[0.0; 8]);
+    }
+
+    #[test]
+    fn key_row_mut_allows_inplace_rope() {
+        let mut c = cache();
+        let k: Vec<f32> = (0..8).map(|i| 1.0 + i as f32).collect();
+        c.store(0, 1, &k, &k);
+        crate::ops::rope_inplace(c.key_row_mut(0, 1), 1, 4, crate::ops::ROPE_THETA);
+        assert_ne!(c.key_row(0, 1), &k[..]);
+    }
+}

@@ -1,0 +1,59 @@
+//! # speedllm-llama
+//!
+//! The Llama-2 inference substrate of the SpeedLLM reproduction: everything
+//! the paper's host software stack provides (llama2.c model loading,
+//! tokenization, the reference forward pass, sampling, quantization), built
+//! from scratch in safe Rust.
+//!
+//! The crate serves three roles:
+//!
+//! 1. **Correctness oracle** — [`forward::Transformer`] is the scalar
+//!    reference implementation that the simulated accelerator's outputs are
+//!    checked against.
+//! 2. **CPU baseline** — [`parallel`] provides the multithreaded CPU
+//!    implementation used as a comparison point in the examples.
+//! 3. **Shared kernels** — [`ops`] kernels are reused by the accelerator
+//!    engine for per-tile functional computation, so the co-design is
+//!    functionally transparent by construction.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use speedllm_llama::config::ModelConfig;
+//! use speedllm_llama::weights::TransformerWeights;
+//! use speedllm_llama::forward::Transformer;
+//! use speedllm_llama::tokenizer::Tokenizer;
+//! use speedllm_llama::sampler::Sampler;
+//! use speedllm_llama::generate::{generate, GenerateOptions};
+//!
+//! let cfg = ModelConfig::test_tiny();
+//! let mut model = Transformer::new(TransformerWeights::synthetic(cfg, 42));
+//! let tokenizer = Tokenizer::synthetic(cfg.vocab_size, 42);
+//! let mut sampler = Sampler::argmax();
+//! let out = generate(&mut model, &tokenizer, &mut sampler, "once", GenerateOptions::default());
+//! assert!(!out.generated_tokens.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bpe_train;
+pub mod config;
+pub mod eval;
+pub mod forward;
+pub mod generate;
+pub mod kv_cache;
+pub mod ops;
+pub mod parallel;
+pub mod quant;
+pub mod rng;
+pub mod sampler;
+pub mod sparse;
+pub mod tensor;
+pub mod tokenizer;
+pub mod weights;
+
+pub use config::ModelConfig;
+pub use forward::{MatVecStrategy, Transformer};
+pub use sampler::{Sampler, SamplerKind};
+pub use tokenizer::Tokenizer;
+pub use weights::TransformerWeights;

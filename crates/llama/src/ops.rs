@@ -1,0 +1,365 @@
+//! Scalar reference kernels for Llama-2 inference.
+//!
+//! Every kernel operates on plain `f32` slices so the same code backs both
+//! the CPU reference forward pass ([`crate::forward`]) and the tiled
+//! functional execution inside the accelerator engine. Keeping one set of
+//! kernels is what lets integration tests assert that the simulated
+//! accelerator is *functionally transparent*: fusion, memory planning, and
+//! pipelining may only change timing, never values (beyond float
+//! reassociation in tiled accumulation).
+
+/// Default RoPE frequency base used by the llama2.c model family.
+pub const ROPE_THETA: f32 = 10000.0;
+
+/// Epsilon used inside RMS normalization, matching llama2.c.
+pub const RMS_EPS: f32 = 1e-5;
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics (debug) if the lengths differ.
+#[inline]
+#[must_use]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot length mismatch");
+    // Accumulate in f32 like llama2.c; tiled variants reassociate, which is
+    // why equivalence tests use a tolerance.
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// RMS normalization: `out[i] = x[i] * weight[i] / rms(x)`.
+///
+/// `out` and `x` may be the same slice via [`rmsnorm_inplace`]; this variant
+/// writes to a distinct output.
+pub fn rmsnorm(out: &mut [f32], x: &[f32], weight: &[f32]) {
+    debug_assert_eq!(out.len(), x.len());
+    debug_assert_eq!(x.len(), weight.len());
+    let ss = x.iter().map(|&v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (ss + RMS_EPS).sqrt();
+    for ((o, &xi), &wi) in out.iter_mut().zip(x).zip(weight) {
+        *o = xi * inv * wi;
+    }
+}
+
+/// In-place RMS normalization.
+pub fn rmsnorm_inplace(x: &mut [f32], weight: &[f32]) {
+    debug_assert_eq!(x.len(), weight.len());
+    let ss = x.iter().map(|&v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (ss + RMS_EPS).sqrt();
+    for (xi, &wi) in x.iter_mut().zip(weight) {
+        *xi *= inv * wi;
+    }
+}
+
+/// Numerically-stable in-place softmax over `x`.
+pub fn softmax(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let mut sum = 0.0f32;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in x.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Dense matrix–vector product: `out[r] = w[r, :] · x` for a row-major
+/// `rows × cols` matrix `w`.
+pub fn matvec(out: &mut [f32], w: &[f32], x: &[f32], rows: usize, cols: usize) {
+    debug_assert_eq!(out.len(), rows);
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(x.len(), cols);
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot(&w[r * cols..(r + 1) * cols], x);
+    }
+}
+
+/// Tiled partial matvec: accumulates `w[r, c0..c1] · x[c0..c1]` into
+/// `out[r - r0]` for rows `r0..r1`. Callers must zero `out` before the first
+/// column tile. This is the kernel the accelerator's MPE tiles map onto.
+pub fn matvec_tile_accumulate(
+    out: &mut [f32],
+    w: &[f32],
+    x: &[f32],
+    cols: usize,
+    rows: std::ops::Range<usize>,
+    col_tile: std::ops::Range<usize>,
+) {
+    debug_assert_eq!(out.len(), rows.len());
+    debug_assert!(col_tile.end <= cols);
+    debug_assert!(col_tile.end <= x.len());
+    for (o, r) in out.iter_mut().zip(rows) {
+        let row = &w[r * cols + col_tile.start..r * cols + col_tile.end];
+        *o += dot(row, &x[col_tile.clone()]);
+    }
+}
+
+/// SiLU (sigmoid-weighted linear unit): `x * σ(x)`.
+#[inline]
+#[must_use]
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// SwiGLU gate: `h1[i] = silu(h1[i]) * h3[i]`, in place in `h1`.
+pub fn swiglu(h1: &mut [f32], h3: &[f32]) {
+    debug_assert_eq!(h1.len(), h3.len());
+    for (a, &b) in h1.iter_mut().zip(h3) {
+        *a = silu(*a) * b;
+    }
+}
+
+/// Element-wise residual accumulation: `acc[i] += delta[i]`.
+pub fn add_inplace(acc: &mut [f32], delta: &[f32]) {
+    debug_assert_eq!(acc.len(), delta.len());
+    for (a, &d) in acc.iter_mut().zip(delta) {
+        *a += d;
+    }
+}
+
+/// Applies rotary position embeddings in the llama2.c convention: adjacent
+/// pairs within each `head_dim`-wide head of `v` are rotated by
+/// `pos · θ^(−i/head_dim)`.
+pub fn rope_inplace(v: &mut [f32], pos: usize, head_dim: usize, theta: f32) {
+    debug_assert_eq!(v.len() % head_dim, 0, "vector not a whole number of heads");
+    debug_assert_eq!(head_dim % 2, 0, "head_dim must be even");
+    for head in v.chunks_mut(head_dim) {
+        for i in (0..head_dim).step_by(2) {
+            let freq = 1.0 / theta.powf(i as f32 / head_dim as f32);
+            let angle = pos as f32 * freq;
+            let (sin, cos) = angle.sin_cos();
+            let (v0, v1) = (head[i], head[i + 1]);
+            head[i] = v0 * cos - v1 * sin;
+            head[i + 1] = v0 * sin + v1 * cos;
+        }
+    }
+}
+
+/// Attention scores for one head: `scores[t] = q · k_t / sqrt(head_dim)` for
+/// `t` in `0..=pos`, where `key_at(t)` yields the cached key row.
+pub fn attention_scores<'k>(
+    scores: &mut [f32],
+    q: &[f32],
+    mut key_at: impl FnMut(usize) -> &'k [f32],
+    pos: usize,
+) {
+    debug_assert!(scores.len() > pos);
+    let scale = 1.0 / (q.len() as f32).sqrt();
+    for (t, s) in scores.iter_mut().enumerate().take(pos + 1) {
+        *s = dot(q, key_at(t)) * scale;
+    }
+}
+
+/// Weighted value mix for one head: `out = Σ_t probs[t] · v_t`.
+pub fn attention_mix<'v>(
+    out: &mut [f32],
+    probs: &[f32],
+    mut value_at: impl FnMut(usize) -> &'v [f32],
+    pos: usize,
+) {
+    out.fill(0.0);
+    for (t, &p) in probs.iter().enumerate().take(pos + 1) {
+        let v = value_at(t);
+        debug_assert_eq!(v.len(), out.len());
+        for (o, &vi) in out.iter_mut().zip(v) {
+            *o += p * vi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn rmsnorm_matches_hand_computation() {
+        let x = [3.0f32, 4.0];
+        let w = [1.0f32, 2.0];
+        let mut out = [0.0f32; 2];
+        rmsnorm(&mut out, &x, &w);
+        // rms = sqrt((9+16)/2 + eps) ≈ sqrt(12.5)
+        let inv = 1.0 / (12.5f32 + RMS_EPS).sqrt();
+        assert_close(out[0], 3.0 * inv, 1e-6);
+        assert_close(out[1], 4.0 * inv * 2.0, 1e-6);
+    }
+
+    #[test]
+    fn rmsnorm_inplace_matches_out_of_place() {
+        let x = [0.5f32, -1.25, 2.0, 0.0];
+        let w = [1.0f32, 0.5, -1.0, 2.0];
+        let mut a = [0.0f32; 4];
+        rmsnorm(&mut a, &x, &w);
+        let mut b = x;
+        rmsnorm_inplace(&mut b, &w);
+        for (x, y) in a.iter().zip(&b) {
+            assert_close(*x, *y, 1e-7);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut x = [1.0f32, 2.0, 3.0];
+        softmax(&mut x);
+        assert_close(x.iter().sum::<f32>(), 1.0, 1e-6);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = [1.0f32, 2.0, 3.0];
+        let mut b = [1001.0f32, 1002.0, 1003.0];
+        softmax(&mut a);
+        softmax(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_close(*x, *y, 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extremes() {
+        let mut x = [f32::NEG_INFINITY, 0.0];
+        softmax(&mut x);
+        assert_close(x[0], 0.0, 1e-9);
+        assert_close(x[1], 1.0, 1e-9);
+        let mut empty: [f32; 0] = [];
+        softmax(&mut empty);
+    }
+
+    #[test]
+    fn matvec_identity() {
+        let w = [1.0f32, 0.0, 0.0, 1.0]; // 2x2 identity
+        let x = [7.0f32, -3.0];
+        let mut out = [0.0f32; 2];
+        matvec(&mut out, &w, &x, 2, 2);
+        assert_eq!(out, x);
+    }
+
+    #[test]
+    fn matvec_rectangular() {
+        // 2x3 matrix
+        let w = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = [1.0f32, 0.0, -1.0];
+        let mut out = [0.0f32; 2];
+        matvec(&mut out, &w, &x, 2, 3);
+        assert_eq!(out, [-2.0, -2.0]);
+    }
+
+    #[test]
+    fn tiled_matvec_matches_dense() {
+        let rows = 7;
+        let cols = 13;
+        let w: Vec<f32> = (0..rows * cols).map(|i| ((i * 37 % 19) as f32) - 9.0).collect();
+        let x: Vec<f32> = (0..cols).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut dense = vec![0.0f32; rows];
+        matvec(&mut dense, &w, &x, rows, cols);
+
+        let mut tiled = vec![0.0f32; rows];
+        for r0 in (0..rows).step_by(3) {
+            let r1 = (r0 + 3).min(rows);
+            let mut acc = vec![0.0f32; r1 - r0];
+            for c0 in (0..cols).step_by(4) {
+                let c1 = (c0 + 4).min(cols);
+                matvec_tile_accumulate(&mut acc, &w, &x, cols, r0..r1, c0..c1);
+            }
+            tiled[r0..r1].copy_from_slice(&acc);
+        }
+        for (a, b) in dense.iter().zip(&tiled) {
+            assert_close(*a, *b, 1e-4);
+        }
+    }
+
+    #[test]
+    fn silu_fixed_points() {
+        assert_close(silu(0.0), 0.0, 1e-9);
+        assert!(silu(10.0) > 9.99);
+        assert!(silu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn swiglu_combines() {
+        let mut h1 = [1.0f32, -1.0];
+        let h3 = [2.0f32, 3.0];
+        swiglu(&mut h1, &h3);
+        assert_close(h1[0], silu(1.0) * 2.0, 1e-6);
+        assert_close(h1[1], silu(-1.0) * 3.0, 1e-6);
+    }
+
+    #[test]
+    fn add_inplace_accumulates() {
+        let mut acc = [1.0f32, 2.0];
+        add_inplace(&mut acc, &[10.0, 20.0]);
+        assert_eq!(acc, [11.0, 22.0]);
+    }
+
+    #[test]
+    fn rope_at_pos_zero_is_identity() {
+        let mut v = [0.3f32, -0.7, 1.1, 0.0];
+        let orig = v;
+        rope_inplace(&mut v, 0, 4, ROPE_THETA);
+        for (a, b) in v.iter().zip(&orig) {
+            assert_close(*a, *b, 1e-7);
+        }
+    }
+
+    #[test]
+    fn rope_preserves_norm() {
+        let mut v: Vec<f32> = (0..8).map(|i| (i as f32 * 0.7).cos()).collect();
+        let norm0: f32 = v.iter().map(|x| x * x).sum();
+        rope_inplace(&mut v, 17, 4, ROPE_THETA);
+        let norm1: f32 = v.iter().map(|x| x * x).sum();
+        assert_close(norm0, norm1, 1e-4);
+    }
+
+    #[test]
+    fn rope_first_pair_rotates_by_pos_radians() {
+        // For i=0 the frequency is exactly 1, so the first pair rotates by
+        // `pos` radians.
+        let mut v = [1.0f32, 0.0, 0.0, 0.0];
+        rope_inplace(&mut v, 1, 4, ROPE_THETA);
+        assert_close(v[0], 1.0f32.cos(), 1e-6);
+        assert_close(v[1], 1.0f32.sin(), 1e-6);
+    }
+
+    #[test]
+    fn attention_scores_and_mix_single_key() {
+        let q = [1.0f32, 0.0];
+        let k = [2.0f32, 0.0];
+        let v = [5.0f32, 7.0];
+        let mut scores = [0.0f32; 1];
+        attention_scores(&mut scores, &q, |_| &k[..], 0);
+        assert_close(scores[0], 2.0 / (2.0f32).sqrt(), 1e-6);
+        softmax(&mut scores);
+        let mut out = [0.0f32; 2];
+        attention_mix(&mut out, &scores, |_| &v[..], 0);
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    fn attention_mix_weights_values() {
+        let probs = [0.25f32, 0.75];
+        let v0 = [4.0f32];
+        let v1 = [8.0f32];
+        let mut out = [0.0f32];
+        attention_mix(&mut out, &probs, |t| if t == 0 { &v0[..] } else { &v1[..] }, 1);
+        assert_close(out[0], 0.25 * 4.0 + 0.75 * 8.0, 1e-6);
+    }
+}

@@ -1,0 +1,307 @@
+//! CPU parallelism utilities.
+//!
+//! Two tools live here:
+//!
+//! * [`par_matvec`] — a row-partitioned parallel matrix–vector product built
+//!   on `std::thread::scope`. This is the kernel behind the *parallel CPU
+//!   reference* baseline used by the examples; it is data-race free by
+//!   construction (each worker owns a disjoint `&mut` chunk of the output).
+//! * [`ThreadPool`] — a small long-lived worker pool (crossbeam channel +
+//!   completion counter) for `'static` jobs, used by the benchmark harness
+//!   to evaluate independent accelerator variants concurrently.
+//!
+//! Both deliberately avoid work-stealing sophistication: the workloads are
+//! regular, so static partitioning is within a few percent of optimal and
+//! much easier to reason about.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+/// Minimum number of multiply-accumulates per worker before parallelism
+/// pays for thread wake-up; below this, [`par_matvec`] runs serially.
+const PAR_MIN_MACS_PER_THREAD: usize = 64 * 1024;
+
+/// Returns a sensible worker count: available parallelism capped at 16
+/// (beyond that, memory bandwidth dominates for matvec).
+#[must_use]
+pub fn recommended_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Splits `n` items into at most `parts` contiguous ranges of near-equal
+/// length. Returns fewer ranges when `n < parts`. Ranges are non-empty,
+/// disjoint, and cover `0..n`.
+#[must_use]
+pub fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Parallel dense matvec: `out[r] = w[r, :] · x` with rows statically
+/// partitioned over `threads` workers. Falls back to the serial kernel when
+/// the work is too small to amortize thread wake-up.
+pub fn par_matvec(out: &mut [f32], w: &[f32], x: &[f32], rows: usize, cols: usize, threads: usize) {
+    assert_eq!(out.len(), rows);
+    assert_eq!(w.len(), rows * cols);
+    assert_eq!(x.len(), cols);
+    let threads = threads.max(1);
+    if threads == 1 || rows * cols < PAR_MIN_MACS_PER_THREAD * 2 {
+        crate::ops::matvec(out, w, x, rows, cols);
+        return;
+    }
+    let ranges = split_ranges(rows, threads);
+    // Partition the output into disjoint &mut chunks matching the ranges.
+    std::thread::scope(|s| {
+        let mut rest = out;
+        for range in &ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let range = range.clone();
+            s.spawn(move || {
+                for (o, r) in chunk.iter_mut().zip(range) {
+                    *o = crate::ops::dot(&w[r * cols..(r + 1) * cols], x);
+                }
+            });
+        }
+    });
+}
+
+/// A fixed-size worker pool for `'static` jobs.
+///
+/// Jobs are closures sent over an unbounded channel; [`ThreadPool::join`]
+/// blocks until every submitted job has finished (not merely been picked
+/// up). Dropping the pool joins the workers after draining the queue.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    pending: Arc<PendingCount>,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PendingCount {
+    count: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl PendingCount {
+    fn incr(&self) {
+        self.count.fetch_add(1, Ordering::SeqCst);
+    }
+    fn decr(&self) {
+        if self.count.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.lock.lock();
+            self.cv.notify_all();
+        }
+    }
+    fn wait_zero(&self) {
+        let mut guard = self.lock.lock();
+        while self.count.load(Ordering::SeqCst) != 0 {
+            self.cv.wait(&mut guard);
+        }
+    }
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (at least one).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let pending = Arc::new(PendingCount {
+            count: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        });
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = receiver.clone();
+            let pending = Arc::clone(&pending);
+            let handle = std::thread::Builder::new()
+                .name(format!("speedllm-worker-{i}"))
+                .spawn(move || {
+                    // Channel disconnect (all senders dropped) ends the loop.
+                    while let Ok(job) = rx.recv() {
+                        job();
+                        pending.decr();
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+        Self {
+            sender: Some(sender),
+            handles,
+            pending,
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submits a job for execution.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.pending.incr();
+        self.sender
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(job))
+            .expect("workers disconnected");
+    }
+
+    /// Blocks until all submitted jobs have completed.
+    pub fn join(&self) {
+        self.pending.wait_zero();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.join();
+        // Dropping the sender disconnects the channel so workers exit.
+        drop(self.sender.take());
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = split_ranges(n, parts);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, prev_end, "ranges must be contiguous");
+                    assert!(!r.is_empty(), "ranges must be non-empty");
+                    covered += r.len();
+                    prev_end = r.end;
+                }
+                assert_eq!(covered, n, "n={n} parts={parts}");
+                if n > 0 {
+                    assert!(ranges.len() <= parts.min(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_ranges_balance_within_one() {
+        let ranges = split_ranges(10, 3);
+        let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 10);
+        assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn par_matvec_matches_serial_small_and_large() {
+        for (rows, cols) in [(3usize, 5usize), (257, 1031)] {
+            let w: Vec<f32> = (0..rows * cols).map(|i| ((i % 13) as f32) - 6.0).collect();
+            let x: Vec<f32> = (0..cols).map(|i| (i as f32 * 0.1).sin()).collect();
+            let mut serial = vec![0.0f32; rows];
+            crate::ops::matvec(&mut serial, &w, &x, rows, cols);
+            for threads in [1usize, 2, 4, 7] {
+                let mut par = vec![0.0f32; rows];
+                par_matvec(&mut par, &w, &x, rows, cols, threads);
+                for (a, b) in serial.iter().zip(&par) {
+                    assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_runs_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn pool_join_is_reentrant() {
+        let pool = ThreadPool::new(2);
+        pool.join(); // nothing submitted
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        pool.execute(move || {
+            c.fetch_add(7, Ordering::SeqCst);
+        });
+        pool.join();
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn pool_drop_waits_for_jobs() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(3);
+            for _ in 0..20 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop here must block until all 20 ran
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn pool_jobs_can_run_concurrently() {
+        // With 4 workers, 4 sleeping jobs should overlap: total wall time
+        // well under 4x the per-job sleep.
+        let pool = ThreadPool::new(4);
+        let start = std::time::Instant::now();
+        for _ in 0..4 {
+            pool.execute(|| std::thread::sleep(std::time::Duration::from_millis(50)));
+        }
+        pool.join();
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(190),
+            "jobs did not overlap: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn recommended_threads_is_positive() {
+        assert!(recommended_threads() >= 1);
+    }
+}

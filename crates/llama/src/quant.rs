@@ -1,0 +1,234 @@
+//! Q8_0 group quantization.
+//!
+//! The paper motivates FPGAs partly by their native support for
+//! mixed-precision arithmetic; the accelerator's MPE therefore has an int8
+//! mode. This module provides the reference quantization scheme backing it:
+//! **Q8_0** — groups of `GROUP` weights share one `f32` scale, each weight
+//! stored as a signed byte (`w ≈ scale · q`), identical to llama2.c's
+//! quantized runtime.
+
+/// Number of weights sharing a scale factor.
+pub const GROUP: usize = 32;
+
+/// A Q8_0-quantized tensor: `q.len() == groups * GROUP`,
+/// `scales.len() == groups`. Trailing partial groups are zero-padded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantTensor {
+    /// Signed 8-bit quantized values.
+    pub q: Vec<i8>,
+    /// One scale per [`GROUP`]-wide group.
+    pub scales: Vec<f32>,
+    /// Logical (unpadded) element count.
+    pub len: usize,
+}
+
+impl QuantTensor {
+    /// Quantizes `data` with symmetric per-group absmax scaling.
+    #[must_use]
+    pub fn quantize(data: &[f32]) -> Self {
+        let groups = data.len().div_ceil(GROUP);
+        let mut q = vec![0i8; groups * GROUP];
+        let mut scales = vec![0.0f32; groups];
+        for (g, scale_slot) in scales.iter_mut().enumerate() {
+            let start = g * GROUP;
+            let end = (start + GROUP).min(data.len());
+            let chunk = &data[start..end];
+            let absmax = chunk.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            let scale = if absmax == 0.0 { 0.0 } else { absmax / 127.0 };
+            *scale_slot = scale;
+            if scale > 0.0 {
+                for (i, &x) in chunk.iter().enumerate() {
+                    q[start + i] = (x / scale).round().clamp(-127.0, 127.0) as i8;
+                }
+            }
+        }
+        Self { q, scales, len: data.len() }
+    }
+
+    /// Reconstructs the `f32` values (padding excluded).
+    #[must_use]
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.len);
+        for (i, &qv) in self.q.iter().take(self.len).enumerate() {
+            out.push(qv as f32 * self.scales[i / GROUP]);
+        }
+        out
+    }
+
+    /// Worst-case absolute reconstruction error bound: half a quantization
+    /// step per group (`scale / 2`), maximized over groups.
+    #[must_use]
+    pub fn error_bound(&self) -> f32 {
+        self.scales.iter().fold(0.0f32, |m, &s| m.max(s)) * 0.5
+    }
+
+    /// Payload bytes (int8 values + f32 scales) — what the accelerator
+    /// streams from HBM in int8 mode.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.q.len() + self.scales.len() * 4
+    }
+}
+
+/// A Q8_0-quantized row-major matrix for quantized matvec.
+#[derive(Debug, Clone)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    /// Each row quantized independently so row tiles stay group-aligned.
+    row_data: Vec<QuantTensor>,
+}
+
+impl QuantMatrix {
+    /// Quantizes a row-major `rows × cols` matrix, one [`QuantTensor`] per
+    /// row.
+    #[must_use]
+    pub fn quantize(w: &[f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(w.len(), rows * cols);
+        let row_data = (0..rows)
+            .map(|r| QuantTensor::quantize(&w[r * cols..(r + 1) * cols]))
+            .collect();
+        Self { rows, cols, row_data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total payload bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.row_data.iter().map(QuantTensor::bytes).sum()
+    }
+
+    /// Quantized matvec: the activation vector is quantized per-group on
+    /// the fly (as llama2.c's runtime does), then integer dot products are
+    /// accumulated in i32 and rescaled — the exact arithmetic an int8 MPE
+    /// performs.
+    pub fn matvec(&self, out: &mut [f32], x: &[f32]) {
+        assert_eq!(out.len(), self.rows);
+        assert_eq!(x.len(), self.cols);
+        let xq = QuantTensor::quantize(x);
+        for (o, row) in out.iter_mut().zip(&self.row_data) {
+            let mut acc = 0.0f32;
+            let groups = row.scales.len();
+            for g in 0..groups {
+                let start = g * GROUP;
+                let end = ((g + 1) * GROUP).min(self.cols);
+                let mut isum = 0i32;
+                for i in start..end {
+                    isum += row.q[i] as i32 * xq.q[i] as i32;
+                }
+                acc += isum as f32 * row.scales[g] * xq.scales[g];
+            }
+            *o = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn quantize_dequantize_small_error() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut data = vec![0.0f32; 1000];
+        rng.fill_normal(&mut data, 0.5);
+        let qt = QuantTensor::quantize(&data);
+        let back = qt.dequantize();
+        assert_eq!(back.len(), data.len());
+        let bound = qt.error_bound() + 1e-7;
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() <= bound, "{a} vs {b}, bound {bound}");
+        }
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_to_zero() {
+        let qt = QuantTensor::quantize(&[0.0; 40]);
+        assert!(qt.q.iter().all(|&q| q == 0));
+        assert!(qt.dequantize().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn partial_group_is_handled() {
+        let data: Vec<f32> = (0..37).map(|i| i as f32 / 10.0).collect();
+        let qt = QuantTensor::quantize(&data);
+        assert_eq!(qt.scales.len(), 2);
+        assert_eq!(qt.q.len(), 64);
+        assert_eq!(qt.dequantize().len(), 37);
+    }
+
+    #[test]
+    fn absmax_element_is_exact() {
+        // The absmax element maps to ±127 exactly, so reconstruction error
+        // there is at most scale * 0.5 (rounding of 127.0 is exact).
+        let data = [0.1f32, -2.54, 0.3];
+        let qt = QuantTensor::quantize(&data);
+        let back = qt.dequantize();
+        assert!((back[1] - data[1]).abs() < 1e-6, "absmax should round-trip");
+    }
+
+    #[test]
+    fn payload_bytes_formula() {
+        let qt = QuantTensor::quantize(&[1.0; 64]);
+        assert_eq!(qt.bytes(), 64 + 2 * 4);
+    }
+
+    #[test]
+    fn quant_matvec_tracks_f32_matvec() {
+        let rows = 24;
+        let cols = 96;
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut w = vec![0.0f32; rows * cols];
+        let mut x = vec![0.0f32; cols];
+        rng.fill_normal(&mut w, 0.1);
+        rng.fill_normal(&mut x, 1.0);
+        let mut exact = vec![0.0f32; rows];
+        crate::ops::matvec(&mut exact, &w, &x, rows, cols);
+        let qm = QuantMatrix::quantize(&w, rows, cols);
+        let mut approx = vec![0.0f32; rows];
+        qm.matvec(&mut approx, &x);
+        for (e, a) in exact.iter().zip(&approx) {
+            // int8 weights and activations: expect ~1% relative scale error
+            // against activations of unit magnitude.
+            assert!((e - a).abs() < 0.08, "{e} vs {a}");
+        }
+    }
+
+    #[test]
+    fn quant_matrix_is_smaller_than_f32() {
+        let w = vec![0.5f32; 128 * 128];
+        let qm = QuantMatrix::quantize(&w, 128, 128);
+        assert!(qm.bytes() < 128 * 128 * 4 / 3, "got {}", qm.bytes());
+        assert_eq!(qm.rows(), 128);
+        assert_eq!(qm.cols(), 128);
+    }
+
+    #[test]
+    fn identity_like_matrix_quant_matvec() {
+        // Scaled identity: output must match input within quant error.
+        let n = 32;
+        let mut w = vec![0.0f32; n * n];
+        for i in 0..n {
+            w[i * n + i] = 2.0;
+        }
+        let qm = QuantMatrix::quantize(&w, n, n);
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.2).cos()).collect();
+        let mut out = vec![0.0f32; n];
+        qm.matvec(&mut out, &x);
+        for (o, xi) in out.iter().zip(&x) {
+            assert!((o - 2.0 * xi).abs() < 0.05, "{o} vs {}", 2.0 * xi);
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Token sampling: greedy argmax, temperature scaling, and top-p (nucleus)
+//! sampling — the same trio llama2.c's host program offers. All sampling is
+//! driven by an explicit seeded RNG so generation is reproducible.
+
+use crate::ops::softmax;
+use crate::rng::Xoshiro256;
+
+/// Sampling policy applied to the logits of each decode step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SamplerKind {
+    /// Always pick the highest-logit token (deterministic).
+    Argmax,
+    /// Softmax with temperature, then draw from the full distribution.
+    Temperature(f32),
+    /// Softmax with temperature, then draw from the smallest set of tokens
+    /// whose cumulative probability exceeds `p`.
+    TopP {
+        /// Softmax temperature (must be positive).
+        temperature: f32,
+        /// Nucleus mass in `(0, 1]`.
+        p: f32,
+    },
+    /// Softmax with temperature restricted to the `k` highest-probability
+    /// tokens.
+    TopK {
+        /// Softmax temperature (must be positive).
+        temperature: f32,
+        /// Number of candidates kept (≥ 1).
+        k: usize,
+    },
+}
+
+/// A stateful sampler: policy + RNG + scratch.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    kind: SamplerKind,
+    rng: Xoshiro256,
+    /// Scratch probability buffer reused between steps.
+    probs: Vec<f32>,
+    /// Scratch index buffer for nucleus sorting.
+    order: Vec<u32>,
+    /// Multiplicative penalty applied to the logits of recently generated
+    /// tokens (1.0 = disabled), à la CTRL/llama.cpp.
+    repetition_penalty: f32,
+    /// How many recent tokens the penalty window covers.
+    penalty_window: usize,
+    /// Recently generated tokens (bounded by `penalty_window`).
+    recent: std::collections::VecDeque<u32>,
+    /// Scratch for penalized logits.
+    adjusted: Vec<f32>,
+}
+
+impl Sampler {
+    /// Creates a sampler with the given policy and seed.
+    #[must_use]
+    pub fn new(kind: SamplerKind, seed: u64) -> Self {
+        if let SamplerKind::Temperature(t)
+        | SamplerKind::TopP { temperature: t, .. }
+        | SamplerKind::TopK { temperature: t, .. } = kind
+        {
+            assert!(t > 0.0, "temperature must be positive, got {t}");
+        }
+        if let SamplerKind::TopP { p, .. } = kind {
+            assert!(p > 0.0 && p <= 1.0, "top-p mass must be in (0,1], got {p}");
+        }
+        if let SamplerKind::TopK { k, .. } = kind {
+            assert!(k >= 1, "top-k needs at least one candidate");
+        }
+        Self {
+            kind,
+            rng: Xoshiro256::seed_from_u64(seed),
+            probs: Vec::new(),
+            order: Vec::new(),
+            repetition_penalty: 1.0,
+            penalty_window: 0,
+            recent: std::collections::VecDeque::new(),
+            adjusted: Vec::new(),
+        }
+    }
+
+    /// Enables a repetition penalty: logits of the last `window` sampled
+    /// tokens are divided by `penalty` (when positive) or multiplied (when
+    /// negative), discouraging loops. `penalty` must be ≥ 1.
+    #[must_use]
+    pub fn with_repetition_penalty(mut self, penalty: f32, window: usize) -> Self {
+        assert!(penalty >= 1.0, "penalty must be >= 1, got {penalty}");
+        self.repetition_penalty = penalty;
+        self.penalty_window = window;
+        self
+    }
+
+    /// Convenience for greedy decoding.
+    #[must_use]
+    pub fn argmax() -> Self {
+        Self::new(SamplerKind::Argmax, 0)
+    }
+
+    /// Samples the next token id from `logits`.
+    pub fn sample(&mut self, logits: &[f32]) -> u32 {
+        assert!(!logits.is_empty(), "empty logits");
+        // Move the scratch buffer out so `self` stays free for the draw
+        // below (no per-call allocation).
+        let mut adjusted = std::mem::take(&mut self.adjusted);
+        let logits = if self.repetition_penalty > 1.0 && !self.recent.is_empty() {
+            adjusted.clear();
+            adjusted.extend_from_slice(logits);
+            for &tok in &self.recent {
+                if let Some(l) = adjusted.get_mut(tok as usize) {
+                    // CTRL-style: shrink positive logits, push negative
+                    // ones further down.
+                    *l = if *l > 0.0 {
+                        *l / self.repetition_penalty
+                    } else {
+                        *l * self.repetition_penalty
+                    };
+                }
+            }
+            &adjusted[..]
+        } else {
+            logits
+        };
+        let picked = match self.kind {
+            SamplerKind::Argmax => argmax(logits),
+            SamplerKind::Temperature(t) => {
+                self.prepare_probs(logits, t);
+                let coin = self.rng.next_f32();
+                sample_multinomial(&self.probs, coin)
+            }
+            SamplerKind::TopP { temperature, p } => {
+                self.prepare_probs(logits, temperature);
+                let coin = self.rng.next_f32();
+                sample_top_p(&self.probs, &mut self.order, p, coin)
+            }
+            SamplerKind::TopK { temperature, k } => {
+                self.prepare_probs(logits, temperature);
+                let coin = self.rng.next_f32();
+                sample_top_k(&self.probs, &mut self.order, k, coin)
+            }
+        };
+        self.adjusted = adjusted;
+        if self.penalty_window > 0 {
+            self.recent.push_back(picked);
+            while self.recent.len() > self.penalty_window {
+                self.recent.pop_front();
+            }
+        }
+        picked
+    }
+
+    fn prepare_probs(&mut self, logits: &[f32], temperature: f32) {
+        self.probs.clear();
+        self.probs
+            .extend(logits.iter().map(|&l| l / temperature));
+        softmax(&mut self.probs);
+    }
+}
+
+/// Index of the maximum element (first on ties).
+#[must_use]
+pub fn argmax(x: &[f32]) -> u32 {
+    let mut best = 0usize;
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v > x[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+/// Draws from a probability vector using an inverse-CDF walk with the given
+/// uniform `coin` in `[0, 1)`.
+fn sample_multinomial(probs: &[f32], coin: f32) -> u32 {
+    let mut cdf = 0.0f32;
+    for (i, &p) in probs.iter().enumerate() {
+        cdf += p;
+        if coin < cdf {
+            return i as u32;
+        }
+    }
+    // Rounding may leave cdf slightly below 1; fall back to the last token.
+    probs.len() as u32 - 1
+}
+
+/// Nucleus sampling: restricts to the highest-probability tokens whose
+/// cumulative mass reaches `top_p`, renormalizes, and draws with `coin`.
+fn sample_top_p(probs: &[f32], order: &mut Vec<u32>, top_p: f32, coin: f32) -> u32 {
+    order.clear();
+    order.extend(0..probs.len() as u32);
+    // Sort descending by probability; stable so equal-probability tokens
+    // keep id order and results are platform-independent.
+    order.sort_by(|&a, &b| {
+        probs[b as usize]
+            .partial_cmp(&probs[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut mass = 0.0f32;
+    let mut cut = order.len();
+    for (i, &id) in order.iter().enumerate() {
+        mass += probs[id as usize];
+        if mass >= top_p {
+            cut = i + 1;
+            break;
+        }
+    }
+    let nucleus = &order[..cut];
+    let target = coin * mass;
+    let mut cdf = 0.0f32;
+    for &id in nucleus {
+        cdf += probs[id as usize];
+        if target < cdf {
+            return id;
+        }
+    }
+    nucleus[nucleus.len() - 1]
+}
+
+/// Top-k sampling: keeps the `k` highest-probability tokens, renormalizes,
+/// and draws with `coin`.
+fn sample_top_k(probs: &[f32], order: &mut Vec<u32>, k: usize, coin: f32) -> u32 {
+    order.clear();
+    order.extend(0..probs.len() as u32);
+    order.sort_by(|&a, &b| {
+        probs[b as usize]
+            .partial_cmp(&probs[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let cut = k.min(order.len());
+    let kept = &order[..cut];
+    let mass: f32 = kept.iter().map(|&i| probs[i as usize]).sum();
+    let target = coin * mass;
+    let mut cdf = 0.0f32;
+    for &id in kept {
+        cdf += probs[id as usize];
+        if target < cdf {
+            return id;
+        }
+    }
+    kept[kept.len() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_picks_max_and_first_tie() {
+        assert_eq!(argmax(&[0.1, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0, 5.0, 1.0]), 0);
+        assert_eq!(argmax(&[-1.0]), 0);
+    }
+
+    #[test]
+    fn argmax_sampler_is_deterministic() {
+        let mut s = Sampler::argmax();
+        let logits = [0.0f32, 10.0, 3.0];
+        for _ in 0..5 {
+            assert_eq!(s.sample(&logits), 1);
+        }
+    }
+
+    #[test]
+    fn temperature_sampler_is_seed_deterministic() {
+        let logits: Vec<f32> = (0..50).map(|i| (i as f32 * 0.3).sin()).collect();
+        let mut a = Sampler::new(SamplerKind::Temperature(0.8), 11);
+        let mut b = Sampler::new(SamplerKind::Temperature(0.8), 11);
+        for _ in 0..20 {
+            assert_eq!(a.sample(&logits), b.sample(&logits));
+        }
+    }
+
+    #[test]
+    fn low_temperature_approaches_argmax() {
+        let logits = [1.0f32, 4.0, 2.0];
+        let mut s = Sampler::new(SamplerKind::Temperature(0.01), 3);
+        for _ in 0..20 {
+            assert_eq!(s.sample(&logits), 1);
+        }
+    }
+
+    #[test]
+    fn temperature_sampler_hits_multiple_tokens() {
+        let logits = [1.0f32, 1.0, 1.0, 1.0];
+        let mut s = Sampler::new(SamplerKind::Temperature(1.0), 5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.sample(&logits) as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&x| x).count() >= 3, "{seen:?}");
+    }
+
+    #[test]
+    fn top_p_excludes_tail() {
+        // Token 0 has ~overwhelming mass; with small p only it survives.
+        let logits = [10.0f32, 0.0, 0.0, 0.0];
+        let mut s = Sampler::new(SamplerKind::TopP { temperature: 1.0, p: 0.5 }, 9);
+        for _ in 0..50 {
+            assert_eq!(s.sample(&logits), 0);
+        }
+    }
+
+    #[test]
+    fn top_p_one_behaves_like_full_multinomial_support() {
+        let logits = [1.0f32, 1.0, 1.0];
+        let mut s = Sampler::new(SamplerKind::TopP { temperature: 1.0, p: 1.0 }, 17);
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            seen[s.sample(&logits) as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "{seen:?}");
+    }
+
+    #[test]
+    fn samples_are_always_in_range() {
+        let logits: Vec<f32> = (0..31).map(|i| ((i * 7 % 13) as f32) - 6.0).collect();
+        for kind in [
+            SamplerKind::Argmax,
+            SamplerKind::Temperature(1.3),
+            SamplerKind::TopP { temperature: 0.9, p: 0.9 },
+        ] {
+            let mut s = Sampler::new(kind, 23);
+            for _ in 0..100 {
+                assert!((s.sample(&logits) as usize) < logits.len());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn zero_temperature_rejected() {
+        let _ = Sampler::new(SamplerKind::Temperature(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "top-p mass")]
+    fn bad_top_p_rejected() {
+        let _ = Sampler::new(SamplerKind::TopP { temperature: 1.0, p: 1.5 }, 0);
+    }
+
+    #[test]
+    fn top_k_one_is_argmax() {
+        let logits = [0.5f32, 3.0, -1.0, 2.9];
+        let mut s = Sampler::new(SamplerKind::TopK { temperature: 1.0, k: 1 }, 3);
+        for _ in 0..20 {
+            assert_eq!(s.sample(&logits), 1);
+        }
+    }
+
+    #[test]
+    fn top_k_restricts_support() {
+        // With k=2, only the two best tokens may appear.
+        let logits = [5.0f32, 4.9, -10.0, -10.0];
+        let mut s = Sampler::new(SamplerKind::TopK { temperature: 1.0, k: 2 }, 5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.sample(&logits) as usize] = true;
+        }
+        assert!(seen[0] && seen[1], "{seen:?}");
+        assert!(!seen[2] && !seen[3], "{seen:?}");
+    }
+
+    #[test]
+    fn top_k_larger_than_vocab_is_full_multinomial() {
+        let logits = [1.0f32, 1.0, 1.0];
+        let mut s = Sampler::new(SamplerKind::TopK { temperature: 1.0, k: 99 }, 8);
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            seen[s.sample(&logits) as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn top_k_zero_rejected() {
+        let _ = Sampler::new(SamplerKind::TopK { temperature: 1.0, k: 0 }, 0);
+    }
+
+    #[test]
+    fn repetition_penalty_breaks_loops() {
+        // Argmax would repeat token 1 forever; the penalty must eventually
+        // pick something else.
+        let logits = [2.9f32, 3.0, 2.8];
+        let mut s = Sampler::argmax().with_repetition_penalty(1.5, 4);
+        let first = s.sample(&logits);
+        assert_eq!(first, 1);
+        let second = s.sample(&logits);
+        assert_ne!(second, 1, "penalty must demote the repeated token");
+    }
+
+    #[test]
+    fn repetition_penalty_window_expires() {
+        let logits = [2.9f32, 3.0, 2.8, 2.7];
+        let mut s = Sampler::argmax().with_repetition_penalty(2.0, 1);
+        let a = s.sample(&logits); // 1
+        let b = s.sample(&logits); // 0 (1 penalized)
+        let c = s.sample(&logits); // 1 again (only b=0 in window)
+        assert_eq!((a, b, c), (1, 0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty must be >= 1")]
+    fn sub_one_penalty_rejected() {
+        let _ = Sampler::argmax().with_repetition_penalty(0.5, 4);
+    }
+
+    #[test]
+    fn multinomial_degenerate_coin() {
+        // coin == 0.99999 with all mass on token 0 must still return a
+        // valid index via the fallback.
+        assert_eq!(sample_multinomial(&[1.0, 0.0], 0.999_99), 0);
+        assert_eq!(sample_multinomial(&[0.0, 0.0], 0.5), 1, "fallback to last");
+    }
+}

@@ -1,0 +1,236 @@
+//! Minimal dense tensor type.
+//!
+//! The inference substrate only needs rank-1/2/3 row-major `f32` storage
+//! with shape checking; anything fancier (broadcasting, autograd, strides)
+//! would be dead weight. [`Tensor`] owns its buffer; kernels in
+//! [`crate::ops`] operate on plain slices so they can be reused by the
+//! accelerator engine on tile views.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Row-major, owned, `f32` tensor with a small fixed-rank shape.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Allocates a zero-filled tensor of the given shape.
+    ///
+    /// # Panics
+    /// Panics if the shape is empty or its element product overflows.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "tensor rank must be >= 1");
+        let len = shape
+            .iter()
+            .copied()
+            .try_fold(1usize, usize::checked_mul)
+            .expect("shape product overflows usize");
+        Self {
+            data: vec![0.0; len],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Wraps an existing buffer. `data.len()` must equal the shape product.
+    #[must_use]
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let expect: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            expect,
+            "buffer length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements (only possible with a zero
+    /// dimension in the shape).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row `r` of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank-2 or `r` is out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert_eq!(self.shape.len(), 2, "row() requires rank-2, got {:?}", self.shape);
+        let cols = self.shape[1];
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutable row `r` of a rank-2 tensor.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert_eq!(self.shape.len(), 2, "row_mut() requires rank-2, got {:?}", self.shape);
+        let cols = self.shape[1];
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Reshapes in place; the element count must be preserved.
+    pub fn reshape(&mut self, shape: &[usize]) {
+        let expect: usize = shape.iter().product();
+        assert_eq!(expect, self.data.len(), "reshape to {shape:?} changes length");
+        self.shape = shape.to_vec();
+    }
+
+    /// Largest absolute element (0 for an empty tensor).
+    #[must_use]
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Maximum absolute difference against another tensor of identical
+    /// shape.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+}
+
+impl Index<usize> for Tensor {
+    type Output = f32;
+    fn index(&self, i: usize) -> &f32 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Tensor {
+    fn index_mut(&mut self, i: usize) -> &mut f32 {
+        &mut self.data[i]
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}[", self.shape)?;
+        let n = self.data.len().min(8);
+        for (i, v) in self.data[..n].iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > n {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_len_and_shape() {
+        let t = Tensor::zeros(&[3, 4]);
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.shape(), &[3, 4]);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_len() {
+        let _ = Tensor::from_vec(vec![1.0; 3], &[2, 2]);
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.row_mut(1).copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(t.as_slice(), &[0.0, 0.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        t.reshape(&[3, 2]);
+        assert_eq!(t.row(2), &[4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "changes length")]
+    fn reshape_rejects_len_change() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.reshape(&[4, 2]);
+    }
+
+    #[test]
+    fn abs_max_and_diff() {
+        let a = Tensor::from_vec(vec![1.0, -5.0, 2.0], &[3]);
+        let b = Tensor::from_vec(vec![1.5, -5.0, 0.0], &[3]);
+        assert_eq!(a.abs_max(), 5.0);
+        assert_eq!(a.max_abs_diff(&b), 2.0);
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        assert_eq!(t[4], 4.0);
+    }
+
+    #[test]
+    fn debug_formats_without_panicking() {
+        let t = Tensor::zeros(&[100]);
+        let s = format!("{t:?}");
+        assert!(s.contains("Tensor[100]"));
+    }
+
+    #[test]
+    fn zero_dim_shape_gives_empty() {
+        let t = Tensor::zeros(&[0, 5]);
+        assert!(t.is_empty());
+        assert_eq!(t.abs_max(), 0.0);
+    }
+}

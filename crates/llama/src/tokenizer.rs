@@ -1,0 +1,460 @@
+//! Byte-pair-encoding tokenizer, binary-compatible with llama2.c's
+//! `tokenizer.bin`.
+//!
+//! File layout (little-endian): `i32 max_token_length`, then for each of
+//! `vocab_size` tokens a `f32 score`, an `i32 byte_len`, and that many raw
+//! bytes. The vocabulary size itself is external (it comes from the model
+//! config), exactly as in llama2.c.
+//!
+//! Encoding follows the llama2.c algorithm: optional BOS, a dummy `" "`
+//! prefix for non-empty text, per-codepoint lookup with `<0xXX>` byte
+//! fallback, then iterated greedy merging of the adjacent pair whose
+//! concatenation has the highest score. Decoding maps `<0xXX>` tokens back
+//! to raw bytes and strips the leading space after BOS.
+//!
+//! When no real `tokenizer.bin` is available, [`Tokenizer::synthetic`]
+//! builds a deterministic vocabulary with the same structure (specials,
+//! byte-fallback block, learned subwords) so that end-to-end text flows are
+//! exercised identically.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Token id conventions shared with llama2.c / SentencePiece.
+pub const TOKEN_UNK: u32 = 0;
+/// Beginning-of-sequence token id.
+pub const TOKEN_BOS: u32 = 1;
+/// End-of-sequence token id.
+pub const TOKEN_EOS: u32 = 2;
+/// First of the 256 `<0xXX>` byte-fallback ids.
+pub const BYTE_FALLBACK_BASE: u32 = 3;
+
+/// A loaded BPE vocabulary with scores.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    vocab: Vec<Vec<u8>>,
+    scores: Vec<f32>,
+    index: HashMap<Vec<u8>, u32>,
+    max_token_length: usize,
+}
+
+/// Errors raised while loading a tokenizer file.
+#[derive(Debug)]
+pub enum TokenizerError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A token length field was negative or absurd.
+    BadLength(i64),
+}
+
+impl std::fmt::Display for TokenizerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenizerError::Io(e) => write!(f, "tokenizer I/O error: {e}"),
+            TokenizerError::BadLength(n) => write!(f, "bad token length {n}"),
+        }
+    }
+}
+
+impl std::error::Error for TokenizerError {}
+
+impl From<io::Error> for TokenizerError {
+    fn from(e: io::Error) -> Self {
+        TokenizerError::Io(e)
+    }
+}
+
+impl Tokenizer {
+    /// Builds a tokenizer from explicit token strings and scores.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or the vocabulary is empty.
+    #[must_use]
+    pub fn from_vocab(vocab: Vec<Vec<u8>>, scores: Vec<f32>) -> Self {
+        assert_eq!(vocab.len(), scores.len(), "vocab/scores length mismatch");
+        assert!(!vocab.is_empty(), "empty vocabulary");
+        let mut index = HashMap::with_capacity(vocab.len());
+        for (i, tok) in vocab.iter().enumerate() {
+            // First occurrence wins, matching llama2.c's sorted lookup of
+            // the lowest matching id.
+            index.entry(tok.clone()).or_insert(i as u32);
+        }
+        let max_token_length = vocab.iter().map(Vec::len).max().unwrap_or(0);
+        Self {
+            vocab,
+            scores,
+            index,
+            max_token_length,
+        }
+    }
+
+    /// Deterministic synthetic vocabulary of exactly `vocab_size` entries:
+    /// 3 specials, 256 byte-fallback tokens, then learned subwords (single
+    /// ASCII characters, common English fragments, and seeded filler).
+    /// Longer tokens get higher scores so the greedy merge prefers them.
+    #[must_use]
+    pub fn synthetic(vocab_size: usize, seed: u64) -> Self {
+        assert!(vocab_size >= 3, "vocabulary must hold the special tokens");
+        let mut vocab: Vec<Vec<u8>> = Vec::with_capacity(vocab_size);
+        vocab.push(b"<unk>".to_vec());
+        vocab.push(b"\n<s>\n".to_vec());
+        vocab.push(b"\n</s>\n".to_vec());
+        for b in 0u16..256 {
+            if vocab.len() == vocab_size {
+                break;
+            }
+            vocab.push(format!("<0x{b:02X}>").into_bytes());
+        }
+        let mut seen: std::collections::HashSet<Vec<u8>> =
+            vocab.iter().cloned().collect();
+        let mut push_unique = |vocab: &mut Vec<Vec<u8>>, tok: Vec<u8>| {
+            if vocab.len() < vocab_size && seen.insert(tok.clone()) {
+                vocab.push(tok);
+            }
+        };
+        // Single printable ASCII characters (space first — the encoder's
+        // dummy prefix requires " " to exist for realistic vocab sizes).
+        push_unique(&mut vocab, b" ".to_vec());
+        for c in (b'a'..=b'z').chain(b'A'..=b'Z').chain(b'0'..=b'9') {
+            push_unique(&mut vocab, vec![c]);
+        }
+        for c in b".,!?'\"-:;()".iter() {
+            push_unique(&mut vocab, vec![*c]);
+        }
+        push_unique(&mut vocab, b"\n".to_vec());
+        // Common English fragments, space-prefixed words first (the
+        // TinyStories vocabulary is dominated by these).
+        const FRAGMENTS: &[&str] = &[
+            " the", " and", " a", " to", " was", " it", " of", " in", " he", " she",
+            " that", " his", " her", " with", " for", " they", " on", " said", " had",
+            " you", " is", " one", " day", " very", " little", " big", " time", " saw",
+            " wanted", " happy", " play", " friend", " went", " were", " then", " so",
+            "ing", "ed", "er", "ly", "es", "th", "he", "in", "an", "on", "re", "at",
+            "en", "nd", "st", "or", "ou", "it", "is", "ar", "ll", "om", "ion", "ent",
+            // Space-prefixed intermediates so multi-char space-prefixed
+            // words are reachable by pairwise merges.
+            " t", " a", " s", " w", " h", " o", " b", " m", " d", " f", " p", " l",
+            " th", " wa", " an", " he", " sa", " wh", " O", " T", " L",
+            " Once", " upon", " there", " named", " Tim", " Lily", " mom", " dog",
+            " cat", " tree", " ball", " home", " did", " not", " but", " all", " up",
+        ];
+        for frag in FRAGMENTS {
+            push_unique(&mut vocab, frag.as_bytes().to_vec());
+        }
+        // Seeded filler subwords until the requested size is reached.
+        let mut rng = crate::rng::Xoshiro256::seed_from_u64(seed);
+        const LETTERS: &[u8] = b"etaoinshrdlucmfwypvbgkjqxz";
+        while vocab.len() < vocab_size {
+            let len = 2 + rng.below(5) as usize;
+            let mut tok = Vec::with_capacity(len + 1);
+            if rng.below(2) == 0 {
+                tok.push(b' ');
+            }
+            for _ in 0..len {
+                tok.push(LETTERS[rng.below(LETTERS.len() as u64) as usize]);
+            }
+            push_unique(&mut vocab, tok);
+        }
+        // Scores: longer tokens merge first; a tiny id-based tiebreak keeps
+        // the ordering total and deterministic.
+        let scores: Vec<f32> = vocab
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.len() as f32 - i as f32 * 1e-5)
+            .collect();
+        Self::from_vocab(vocab, scores)
+    }
+
+    /// Number of tokens in the vocabulary.
+    #[must_use]
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Longest token, in bytes.
+    #[must_use]
+    pub fn max_token_length(&self) -> usize {
+        self.max_token_length
+    }
+
+    /// The raw bytes of token `id`.
+    #[must_use]
+    pub fn token_bytes(&self, id: u32) -> &[u8] {
+        &self.vocab[id as usize]
+    }
+
+    /// Looks up the id of an exact token string.
+    #[must_use]
+    pub fn lookup(&self, token: &[u8]) -> Option<u32> {
+        self.index.get(token).copied()
+    }
+
+    /// Encodes `text` into token ids, llama2.c style.
+    #[must_use]
+    pub fn encode(&self, text: &str, bos: bool, eos: bool) -> Vec<u32> {
+        let mut tokens: Vec<u32> = Vec::with_capacity(text.len() + 2);
+        if bos {
+            tokens.push(TOKEN_BOS);
+        }
+        if !text.is_empty() {
+            // llama2.c inserts a dummy " " prefix token (SentencePiece
+            // convention) when one exists in the vocabulary.
+            if let Some(space) = self.lookup(b" ") {
+                tokens.push(space);
+            }
+        }
+        // Per-codepoint lookup with byte fallback.
+        let mut buf = [0u8; 4];
+        for ch in text.chars() {
+            let s = ch.encode_utf8(&mut buf).as_bytes();
+            match self.lookup(s) {
+                Some(id) => tokens.push(id),
+                None => {
+                    for &b in s {
+                        let id = BYTE_FALLBACK_BASE + b as u32;
+                        // Degenerate vocabularies without the full byte
+                        // table fall back to <unk> rather than emitting an
+                        // out-of-range id.
+                        tokens.push(if (id as usize) < self.vocab.len() { id } else { TOKEN_UNK });
+                    }
+                }
+            }
+        }
+        // Greedy pair merging: repeatedly merge the adjacent pair whose
+        // concatenation exists in the vocabulary with the highest score.
+        let mut merge_buf: Vec<u8> = Vec::with_capacity(2 * self.max_token_length);
+        loop {
+            let mut best: Option<(f32, usize, u32)> = None;
+            for i in 0..tokens.len().saturating_sub(1) {
+                merge_buf.clear();
+                merge_buf.extend_from_slice(self.token_bytes(tokens[i]));
+                merge_buf.extend_from_slice(self.token_bytes(tokens[i + 1]));
+                if let Some(id) = self.lookup(&merge_buf) {
+                    let score = self.scores[id as usize];
+                    if best.is_none_or(|(s, _, _)| score > s) {
+                        best = Some((score, i, id));
+                    }
+                }
+            }
+            match best {
+                Some((_, i, id)) => {
+                    tokens[i] = id;
+                    tokens.remove(i + 1);
+                }
+                None => break,
+            }
+        }
+        if eos {
+            tokens.push(TOKEN_EOS);
+        }
+        tokens
+    }
+
+    /// Decodes a single token into bytes, applying the llama2.c rules:
+    /// `<0xXX>` tokens become raw bytes, and a leading space is stripped
+    /// when the previous token was BOS.
+    #[must_use]
+    pub fn decode_piece(&self, prev: u32, token: u32) -> Vec<u8> {
+        let piece = self.token_bytes(token);
+        // Byte-fallback pattern "<0xXX>".
+        if piece.len() == 6 && piece.starts_with(b"<0x") && piece[5] == b'>' {
+            if let Ok(hex) = std::str::from_utf8(&piece[3..5]) {
+                if let Ok(b) = u8::from_str_radix(hex, 16) {
+                    return vec![b];
+                }
+            }
+        }
+        if prev == TOKEN_BOS && piece.first() == Some(&b' ') {
+            return piece[1..].to_vec();
+        }
+        piece.to_vec()
+    }
+
+    /// Decodes a whole token sequence into a string (lossy UTF-8).
+    #[must_use]
+    pub fn decode(&self, tokens: &[u32]) -> String {
+        let mut bytes = Vec::new();
+        let mut prev = TOKEN_BOS;
+        for &tok in tokens {
+            if tok == TOKEN_BOS {
+                prev = tok;
+                continue;
+            }
+            if tok == TOKEN_EOS {
+                break;
+            }
+            bytes.extend_from_slice(&self.decode_piece(prev, tok));
+            prev = tok;
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    /// Serializes in the llama2.c `tokenizer.bin` format.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = io::BufWriter::new(file);
+        self.write_to(&mut w)?;
+        w.flush()
+    }
+
+    /// Writes the `tokenizer.bin` layout to an arbitrary sink.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&(self.max_token_length as i32).to_le_bytes())?;
+        for (tok, &score) in self.vocab.iter().zip(&self.scores) {
+            w.write_all(&score.to_le_bytes())?;
+            w.write_all(&(tok.len() as i32).to_le_bytes())?;
+            w.write_all(tok)?;
+        }
+        Ok(())
+    }
+
+    /// Loads a `tokenizer.bin` with the given external vocabulary size.
+    pub fn load(path: &Path, vocab_size: usize) -> Result<Self, TokenizerError> {
+        let file = std::fs::File::open(path)?;
+        let mut r = io::BufReader::new(file);
+        Self::read_from(&mut r, vocab_size)
+    }
+
+    /// Reads the `tokenizer.bin` layout from an arbitrary source.
+    pub fn read_from(r: &mut impl Read, vocab_size: usize) -> Result<Self, TokenizerError> {
+        let mut u32buf = [0u8; 4];
+        r.read_exact(&mut u32buf)?;
+        let _max_len = i32::from_le_bytes(u32buf);
+        let mut vocab = Vec::with_capacity(vocab_size);
+        let mut scores = Vec::with_capacity(vocab_size);
+        for _ in 0..vocab_size {
+            r.read_exact(&mut u32buf)?;
+            scores.push(f32::from_le_bytes(u32buf));
+            r.read_exact(&mut u32buf)?;
+            let len = i32::from_le_bytes(u32buf);
+            if !(0..=1 << 20).contains(&len) {
+                return Err(TokenizerError::BadLength(len as i64));
+            }
+            let mut tok = vec![0u8; len as usize];
+            r.read_exact(&mut tok)?;
+            vocab.push(tok);
+        }
+        Ok(Self::from_vocab(vocab, scores))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok() -> Tokenizer {
+        Tokenizer::synthetic(512, 7)
+    }
+
+    #[test]
+    fn synthetic_has_exact_size_and_specials() {
+        let t = tok();
+        assert_eq!(t.vocab_size(), 512);
+        assert_eq!(t.token_bytes(TOKEN_UNK), b"<unk>");
+        assert_eq!(t.lookup(b"<0x41>"), Some(BYTE_FALLBACK_BASE + 0x41));
+    }
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let a = Tokenizer::synthetic(1000, 3);
+        let b = Tokenizer::synthetic(1000, 3);
+        for i in 0..1000 {
+            assert_eq!(a.token_bytes(i), b.token_bytes(i));
+        }
+    }
+
+    #[test]
+    fn encode_empty_is_just_bos_eos() {
+        let t = tok();
+        assert_eq!(t.encode("", true, true), vec![TOKEN_BOS, TOKEN_EOS]);
+        assert_eq!(t.encode("", false, false), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_ascii() {
+        let t = tok();
+        for text in ["hello world", "Once upon a time", "a", "the cat sat."] {
+            let ids = t.encode(text, true, false);
+            let back = t.decode(&ids);
+            assert_eq!(back, text, "ids={ids:?}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_non_ascii_via_byte_fallback() {
+        let t = tok();
+        let text = "héllo ☃";
+        let ids = t.encode(text, true, false);
+        assert_eq!(t.decode(&ids), text);
+        // The snowman is certainly not in the synthetic vocab, so fallback
+        // bytes must appear.
+        assert!(ids.iter().any(|&i| (BYTE_FALLBACK_BASE..BYTE_FALLBACK_BASE + 256).contains(&i)));
+    }
+
+    #[test]
+    fn merging_shrinks_token_count() {
+        let t = tok();
+        let text = "the and the and the";
+        let ids = t.encode(text, false, false);
+        // Without merges this would be one token per char plus the prefix.
+        assert!(ids.len() < text.len() / 2, "merges ineffective: {} ids", ids.len());
+    }
+
+    #[test]
+    fn eos_terminates_decode() {
+        let t = tok();
+        let mut ids = t.encode("hi", true, true);
+        ids.extend(t.encode("IGNORED", false, false));
+        assert_eq!(t.decode(&ids), "hi");
+    }
+
+    #[test]
+    fn tokenizer_bin_roundtrip() {
+        let t = tok();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let r = Tokenizer::read_from(&mut buf.as_slice(), t.vocab_size()).unwrap();
+        assert_eq!(r.vocab_size(), t.vocab_size());
+        for i in 0..t.vocab_size() as u32 {
+            assert_eq!(r.token_bytes(i), t.token_bytes(i));
+        }
+        let text = "round trip me";
+        assert_eq!(r.encode(text, true, false), t.encode(text, true, false));
+    }
+
+    #[test]
+    fn tokenizer_file_roundtrip() {
+        let t = tok();
+        let path = std::env::temp_dir().join("speedllm_tokenizer_roundtrip.bin");
+        t.save(&path).unwrap();
+        let r = Tokenizer::load(&path, t.vocab_size()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(r.encode("abc", true, true), t.encode("abc", true, true));
+    }
+
+    #[test]
+    fn truncated_tokenizer_rejected() {
+        let t = tok();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(Tokenizer::read_from(&mut buf.as_slice(), t.vocab_size()).is_err());
+    }
+
+    #[test]
+    fn all_token_ids_stay_in_vocab() {
+        let t = Tokenizer::synthetic(300, 5);
+        let ids = t.encode("The quick brown fox jumps over the lazy dog! 0123", true, true);
+        for &id in &ids {
+            assert!((id as usize) < t.vocab_size(), "id {id} out of range");
+        }
+    }
+
+    #[test]
+    fn duplicate_tokens_resolve_to_first_id() {
+        let vocab = vec![b"a".to_vec(), b"a".to_vec(), b"b".to_vec()];
+        let t = Tokenizer::from_vocab(vocab, vec![0.0, 0.0, 0.0]);
+        assert_eq!(t.lookup(b"a"), Some(0));
+    }
+}

@@ -1,0 +1,58 @@
+//! Sweeps all 2³ corners of the optimization cube (data-stream parallelism
+//! × memory reuse × operator fusion) and prints latency, energy, traffic,
+//! and utilization per corner — the full decomposition behind Fig. 2.
+
+use speedllm::accel::report::{fmt_bytes, fmt_joules, Table};
+use speedllm::prelude::*;
+
+fn main() {
+    let cfg = ModelConfig::stories15m();
+    let prompt = "One day a little girl named Lily went to the park.";
+    let gen = 48;
+    println!("optimization-cube sweep on {cfg}");
+    println!("workload: {gen} new tokens; names: P=stream-parallel R=reuse F=fusion (capital = on)\n");
+
+    let mut table = Table::new(&[
+        "variant",
+        "latency",
+        "tok/s",
+        "tok/J",
+        "energy",
+        "HBM read",
+        "HBM write",
+        "launches",
+        "stalls",
+    ]);
+    let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
+    for (name, opt) in OptConfig::all_corners() {
+        let system = AcceleratedLlm::synthetic(cfg, 42, opt).expect("build");
+        let mut session = system.session(SamplerKind::Argmax, 0);
+        let r = session.generate(prompt, gen).expect("run");
+        rows.push((
+            r.total_latency_s(),
+            vec![
+                name,
+                format!("{:.1} ms", r.total_latency_s() * 1e3),
+                format!("{:.0}", r.decode_tokens_per_s()),
+                format!("{:.0}", r.tokens_per_joule()),
+                fmt_joules(r.energy.total_j()),
+                fmt_bytes(r.stats.hbm.read_bytes),
+                fmt_bytes(r.stats.hbm.write_bytes),
+                format!("{}", r.stats.kernel_launches),
+                format!("{}", r.stats.alloc_stalls),
+            ],
+        ));
+    }
+    // Fastest first.
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    for (_, row) in rows {
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!(
+        "Each optimization attacks a different bottleneck: P overlaps\n\
+         read/compute/write and widens DMA striping, R keeps activations\n\
+         on-chip (no allocation stalls, no HBM round-trips), F removes\n\
+         kernel launches and intermediate materialization."
+    );
+}

@@ -1,0 +1,85 @@
+//! Sparsity / quantization quality-vs-cost study: prunes and quantizes a
+//! model's layers, scores perplexity degradation with the evaluation
+//! module, and pairs it with the simulated device cost — concretizing the
+//! paper's §1 argument that FPGAs can turn compression into real gains.
+
+use speedllm::accel::report::Table;
+use speedllm::fpga::hbm::{Hbm, HbmConfig};
+use speedllm::fpga::mpe::{Mpe, MpeConfig};
+use speedllm::llama::config::ModelConfig;
+use speedllm::llama::eval::evaluate_reference;
+use speedllm::llama::forward::Transformer;
+use speedllm::llama::sparse::BlockSparseMatrix;
+use speedllm::llama::weights::TransformerWeights;
+
+const BLOCK: usize = 8;
+
+/// Prunes every matmul weight of the model to the target block sparsity.
+fn pruned_model(weights: &TransformerWeights, sparsity: f32) -> TransformerWeights {
+    let c = weights.config;
+    let mut out = weights.clone();
+    let prune = |w: &[f32], rows: usize, cols: usize| {
+        BlockSparseMatrix::prune(w, rows, cols, BLOCK, sparsity).to_dense()
+    };
+    for l in &mut out.layers {
+        l.wq = prune(&l.wq, c.dim, c.dim);
+        l.wk = prune(&l.wk, c.kv_dim(), c.dim);
+        l.wv = prune(&l.wv, c.kv_dim(), c.dim);
+        l.wo = prune(&l.wo, c.dim, c.dim);
+        l.w1 = prune(&l.w1, c.hidden_dim, c.dim);
+        l.w3 = prune(&l.w3, c.hidden_dim, c.dim);
+        l.w2 = prune(&l.w2, c.dim, c.hidden_dim);
+    }
+    out
+}
+
+fn main() {
+    let cfg = ModelConfig::stories260k();
+    println!("sparsity study on {cfg}\n");
+    let weights = TransformerWeights::synthetic(cfg, 42);
+    let tokens: Vec<u32> = (0..64).map(|i| (i * 31 + 7) % cfg.vocab_size as u32).collect();
+
+    // Device-side cost per FFN matvec at each density.
+    let mpe = Mpe::new(MpeConfig::u280_fp32());
+    let hbm = Hbm::new(HbmConfig::u280());
+    let (rows, cols) = (cfg.hidden_dim, cfg.dim);
+
+    let base = evaluate_reference(&mut Transformer::new(weights.clone()), &tokens);
+    let mut table = Table::new(&[
+        "sparsity",
+        "perplexity",
+        "ppl increase",
+        "matvec cycles",
+        "matvec speedup",
+        "weight bytes",
+    ]);
+    let dense_cycles = {
+        let read = hbm.transfer_cost((rows * cols * 4) as u64, 24);
+        read.max(mpe.tile_cost(rows, cols))
+    };
+    for sparsity in [0.0f32, 0.25, 0.5, 0.75] {
+        let model = pruned_model(&weights, sparsity);
+        let r = evaluate_reference(&mut Transformer::new(model), &tokens);
+        let density = 1.0 - sparsity as f64;
+        let sparse = BlockSparseMatrix::prune(&weights.layers[0].w1, rows, cols, BLOCK, sparsity);
+        let read = hbm.transfer_cost(sparse.bytes(), 24);
+        let compute = mpe.sparse_tile_cost(rows, cols, density, BLOCK);
+        let cycles = read.max(compute);
+        table.row(vec![
+            format!("{:.0}%", sparsity * 100.0),
+            format!("{:.2}", r.perplexity()),
+            format!("{:+.1}%", 100.0 * (r.perplexity() / base.perplexity() - 1.0)),
+            format!("{}", cycles.0),
+            format!("{:.2}x", dense_cycles.0 as f64 / cycles.0 as f64),
+            format!("{}", sparse.bytes()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "On an untrained synthetic model perplexity stays near the vocabulary\n\
+         size regardless of pruning (it is already maximal-entropy); on a real\n\
+         trained checkpoint the 'ppl increase' column becomes the accuracy\n\
+         cost that the matvec speedup buys. The device-side columns hold for\n\
+         either: a reconfigurable MPE converts block sparsity into cycles."
+    );
+}

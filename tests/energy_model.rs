@@ -1,0 +1,116 @@
+//! Regression guards on the energy model: the mechanisms behind Fig 2(b)
+//! pinned as invariants.
+
+use speedllm::accel::opt::OptConfig;
+use speedllm::accel::runtime::AcceleratedLlm;
+use speedllm::llama::config::ModelConfig;
+use speedllm::llama::sampler::SamplerKind;
+
+fn report(cfg: ModelConfig, opt: OptConfig, gen: usize) -> speedllm::accel::InferenceReport {
+    let sys = AcceleratedLlm::synthetic(cfg, 42, opt).unwrap();
+    let mut s = sys.session(SamplerKind::Argmax, 0);
+    s.generate("Once upon a time", gen).unwrap()
+}
+
+#[test]
+fn hbm_energy_dominates_and_is_variant_invariant() {
+    // The weight stream is the same in every variant, so HBM dynamic
+    // energy must agree within the activation-round-trip margin — this is
+    // *why* fusion only buys ~1.01x.
+    let cfg = ModelConfig::stories15m();
+    let full = report(cfg, OptConfig::full(), 8);
+    let unopt = report(cfg, OptConfig::unoptimized(), 8);
+    let ratio = unopt.energy.hbm_j / full.energy.hbm_j;
+    assert!((1.0..1.1).contains(&ratio), "HBM energy ratio {ratio}");
+    // And HBM dynamic energy is the single largest component for ours.
+    let e = &full.energy;
+    for (name, j) in [
+        ("ocm", e.ocm_j),
+        ("mpe_dyn", e.mpe_dyn_j),
+        ("sfu_dyn", e.sfu_dyn_j),
+        ("launch", e.launch_j),
+        ("mpe_static", e.mpe_static_j),
+        ("sfu_static", e.sfu_static_j),
+        ("baseline", e.baseline_j),
+    ] {
+        assert!(e.hbm_j > j, "{name} ({j}) exceeds HBM energy ({})", e.hbm_j);
+    }
+}
+
+#[test]
+fn dynamic_arithmetic_energy_is_variant_invariant() {
+    // Same model, same math: MAC and SFU dynamic energy must be identical
+    // across pipeline/memory variants.
+    let cfg = ModelConfig::stories15m();
+    let full = report(cfg, OptConfig::full(), 6);
+    let nop = report(cfg, OptConfig::no_parallel(), 6);
+    assert!((full.energy.mpe_dyn_j - nop.energy.mpe_dyn_j).abs() < 1e-12);
+    assert!((full.energy.sfu_dyn_j - nop.energy.sfu_dyn_j).abs() < 1e-12);
+}
+
+#[test]
+fn slower_variants_pay_proportional_baseline_energy() {
+    let cfg = ModelConfig::stories15m();
+    let full = report(cfg, OptConfig::full(), 6);
+    let unopt = report(cfg, OptConfig::unoptimized(), 6);
+    let time_ratio = unopt.total_latency_s() / full.total_latency_s();
+    let baseline_ratio = unopt.energy.baseline_j / full.energy.baseline_j;
+    assert!(
+        (baseline_ratio / time_ratio - 1.0).abs() < 0.05,
+        "baseline energy must scale with time: {baseline_ratio} vs {time_ratio}"
+    );
+}
+
+#[test]
+fn energy_per_token_is_length_invariant_in_steady_state() {
+    let cfg = ModelConfig::stories260k();
+    let short = report(cfg, OptConfig::full(), 16);
+    let long = report(cfg, OptConfig::full(), 64);
+    // Normalize by *all* tokens processed (prompt + generated) so prefill
+    // energy is attributed, not amortized differently between runs.
+    let toks = |r: &speedllm::accel::InferenceReport| {
+        (r.output.prompt_tokens.len() + r.output.generated_tokens.len()) as f64
+    };
+    let e_short = short.energy.total_j() / toks(&short);
+    let e_long = long.energy.total_j() / toks(&long);
+    let rel = (e_long / e_short - 1.0).abs();
+    // Slight growth from KV paging is expected; large drift is a bug.
+    assert!(rel < 0.25, "per-token energy drifted {:.0}%", rel * 100.0);
+}
+
+#[test]
+fn fig2b_exact_mechanism_decomposition() {
+    // The 1.18x total comes from time-proportional components (baseline)
+    // plus extra launches/stalls/activation traffic; dynamic arithmetic is
+    // shared. Verify the delta is fully explained by those components.
+    let cfg = ModelConfig::stories15m();
+    let full = report(cfg, OptConfig::full(), 8);
+    let unopt = report(cfg, OptConfig::unoptimized(), 8);
+    let delta_total = unopt.energy.total_j() - full.energy.total_j();
+    let explained = (unopt.energy.baseline_j - full.energy.baseline_j)
+        + (unopt.energy.launch_j - full.energy.launch_j)
+        + (unopt.energy.hbm_j - full.energy.hbm_j)
+        + (unopt.energy.ocm_j - full.energy.ocm_j)
+        + (unopt.energy.dma_static_j - full.energy.dma_static_j)
+        + (unopt.energy.mpe_static_j - full.energy.mpe_static_j)
+        + (unopt.energy.sfu_static_j - full.energy.sfu_static_j)
+        + (unopt.energy.mpe_dyn_j - full.energy.mpe_dyn_j)
+        + (unopt.energy.sfu_dyn_j - full.energy.sfu_dyn_j);
+    assert!(
+        (delta_total - explained).abs() < 1e-9,
+        "energy delta not fully decomposed: {delta_total} vs {explained}"
+    );
+    assert!(delta_total > 0.0, "unoptimized must cost more energy");
+}
+
+#[test]
+fn average_power_ordering_is_physical() {
+    // The streamed design burns more *power* (more hardware active at
+    // once) while using less *energy per token* — the ordering the paper's
+    // "comparable poweruse" remark glosses over.
+    let cfg = ModelConfig::stories15m();
+    let full = report(cfg, OptConfig::full(), 8);
+    let unopt = report(cfg, OptConfig::unoptimized(), 8);
+    assert!(full.avg_power_w() > unopt.avg_power_w());
+    assert!(full.tokens_per_joule() > unopt.tokens_per_joule());
+}

@@ -1,0 +1,119 @@
+//! End-to-end file-format tests: checkpoints and tokenizers written to disk
+//! in the llama2.c binary formats load back into a system that generates
+//! identical output — the path a user with a real `stories15M.bin` +
+//! `tokenizer.bin` exercises.
+
+use std::path::PathBuf;
+
+use speedllm::accel::opt::OptConfig;
+use speedllm::accel::runtime::AcceleratedLlm;
+use speedllm::llama::config::ModelConfig;
+use speedllm::llama::sampler::SamplerKind;
+use speedllm::llama::tokenizer::Tokenizer;
+use speedllm::llama::weights::TransformerWeights;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("speedllm_it_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn full_system_roundtrips_through_disk() {
+    let cfg = ModelConfig::test_tiny();
+    let weights = TransformerWeights::synthetic(cfg, 42);
+    let tokenizer = Tokenizer::synthetic(cfg.vocab_size, 42);
+
+    let wpath = tmp("model.bin");
+    let tpath = tmp("tokenizer.bin");
+    weights.save(&wpath).unwrap();
+    tokenizer.save(&tpath).unwrap();
+
+    let loaded_w = TransformerWeights::load(&wpath).unwrap();
+    let loaded_t = Tokenizer::load(&tpath, cfg.vocab_size).unwrap();
+    std::fs::remove_file(&wpath).ok();
+    std::fs::remove_file(&tpath).ok();
+
+    assert_eq!(loaded_w, weights);
+
+    let orig = AcceleratedLlm::new(weights, tokenizer, OptConfig::full()).unwrap();
+    let loaded = AcceleratedLlm::new(loaded_w, loaded_t, OptConfig::full()).unwrap();
+    let a = orig
+        .session(SamplerKind::Argmax, 0)
+        .generate("hello world", 8)
+        .unwrap();
+    let b = loaded
+        .session(SamplerKind::Argmax, 0)
+        .generate("hello world", 8)
+        .unwrap();
+    assert_eq!(a.output.generated_tokens, b.output.generated_tokens);
+    assert_eq!(a.output.text, b.output.text);
+    assert_eq!(a.decode_cycles, b.decode_cycles);
+}
+
+#[test]
+fn checkpoint_bytes_follow_llama2c_layout() {
+    // Independent byte-level check of the writer against the documented
+    // legacy llama2.c layout, so a third-party loader (or the real
+    // llama2.c `run`) would accept our files.
+    let cfg = ModelConfig::test_tiny();
+    let w = TransformerWeights::synthetic(cfg, 5);
+    let mut buf = Vec::new();
+    w.write_to(&mut buf).unwrap();
+
+    // Header: 7 little-endian i32s.
+    let i32_at = |i: usize| i32::from_le_bytes(buf[i * 4..i * 4 + 4].try_into().unwrap());
+    assert_eq!(i32_at(0) as usize, cfg.dim);
+    assert_eq!(i32_at(6) as usize, cfg.seq_len);
+
+    // First tensor after the header is the embedding table: check its very
+    // first float equals embedding[0].
+    let f = f32::from_le_bytes(buf[28..32].try_into().unwrap());
+    assert_eq!(f, w.token_embedding[0]);
+
+    // The rms_att gain of layer 0 follows the full embedding table.
+    let off = 28 + cfg.vocab_size * cfg.dim * 4;
+    let f = f32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+    assert_eq!(f, w.layers[0].rms_att[0]);
+}
+
+#[test]
+fn tokenizer_bytes_follow_llama2c_layout() {
+    let t = Tokenizer::synthetic(300, 1);
+    let mut buf = Vec::new();
+    t.write_to(&mut buf).unwrap();
+    // i32 max_token_length first.
+    let max_len = i32::from_le_bytes(buf[0..4].try_into().unwrap());
+    assert_eq!(max_len as usize, t.max_token_length());
+    // Then (f32 score, i32 len, bytes) for token 0 = "<unk>".
+    let len0 = i32::from_le_bytes(buf[8..12].try_into().unwrap());
+    assert_eq!(len0, 5);
+    assert_eq!(&buf[12..17], b"<unk>");
+}
+
+#[test]
+fn corrupted_checkpoint_fails_loudly() {
+    let cfg = ModelConfig::test_tiny();
+    let w = TransformerWeights::synthetic(cfg, 9);
+    let path = tmp("corrupt.bin");
+    w.save(&path).unwrap();
+    // Truncate the file mid-tensor.
+    let data = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &data[..data.len() * 2 / 3]).unwrap();
+    let err = TransformerWeights::load(&path);
+    std::fs::remove_file(&path).ok();
+    assert!(err.is_err(), "truncated checkpoint must not load");
+}
+
+#[test]
+fn foreign_header_with_untied_classifier_loads() {
+    // Emulate a file produced by llama2.c's export with negative vocab
+    // (untied classifier) and confirm the loader honors it.
+    let cfg = ModelConfig { shared_classifier: false, ..ModelConfig::test_tiny() };
+    let w = TransformerWeights::synthetic(cfg, 17);
+    let mut buf = Vec::new();
+    w.write_to(&mut buf).unwrap();
+    let header_vocab = i32::from_le_bytes(buf[20..24].try_into().unwrap());
+    assert!(header_vocab < 0, "untied classifier encodes as negative vocab");
+    let r = TransformerWeights::read_from(&mut buf.as_slice()).unwrap();
+    assert!(!r.config.shared_classifier);
+    assert!(r.wcls.is_some());
+}

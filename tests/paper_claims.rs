@@ -1,0 +1,122 @@
+//! Shape assertions for the paper's headline claims (DESIGN.md §4): the
+//! exact ratios live in EXPERIMENTS.md; these tests pin the *orderings and
+//! magnitudes* so regressions in the cost model are caught.
+
+use speedllm::accel::opt::OptConfig;
+use speedllm::accel::runtime::AcceleratedLlm;
+use speedllm::llama::config::ModelConfig;
+use speedllm::llama::sampler::SamplerKind;
+
+fn run(cfg: ModelConfig, opt: OptConfig, prompt: &str, gen: usize) -> speedllm::accel::InferenceReport {
+    let sys = AcceleratedLlm::synthetic(cfg, 42, opt).unwrap();
+    let mut s = sys.session(SamplerKind::Argmax, 0);
+    s.generate(prompt, gen).unwrap()
+}
+
+#[test]
+fn fig2a_speedup_is_in_the_papers_regime() {
+    // Paper: up to 4.8x latency speedup on the deployed stories15M.
+    let cfg = ModelConfig::stories15m();
+    let ours = run(cfg, OptConfig::full(), "Once upon a time", 8);
+    let unopt = run(cfg, OptConfig::unoptimized(), "Once upon a time", 8);
+    assert_eq!(ours.output.generated_tokens, unopt.output.generated_tokens);
+    let speedup = unopt.total_latency_s() / ours.total_latency_s();
+    assert!(
+        (3.5..6.5).contains(&speedup),
+        "speedup {speedup:.2}x outside the paper's regime (~4.8x)"
+    );
+}
+
+#[test]
+fn fig2b_energy_efficiency_ordering_and_ratios() {
+    let cfg = ModelConfig::stories15m();
+    let prompt = "Once upon a time";
+    let gen = 8;
+    let ours = run(cfg, OptConfig::full(), prompt, gen);
+    let no_fuse = run(cfg, OptConfig::no_fuse(), prompt, gen);
+    let no_par = run(cfg, OptConfig::no_parallel(), prompt, gen);
+    let unopt = run(cfg, OptConfig::unoptimized(), prompt, gen);
+
+    let e_ours = ours.tokens_per_joule();
+    let e_no_fuse = no_fuse.tokens_per_joule();
+    let e_no_par = no_par.tokens_per_joule();
+    let e_unopt = unopt.tokens_per_joule();
+
+    // Ordering: ours >= no-fuse > no-parallel > unoptimized.
+    assert!(e_ours >= e_no_fuse, "{e_ours} vs {e_no_fuse}");
+    assert!(e_no_fuse > e_no_par, "{e_no_fuse} vs {e_no_par}");
+    assert!(e_no_par > e_unopt, "{e_no_par} vs {e_unopt}");
+
+    // Paper ratios: 1.01x vs no-fuse (small), 1.18x vs unoptimized.
+    let vs_no_fuse = e_ours / e_no_fuse;
+    let vs_unopt = e_ours / e_unopt;
+    assert!((1.0..1.1).contains(&vs_no_fuse), "vs no-fuse {vs_no_fuse:.3}");
+    assert!((1.05..1.4).contains(&vs_unopt), "vs unoptimized {vs_unopt:.3}");
+}
+
+#[test]
+fn cost_efficiency_u280_beats_paper_gpus() {
+    use speedllm_gpu_model::{GpuSpec, U280_PRICE_USD};
+    let cfg = ModelConfig::stories15m();
+    let ours = run(cfg, OptConfig::full(), "Once upon a time", 8);
+    let fpga = ours.decode_tokens_per_s() / U280_PRICE_USD;
+    for gpu in GpuSpec::paper_gpus() {
+        let g = gpu.tokens_per_s_per_dollar(&cfg, 16, 2.0);
+        assert!(
+            fpga > g,
+            "{} beats the U280 on tokens/s/$: {g:.3} vs {fpga:.3}",
+            gpu.name
+        );
+    }
+}
+
+#[test]
+fn traffic_decomposition_matches_the_papers_mechanisms() {
+    let cfg = ModelConfig::stories260k();
+    let prompt = "abc";
+    let gen = 4;
+    let ours = run(cfg, OptConfig::full(), prompt, gen);
+    let no_reuse = run(cfg, OptConfig::no_reuse(), prompt, gen);
+    let unopt = run(cfg, OptConfig::unoptimized(), prompt, gen);
+
+    // Fusion + reuse kill activation round-trips: ours writes only the KV
+    // stream; the naive design writes activations too.
+    assert!(no_reuse.stats.hbm.write_bytes > 2 * ours.stats.hbm.write_bytes);
+    // Reuse eliminates allocation stalls entirely.
+    assert_eq!(ours.stats.alloc_stalls, 0);
+    assert!(unopt.stats.alloc_stalls > 0);
+    // Fusion cuts kernel launches by >2x.
+    assert!(unopt.stats.kernel_launches > 2 * ours.stats.kernel_launches);
+    // Weight traffic itself is invariant across variants (same model).
+    let w_ours = ours.stats.hbm.read_bytes;
+    let w_unopt = unopt.stats.hbm.read_bytes;
+    let ratio = w_unopt as f64 / w_ours as f64;
+    assert!((0.95..1.2).contains(&ratio), "read traffic ratio {ratio}");
+}
+
+#[test]
+fn throughput_claims_are_self_consistent() {
+    let cfg = ModelConfig::stories260k();
+    let r = run(cfg, OptConfig::full(), "hello world", 16);
+    let decode_s = r.clock.to_seconds(r.decode_cycles);
+    let tput = r.output.generated_tokens.len() as f64 / decode_s;
+    assert!((tput - r.decode_tokens_per_s()).abs() < 1e-6);
+    // Energy and power consistency: E = P * t.
+    let t = r.clock.to_seconds(r.stats.total_cycles);
+    assert!((r.avg_power_w() * t - r.energy.total_j()).abs() < 1e-9);
+}
+
+#[test]
+fn speedup_grows_then_saturates_across_model_sizes() {
+    // The paper's "up to" phrasing: speedup varies by workload. Check the
+    // two ends we can afford in tests: 260K (launch-bound, large speedup)
+    // vs 15M (bandwidth-bound, ~4.8x).
+    let small_ours = run(ModelConfig::stories260k(), OptConfig::full(), "a", 4);
+    let small_unopt = run(ModelConfig::stories260k(), OptConfig::unoptimized(), "a", 4);
+    let s_small = small_unopt.total_latency_s() / small_ours.total_latency_s();
+    let big_ours = run(ModelConfig::stories15m(), OptConfig::full(), "a", 4);
+    let big_unopt = run(ModelConfig::stories15m(), OptConfig::unoptimized(), "a", 4);
+    let s_big = big_unopt.total_latency_s() / big_ours.total_latency_s();
+    assert!(s_small > s_big, "launch-bound regime must show larger speedup");
+    assert!(s_big > 3.0, "bandwidth-bound regime speedup {s_big}");
+}

@@ -1,0 +1,251 @@
+//! Property-based tests (proptest) over the public API: codec round-trips,
+//! quantization error bounds, memory-plan soundness, scheduler laws, and
+//! sampler ranges under arbitrary inputs.
+
+use proptest::prelude::*;
+
+use speedllm::accel::fusion::{fuse, fuse_with_limit};
+use speedllm::accel::ir::build_decode_graph;
+use speedllm::accel::memplan::{plan, verify_plan};
+use speedllm::accel::pipeline::{schedule_kernel, PipelineConfig, TileCost, Unit, N_RESOURCES};
+use speedllm::fpga::cycles::Cycles;
+use speedllm::fpga::event::Timeline;
+use speedllm::llama::config::ModelConfig;
+use speedllm::llama::ops;
+use speedllm::llama::quant::{QuantTensor, GROUP};
+use speedllm::llama::sparse::BlockSparseMatrix;
+use speedllm::llama::tokenizer::Tokenizer;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tokenizer_roundtrips_arbitrary_ascii(text in "[ -~]{0,120}") {
+        let t = Tokenizer::synthetic(512, 7);
+        let ids = t.encode(&text, true, false);
+        prop_assert_eq!(t.decode(&ids), text);
+    }
+
+    #[test]
+    fn tokenizer_roundtrips_arbitrary_unicode(text in "\\PC{0,40}") {
+        let t = Tokenizer::synthetic(512, 7);
+        let ids = t.encode(&text, true, false);
+        prop_assert_eq!(t.decode(&ids), text);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded(values in proptest::collection::vec(-100.0f32..100.0, 1..300)) {
+        let qt = QuantTensor::quantize(&values);
+        let back = qt.dequantize();
+        let bound = qt.error_bound() + 1e-5;
+        for (a, b) in values.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= bound, "{} vs {} (bound {})", a, b, bound);
+        }
+        // Group scale bound: error <= absmax/254 per group is implied by
+        // symmetric 127-step quantization.
+        prop_assert!(qt.scales.len() == values.len().div_ceil(GROUP));
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(values in proptest::collection::vec(-50.0f32..50.0, 1..200)) {
+        let mut x = values;
+        ops::softmax(&mut x);
+        let sum: f32 = x.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {}", sum);
+        prop_assert!(x.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+    }
+
+    #[test]
+    fn rmsnorm_output_is_finite_and_scaled(values in proptest::collection::vec(-1000.0f32..1000.0, 4..128)) {
+        let gain = vec![1.0f32; values.len()];
+        let mut out = vec![0.0f32; values.len()];
+        ops::rmsnorm(&mut out, &values, &gain);
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+        // RMS of output is ~1 when input is non-degenerate.
+        let ss: f32 = values.iter().map(|v| v * v).sum();
+        if ss / values.len() as f32 > 1e-3 {
+            let rms_out: f32 = (out.iter().map(|v| v * v).sum::<f32>() / out.len() as f32).sqrt();
+            prop_assert!((rms_out - 1.0).abs() < 0.05, "rms {}", rms_out);
+        }
+    }
+
+    #[test]
+    fn memory_plans_are_sound_for_any_pool_size(
+        pool in 64u64..4_000_000,
+        fused in any::<bool>(),
+        reuse in any::<bool>(),
+    ) {
+        let graph = build_decode_graph(&ModelConfig::test_tiny());
+        let schedule = fuse(&graph, fused);
+        let p = plan(&graph, &schedule, reuse, pool);
+        verify_plan(&graph, &schedule, &p).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn fusion_partitions_for_any_limit(limit in 1usize..12) {
+        let graph = build_decode_graph(&ModelConfig::test_tiny());
+        let s = fuse_with_limit(&graph, true, limit);
+        s.validate(&graph).map_err(TestCaseError::fail)?;
+        prop_assert!(s.kernels.iter().all(|k| k.ops.len() <= limit));
+        // Total op count is preserved.
+        prop_assert_eq!(s.op_count(), graph.ops.len());
+    }
+
+    #[test]
+    fn streamed_schedule_never_slower_than_sequential(
+        tiles in proptest::collection::vec((0u64..200, 1u64..200, 0u64..100), 1..40),
+        depth in 1usize..5,
+    ) {
+        let tiles: Vec<TileCost> = tiles
+            .into_iter()
+            .map(|(r, c, w)| TileCost {
+                read: Cycles(r),
+                compute: Cycles(c),
+                write: Cycles(w),
+                unit: Unit::Mpe,
+            })
+            .collect();
+        let launch = Cycles(280);
+        let streamed_cfg = PipelineConfig { streamed: true, depth, launch, streamed_launch: Cycles(40) };
+        let seq_cfg = PipelineConfig { streamed: false, depth, launch, streamed_launch: Cycles(40) };
+        let mut tl_s = Timeline::new(N_RESOURCES);
+        let mut tl_q = Timeline::new(N_RESOURCES);
+        let z = Cycles::ZERO;
+        let s = schedule_kernel(&mut tl_s, None, &streamed_cfg, z, z, z, &tiles, "s");
+        let q = schedule_kernel(&mut tl_q, None, &seq_cfg, z, z, z, &tiles, "q");
+        prop_assert!(s.span.end <= q.span.end, "streamed {:?} > sequential {:?}", s.span.end, q.span.end);
+        // And the sequential schedule equals launch + sum of stages.
+        let total: u64 = tiles.iter().map(|t| t.read.0 + t.compute.0 + t.write.0).sum();
+        prop_assert_eq!(q.span.end, Cycles(launch.0 + total));
+    }
+
+    #[test]
+    fn sampler_indices_always_in_vocab(
+        logits in proptest::collection::vec(-30.0f32..30.0, 2..100),
+        seed in any::<u64>(),
+        temp in 0.1f32..3.0,
+        p in 0.05f32..1.0,
+    ) {
+        use speedllm::llama::sampler::{Sampler, SamplerKind};
+        for kind in [
+            SamplerKind::Argmax,
+            SamplerKind::Temperature(temp),
+            SamplerKind::TopP { temperature: temp, p },
+        ] {
+            let mut s = Sampler::new(kind, seed);
+            for _ in 0..8 {
+                let id = s.sample(&logits) as usize;
+                prop_assert!(id < logits.len());
+            }
+        }
+    }
+
+    #[test]
+    fn rope_preserves_norm_for_any_position(
+        pos in 0usize..4096,
+        head_dim in (1usize..8).prop_map(|x| x * 2),
+    ) {
+        let n = head_dim * 3;
+        let mut v: Vec<f32> = (0..n).map(|i| ((i * 37 + 11) as f32 * 0.1).sin()).collect();
+        let norm0: f32 = v.iter().map(|x| x * x).sum();
+        ops::rope_inplace(&mut v, pos, head_dim, ops::ROPE_THETA);
+        let norm1: f32 = v.iter().map(|x| x * x).sum();
+        prop_assert!((norm0 - norm1).abs() < norm0 * 1e-3 + 1e-4);
+    }
+
+    #[test]
+    fn sparse_matvec_agrees_with_pruned_dense(
+        rows in 1usize..20,
+        cols in 1usize..50,
+        block in 1usize..12,
+        sparsity in 0.0f32..0.95,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = speedllm::llama::rng::Xoshiro256::seed_from_u64(seed);
+        let mut w = vec![0.0f32; rows * cols];
+        let mut x = vec![0.0f32; cols];
+        rng.fill_normal(&mut w, 1.0);
+        rng.fill_normal(&mut x, 1.0);
+        let m = BlockSparseMatrix::prune(&w, rows, cols, block, sparsity);
+        let dense = m.to_dense();
+        let mut want = vec![0.0f32; rows];
+        ops::matvec(&mut want, &dense, &x, rows, cols);
+        let mut got = vec![0.0f32; rows];
+        m.matvec(&mut got, &x);
+        for (a, b) in want.iter().zip(&got) {
+            prop_assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+        }
+        // Density can only shrink under pruning.
+        prop_assert!(m.density() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn trained_bpe_roundtrips_its_own_corpus_fragments(
+        words in proptest::collection::vec("[a-z]{1,6}", 5..25),
+    ) {
+        let corpus = words.join(" ");
+        let t = speedllm::llama::bpe_train::train(
+            &corpus,
+            speedllm::llama::bpe_train::TrainConfig { vocab_size: 300, min_pair_count: 2 },
+        );
+        let ids = t.encode(&corpus, true, false);
+        prop_assert_eq!(t.decode(&ids), corpus);
+    }
+
+    #[test]
+    fn chunked_prefill_matches_for_any_split(
+        split in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        use speedllm::accel::engine::Engine;
+        use speedllm::accel::opt::OptConfig;
+        use std::sync::Arc;
+        let cfg = ModelConfig::test_tiny();
+        let weights = Arc::new(speedllm::llama::weights::TransformerWeights::synthetic(cfg, 42));
+        let tokens: Vec<u32> = (0..12u32).map(|i| (i.wrapping_mul(7).wrapping_add(seed as u32)) % 64).collect();
+        let mut reference = Engine::new(Arc::clone(&weights), OptConfig::full()).unwrap();
+        let mut last = Vec::new();
+        for (pos, &t) in tokens.iter().enumerate() {
+            last = reference.decode_step(t, pos).logits;
+        }
+        let mut chunked = Engine::new(weights, OptConfig::full()).unwrap();
+        let mut pos = 0usize;
+        let mut got = Vec::new();
+        while pos < tokens.len() {
+            let end = (pos + split).min(tokens.len());
+            got = chunked.prefill_chunk(&tokens[pos..end], pos).logits;
+            pos = end;
+        }
+        for (a, b) in last.iter().zip(&got) {
+            prop_assert!((a - b).abs() < 1e-5, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_for_random_tiny_architectures(
+        n_layers in 1usize..4,
+        heads in 1usize..5,
+        gqa in 1usize..3,
+        dim_mult in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let n_heads = heads * gqa;
+        let dim = n_heads * 2 * dim_mult;
+        let cfg = ModelConfig {
+            dim,
+            hidden_dim: dim * 2 + 4,
+            n_layers,
+            n_heads,
+            n_kv_heads: heads,
+            vocab_size: 32,
+            seq_len: 16,
+            shared_classifier: seed % 2 == 0,
+        };
+        cfg.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let w = speedllm::llama::weights::TransformerWeights::synthetic(cfg, seed);
+        let mut buf = Vec::new();
+        w.write_to(&mut buf).unwrap();
+        let r = speedllm::llama::weights::TransformerWeights::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(w, r);
+    }
+}

@@ -1,0 +1,89 @@
+//! Device-fit tests: every shipped design point must fit the XCU280
+//! fabric, oversized ones must be rejected at construction, and the
+//! utilization report must be sane.
+
+use std::sync::Arc;
+
+use speedllm::accel::engine::{AccelConfig, Engine};
+use speedllm::accel::opt::OptConfig;
+use speedllm::fpga::mpe::{MpeConfig, Precision};
+use speedllm::fpga::resources::Resources;
+use speedllm::llama::config::ModelConfig;
+use speedllm::llama::weights::TransformerWeights;
+
+#[test]
+fn every_shipped_variant_fits_the_u280() {
+    for (name, opt) in OptConfig::all_corners() {
+        let cfg = AccelConfig::for_opt(&opt);
+        cfg.validate().unwrap_or_else(|e| panic!("{name} does not fit: {e}"));
+    }
+    AccelConfig::for_opt(&OptConfig::full_int8())
+        .validate()
+        .expect("int8 design must fit");
+}
+
+#[test]
+fn utilization_is_meaningful() {
+    let cfg = AccelConfig::for_opt(&OptConfig::full());
+    let used = cfg.resource_usage();
+    let budget = Resources::u280_budget();
+    let u = used.utilization(&budget);
+    // A real accelerator uses a substantial chunk of the device but fits.
+    assert!(u.iter().all(|&f| f <= 1.0), "{u:?}");
+    assert!(u[2] > 0.15, "DSP utilization should be substantial: {}", u[2]);
+    assert!(u[0] > 0.10, "LUT utilization should be substantial: {}", u[0]);
+}
+
+#[test]
+fn oversized_mpe_is_rejected_at_engine_construction() {
+    let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::test_tiny(), 1));
+    let mut cfg = AccelConfig::for_opt(&OptConfig::full());
+    cfg.mpe = MpeConfig {
+        lanes: 2048,
+        vec_width: 16,
+        pipeline_depth: 12,
+        precision: Precision::Fp32,
+    };
+    let err = Engine::with_config(weights, OptConfig::full(), cfg);
+    assert!(err.is_err(), "a 32k-MAC fp32 array cannot fit the U280");
+}
+
+#[test]
+fn oversized_activation_pool_is_rejected() {
+    let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::test_tiny(), 1));
+    let mut cfg = AccelConfig::for_opt(&OptConfig::full());
+    cfg.activation_pool_bytes = 64 << 20; // 64 MiB > U280 URAM
+    let err = Engine::with_config(weights, OptConfig::full(), cfg);
+    assert!(err.is_err(), "pool larger than URAM must be rejected");
+}
+
+#[test]
+fn int8_frees_dsp_headroom() {
+    let fp32 = AccelConfig::for_opt(&OptConfig::full()).resource_usage();
+    let int8 = AccelConfig::for_opt(&OptConfig::full_int8()).resource_usage();
+    // Same DSP budget delivers far more MACs/cycle in int8 (and the fabric
+    // cost per MAC is much lower).
+    let f = MpeConfig::u280_fp32();
+    let q = MpeConfig::u280_int8();
+    assert!(q.macs_per_cycle() > 5 * f.macs_per_cycle());
+    assert_eq!(fp32.dsps, int8.dsps);
+}
+
+#[test]
+fn kv_cache_fits_hbm_for_all_presets() {
+    use speedllm::fpga::hbm::HbmConfig;
+    let hbm = HbmConfig::u280();
+    for cfg in [
+        ModelConfig::stories260k(),
+        ModelConfig::stories15m(),
+        ModelConfig::stories42m(),
+        ModelConfig::stories110m(),
+        ModelConfig::tinyllama1_1b(),
+    ] {
+        let need = cfg.weight_bytes(4) as u64 + cfg.kv_cache_bytes() as u64;
+        assert!(
+            need < hbm.capacity_bytes,
+            "{cfg} needs {need} B of HBM"
+        );
+    }
+}
