@@ -79,7 +79,7 @@ pub struct AccelConfig {
     /// across the chunk. Capped at 64 by the on-chip staging limit.
     pub prefill_chunk: usize,
     /// Run the *functional* matmul math through the real three-stage
-    /// crossbeam pipeline ([`crate::pipeline::dataflow`]) instead of the
+    /// thread pipeline ([`crate::pipeline::dataflow`]) instead of the
     /// serial kernel. Numerically identical (disjoint row tiles); it
     /// demonstrates on the host CPU the same read–compute–write overlap
     /// the timing model charges for.

@@ -17,9 +17,10 @@
 //! [`schedule_kernel`] implements both against a shared
 //! [`Timeline`], so per-resource busy cycles (for gated power) and optional
 //! trace events fall out of the same recurrence. The [`dataflow`] module is
-//! a *real* three-stage thread pipeline over crossbeam channels, used by
-//! the functional engine demo and tests to show the overlap is achievable
-//! in software, not just in the cost model.
+//! a *real* three-stage thread pipeline over the in-repo bounded channels
+//! ([`speedllm_llama::sync`]), used by the functional engine demo and tests
+//! to show the overlap is achievable in software, not just in the cost
+//! model.
 
 use speedllm_fpga_sim::cycles::Cycles;
 use speedllm_fpga_sim::event::{ResourceId, Span, Timeline};
@@ -178,12 +179,12 @@ pub fn schedule_kernel(
     }
 }
 
-/// A genuinely concurrent three-stage tile pipeline over crossbeam
+/// A genuinely concurrent three-stage tile pipeline over std-only bounded
 /// channels: `read` produces tile inputs, `compute` transforms them,
 /// `write` commits results in order. Bounded channels of `depth` implement
 /// the same double-buffering constraint the cost model charges for.
 pub mod dataflow {
-    use crossbeam::channel::bounded;
+    use speedllm_llama::sync::bounded;
 
     /// Runs `n_tiles` through read → compute → write with `depth`-bounded
     /// hand-off queues. `read` and `compute` run on their own threads;

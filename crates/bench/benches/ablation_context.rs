@@ -2,10 +2,10 @@
 //! context (KV paging). The int8 KV cache (extension) cuts attention
 //! *traffic* ~4x; at TinyStories scale the wall-clock effect is modest
 //! (attention pages are small next to weight streams) but the energy-side
-//! traffic saving is exact — both are printed. Criterion then measures a
+//! traffic saving is exact — both are printed. The harness then measures a
 //! long-context decode step.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_bench::harness::Runner;
 use speedllm_accel::engine::{AccelConfig, Engine};
 use speedllm_accel::opt::OptConfig;
 use speedllm_fpga_sim::mpe::Precision;
@@ -46,7 +46,7 @@ fn print_sweep() {
     println!("------------------------------------------------------------");
 }
 
-fn bench_long_context(c: &mut Criterion) {
+fn bench_long_context(c: &mut Runner) {
     print_sweep();
     let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::stories260k(), 42));
     for (name, kv) in [("f32", Precision::Fp32), ("int8", Precision::Int8)] {
@@ -73,9 +73,8 @@ fn bench_long_context(c: &mut Criterion) {
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_long_context
+fn main() {
+    let mut c = Runner::from_env().sample_size(20);
+    bench_long_context(&mut c);
+    c.finish();
 }
-criterion_main!(benches);

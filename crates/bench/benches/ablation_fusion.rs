@@ -1,9 +1,9 @@
 //! Ablation bench for the **operator-fusion design choice** (DESIGN.md §4):
 //! sweeps the composite-kernel depth limit, prints its effect on kernel
-//! count and simulated per-token latency, then criterion-measures the
+//! count and simulated per-token latency, then bench-measures the
 //! fusion pass itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_bench::harness::Runner;
 use speedllm_accel::engine::{AccelConfig, Engine};
 use speedllm_accel::fusion::{fuse, fuse_with_limit};
 use speedllm_accel::ir::build_decode_graph;
@@ -31,7 +31,7 @@ fn print_ablation() {
     println!("--------------------------------------------------------------------");
 }
 
-fn bench_fusion_pass(c: &mut Criterion) {
+fn bench_fusion_pass(c: &mut Runner) {
     print_ablation();
     let graph = build_decode_graph(&ModelConfig::stories15m());
     c.bench_function("ablation/fuse_pass_15m", |b| {
@@ -43,5 +43,8 @@ fn bench_fusion_pass(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fusion_pass);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_env();
+    bench_fusion_pass(&mut c);
+    c.finish();
+}

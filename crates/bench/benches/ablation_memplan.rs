@@ -1,8 +1,8 @@
 //! Ablation bench for the **memory-reuse pool sizing** (DESIGN.md §4):
 //! sweeps the on-chip activation pool and prints high-water mark and HBM
-//! overflow, then criterion-measures the planner.
+//! overflow, then bench-measures the planner.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_bench::harness::Runner;
 use speedllm_accel::fusion::fuse;
 use speedllm_accel::ir::build_decode_graph;
 use speedllm_accel::memplan::{plan, plan_with_strategy, AllocStrategy};
@@ -42,7 +42,7 @@ fn print_ablation() {
     println!("------------------------------------------------");
 }
 
-fn bench_planner(c: &mut Criterion) {
+fn bench_planner(c: &mut Runner) {
     print_ablation();
     let graph = build_decode_graph(&ModelConfig::stories15m());
     let schedule = fuse(&graph, true);
@@ -54,5 +54,8 @@ fn bench_planner(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_planner);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_env();
+    bench_planner(&mut c);
+    c.finish();
+}

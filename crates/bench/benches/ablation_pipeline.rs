@@ -1,8 +1,8 @@
 //! Ablation bench for the **double-buffer depth design choice**
 //! (DESIGN.md §4): prints simulated per-token latency at depths 1–4 and
-//! criterion-measures the tile scheduler recurrence.
+//! bench-measures the tile scheduler recurrence.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_bench::harness::Runner;
 use speedllm_accel::engine::{AccelConfig, Engine};
 use speedllm_accel::opt::OptConfig;
 use speedllm_accel::pipeline::{schedule_kernel, PipelineConfig, TileCost, Unit, N_RESOURCES};
@@ -26,7 +26,7 @@ fn print_ablation() {
     println!("----------------------------------------------------------------");
 }
 
-fn bench_scheduler(c: &mut Criterion) {
+fn bench_scheduler(c: &mut Runner) {
     print_ablation();
     let tiles: Vec<TileCost> = (0..64)
         .map(|i| TileCost {
@@ -62,5 +62,8 @@ fn bench_scheduler(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_scheduler);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_env();
+    bench_scheduler(&mut c);
+    c.finish();
+}

@@ -1,8 +1,8 @@
 //! Ablation bench for **chunked prefill** (extension beyond the paper):
 //! prints prefill latency vs chunk length (weight-stream amortization) and
-//! criterion-measures the chunked engine pass.
+//! bench-measures the chunked engine pass.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_bench::harness::Runner;
 use speedllm_accel::engine::{AccelConfig, Engine};
 use speedllm_accel::opt::OptConfig;
 use speedllm_llama::config::ModelConfig;
@@ -40,7 +40,7 @@ fn print_ablation() {
     println!("----------------------------------------------------------------");
 }
 
-fn bench_prefill(c: &mut Criterion) {
+fn bench_prefill(c: &mut Runner) {
     print_ablation();
     let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::stories260k(), 42));
     let tokens: Vec<u32> = (0..16).map(|i| 5 + i as u32).collect();
@@ -62,9 +62,8 @@ fn bench_prefill(c: &mut Criterion) {
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_prefill
+fn main() {
+    let mut c = Runner::from_env().sample_size(20);
+    bench_prefill(&mut c);
+    c.finish();
 }
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! dimensions — serial vs scoped-thread matvec, RMSNorm, softmax, RoPE —
 //! plus a full reference forward step.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_bench::harness::Runner;
 use speedllm_llama::config::ModelConfig;
 use speedllm_llama::forward::{MatVecStrategy, Transformer};
 use speedllm_llama::ops;
@@ -11,7 +11,7 @@ use speedllm_llama::rng::Xoshiro256;
 use speedllm_llama::weights::TransformerWeights;
 use std::hint::black_box;
 
-fn bench_kernels(c: &mut Criterion) {
+fn bench_kernels(c: &mut Runner) {
     let cfg = ModelConfig::stories15m();
     let (rows, cols) = (cfg.hidden_dim, cfg.dim);
     let mut rng = Xoshiro256::seed_from_u64(1);
@@ -82,7 +82,7 @@ fn bench_kernels(c: &mut Criterion) {
     });
 
     // Full reference decode step on stories260K (15M is too slow for tight
-    // criterion loops in CI).
+    // bench loops in CI).
     let weights = TransformerWeights::synthetic(ModelConfig::stories260k(), 42);
     let mut serial = Transformer::new(weights.clone());
     let mut parallel = Transformer::new(weights);
@@ -105,9 +105,8 @@ fn bench_kernels(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_kernels
+fn main() {
+    let mut c = Runner::from_env().sample_size(30);
+    bench_kernels(&mut c);
+    c.finish();
 }
-criterion_main!(benches);

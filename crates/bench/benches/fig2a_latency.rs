@@ -1,9 +1,9 @@
-//! Criterion bench behind **Fig 2(a)**: decode-step cost of the SpeedLLM
+//! Timing bench behind **Fig 2(a)**: decode-step cost of the SpeedLLM
 //! variants. The simulated (device) latency series is printed once at
-//! startup — that is the figure's data; the criterion numbers measure the
+//! startup — that is the figure's data; the timed samples measure the
 //! simulator's own host-side throughput for regression tracking.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_bench::harness::Runner;
 use speedllm_accel::opt::OptConfig;
 use speedllm_bench::{fig2a_workloads, headline_preset, run_paper_variants, SAMPLER, SEED};
 use speedllm_llama::config::ModelConfig;
@@ -27,7 +27,7 @@ fn print_figure_series() {
     println!("----------------------------------------------------------------");
 }
 
-fn bench_decode_step(c: &mut Criterion) {
+fn bench_decode_step(c: &mut Runner) {
     print_figure_series();
     let mut group = c.benchmark_group("fig2a/decode_step");
     for (name, opt) in OptConfig::paper_variants() {
@@ -58,9 +58,8 @@ fn bench_decode_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_decode_step
+fn main() {
+    let mut c = Runner::from_env().sample_size(20);
+    bench_decode_step(&mut c);
+    c.finish();
 }
-criterion_main!(benches);

@@ -1,13 +1,13 @@
-//! Criterion bench behind **Fig 2(b)**: the energy-efficiency series is
-//! printed once (the figure's data); criterion then measures the energy
+//! Timing bench behind **Fig 2(b)**: the energy-efficiency series is
+//! printed once (the figure's data); the harness then measures the energy
 //! model's evaluation cost on realistic per-inference stats.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_bench::harness::Runner;
 use speedllm_bench::{fig2b_workload, headline_preset, run_paper_variants};
 use speedllm_fpga_sim::power::PowerModel;
 use std::hint::black_box;
 
-fn bench_energy(c: &mut Criterion) {
+fn bench_energy(c: &mut Runner) {
     println!("--- Fig 2(b) series (tokens per joule, stories15M story-128) ---");
     let ms = run_paper_variants(&headline_preset(), &fig2b_workload());
     let ours = speedllm_bench::find(&ms, "SpeedLLM (ours)");
@@ -28,5 +28,8 @@ fn bench_energy(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_energy);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_env();
+    bench_energy(&mut c);
+    c.finish();
+}

@@ -2,7 +2,7 @@
 //! matvec vs the f32 matvec, plus the simulated int8-vs-fp32 accelerator
 //! comparison (the paper's mixed-precision motivation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_bench::harness::Runner;
 use speedllm_accel::opt::OptConfig;
 use speedllm_accel::runtime::AcceleratedLlm;
 use speedllm_llama::config::ModelConfig;
@@ -27,7 +27,7 @@ fn print_precision_comparison() {
     println!("----------------------------------------------------------");
 }
 
-fn bench_quant(c: &mut Criterion) {
+fn bench_quant(c: &mut Runner) {
     print_precision_comparison();
     let (rows, cols) = (768usize, 288usize);
     let mut rng = Xoshiro256::seed_from_u64(5);
@@ -64,9 +64,8 @@ fn bench_quant(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_quant
+fn main() {
+    let mut c = Runner::from_env().sample_size(30);
+    bench_quant(&mut c);
+    c.finish();
 }
-criterion_main!(benches);

@@ -3,9 +3,9 @@
 //! Prints the simulated matvec latency vs block-sparsity level on the
 //! SpeedLLM MPE — where pruned blocks are skipped — against a GPU, where
 //! unstructured/block sparsity at this granularity gives no dense-kernel
-//! speedup; then criterion-measures the sparse CPU kernel.
+//! speedup; then bench-measures the sparse CPU kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use speedllm_bench::harness::Runner;
 use speedllm_fpga_sim::hbm::{Hbm, HbmConfig};
 use speedllm_fpga_sim::mpe::{Mpe, MpeConfig};
 use speedllm_llama::rng::Xoshiro256;
@@ -39,7 +39,7 @@ fn print_study() {
     println!("--------------------------------------------------------------");
 }
 
-fn bench_sparse_kernels(c: &mut Criterion) {
+fn bench_sparse_kernels(c: &mut Runner) {
     print_study();
     let (rows, cols) = (768usize, 288usize);
     let mut rng = Xoshiro256::seed_from_u64(3);
@@ -69,9 +69,8 @@ fn bench_sparse_kernels(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_sparse_kernels
+fn main() {
+    let mut c = Runner::from_env().sample_size(30);
+    bench_sparse_kernels(&mut c);
+    c.finish();
 }
-criterion_main!(benches);

@@ -12,12 +12,12 @@ use speedllm_accel::opt::OptConfig;
 use speedllm_bench::Table;
 use speedllm_fpga_sim::cycles::{ClockDomain, Cycles};
 use speedllm_fpga_sim::mpe::Precision;
-use speedllm_llama::config::ModelConfig;
 use speedllm_llama::weights::TransformerWeights;
 
 fn main() {
     let clock = ClockDomain::U280_KERNEL;
-    let cfg = ModelConfig::stories15m();
+    // stories15M normally; stories260K under SPEEDLLM_TINY=1 (smoke runs).
+    let cfg = speedllm_bench::headline_preset().config;
     let weights = Arc::new(TransformerWeights::synthetic(cfg, 42));
     println!("=== extension studies on {cfg} ===\n");
 

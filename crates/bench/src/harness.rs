@@ -1,0 +1,279 @@
+//! A minimal, dependency-free bench runner (the in-repo replacement for
+//! `criterion`, so `cargo bench` works offline).
+//!
+//! Each benchmark is warmed up, then timed over a fixed number of samples;
+//! every sample runs enough iterations to cross a target duration, and the
+//! per-iteration time of each sample feeds the summary statistics. Results
+//! print as one human-readable line plus one JSON line (JSONL) per
+//! benchmark, so downstream tooling can parse `median_ns` / `p95_ns`
+//! without a format dependency.
+//!
+//! Command-line flags (everything unrecognized is ignored, so `cargo
+//! bench -- <filter>` keeps working):
+//!
+//! * `--smoke` — one warmup iteration, three short samples, and
+//!   `SPEEDLLM_TINY=1` exported so the figure-series printouts in the
+//!   bench mains run on tiny model configs. This is the CI/verify mode.
+//! * any bare argument — substring filter on benchmark names.
+
+use std::time::{Duration, Instant};
+
+/// True when the current process runs benches in smoke (tiny) mode.
+#[must_use]
+pub fn is_smoke() -> bool {
+    std::env::var_os("SPEEDLLM_TINY").is_some()
+}
+
+/// One benchmark's summary statistics.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark name.
+    pub name: String,
+    /// Median per-iteration time across samples, in nanoseconds.
+    pub median_ns: f64,
+    /// 95th-percentile per-iteration time across samples, in nanoseconds.
+    pub p95_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+impl BenchResult {
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\":{name:?},\"median_ns\":{median:.1},\"p95_ns\":{p95:.1},\
+             \"samples\":{samples},\"iters_per_sample\":{iters}}}",
+            name = self.name,
+            median = self.median_ns,
+            p95 = self.p95_ns,
+            samples = self.samples,
+            iters = self.iters_per_sample,
+        )
+    }
+}
+
+/// The bench runner: collects, times, and reports benchmarks.
+pub struct Runner {
+    filter: Option<String>,
+    smoke: bool,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self { filter: None, smoke: false, sample_size: 20, results: Vec::new() }
+    }
+}
+
+impl Runner {
+    /// Builds a runner from the process arguments (see module docs).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut r = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--smoke" => r.smoke = true,
+                "--bench" | "--test" => {}
+                a if a.starts_with('-') => {} // ignore unknown flags
+                a => r.filter = Some(a.to_string()),
+            }
+        }
+        if r.smoke {
+            // Exported so the figure-series printouts in bench mains (and
+            // any child processes) switch to tiny model configs.
+            std::env::set_var("SPEEDLLM_TINY", "1");
+        }
+        r
+    }
+
+    /// Sets the number of timed samples per benchmark (ignored in smoke
+    /// mode, which always uses 3).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark unless it is filtered out.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let (samples, warmup, target) = if self.smoke {
+            (3usize, Duration::ZERO, Duration::from_micros(200))
+        } else {
+            (self.sample_size, Duration::from_millis(150), Duration::from_millis(8))
+        };
+        let mut b = Bencher { warmup, target, samples, sample_ns: Vec::new(), iters: 1 };
+        f(&mut b);
+        assert!(
+            !b.sample_ns.is_empty(),
+            "benchmark {name} never called Bencher::iter"
+        );
+        let mut ns = b.sample_ns;
+        ns.sort_by(f64::total_cmp);
+        let result = BenchResult {
+            name: name.to_string(),
+            median_ns: percentile(&ns, 0.50),
+            p95_ns: percentile(&ns, 0.95),
+            samples: ns.len(),
+            iters_per_sample: b.iters,
+        };
+        println!(
+            "bench {name:<44} median {:>12}  p95 {:>12}  ({} samples x {} iters)",
+            fmt_ns(result.median_ns),
+            fmt_ns(result.p95_ns),
+            result.samples,
+            result.iters_per_sample,
+        );
+        println!("{}", result.json());
+        self.results.push(result);
+        self
+    }
+
+    /// Starts a named group; benchmark names are prefixed `group/name`.
+    pub fn benchmark_group(&mut self, prefix: &str) -> Group<'_> {
+        Group { runner: self, prefix: prefix.to_string() }
+    }
+
+    /// Prints the run summary. Call last in `main`.
+    pub fn finish(&mut self) {
+        println!(
+            "{{\"bench_run_complete\":true,\"benches\":{},\"smoke\":{}}}",
+            self.results.len(),
+            self.smoke
+        );
+    }
+}
+
+/// A named group of benchmarks (see [`Runner::benchmark_group`]).
+pub struct Group<'a> {
+    runner: &'a mut Runner,
+    prefix: String,
+}
+
+impl Group<'_> {
+    /// Runs `{prefix}/{name}`.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{name}", self.prefix);
+        self.runner.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (kept for call-site symmetry; dropping works too).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to [`Runner::bench_function`]; call
+/// [`Bencher::iter`] with the code under measurement.
+pub struct Bencher {
+    warmup: Duration,
+    target: Duration,
+    samples: usize,
+    sample_ns: Vec<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `inner`: warmup, iteration-count calibration, then the
+    /// configured number of timed samples.
+    pub fn iter<R>(&mut self, mut inner: impl FnMut() -> R) {
+        // Warmup doubles the iteration count until the budget is spent,
+        // which also calibrates iterations-per-sample.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(inner());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.warmup || elapsed >= self.target {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let want = self.target.as_secs_f64() / per_iter.max(1e-9);
+                iters = (want.ceil() as u64).clamp(1, 1 << 24);
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        self.iters = iters;
+        self.sample_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(inner());
+            }
+            self.sample_ns
+                .push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_positive_samples() {
+        let mut r = Runner { smoke: true, ..Runner::default() };
+        r.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(r.results.len(), 1);
+        assert!(r.results[0].median_ns >= 0.0);
+        assert!(r.results[0].p95_ns >= r.results[0].median_ns);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut r = Runner { smoke: true, filter: Some("yes".into()), ..Runner::default() };
+        r.bench_function("no/skip", |b| b.iter(|| ()));
+        r.bench_function("yes/run", |b| b.iter(|| ()));
+        assert_eq!(r.results.len(), 1);
+        assert_eq!(r.results[0].name, "yes/run");
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut r = Runner { smoke: true, ..Runner::default() };
+        let mut g = r.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| ()));
+        g.finish();
+        assert_eq!(r.results[0].name, "grp/inner");
+    }
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let res = BenchResult {
+            name: "a/b".into(),
+            median_ns: 12.5,
+            p95_ns: 20.0,
+            samples: 3,
+            iters_per_sample: 7,
+        };
+        let j = res.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"name\":\"a/b\""));
+        assert!(j.contains("\"median_ns\":12.5"));
+        assert!(j.contains("\"p95_ns\":20.0"));
+    }
+}

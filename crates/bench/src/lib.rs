@@ -2,11 +2,17 @@
 //!
 //! Workload definitions and the measurement harness behind every table and
 //! figure reproduction (see DESIGN.md §4 for the experiment index). The
-//! `repro-*` binaries print the paper's rows; the criterion benches under
-//! `benches/` wrap the same runners for statistically robust timing of the
-//! simulator itself.
+//! `repro-*` binaries print the paper's rows; the benches under `benches/`
+//! wrap the same runners in the in-repo [`harness`] for regression timing
+//! of the simulator itself.
+//!
+//! Setting `SPEEDLLM_TINY=1` (or running benches with `--smoke`) swaps the
+//! preset and workload grids for tiny, seconds-scale versions — the mode
+//! the repro-binary smoke tests and `scripts/verify.sh` use.
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use speedllm_accel::opt::OptConfig;
 use speedllm_accel::runtime::{AcceleratedLlm, InferenceReport};
@@ -24,10 +30,24 @@ pub struct ModelPreset {
     pub config: ModelConfig,
 }
 
+/// True when tiny (smoke) mode is active: `SPEEDLLM_TINY` is set, by hand
+/// or by the bench harness's `--smoke` flag.
+#[must_use]
+pub fn tiny_mode() -> bool {
+    std::env::var_os("SPEEDLLM_TINY").is_some()
+}
+
 /// The TinyStories model family the paper's workload comes from.
-/// `stories15M` is the paper's deployed checkpoint.
+/// `stories15M` is the paper's deployed checkpoint. In tiny mode the sweep
+/// shrinks to the two smallest architectures.
 #[must_use]
 pub fn model_presets() -> Vec<ModelPreset> {
+    if tiny_mode() {
+        return vec![
+            ModelPreset { name: "test-tiny", config: ModelConfig::test_tiny() },
+            ModelPreset { name: "stories260K", config: ModelConfig::stories260k() },
+        ];
+    }
     vec![
         ModelPreset { name: "stories260K", config: ModelConfig::stories260k() },
         ModelPreset { name: "stories15M", config: ModelConfig::stories15m() },
@@ -36,9 +56,13 @@ pub fn model_presets() -> Vec<ModelPreset> {
     ]
 }
 
-/// The headline preset (what the paper deploys).
+/// The headline preset (what the paper deploys); `stories260K` in tiny
+/// mode.
 #[must_use]
 pub fn headline_preset() -> ModelPreset {
+    if tiny_mode() {
+        return ModelPreset { name: "stories260K", config: ModelConfig::stories260k() };
+    }
     ModelPreset { name: "stories15M", config: ModelConfig::stories15m() }
 }
 
@@ -55,9 +79,16 @@ pub struct Workload {
 
 /// The workload grid used for Fig 2(a): short interactive prompts through
 /// longer completions, mirroring the paper's chat / code-completion
-/// motivations.
+/// motivations. Tiny mode keeps the grid shape but shrinks the generation
+/// budgets to seconds-scale.
 #[must_use]
 pub fn fig2a_workloads() -> Vec<Workload> {
+    if tiny_mode() {
+        return vec![
+            Workload { name: "chat-short", prompt: "Hello there", gen_tokens: 4 },
+            Workload { name: "story-8", prompt: "Once upon a time", gen_tokens: 8 },
+        ];
+    }
     vec![
         Workload { name: "chat-short", prompt: "Hello there, how are you today?", gen_tokens: 16 },
         Workload {
@@ -81,6 +112,9 @@ pub fn fig2a_workloads() -> Vec<Workload> {
 /// The fixed workload used for Fig 2(b) (energy) and the cost table.
 #[must_use]
 pub fn fig2b_workload() -> Workload {
+    if tiny_mode() {
+        return Workload { name: "story-8", prompt: "Once upon a time", gen_tokens: 8 };
+    }
     Workload {
         name: "story-128",
         prompt: "Once upon a time there was a little dog named Tim.",

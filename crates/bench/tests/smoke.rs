@@ -1,0 +1,113 @@
+//! End-to-end smoke tests for every `repro-*` binary: each must run on the
+//! tiny (`SPEEDLLM_TINY=1`) config grid and emit parseable output. This is
+//! what keeps the artifact-evaluation entry points from bit-rotting between
+//! full reproduction runs.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_bin(exe: &str, args: &[&str]) -> String {
+    let out = Command::new(exe)
+        .args(args)
+        .env("SPEEDLLM_TINY", "1")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8(out.stdout).expect("repro output must be UTF-8")
+}
+
+#[test]
+fn repro_fig2a_runs_and_reports_speedups() {
+    let out = run_bin(env!("CARGO_BIN_EXE_repro-fig2a"), &[]);
+    assert!(out.contains("Fig 2(a)"), "missing banner:\n{out}");
+    // Tiny workload grid rows plus the model-size sweep must be present,
+    // each with a parseable "N.NNx" speedup cell.
+    for needle in ["chat-short", "story-8", "test-tiny", "stories260K"] {
+        assert!(out.contains(needle), "missing {needle} row:\n{out}");
+    }
+    let speedups: Vec<f64> = out
+        .split_whitespace()
+        .filter_map(|w| w.strip_suffix('x'))
+        .filter_map(|w| w.parse().ok())
+        .collect();
+    assert!(!speedups.is_empty(), "no parseable speedup cells:\n{out}");
+    assert!(speedups.iter().all(|s| s.is_finite() && *s > 0.0));
+}
+
+#[test]
+fn repro_fig2b_runs_and_reports_all_variants() {
+    let out = run_bin(env!("CARGO_BIN_EXE_repro-fig2b"), &[]);
+    assert!(out.contains("Fig 2(b)"), "missing banner:\n{out}");
+    for variant in ["SpeedLLM (ours)", "no-fuse", "no-parallel", "unoptimized"] {
+        assert!(out.contains(variant), "missing variant {variant}:\n{out}");
+    }
+    assert!(out.contains("tokens/J"), "missing efficiency column:\n{out}");
+}
+
+#[test]
+fn repro_cost_runs() {
+    let out = run_bin(env!("CARGO_BIN_EXE_repro-cost"), &[]);
+    assert!(
+        out.contains("U280"),
+        "cost table must mention the paper's FPGA:\n{out}"
+    );
+}
+
+#[test]
+fn repro_extensions_runs() {
+    let out = run_bin(env!("CARGO_BIN_EXE_repro-extensions"), &[]);
+    assert!(!out.trim().is_empty());
+}
+
+#[test]
+fn repro_csv_emits_wellformed_csv_files() {
+    let outdir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("repro-csv-smoke");
+    let _ = std::fs::remove_dir_all(&outdir);
+    run_bin(
+        env!("CARGO_BIN_EXE_repro-csv"),
+        &[outdir.to_str().unwrap()],
+    );
+    let mut n_files = 0;
+    for entry in std::fs::read_dir(&outdir).expect("outdir must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("csv") {
+            continue;
+        }
+        n_files += 1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_else(|| panic!("{path:?} is empty"));
+        let cols = header.split(',').count();
+        assert!(cols >= 2, "{path:?} header has {cols} column(s)");
+        let mut rows = 0;
+        for line in lines {
+            assert_eq!(
+                line.split(',').count(),
+                cols,
+                "{path:?} row has wrong arity: {line}"
+            );
+            rows += 1;
+        }
+        assert!(rows >= 1, "{path:?} has a header but no data rows");
+    }
+    assert!(n_files >= 3, "expected several CSV artifacts, got {n_files}");
+}
+
+#[test]
+fn repro_all_chains_every_experiment() {
+    // repro-all execs its sibling binaries from its own directory; the
+    // tiny-mode env must propagate to those children.
+    let out = run_bin(env!("CARGO_BIN_EXE_repro-all"), &[]);
+    assert!(out.contains("Fig 2(a)"), "child repro-fig2a output missing");
+    assert!(out.contains("Fig 2(b)"), "child repro-fig2b output missing");
+    assert!(
+        out.contains("all reproductions complete."),
+        "missing completion line:\n{out}"
+    );
+}

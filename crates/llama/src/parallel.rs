@@ -6,19 +6,19 @@
 //!   on `std::thread::scope`. This is the kernel behind the *parallel CPU
 //!   reference* baseline used by the examples; it is data-race free by
 //!   construction (each worker owns a disjoint `&mut` chunk of the output).
-//! * [`ThreadPool`] — a small long-lived worker pool (crossbeam channel +
-//!   completion counter) for `'static` jobs, used by the benchmark harness
-//!   to evaluate independent accelerator variants concurrently.
+//! * [`ThreadPool`] — a small long-lived worker pool (an in-repo MPMC
+//!   channel from [`crate::sync`] + a completion counter) for `'static`
+//!   jobs, used by the benchmark harness to evaluate independent
+//!   accelerator variants concurrently.
 //!
 //! Both deliberately avoid work-stealing sophistication: the workloads are
 //! regular, so static partitioning is within a few percent of optimal and
-//! much easier to reason about.
+//! much easier to reason about. Everything here is `std`-only.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{unbounded, Sender};
 
 /// Minimum number of multiply-accumulates per worker before parallelism
 /// pays for thread wake-up; below this, [`par_matvec`] runs serially.
@@ -109,14 +109,14 @@ impl PendingCount {
     }
     fn decr(&self) {
         if self.count.fetch_sub(1, Ordering::SeqCst) == 1 {
-            let _guard = self.lock.lock();
+            let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
             self.cv.notify_all();
         }
     }
     fn wait_zero(&self) {
-        let mut guard = self.lock.lock();
+        let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         while self.count.load(Ordering::SeqCst) != 0 {
-            self.cv.wait(&mut guard);
+            guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
         }
     }
 }

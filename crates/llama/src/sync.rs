@@ -1,0 +1,281 @@
+//! Std-only channels for the data-stream pipeline and the worker pool.
+//!
+//! The simulator's concurrency needs are small: a bounded hand-off queue
+//! with backpressure (the double-buffering constraint of the streamed
+//! pipeline) and an unbounded multi-consumer job queue (the thread pool).
+//! Rather than depend on an external crate for those two shapes, this
+//! module implements one MPMC channel on `std::sync::{Mutex, Condvar}`:
+//!
+//! * [`bounded`] — capacity-limited; `send` blocks while the queue is full,
+//!   which is exactly the backpressure the `depth`-deep double-buffering
+//!   model relies on (a producer can run at most `cap` items ahead).
+//! * [`unbounded`] — `send` never blocks; used where the queue is drained
+//!   by long-lived workers and submission must not stall.
+//!
+//! Both senders and receivers are cloneable (MPMC). Disconnection follows
+//! the usual contract: `send` fails once every receiver is gone, `recv`
+//! fails once every sender is gone *and* the queue is drained.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when every receiver has been
+/// dropped; the unsent value is handed back.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// Manual impl: senders often carry non-Debug payloads (boxed closures),
+// and `.expect()` on a send requires the error to be Debug regardless.
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the queue is empty and every
+/// sender has been dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    cap: usize,
+    state: Mutex<State<T>>,
+    /// Signalled when an item is pushed or the last sender leaves.
+    not_empty: Condvar,
+    /// Signalled when an item is popped or the last receiver leaves.
+    not_full: Condvar,
+}
+
+/// The sending half of a channel. Cloneable; the channel disconnects for
+/// receivers when the last clone is dropped.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Cloneable (workers may share one
+/// queue); the channel disconnects for senders when the last clone drops.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel that holds at most `cap` in-flight items (≥ 1);
+/// `send` blocks while the channel is full.
+#[must_use]
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap >= 1, "channel capacity must be >= 1");
+    channel(cap)
+}
+
+/// Creates a channel with no capacity limit; `send` never blocks.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(usize::MAX)
+}
+
+fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        cap,
+        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, blocking while the channel is at capacity.
+    /// Fails (returning the value) once every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if state.queue.len() < self.shared.cap {
+                state.queue.push_back(value);
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next item, blocking while the channel is empty.
+    /// Fails once the queue is drained and every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A blocking iterator over received items; ends on disconnect.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.recv().ok())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.senders += 1;
+        drop(state);
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.receivers += 1;
+        drop(state);
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.senders -= 1;
+        let disconnected = state.senders == 0;
+        drop(state);
+        if disconnected {
+            // Wake receivers blocked on an empty queue so they observe it.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.receivers -= 1;
+        let disconnected = state.receivers == 0;
+        drop(state);
+        if disconnected {
+            // Wake senders blocked on a full queue so they observe it.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_within_one_producer() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn recv_fails_after_senders_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let unblocked = Arc::new(AtomicUsize::new(0));
+        let u2 = Arc::clone(&unblocked);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                tx.send(1).unwrap(); // must block: capacity 1, queue full
+                u2.store(1, Ordering::SeqCst);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(unblocked.load(Ordering::SeqCst), 0, "send did not backpressure");
+            assert_eq!(rx.recv(), Ok(0));
+            assert_eq!(rx.recv(), Ok(1));
+        });
+        assert_eq!(unblocked.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn unbounded_send_never_blocks() {
+        let (tx, rx) = unbounded();
+        for i in 0..10_000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx); // disconnect so the draining iterator terminates
+        assert_eq!(rx.iter().count(), 10_000);
+    }
+
+    #[test]
+    fn multiple_consumers_partition_the_stream() {
+        let (tx, rx) = unbounded::<usize>();
+        let seen = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let seen = Arc::clone(&seen);
+                s.spawn(move || {
+                    while rx.recv().is_ok() {
+                        seen.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            drop(rx);
+            for i in 0..1000 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn iter_drains_then_ends() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,204 @@
+//! The property runner: generate cases, detect failures, shrink, report.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Default base seed when neither [`Config::seed`] nor `TESTKIT_SEED` is
+/// set. Fixed so runs are reproducible by default.
+pub const DEFAULT_SEED: u64 = 0x5EED_C0DE_2025_0001;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Upper bound on shrink candidate evaluations after a failure.
+    pub max_shrink_iters: u32,
+    /// Explicit base seed; `None` reads `TESTKIT_SEED`, falling back to
+    /// [`DEFAULT_SEED`].
+    pub seed: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 256, max_shrink_iters: 4096, seed: None }
+    }
+}
+
+impl Config {
+    /// The base seed this configuration resolves to.
+    #[must_use]
+    pub fn resolved_seed(&self) -> u64 {
+        if let Some(s) = self.seed {
+            return s;
+        }
+        match std::env::var("TESTKIT_SEED") {
+            Ok(v) => v
+                .trim()
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("TESTKIT_SEED must be a u64, got {v:?}")),
+            Err(_) => DEFAULT_SEED,
+        }
+    }
+}
+
+/// A failed property check, raised by [`prop_assert!`](crate::prop_assert)
+/// and friends or returned directly from a property body via `?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps any displayable reason.
+    pub fn fail(reason: impl std::fmt::Display) -> Self {
+        Self(reason.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// A property failure with its shrink history, as returned by [`run`].
+#[derive(Debug, Clone)]
+pub struct Failure<V> {
+    /// Base seed of the run (what `TESTKIT_SEED` should be set to).
+    pub seed: u64,
+    /// Zero-based index of the failing case.
+    pub case: u32,
+    /// The originally generated counterexample.
+    pub original: V,
+    /// The shrunk (minimal surviving) counterexample.
+    pub minimal: V,
+    /// Number of successful shrink steps taken.
+    pub shrink_steps: u32,
+    /// The failure message of the minimal counterexample.
+    pub message: String,
+}
+
+/// FNV-1a, used to give each property its own deterministic stream from
+/// one base seed.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `prop` over `cfg.cases` generated values. On failure, shrinks the
+/// counterexample and returns the [`Failure`]; the test harness wrapper
+/// [`check`] panics with a replayable report instead.
+pub fn run<S: Strategy>(
+    cfg: &Config,
+    name: &str,
+    strat: &S,
+    prop: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) -> Result<(), Box<Failure<S::Value>>> {
+    let seed = cfg.resolved_seed();
+    let mut rng = TestRng::new(seed ^ hash_name(name));
+    for case in 0..cfg.cases {
+        let value = strat.generate(&mut rng);
+        if let Err(err) = prop(value.clone()) {
+            let mut minimal = value.clone();
+            let mut message = err.to_string();
+            let mut shrink_steps = 0u32;
+            let mut budget = cfg.max_shrink_iters;
+            // Greedy descent: take the first simpler candidate that still
+            // fails; stop when no candidate fails or the budget runs out.
+            'descend: loop {
+                for cand in strat.shrink(&minimal) {
+                    if budget == 0 {
+                        break 'descend;
+                    }
+                    budget -= 1;
+                    if let Err(e) = prop(cand.clone()) {
+                        minimal = cand;
+                        message = e.to_string();
+                        shrink_steps += 1;
+                        continue 'descend;
+                    }
+                }
+                break;
+            }
+            return Err(Box::new(Failure {
+                seed,
+                case,
+                original: value,
+                minimal,
+                shrink_steps,
+                message,
+            }));
+        }
+    }
+    Ok(())
+}
+
+/// [`run`], panicking on failure with a replayable report. This is what
+/// the [`props!`](crate::props) macro expands to.
+pub fn check<S: Strategy>(
+    cfg: &Config,
+    name: &str,
+    strat: &S,
+    prop: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) {
+    if let Err(f) = run(cfg, name, strat, prop) {
+        panic!(
+            "property `{name}` failed at case {case} of {cases}\n\
+             minimal counterexample (after {steps} shrink steps): {minimal:?}\n\
+             originally generated as: {original:?}\n\
+             error: {message}\n\
+             replay with: TESTKIT_SEED={seed} cargo test {name}",
+            case = f.case,
+            cases = cfg.cases,
+            steps = f.shrink_steps,
+            minimal = f.minimal,
+            original = f.original,
+            message = f.message,
+            seed = f.seed,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counted = std::cell::Cell::new(0u32);
+        let cfg = Config { cases: 64, ..Config::default() };
+        run(&cfg, "always_true", &(0u64..100), |_| {
+            counted.set(counted.get() + 1);
+            Ok(())
+        })
+        .expect("property holds");
+        assert_eq!(counted.get(), 64);
+    }
+
+    #[test]
+    fn failing_property_reports_a_failure() {
+        let cfg = Config { cases: 256, ..Config::default() };
+        let f = run(&cfg, "never_big", &(0u64..1000), |v| {
+            if v >= 500 {
+                Err(TestCaseError::fail(format!("{v} too big")))
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("property must fail");
+        assert!(f.minimal >= 500);
+        assert!(f.message.contains("too big"));
+    }
+
+    #[test]
+    #[should_panic(expected = "property `boom` failed")]
+    fn check_panics_with_report() {
+        let cfg = Config { cases: 16, ..Config::default() };
+        check(&cfg, "boom", &(0u64..10), |_| Err(TestCaseError::fail("no")));
+    }
+}

@@ -1,0 +1,484 @@
+//! Value generators with shrinking.
+//!
+//! A [`Strategy`] produces random values of one type and, given a failing
+//! value, proposes *simpler* candidate values (shrinking). The runner
+//! repeatedly replaces a counterexample with any simpler candidate that
+//! still fails, converging on a minimal one.
+//!
+//! Built-in strategies mirror the `proptest` subset the repo's property
+//! suite uses: half-open ranges over the common numeric types are
+//! strategies themselves (`0u64..200`, `-100.0f32..100.0`), tuples of
+//! strategies are strategies, and [`vec_of`] / the string constructors
+//! cover collections.
+
+use crate::rng::TestRng;
+
+/// A generator of values plus a shrinker toward "simpler" values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Clone + std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly simpler candidates for a failing value. An empty
+    /// vector means the value is already minimal (or unshrinkable).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+// --- numeric ranges -------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                (lo + rng.gen_range_u64(0, (hi - lo) as u64) as i128) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let lo = self.start;
+                if v <= lo {
+                    return Vec::new();
+                }
+                // Toward the lower bound: the bound itself, the midpoint,
+                // and one step down. Dedup preserves strict progress.
+                let mid = lo + (v - lo) / 2;
+                let mut out = vec![lo, mid, v - 1];
+                out.dedup();
+                out.retain(|&c| c < v);
+                out
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let v = self.start as f64
+                    + rng.next_f64() * (self.end as f64 - self.start as f64);
+                // Guard the half-open upper bound against rounding.
+                (v as $t).clamp(self.start, <$t>::from_bits(self.end.to_bits() - 1))
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let mut out: Vec<$t> = Vec::new();
+                // Zero is the simplest float when the range admits it.
+                if self.contains(&0.0) && v != 0.0 {
+                    out.push(0.0);
+                }
+                if v != self.start {
+                    out.push(self.start);
+                    out.push(self.start + (v - self.start) / 2.0);
+                }
+                out.retain(|c| c != value && self.contains(c));
+                out
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// --- any ------------------------------------------------------------------
+
+/// Strategy over all of `bool` (see [`any_bool`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+/// Any boolean; `true` shrinks to `false`.
+#[must_use]
+pub fn any_bool() -> BoolAny {
+    BoolAny
+}
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool()
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value { vec![false] } else { Vec::new() }
+    }
+}
+
+/// Strategy over all of `u64` (see [`any_u64`]).
+#[derive(Debug, Clone, Copy)]
+pub struct U64Any;
+
+/// Any `u64`, including the extremes; shrinks toward zero.
+#[must_use]
+pub fn any_u64() -> U64Any {
+    U64Any
+}
+
+impl Strategy for U64Any {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        // Mix magnitudes: small values surface edge cases far more often
+        // than a uniform draw over 2^64 would.
+        match rng.gen_range_u64(0, 4) {
+            0 => rng.gen_range_u64(0, 16),
+            1 => rng.gen_range_u64(0, 1 << 16),
+            _ => rng.next_u64(),
+        }
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        let v = *value;
+        if v == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![0, v / 2, v - 1];
+        out.dedup();
+        out.retain(|&c| c < v);
+        out
+    }
+}
+
+// --- tuples ---------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident / $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+// --- collections ----------------------------------------------------------
+
+/// Strategy for `Vec<T>` (see [`vec_of`]).
+#[derive(Debug, Clone)]
+pub struct VecOf<S> {
+    elem: S,
+    len: std::ops::Range<usize>,
+}
+
+/// A vector whose length is drawn from `len` and whose elements come from
+/// `elem`. Shrinks by dropping elements (never below `len.start`) and by
+/// shrinking individual elements.
+#[must_use]
+pub fn vec_of<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecOf<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecOf { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let min = self.len.start;
+        let mut out = Vec::new();
+        // Structural shrinks first: shorter vectors are simpler than
+        // same-length vectors with simpler elements.
+        if value.len() > min {
+            let half = (value.len() / 2).max(min);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..value.len() - 1].to_vec());
+            out.push(value[1..].to_vec());
+        }
+        for (i, v) in value.iter().enumerate() {
+            for cand in self.elem.shrink(v) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+// --- strings --------------------------------------------------------------
+
+/// Character alphabets for [`StringStrat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Alphabet {
+    /// `[ -~]`: every printable ASCII character, space included.
+    PrintableAscii,
+    /// `[a-z]`.
+    Lowercase,
+    /// Printable characters across several Unicode blocks (an assigned,
+    /// non-control approximation of `\PC`).
+    Unicode,
+}
+
+/// Strategy for `String` over a fixed alphabet and length range.
+#[derive(Debug, Clone)]
+pub struct StringStrat {
+    alphabet: Alphabet,
+    len: std::ops::Range<usize>,
+}
+
+/// Strings of printable ASCII (`[ -~]`), `len` characters long.
+#[must_use]
+pub fn printable_ascii(len: std::ops::Range<usize>) -> StringStrat {
+    StringStrat { alphabet: Alphabet::PrintableAscii, len }
+}
+
+/// Strings of `[a-z]`, `len` characters long.
+#[must_use]
+pub fn lowercase(len: std::ops::Range<usize>) -> StringStrat {
+    StringStrat { alphabet: Alphabet::Lowercase, len }
+}
+
+/// Strings of printable Unicode drawn from several blocks (ASCII, Latin-1
+/// letters, Greek, Cyrillic, Hiragana, CJK, symbols, emoji), `len`
+/// characters long.
+#[must_use]
+pub fn unicode(len: std::ops::Range<usize>) -> StringStrat {
+    StringStrat { alphabet: Alphabet::Unicode, len }
+}
+
+/// Unicode blocks sampled by [`unicode`]; all code points are assigned,
+/// printable, non-control characters.
+const UNICODE_BLOCKS: &[(u32, u32)] = &[
+    (0x0020, 0x007F),   // printable ASCII
+    (0x00C0, 0x0100),   // Latin-1 letters
+    (0x0391, 0x03AA),   // Greek capitals
+    (0x0410, 0x0450),   // Cyrillic
+    (0x3041, 0x3097),   // Hiragana
+    (0x4E00, 0x4F00),   // CJK ideographs (slice)
+    (0x2600, 0x2700),   // symbols
+    (0x1F600, 0x1F650), // emoji
+];
+
+impl StringStrat {
+    fn gen_char(&self, rng: &mut TestRng) -> char {
+        match self.alphabet {
+            Alphabet::PrintableAscii => {
+                char::from_u32(rng.gen_range_u64(0x20, 0x7F) as u32).unwrap()
+            }
+            Alphabet::Lowercase => char::from_u32(rng.gen_range_u64(0x61, 0x7B) as u32).unwrap(),
+            Alphabet::Unicode => {
+                let (lo, hi) = UNICODE_BLOCKS
+                    [rng.gen_range_u64(0, UNICODE_BLOCKS.len() as u64) as usize];
+                char::from_u32(rng.gen_range_u64(u64::from(lo), u64::from(hi)) as u32)
+                    .expect("blocks contain only valid scalar values")
+            }
+        }
+    }
+
+    fn simplest_char(&self) -> char {
+        match self.alphabet {
+            Alphabet::PrintableAscii | Alphabet::Unicode => ' ',
+            Alphabet::Lowercase => 'a',
+        }
+    }
+}
+
+impl Strategy for StringStrat {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.gen_char(rng)).collect()
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let chars: Vec<char> = value.chars().collect();
+        let min = self.len.start;
+        let mut out = Vec::new();
+        if chars.len() > min {
+            let half = (chars.len() / 2).max(min);
+            if half < chars.len() {
+                out.push(chars[..half].iter().collect());
+            }
+            out.push(chars[..chars.len() - 1].iter().collect());
+            out.push(chars[1..].iter().collect());
+        }
+        // Replace each non-simplest character with the simplest one.
+        let simple = self.simplest_char();
+        for (i, &c) in chars.iter().enumerate() {
+            if c != simple {
+                let mut next = chars.clone();
+                next[i] = simple;
+                out.push(next.into_iter().collect());
+            }
+        }
+        out
+    }
+}
+
+// --- combinators ----------------------------------------------------------
+
+/// Output of [`StrategyExt::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+/// Combinator methods on every strategy.
+pub trait StrategyExt: Strategy + Sized {
+    /// Maps generated values through `f`. The mapping is not invertible,
+    /// so mapped values do not shrink.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Clone + std::fmt::Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy> StrategyExt for S {}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Clone + std::fmt::Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn int_range_generates_in_bounds() {
+        let s = 5u64..20;
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(s.contains(&s.generate(&mut r)));
+        }
+    }
+
+    #[test]
+    fn int_shrink_moves_strictly_down() {
+        let s = 3usize..100;
+        for v in [4usize, 50, 99] {
+            for c in s.shrink(&v) {
+                assert!(c < v && c >= 3);
+            }
+        }
+        assert!(s.shrink(&3).is_empty());
+    }
+
+    #[test]
+    fn float_range_generates_in_bounds() {
+        let s = -2.5f32..7.5;
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = s.generate(&mut r);
+            assert!((-2.5..7.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_respects_length_range() {
+        let s = vec_of(0u32..10, 2..6);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_shrink_never_undershoots_min_len() {
+        let s = vec_of(0u32..10, 2..6);
+        let v = vec![9, 8, 7, 6, 5];
+        for c in s.shrink(&v) {
+            assert!(c.len() >= 2, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn strings_match_their_alphabet() {
+        let mut r = rng();
+        for _ in 0..200 {
+            for c in printable_ascii(0..50).generate(&mut r).chars() {
+                assert!((' '..='~').contains(&c));
+            }
+            for c in lowercase(1..7).generate(&mut r).chars() {
+                assert!(c.is_ascii_lowercase());
+            }
+            for c in unicode(0..40).generate(&mut r).chars() {
+                assert!(!c.is_control(), "control char {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let s = (1u64..100, 1u64..100);
+        let v = (50u64, 60u64);
+        for (a, b) in s.shrink(&v) {
+            let changed = usize::from(a != v.0) + usize::from(b != v.1);
+            assert_eq!(changed, 1, "({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn prop_map_applies_function() {
+        let s = (1usize..8).prop_map(|x| x * 2);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v % 2 == 0 && (2..16).contains(&v));
+        }
+        assert!(s.shrink(&6).is_empty(), "mapped values do not shrink");
+    }
+}

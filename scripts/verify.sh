@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full verification gate: tier-1 (build + tests) plus a bench smoke pass.
+#
+# Everything here runs offline — the workspace has no registry
+# dependencies, so a clean checkout verifies with no network at all.
+#
+# Usage: scripts/verify.sh [--tier1-only]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: release build =="
+cargo build --release
+
+# --workspace is a superset of the tier-1 `cargo test -q` (root package):
+# it adds every member crate's unit tests, the testkit self-tests, and
+# the repro-binary smoke tests in crates/bench/tests.
+echo "== tier 1+ : workspace test suite =="
+cargo test -q --workspace
+
+if [[ "${1:-}" == "--tier1-only" ]]; then
+    echo "verify OK (tier 1 only)"
+    exit 0
+fi
+
+# All bench targets live in speedllm-bench (harness = false), so scope the
+# run there — default libtest harnesses elsewhere would reject --smoke.
+echo "== bench smoke (tiny configs, 3 samples per bench) =="
+cargo bench -p speedllm-bench -- --smoke
+
+echo "verify OK"

@@ -1,8 +1,12 @@
-//! Property-based tests (proptest) over the public API: codec round-trips,
-//! quantization error bounds, memory-plan soundness, scheduler laws, and
-//! sampler ranges under arbitrary inputs.
+//! Property-based tests (speedllm-testkit) over the public API: codec
+//! round-trips, quantization error bounds, memory-plan soundness, scheduler
+//! laws, and sampler ranges under arbitrary inputs.
+//!
+//! Every property keeps its original name and 64-case budget from the
+//! `proptest` era; runs are reproducible from a fixed seed (override with
+//! `TESTKIT_SEED=<u64>` to replay a reported failure).
 
-use proptest::prelude::*;
+use speedllm_testkit::prelude::*;
 
 use speedllm::accel::fusion::{fuse, fuse_with_limit};
 use speedllm::accel::ir::build_decode_graph;
@@ -16,25 +20,22 @@ use speedllm::llama::quant::{QuantTensor, GROUP};
 use speedllm::llama::sparse::BlockSparseMatrix;
 use speedllm::llama::tokenizer::Tokenizer;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    #![config(cases = 64)]
 
-    #[test]
-    fn tokenizer_roundtrips_arbitrary_ascii(text in "[ -~]{0,120}") {
+    fn tokenizer_roundtrips_arbitrary_ascii(text in printable_ascii(0..121)) {
         let t = Tokenizer::synthetic(512, 7);
         let ids = t.encode(&text, true, false);
         prop_assert_eq!(t.decode(&ids), text);
     }
 
-    #[test]
-    fn tokenizer_roundtrips_arbitrary_unicode(text in "\\PC{0,40}") {
+    fn tokenizer_roundtrips_arbitrary_unicode(text in unicode(0..41)) {
         let t = Tokenizer::synthetic(512, 7);
         let ids = t.encode(&text, true, false);
         prop_assert_eq!(t.decode(&ids), text);
     }
 
-    #[test]
-    fn quantization_error_is_bounded(values in proptest::collection::vec(-100.0f32..100.0, 1..300)) {
+    fn quantization_error_is_bounded(values in vec_of(-100.0f32..100.0, 1..300)) {
         let qt = QuantTensor::quantize(&values);
         let back = qt.dequantize();
         let bound = qt.error_bound() + 1e-5;
@@ -46,8 +47,7 @@ proptest! {
         prop_assert!(qt.scales.len() == values.len().div_ceil(GROUP));
     }
 
-    #[test]
-    fn softmax_is_a_distribution(values in proptest::collection::vec(-50.0f32..50.0, 1..200)) {
+    fn softmax_is_a_distribution(values in vec_of(-50.0f32..50.0, 1..200)) {
         let mut x = values;
         ops::softmax(&mut x);
         let sum: f32 = x.iter().sum();
@@ -55,8 +55,7 @@ proptest! {
         prop_assert!(x.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
     }
 
-    #[test]
-    fn rmsnorm_output_is_finite_and_scaled(values in proptest::collection::vec(-1000.0f32..1000.0, 4..128)) {
+    fn rmsnorm_output_is_finite_and_scaled(values in vec_of(-1000.0f32..1000.0, 4..128)) {
         let gain = vec![1.0f32; values.len()];
         let mut out = vec![0.0f32; values.len()];
         ops::rmsnorm(&mut out, &values, &gain);
@@ -69,11 +68,10 @@ proptest! {
         }
     }
 
-    #[test]
     fn memory_plans_are_sound_for_any_pool_size(
         pool in 64u64..4_000_000,
-        fused in any::<bool>(),
-        reuse in any::<bool>(),
+        fused in any_bool(),
+        reuse in any_bool(),
     ) {
         let graph = build_decode_graph(&ModelConfig::test_tiny());
         let schedule = fuse(&graph, fused);
@@ -81,7 +79,6 @@ proptest! {
         verify_plan(&graph, &schedule, &p).map_err(TestCaseError::fail)?;
     }
 
-    #[test]
     fn fusion_partitions_for_any_limit(limit in 1usize..12) {
         let graph = build_decode_graph(&ModelConfig::test_tiny());
         let s = fuse_with_limit(&graph, true, limit);
@@ -91,9 +88,8 @@ proptest! {
         prop_assert_eq!(s.op_count(), graph.ops.len());
     }
 
-    #[test]
     fn streamed_schedule_never_slower_than_sequential(
-        tiles in proptest::collection::vec((0u64..200, 1u64..200, 0u64..100), 1..40),
+        tiles in vec_of((0u64..200, 1u64..200, 0u64..100), 1..40),
         depth in 1usize..5,
     ) {
         let tiles: Vec<TileCost> = tiles
@@ -119,10 +115,9 @@ proptest! {
         prop_assert_eq!(q.span.end, Cycles(launch.0 + total));
     }
 
-    #[test]
     fn sampler_indices_always_in_vocab(
-        logits in proptest::collection::vec(-30.0f32..30.0, 2..100),
-        seed in any::<u64>(),
+        logits in vec_of(-30.0f32..30.0, 2..100),
+        seed in any_u64(),
         temp in 0.1f32..3.0,
         p in 0.05f32..1.0,
     ) {
@@ -140,7 +135,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn rope_preserves_norm_for_any_position(
         pos in 0usize..4096,
         head_dim in (1usize..8).prop_map(|x| x * 2),
@@ -153,13 +147,12 @@ proptest! {
         prop_assert!((norm0 - norm1).abs() < norm0 * 1e-3 + 1e-4);
     }
 
-    #[test]
     fn sparse_matvec_agrees_with_pruned_dense(
         rows in 1usize..20,
         cols in 1usize..50,
         block in 1usize..12,
         sparsity in 0.0f32..0.95,
-        seed in any::<u64>(),
+        seed in any_u64(),
     ) {
         let mut rng = speedllm::llama::rng::Xoshiro256::seed_from_u64(seed);
         let mut w = vec![0.0f32; rows * cols];
@@ -179,9 +172,8 @@ proptest! {
         prop_assert!(m.density() <= 1.0 + 1e-9);
     }
 
-    #[test]
     fn trained_bpe_roundtrips_its_own_corpus_fragments(
-        words in proptest::collection::vec("[a-z]{1,6}", 5..25),
+        words in vec_of(lowercase(1..7), 5..25),
     ) {
         let corpus = words.join(" ");
         let t = speedllm::llama::bpe_train::train(
@@ -192,10 +184,9 @@ proptest! {
         prop_assert_eq!(t.decode(&ids), corpus);
     }
 
-    #[test]
     fn chunked_prefill_matches_for_any_split(
         split in 1usize..12,
-        seed in any::<u64>(),
+        seed in any_u64(),
     ) {
         use speedllm::accel::engine::Engine;
         use speedllm::accel::opt::OptConfig;
@@ -221,13 +212,12 @@ proptest! {
         }
     }
 
-    #[test]
     fn checkpoint_roundtrip_for_random_tiny_architectures(
         n_layers in 1usize..4,
         heads in 1usize..5,
         gqa in 1usize..3,
         dim_mult in 1usize..5,
-        seed in any::<u64>(),
+        seed in any_u64(),
     ) {
         let n_heads = heads * gqa;
         let dim = n_heads * 2 * dim_mult;
