@@ -18,6 +18,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use speedllm_telemetry as tel;
+
 use speedllm_fpga_sim::cycles::Cycles;
 use speedllm_fpga_sim::dma::{Direction, DmaConfig, DmaEngine};
 use speedllm_fpga_sim::event::Timeline;
@@ -107,8 +109,16 @@ impl AccelConfig {
         Self {
             mpe,
             hbm: HbmConfig::u280(),
-            read_dma: DmaConfig { channels: rd_ch, setup_cycles: 16, pipelined },
-            write_dma: DmaConfig { channels: wr_ch, setup_cycles: 16, pipelined },
+            read_dma: DmaConfig {
+                channels: rd_ch,
+                setup_cycles: 16,
+                pipelined,
+            },
+            write_dma: DmaConfig {
+                channels: wr_ch,
+                setup_cycles: 16,
+                pipelined,
+            },
             launch_overhead: Cycles(240),
             streamed_launch_overhead: Cycles(40),
             alloc_stall: Cycles(320),
@@ -273,7 +283,19 @@ impl Engine {
         cfg.validate().map_err(EngineError::OverBudget)?;
         let graph = build_decode_graph(&weights.config);
         let schedule = fuse_with_limit(&graph, opt.operator_fusion, cfg.fusion_max_ops);
-        let plan = plan(&graph, &schedule, opt.memory_reuse, cfg.activation_pool_bytes);
+        let plan = plan(
+            &graph,
+            &schedule,
+            opt.memory_reuse,
+            cfg.activation_pool_bytes,
+        );
+        if tel::enabled() {
+            let rep = schedule.report(&graph);
+            tel::metrics::gauge_set("accel.schedule_kernels", rep.kernels as f64);
+            tel::metrics::gauge_set("accel.fused_values", rep.internal_values as f64);
+            tel::metrics::gauge_set("accel.memplan_ocm_values", plan.ocm_values() as f64);
+            tel::metrics::gauge_set("accel.memplan_hbm_values", plan.hbm_values() as f64);
+        }
         let seq = SequenceState::new(&weights.config, graph.values.len());
         Ok(Self {
             weights,
@@ -473,7 +495,12 @@ impl Engine {
                 }
                 seq.kv.store(layer, pos, &k, &v);
             }
-            OpKind::Attention { layer, n_heads, n_kv_heads, head_dim } => {
+            OpKind::Attention {
+                layer,
+                n_heads,
+                n_kv_heads,
+                head_dim,
+            } => {
                 let q = seq.value(op.inputs[0]).to_vec();
                 let gqa = n_heads / n_kv_heads;
                 let mut out = vec![0.0f32; n_heads * head_dim];
@@ -556,7 +583,12 @@ impl Engine {
                 let n = self.graph.elems(op.inputs[0]);
                 let read = self.dma_rd.transfer(&mut self.hbm, (n * 4) as u64);
                 let compute = sfu_batched(&mut self.sfu, SfuKind::RmsNorm, n);
-                tiles.push(TileCost { read, compute, write: Cycles::ZERO, unit: Unit::Sfu });
+                tiles.push(TileCost {
+                    read,
+                    compute,
+                    write: Cycles::ZERO,
+                    unit: Unit::Sfu,
+                });
             }
             OpKind::MatMul { rows, cols } => {
                 // Stream weights one row-wave at a time; each wave is
@@ -571,7 +603,12 @@ impl Engine {
                     for _ in 0..batch {
                         compute += self.mpe.run_tile(take, cols);
                     }
-                    tiles.push(TileCost { read, compute, write: Cycles::ZERO, unit: Unit::Mpe });
+                    tiles.push(TileCost {
+                        read,
+                        compute,
+                        write: Cycles::ZERO,
+                        unit: Unit::Mpe,
+                    });
                     r += take;
                 }
             }
@@ -595,7 +632,9 @@ impl Engine {
                     unit: Unit::Sfu,
                 });
             }
-            OpKind::Attention { n_heads, head_dim, .. } => {
+            OpKind::Attention {
+                n_heads, head_dim, ..
+            } => {
                 // Page the cached context in from HBM; compute scores+mix
                 // per page on the MPE, softmax on the SFU at the end. Each
                 // chunk position attends to its own (causal) context; pages
@@ -674,8 +713,7 @@ impl Engine {
             ocm_write_bytes: 0,
             mpe: *self.mpe.counters(),
             sfu: *self.sfu.counters(),
-            dma_busy_cycles: self.dma_rd.counters().busy_cycles
-                * self.cfg.read_dma.channels as u64
+            dma_busy_cycles: self.dma_rd.counters().busy_cycles * self.cfg.read_dma.channels as u64
                 + self.dma_wr.counters().busy_cycles * self.cfg.write_dma.channels as u64,
             kernel_launches: self.launches,
             alloc_stalls: self.stalls,
@@ -700,9 +738,13 @@ impl Engine {
     /// prefill chunk or one position per batched sequence) and returns the
     /// makespan plus on-chip read/write byte counts.
     fn timing_pass(&mut self, positions: &[usize]) -> (Cycles, u64, u64) {
+        let _g = tel::span("engine", "timing_pass").arg("batch", positions.len() as i64);
         let batch = positions.len() as u64;
         let mut ocm_read = 0u64;
         let mut ocm_write = 0u64;
+        // Batched locally so the registry lock is taken once per pass.
+        let mut fusion_hits = 0u64;
+        let mut ocm_hits = 0u64;
         let mut tl = Timeline::new(N_RESOURCES);
         let pipe = PipelineConfig {
             streamed: self.opt.stream_parallel,
@@ -719,6 +761,9 @@ impl Engine {
         let kernels = self.schedule.kernels.clone();
         for kernel in &kernels {
             self.launches += 1;
+            if kernel.ops.len() > 1 {
+                fusion_hits += 1;
+            }
             // External activation inputs: availability + load cost (one
             // activation instance per chunk position).
             let mut compute_ready = Cycles::ZERO;
@@ -747,6 +792,7 @@ impl Engine {
                     }
                     Placement::Ocm(_) => {
                         ocm_read += bytes;
+                        ocm_hits += 1;
                     }
                     Placement::Internal => {}
                 }
@@ -797,7 +843,11 @@ impl Engine {
                 });
             }
 
-            let host_ready = if self.opt.stream_parallel { Cycles::ZERO } else { prev_kernel_end };
+            let host_ready = if self.opt.stream_parallel {
+                Cycles::ZERO
+            } else {
+                prev_kernel_end
+            };
             let timing = schedule_kernel(
                 &mut tl,
                 self.trace.as_mut(),
@@ -815,6 +865,8 @@ impl Engine {
                 }
             }
         }
+        tel::metrics::counter_add("accel.fusion_kernel_hits", fusion_hits);
+        tel::metrics::counter_add("accel.memplan_ocm_hits", ocm_hits);
         (tl.makespan(), ocm_read, ocm_write)
     }
 
@@ -871,7 +923,11 @@ impl Engine {
         let c = self.graph.config;
         assert!(!seqs.is_empty(), "empty batch");
         assert_eq!(seqs.len(), tokens.len(), "one token per sequence");
-        assert!(seqs.len() <= 64, "batch of {} exceeds the staging limit (64)", seqs.len());
+        assert!(
+            seqs.len() <= 64,
+            "batch of {} exceeds the staging limit (64)",
+            seqs.len()
+        );
         let positions: Vec<usize> = seqs.iter().map(|s| s.context_len()).collect();
         for (&pos, &tok) in positions.iter().zip(tokens) {
             assert!(pos < c.seq_len, "sequence at context limit {pos}");
@@ -905,7 +961,14 @@ impl Engine {
         let (cycles, ocm_read, ocm_write) = self.timing_pass(&positions);
         let stats = self.step_stats(&before, cycles, ocm_read, ocm_write);
         let logits = all_logits.last().cloned().unwrap_or_default();
-        (all_logits, StepResult { logits, cycles, stats })
+        (
+            all_logits,
+            StepResult {
+                logits,
+                cycles,
+                stats,
+            },
+        )
     }
 
     fn run_chunk(&mut self, tokens: &[u32], start_pos: usize) -> StepResult {
@@ -917,7 +980,11 @@ impl Engine {
             tokens.len()
         );
         let last_pos = start_pos + tokens.len() - 1;
-        assert!(last_pos < c.seq_len, "pos {last_pos} outside context window {}", c.seq_len);
+        assert!(
+            last_pos < c.seq_len,
+            "pos {last_pos} outside context window {}",
+            c.seq_len
+        );
         for &t in tokens {
             assert!((t as usize) < c.vocab_size, "token {t} out of vocab");
         }
@@ -950,7 +1017,11 @@ impl Engine {
         // --- Timing pass: kernel-order over the whole chunk. ---
         let (cycles, ocm_read, ocm_write) = self.timing_pass(&positions);
         let stats = self.step_stats(&before, cycles, ocm_read, ocm_write);
-        StepResult { logits, cycles, stats }
+        StepResult {
+            logits,
+            cycles,
+            stats,
+        }
     }
 }
 
@@ -966,13 +1037,17 @@ mod tests {
     }
 
     fn max_diff(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).fold(0.0f32, |m, (x, y)| m.max((x - y).abs()))
+        a.iter()
+            .zip(b)
+            .fold(0.0f32, |m, (x, y)| m.max((x - y).abs()))
     }
 
     #[test]
     fn all_paper_variants_fit_the_device() {
         for (_, opt) in OptConfig::paper_variants() {
-            AccelConfig::for_opt(&opt).validate().expect("must fit U280");
+            AccelConfig::for_opt(&opt)
+                .validate()
+                .expect("must fit U280");
         }
     }
 
@@ -1218,8 +1293,11 @@ mod tests {
         let mut s2 = batch_engine.new_sequence();
         // Bring each sequence to one-before-the-end of its history.
         {
-            let mut seqs: Vec<(&mut SequenceState, &[u32])> =
-                vec![(&mut s0, histories[0]), (&mut s1, histories[1]), (&mut s2, histories[2])];
+            let mut seqs: Vec<(&mut SequenceState, &[u32])> = vec![
+                (&mut s0, histories[0]),
+                (&mut s1, histories[1]),
+                (&mut s2, histories[2]),
+            ];
             for (seq, h) in seqs.iter_mut() {
                 for (pos, &t) in h[..h.len() - 1].iter().enumerate() {
                     let mut solo = [&mut **seq];
@@ -1263,7 +1341,10 @@ mod tests {
             single_cycles += r.cycles.0;
             single_reads += r.stats.hbm.read_bytes;
         }
-        assert!(batched.cycles.0 < single_cycles, "batching must win wall-clock");
+        assert!(
+            batched.cycles.0 < single_cycles,
+            "batching must win wall-clock"
+        );
         assert!(
             batched.stats.hbm.read_bytes * 4 < single_reads,
             "weight stream must be shared: {} vs {}",
@@ -1293,7 +1374,10 @@ mod tests {
                 .fold(0.0f32, |m, (x, y)| m.max((x - y).abs()));
             assert!(d < 0.05, "int8 KV diverged by {d} at pos {pos}");
         }
-        assert!(read_i8 < read_f32, "int8 KV must read less: {read_i8} vs {read_f32}");
+        assert!(
+            read_i8 < read_f32,
+            "int8 KV must read less: {read_i8} vs {read_f32}"
+        );
     }
 
     #[test]
@@ -1301,7 +1385,10 @@ mod tests {
         // test_tiny's 8-wide KV rows vanish inside one 64 B burst; use the
         // 32-wide stories260K rows so the precision difference survives
         // padding.
-        let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::stories260k(), 42));
+        let weights = Arc::new(TransformerWeights::synthetic(
+            ModelConfig::stories260k(),
+            42,
+        ));
         let mut cfg = AccelConfig::for_opt(&OptConfig::full());
         cfg.kv_precision = Precision::Int8;
         let mut i8kv = Engine::with_config(Arc::clone(&weights), OptConfig::full(), cfg).unwrap();

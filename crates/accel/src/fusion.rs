@@ -83,7 +83,10 @@ pub fn fuse_with_limit(graph: &Graph, enabled: bool, max_ops: usize) -> Schedule
             .ops
             .iter()
             .enumerate()
-            .map(|(i, op)| Kernel { ops: vec![i], label: op.label.clone() })
+            .map(|(i, op)| Kernel {
+                ops: vec![i],
+                label: op.label.clone(),
+            })
             .collect();
         return Schedule { kernels };
     }
@@ -93,28 +96,28 @@ pub fn fuse_with_limit(graph: &Graph, enabled: bool, max_ops: usize) -> Schedule
     // Values produced by ops already in `current`.
     let mut produced_here: HashSet<ValueId> = HashSet::new();
 
-    let flush = |current: &mut Vec<usize>,
-                 produced: &mut HashSet<ValueId>,
-                 kernels: &mut Vec<Kernel>| {
-        if current.is_empty() {
-            return;
-        }
-        let first = &graph.ops[current[0]];
-        let label = if current.len() == 1 {
-            first.label.clone()
-        } else {
-            format!("{}+{}", first.label, current.len() - 1)
+    let flush =
+        |current: &mut Vec<usize>, produced: &mut HashSet<ValueId>, kernels: &mut Vec<Kernel>| {
+            if current.is_empty() {
+                return;
+            }
+            let first = &graph.ops[current[0]];
+            let label = if current.len() == 1 {
+                first.label.clone()
+            } else {
+                format!("{}+{}", first.label, current.len() - 1)
+            };
+            kernels.push(Kernel {
+                ops: std::mem::take(current),
+                label,
+            });
+            produced.clear();
         };
-        kernels.push(Kernel { ops: std::mem::take(current), label });
-        produced.clear();
-    };
 
     for (i, op) in graph.ops.iter().enumerate() {
         let starts_new = match op.kind {
             OpKind::RmsNorm | OpKind::Attention { .. } => true,
-            OpKind::MatMul { .. } => {
-                !op.inputs.iter().all(|v| produced_here.contains(v))
-            }
+            OpKind::MatMul { .. } => !op.inputs.iter().all(|v| produced_here.contains(v)),
             _ => false,
         } || current.len() >= max_ops;
         if starts_new {
@@ -164,8 +167,8 @@ impl Schedule {
             for &out in &op.outputs {
                 let producer_k = op_kernel[oi];
                 let consumers = graph.consumers(out);
-                let crosses = out == output
-                    || consumers.iter().any(|&ci| op_kernel[ci] != producer_k);
+                let crosses =
+                    out == output || consumers.iter().any(|&ci| op_kernel[ci] != producer_k);
                 if crosses {
                     materialized.push((out, producer_k));
                 } else {
@@ -173,7 +176,10 @@ impl Schedule {
                 }
             }
         }
-        ValueClasses { internal, materialized }
+        ValueClasses {
+            internal,
+            materialized,
+        }
     }
 
     /// Summary report.
@@ -203,7 +209,10 @@ impl Schedule {
             }
         }
         if expected != graph.ops.len() {
-            return Err(format!("schedule covers {expected} of {} ops", graph.ops.len()));
+            return Err(format!(
+                "schedule covers {expected} of {} ops",
+                graph.ops.len()
+            ));
         }
         Ok(())
     }
@@ -235,7 +244,10 @@ mod tests {
         let s = fuse(&g, true);
         s.validate(&g).unwrap();
         assert_eq!(s.op_count(), g.ops.len());
-        assert!(s.kernels.len() < g.ops.len() / 2, "fusion should merge aggressively");
+        assert!(
+            s.kernels.len() < g.ops.len() / 2,
+            "fusion should merge aggressively"
+        );
     }
 
     #[test]
@@ -263,8 +275,10 @@ mod tests {
         let fused = fuse(&g, true).report(&g);
         let unfused = fuse(&g, false).report(&g);
         assert_eq!(unfused.internal_values, 0);
-        assert!(fused.internal_values > fused.materialized_values,
-            "fused: {fused:?}");
+        assert!(
+            fused.internal_values > fused.materialized_values,
+            "fused: {fused:?}"
+        );
         assert_eq!(
             fused.internal_values + fused.materialized_values,
             unfused.materialized_values,
@@ -287,7 +301,10 @@ mod tests {
         for limit in [1, 2, 3, 5, 8] {
             let s = fuse_with_limit(&g, true, limit);
             s.validate(&g).unwrap();
-            assert!(s.kernels.iter().all(|k| k.ops.len() <= limit), "limit {limit}");
+            assert!(
+                s.kernels.iter().all(|k| k.ops.len() <= limit),
+                "limit {limit}"
+            );
         }
     }
 

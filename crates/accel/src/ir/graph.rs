@@ -69,10 +69,7 @@ impl Graph {
     /// output of the last op.
     #[must_use]
     pub fn output(&self) -> ValueId {
-        self.ops
-            .last()
-            .expect("empty graph")
-            .output()
+        self.ops.last().expect("empty graph").output()
     }
 
     /// Element count of a value.
@@ -105,7 +102,10 @@ impl Graph {
         for op in &self.ops {
             for &inp in &op.inputs {
                 if !defined[inp.0] {
-                    return Err(GraphError::UseBeforeDef { op: op.label.clone(), value: inp });
+                    return Err(GraphError::UseBeforeDef {
+                        op: op.label.clone(),
+                        value: inp,
+                    });
                 }
             }
             for &out in &op.outputs {
@@ -134,7 +134,10 @@ impl Graph {
 
     fn check_shapes(&self, op: &Op) -> Result<(), GraphError> {
         let err = |detail: String| {
-            Err(GraphError::ShapeMismatch { op: op.label.clone(), detail })
+            Err(GraphError::ShapeMismatch {
+                op: op.label.clone(),
+                detail,
+            })
         };
         match op.kind {
             OpKind::MatMul { rows, cols } => {
@@ -166,7 +169,9 @@ impl Graph {
                     return err(format!("{n} elems not whole even heads of {head_dim}"));
                 }
             }
-            OpKind::Attention { n_heads, head_dim, .. } => {
+            OpKind::Attention {
+                n_heads, head_dim, ..
+            } => {
                 let q = self.elems(op.inputs[0]);
                 if q != n_heads * head_dim {
                     return err(format!("q has {q} elems, expected {}", n_heads * head_dim));
@@ -216,7 +221,10 @@ pub fn build_decode_graph(config: &ModelConfig) -> Graph {
     let kv = config.kv_dim();
     let h = config.hidden_dim;
     let hd = config.head_dim();
-    let mut b = Builder { values: Vec::new(), ops: Vec::new() };
+    let mut b = Builder {
+        values: Vec::new(),
+        ops: Vec::new(),
+    };
 
     // Embedding gather.
     let mut x = b.value("x0".into(), d);
@@ -387,7 +395,10 @@ pub fn build_decode_graph(config: &ModelConfig) -> Graph {
     });
     let logits = b.value("logits".into(), config.vocab_size);
     b.push(Op {
-        kind: OpKind::MatMul { rows: config.vocab_size, cols: d },
+        kind: OpKind::MatMul {
+            rows: config.vocab_size,
+            cols: d,
+        },
         weight: Some(WeightRef::Classifier),
         inputs: vec![x_final],
         outputs: vec![logits],
@@ -462,7 +473,10 @@ mod tests {
         let mut g = build_decode_graph(&cfg);
         let out = g.ops[1].output();
         g.ops[2].outputs = vec![out];
-        assert!(matches!(g.validate(), Err(GraphError::MultipleWriters { .. })));
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::MultipleWriters { .. })
+        ));
     }
 
     #[test]
@@ -472,7 +486,10 @@ mod tests {
         if let OpKind::MatMul { rows, .. } = &mut g.ops[2].kind {
             *rows += 1;
         }
-        assert!(matches!(g.validate(), Err(GraphError::ShapeMismatch { .. })));
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

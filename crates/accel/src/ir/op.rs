@@ -137,7 +137,13 @@ impl Op {
     /// The op's single output, panicking if it has none or several.
     #[must_use]
     pub fn output(&self) -> ValueId {
-        assert_eq!(self.outputs.len(), 1, "{} has {} outputs", self.label, self.outputs.len());
+        assert_eq!(
+            self.outputs.len(),
+            1,
+            "{} has {} outputs",
+            self.label,
+            self.outputs.len()
+        );
         self.outputs[0]
     }
 }
@@ -157,7 +163,13 @@ mod tests {
     #[test]
     fn mpe_vs_sfu_classification() {
         assert!(OpKind::MatMul { rows: 1, cols: 1 }.uses_mpe());
-        assert!(OpKind::Attention { layer: 0, n_heads: 1, n_kv_heads: 1, head_dim: 2 }.uses_mpe());
+        assert!(OpKind::Attention {
+            layer: 0,
+            n_heads: 1,
+            n_kv_heads: 1,
+            head_dim: 2
+        }
+        .uses_mpe());
         assert!(!OpKind::RmsNorm.uses_mpe());
         assert!(!OpKind::Silu.uses_mpe());
     }

@@ -112,7 +112,13 @@ fn last_use_kernel(graph: &Graph, schedule: &Schedule, v: ValueId) -> usize {
 /// (weights and KV stay in HBM regardless).
 #[must_use]
 pub fn plan(graph: &Graph, schedule: &Schedule, memory_reuse: bool, pool_bytes: u64) -> MemoryPlan {
-    plan_with_strategy(graph, schedule, memory_reuse, pool_bytes, AllocStrategy::FirstFit)
+    plan_with_strategy(
+        graph,
+        schedule,
+        memory_reuse,
+        pool_bytes,
+        AllocStrategy::FirstFit,
+    )
 }
 
 /// [`plan`] with an explicit segment-selection policy (for ablations).
@@ -228,7 +234,10 @@ pub fn verify_plan(graph: &Graph, schedule: &Schedule, plan: &MemoryPlan) -> Res
         let live_bytes: u64 = live.iter().map(|(_, s)| s.len).sum();
         peak = peak.max(live_bytes);
         if live_bytes > plan.pool_bytes {
-            return Err(format!("live bytes {live_bytes} exceed pool {}", plan.pool_bytes));
+            return Err(format!(
+                "live bytes {live_bytes} exceed pool {}",
+                plan.pool_bytes
+            ));
         }
         // Deaths after the kernel executes.
         live.retain(|&(v, _)| last_use_kernel(graph, schedule, v) != k);
@@ -326,7 +335,10 @@ mod tests {
         let g = build_decode_graph(&ModelConfig::stories15m());
         let s = fuse(&g, true);
         let p = plan(&g, &s, true, POOL);
-        assert_eq!(p.overflowed, 0, "stories15M activations must fit 2 MiB URAM pool");
+        assert_eq!(
+            p.overflowed, 0,
+            "stories15M activations must fit 2 MiB URAM pool"
+        );
         verify_plan(&g, &s, &p).unwrap();
     }
 
@@ -375,7 +387,10 @@ mod tests {
             }
         }
         if picked.len() == 2 {
-            let seg = Segment { offset: 0, len: graph_bytes(&g, picked[0]) };
+            let seg = Segment {
+                offset: 0,
+                len: graph_bytes(&g, picked[0]),
+            };
             p.placements[picked[0].0] = Placement::Ocm(seg);
             p.placements[picked[1].0] = Placement::Ocm(seg);
             assert!(verify_plan(&g, &s, &p).is_err());

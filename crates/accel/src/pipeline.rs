@@ -117,7 +117,11 @@ pub fn schedule_kernel(
     label: &str,
 ) -> KernelTiming {
     assert!(cfg.depth >= 1, "pipeline depth must be >= 1");
-    let launch_cost = if cfg.streamed { cfg.streamed_launch } else { cfg.launch };
+    let launch_cost = if cfg.streamed {
+        cfg.streamed_launch
+    } else {
+        cfg.launch
+    };
     let launch = tl.schedule(R_HOST, host_ready, launch_cost);
     if let Some(t) = trace.as_deref_mut() {
         t.record("HOST", launch, format!("{label}:launch"));
@@ -185,11 +189,18 @@ pub fn schedule_kernel(
 /// the same double-buffering constraint the cost model charges for.
 pub mod dataflow {
     use speedllm_llama::sync::bounded;
+    use speedllm_telemetry as tel;
 
     /// Runs `n_tiles` through read → compute → write with `depth`-bounded
     /// hand-off queues. `read` and `compute` run on their own threads;
     /// `write` runs on the caller's thread. Tiles arrive at `write` in
     /// index order.
+    ///
+    /// Each stage records a wall-time telemetry span per tile (tracks
+    /// `dataflow.read` / `dataflow.compute` / `dataflow.write`), so an
+    /// instrumented run shows the three stages genuinely overlapping in
+    /// the trace viewer — the software counterpart of the cost model's
+    /// streamed discipline.
     pub fn run<T, R>(
         n_tiles: usize,
         depth: usize,
@@ -209,6 +220,7 @@ pub mod dataflow {
         std::thread::scope(|s| {
             s.spawn(move || {
                 for i in 0..n_tiles {
+                    let _g = tel::span("dataflow.read", "tile").arg("i", i as i64);
                     if tx_rc.send((i, read(i))).is_err() {
                         return; // downstream panicked; unwind quietly
                     }
@@ -216,12 +228,14 @@ pub mod dataflow {
             });
             s.spawn(move || {
                 while let Ok((i, t)) = rx_rc.recv() {
+                    let _g = tel::span("dataflow.compute", "tile").arg("i", i as i64);
                     if tx_cw.send((i, compute(i, t))).is_err() {
                         return;
                     }
                 }
             });
             for (i, r) in rx_cw.iter() {
+                let _g = tel::span("dataflow.write", "tile").arg("i", i as i64);
                 write(i, r);
             }
         });
@@ -255,7 +269,14 @@ mod tests {
         let mut tl = Timeline::new(N_RESOURCES);
         let tiles = vec![mpe_tile(10, 20, 5); 4];
         let t = schedule_kernel(
-            &mut tl, None, &cfg(false), Cycles::ZERO, Cycles::ZERO, Cycles::ZERO, &tiles, "k",
+            &mut tl,
+            None,
+            &cfg(false),
+            Cycles::ZERO,
+            Cycles::ZERO,
+            Cycles::ZERO,
+            &tiles,
+            "k",
         );
         // 100 launch + 4 * (10+20+5).
         assert_eq!(t.span.end, Cycles(100 + 4 * 35));
@@ -266,7 +287,14 @@ mod tests {
         let mut tl = Timeline::new(N_RESOURCES);
         let tiles = vec![mpe_tile(10, 20, 5); 8];
         let t = schedule_kernel(
-            &mut tl, None, &cfg(true), Cycles::ZERO, Cycles::ZERO, Cycles::ZERO, &tiles, "k",
+            &mut tl,
+            None,
+            &cfg(true),
+            Cycles::ZERO,
+            Cycles::ZERO,
+            Cycles::ZERO,
+            &tiles,
+            "k",
         );
         // Steady state: one compute (20) per tile; fill = launch 10 + first
         // read 10; drain = last write 5. 10 + 10 + 8*20 + 5 = 185.
@@ -280,7 +308,14 @@ mod tests {
         // Reads dominate: steady state is one read per tile.
         let tiles = vec![mpe_tile(30, 10, 0); 5];
         let t = schedule_kernel(
-            &mut tl, None, &cfg(true), Cycles::ZERO, Cycles::ZERO, Cycles::ZERO, &tiles, "k",
+            &mut tl,
+            None,
+            &cfg(true),
+            Cycles::ZERO,
+            Cycles::ZERO,
+            Cycles::ZERO,
+            &tiles,
+            "k",
         );
         // launch 10 + 5 reads * 30 + last compute 10 = 170.
         assert_eq!(t.span.end, Cycles(170));
@@ -292,7 +327,16 @@ mod tests {
         let mut c = cfg(true);
         c.depth = 1;
         let tiles = vec![mpe_tile(10, 10, 0); 4];
-        let t = schedule_kernel(&mut tl, None, &c, Cycles::ZERO, Cycles::ZERO, Cycles::ZERO, &tiles, "k");
+        let t = schedule_kernel(
+            &mut tl,
+            None,
+            &c,
+            Cycles::ZERO,
+            Cycles::ZERO,
+            Cycles::ZERO,
+            &tiles,
+            "k",
+        );
         // Each read waits for the previous compute: launch 10 + 10 + 4*10
         // computes + 3*10 reads (after the first) = 10 + 10+10 + ... exact:
         // r0@10..20, c0@20..30, r1@30..40 (buffer frees at c0), c1@40..50,
@@ -317,11 +361,23 @@ mod tests {
             let mut tl = Timeline::new(N_RESOURCES);
             let mut c = cfg(true);
             c.depth = depth;
-            *out = schedule_kernel(&mut tl, None, &c, Cycles::ZERO, Cycles::ZERO, Cycles::ZERO, &tiles, "k")
-                .span
-                .end;
+            *out = schedule_kernel(
+                &mut tl,
+                None,
+                &c,
+                Cycles::ZERO,
+                Cycles::ZERO,
+                Cycles::ZERO,
+                &tiles,
+                "k",
+            )
+            .span
+            .end;
         }
-        assert!(end4 <= end2, "deeper buffering cannot be slower: {end4:?} vs {end2:?}");
+        assert!(
+            end4 <= end2,
+            "deeper buffering cannot be slower: {end4:?} vs {end2:?}"
+        );
     }
 
     #[test]
@@ -329,7 +385,14 @@ mod tests {
         let mut tl = Timeline::new(N_RESOURCES);
         let tiles = vec![mpe_tile(10, 10, 0)];
         let t = schedule_kernel(
-            &mut tl, None, &cfg(true), Cycles::ZERO, Cycles(500), Cycles(800), &tiles, "k",
+            &mut tl,
+            None,
+            &cfg(true),
+            Cycles::ZERO,
+            Cycles(500),
+            Cycles(800),
+            &tiles,
+            "k",
         );
         // Read starts at 500, done 510; compute waits for 800.
         assert_eq!(t.span.end, Cycles(810));
@@ -339,11 +402,28 @@ mod tests {
     fn sfu_and_mpe_tiles_use_distinct_resources() {
         let mut tl = Timeline::new(N_RESOURCES);
         let tiles = vec![
-            TileCost { read: Cycles(0), compute: Cycles(50), write: Cycles(0), unit: Unit::Mpe },
-            TileCost { read: Cycles(0), compute: Cycles(50), write: Cycles(0), unit: Unit::Sfu },
+            TileCost {
+                read: Cycles(0),
+                compute: Cycles(50),
+                write: Cycles(0),
+                unit: Unit::Mpe,
+            },
+            TileCost {
+                read: Cycles(0),
+                compute: Cycles(50),
+                write: Cycles(0),
+                unit: Unit::Sfu,
+            },
         ];
         schedule_kernel(
-            &mut tl, None, &cfg(true), Cycles::ZERO, Cycles::ZERO, Cycles::ZERO, &tiles, "k",
+            &mut tl,
+            None,
+            &cfg(true),
+            Cycles::ZERO,
+            Cycles::ZERO,
+            Cycles::ZERO,
+            &tiles,
+            "k",
         );
         assert_eq!(tl.busy(R_MPE), Cycles(50));
         assert_eq!(tl.busy(R_SFU), Cycles(50));
@@ -354,12 +434,26 @@ mod tests {
         let mut tl = Timeline::new(N_RESOURCES);
         let tiles = vec![mpe_tile(10, 10, 10); 2];
         let t1 = schedule_kernel(
-            &mut tl, None, &cfg(true), Cycles::ZERO, Cycles::ZERO, Cycles::ZERO, &tiles, "k1",
+            &mut tl,
+            None,
+            &cfg(true),
+            Cycles::ZERO,
+            Cycles::ZERO,
+            Cycles::ZERO,
+            &tiles,
+            "k1",
         );
         // Second kernel's reads may prefetch (read_ready = 0 via its own
         // launch), but the MPE is still busy with k1.
         let t2 = schedule_kernel(
-            &mut tl, None, &cfg(true), Cycles::ZERO, Cycles::ZERO, t1.outputs_ready, &tiles, "k2",
+            &mut tl,
+            None,
+            &cfg(true),
+            Cycles::ZERO,
+            Cycles::ZERO,
+            t1.outputs_ready,
+            &tiles,
+            "k2",
         );
         assert!(t2.span.end > t1.span.end);
         // DMA-RD busy equals total read time (4 tiles).
@@ -393,7 +487,14 @@ mod tests {
     fn empty_tile_list_costs_only_launch() {
         let mut tl = Timeline::new(N_RESOURCES);
         let t = schedule_kernel(
-            &mut tl, None, &cfg(false), Cycles::ZERO, Cycles::ZERO, Cycles::ZERO, &[], "k",
+            &mut tl,
+            None,
+            &cfg(false),
+            Cycles::ZERO,
+            Cycles::ZERO,
+            Cycles::ZERO,
+            &[],
+            "k",
         );
         assert_eq!(t.span.duration(), Cycles(100));
     }
@@ -405,13 +506,7 @@ mod tests {
         #[test]
         fn results_match_serial_in_order() {
             let mut out = Vec::new();
-            dataflow::run(
-                100,
-                4,
-                |i| i * 2,
-                |_, x| x + 1,
-                |i, r| out.push((i, r)),
-            );
+            dataflow::run(100, 4, |i| i * 2, |_, x| x + 1, |i, r| out.push((i, r)));
             assert_eq!(out.len(), 100);
             for (idx, &(i, r)) in out.iter().enumerate() {
                 assert_eq!(i, idx, "tiles must arrive in order");

@@ -61,8 +61,12 @@ impl Table {
                     line.push_str("  ");
                 }
                 // Right-align numeric-looking cells, left-align the rest.
-                let numeric = c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
-                    && c.chars().all(|ch| ch.is_ascii_digit() || ".,x%eE+-".contains(ch));
+                let numeric = c
+                    .chars()
+                    .next()
+                    .is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
+                    && c.chars()
+                        .all(|ch| ch.is_ascii_digit() || ".,x%eE+-".contains(ch));
                 if numeric {
                     line.push_str(&format!("{c:>w$}", w = widths[i]));
                 } else {

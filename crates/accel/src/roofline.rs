@@ -28,7 +28,10 @@ impl Roofline {
         let peak_macs_per_s = cfg.mpe.macs_per_cycle() as f64 * clock.freq_hz();
         let ch = cfg.read_dma.channels.min(cfg.hbm.channels) as f64;
         let peak_bytes_per_s = ch * cfg.hbm.channel_bytes_per_cycle * clock.freq_hz();
-        Self { peak_macs_per_s, peak_bytes_per_s }
+        Self {
+            peak_macs_per_s,
+            peak_bytes_per_s,
+        }
     }
 
     /// The ridge point: operational intensity (MACs/byte) above which the
@@ -50,7 +53,11 @@ impl Roofline {
     pub fn place(&self, stats: &SimStats, clock: &ClockDomain) -> RooflinePoint {
         let secs = clock.to_seconds(stats.total_cycles);
         let intensity = stats.arithmetic_intensity();
-        let achieved = if secs > 0.0 { stats.mpe.macs as f64 / secs } else { 0.0 };
+        let achieved = if secs > 0.0 {
+            stats.mpe.macs as f64 / secs
+        } else {
+            0.0
+        };
         RooflinePoint {
             intensity,
             attainable_macs_per_s: self.attainable(intensity),

@@ -9,6 +9,8 @@
 
 use std::sync::Arc;
 
+use speedllm_telemetry as tel;
+
 use speedllm_fpga_sim::cycles::{ClockDomain, Cycles};
 use speedllm_fpga_sim::power::EnergyBreakdown;
 use speedllm_fpga_sim::stats::SimStats;
@@ -39,7 +41,10 @@ impl std::fmt::Display for RuntimeError {
         match self {
             RuntimeError::Engine(e) => write!(f, "{e}"),
             RuntimeError::PromptTooLong { tokens, seq_len } => {
-                write!(f, "prompt of {tokens} tokens exceeds context window {seq_len}")
+                write!(
+                    f,
+                    "prompt of {tokens} tokens exceeds context window {seq_len}"
+                )
             }
         }
     }
@@ -173,7 +178,8 @@ impl InferenceReport {
     /// Total inference latency in seconds (the paper's latency metric).
     #[must_use]
     pub fn total_latency_s(&self) -> f64 {
-        self.clock.to_seconds(self.prefill_cycles + self.decode_cycles)
+        self.clock
+            .to_seconds(self.prefill_cycles + self.decode_cycles)
     }
 
     /// Decode throughput in tokens/s (the paper's throughput metric).
@@ -199,7 +205,8 @@ impl InferenceReport {
     /// Average power over the run, watts.
     #[must_use]
     pub fn avg_power_w(&self) -> f64 {
-        self.energy.avg_power_w(&self.clock, self.stats.total_cycles)
+        self.energy
+            .avg_power_w(&self.clock, self.stats.total_cycles)
     }
 }
 
@@ -271,9 +278,13 @@ impl Session {
         let prompt_end = start + prompt_tokens.len();
         while pos0 < prompt_end {
             let end = (pos0 + chunk).min(prompt_end);
+            let _g = tel::span("host", "prefill_chunk")
+                .arg("pos", pos0 as i64)
+                .arg("tokens", (end - pos0) as i64);
             let step = self
                 .engine
                 .prefill_chunk(&prompt_tokens[pos0 - start..end - start], pos0);
+            tel::metrics::observe("accel.prefill_chunk_cycles", step.cycles.0);
             prefill_cycles += step.cycles;
             stats.accumulate(&step.stats);
             logits = step.logits;
@@ -290,12 +301,27 @@ impl Session {
                 break;
             }
             generated.push(next);
+            let _g = tel::span("host", "decode_token").arg("pos", pos as i64);
             let step = self.engine.decode_step(next, pos);
+            tel::metrics::observe("accel.decode_token_cycles", step.cycles.0);
             decode_cycles += step.cycles;
             per_token_cycles.push(step.cycles);
             stats.accumulate(&step.stats);
             logits = step.logits;
             pos += 1;
+        }
+
+        // Bridge the simulator's aggregate activity into the metrics
+        // registry, so instrumented runs see device counters next to
+        // host-side latencies.
+        if tel::enabled() {
+            tel::metrics::counter_add("sim.kernel_launches", stats.kernel_launches);
+            tel::metrics::counter_add("sim.alloc_stalls", stats.alloc_stalls);
+            tel::metrics::counter_add("sim.hbm_read_bytes", stats.hbm.read_bytes);
+            tel::metrics::counter_add("sim.hbm_write_bytes", stats.hbm.write_bytes);
+            tel::metrics::counter_add("sim.mpe_macs", stats.mpe.macs);
+            tel::metrics::counter_add("sim.sfu_elements", stats.sfu.elements);
+            tel::metrics::counter_add("sim.total_cycles", stats.total_cycles.0);
         }
 
         let text = self.tokenizer.decode(&generated);
@@ -373,8 +399,14 @@ mod tests {
     fn full_beats_unoptimized_end_to_end() {
         let full = system(OptConfig::full());
         let unopt = system(OptConfig::unoptimized());
-        let rf = full.session(SamplerKind::Argmax, 0).generate("speed", 6).unwrap();
-        let ru = unopt.session(SamplerKind::Argmax, 0).generate("speed", 6).unwrap();
+        let rf = full
+            .session(SamplerKind::Argmax, 0)
+            .generate("speed", 6)
+            .unwrap();
+        let ru = unopt
+            .session(SamplerKind::Argmax, 0)
+            .generate("speed", 6)
+            .unwrap();
         assert_eq!(rf.output.generated_tokens, ru.output.generated_tokens);
         let speedup = ru.total_latency_s() / rf.total_latency_s();
         assert!(speedup > 2.0, "speedup only {speedup:.2}x");
@@ -391,7 +423,10 @@ mod tests {
             Err(RuntimeError::PromptTooLong { tokens, seq_len }) => {
                 assert!(tokens > seq_len);
             }
-            other => panic!("expected PromptTooLong, got {other:?}", other = other.map(|r| r.output.text)),
+            other => panic!(
+                "expected PromptTooLong, got {other:?}",
+                other = other.map(|r| r.output.text)
+            ),
         }
     }
 
@@ -401,8 +436,7 @@ mod tests {
         let mut s = sys.session(SamplerKind::Argmax, 0);
         let r = s.generate("a b c", 10_000).unwrap();
         assert!(
-            r.output.prompt_tokens.len() + r.output.generated_tokens.len()
-                <= sys.config().seq_len
+            r.output.prompt_tokens.len() + r.output.generated_tokens.len() <= sys.config().seq_len
         );
     }
 
@@ -426,8 +460,14 @@ mod tests {
         let mut replay = sys.session(SamplerKind::Argmax, 0);
         let first_b = replay.generate("hello", 4).unwrap();
         let second_b = replay.append_generate("more", 4).unwrap();
-        assert_eq!(first.output.generated_tokens, first_b.output.generated_tokens);
-        assert_eq!(second.output.generated_tokens, second_b.output.generated_tokens);
+        assert_eq!(
+            first.output.generated_tokens,
+            first_b.output.generated_tokens
+        );
+        assert_eq!(
+            second.output.generated_tokens,
+            second_b.output.generated_tokens
+        );
         assert_eq!(second.decode_cycles, second_b.decode_cycles);
         // The second turn paid prefill only for its own (short) prompt.
         assert!(second.output.prompt_tokens.len() < first.output.prompt_tokens.len() + 4);

@@ -5,9 +5,9 @@
 //! traffic saving is exact — both are printed. The harness then measures a
 //! long-context decode step.
 
-use speedllm_bench::harness::Runner;
 use speedllm_accel::engine::{AccelConfig, Engine};
 use speedllm_accel::opt::OptConfig;
+use speedllm_bench::harness::Runner;
 use speedllm_fpga_sim::mpe::Precision;
 use speedllm_llama::config::ModelConfig;
 use speedllm_llama::weights::TransformerWeights;
@@ -48,7 +48,10 @@ fn print_sweep() {
 
 fn bench_long_context(c: &mut Runner) {
     print_sweep();
-    let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::stories260k(), 42));
+    let weights = Arc::new(TransformerWeights::synthetic(
+        ModelConfig::stories260k(),
+        42,
+    ));
     for (name, kv) in [("f32", Precision::Fp32), ("int8", Precision::Int8)] {
         let mut engine = build(kv, &weights);
         for pos in 0..256 {

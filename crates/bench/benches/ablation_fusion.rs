@@ -3,11 +3,11 @@
 //! count and simulated per-token latency, then bench-measures the
 //! fusion pass itself.
 
-use speedllm_bench::harness::Runner;
 use speedllm_accel::engine::{AccelConfig, Engine};
 use speedllm_accel::fusion::{fuse, fuse_with_limit};
 use speedllm_accel::ir::build_decode_graph;
 use speedllm_accel::opt::OptConfig;
+use speedllm_bench::harness::Runner;
 use speedllm_llama::config::ModelConfig;
 use speedllm_llama::weights::TransformerWeights;
 use std::hint::black_box;
@@ -16,7 +16,10 @@ use std::sync::Arc;
 fn print_ablation() {
     println!("--- fusion-depth ablation (stories260K engine, 15M graph stats) ---");
     let g15 = build_decode_graph(&ModelConfig::stories15m());
-    let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::stories260k(), 42));
+    let weights = Arc::new(TransformerWeights::synthetic(
+        ModelConfig::stories260k(),
+        42,
+    ));
     for limit in [1usize, 2, 4, 8] {
         let report = fuse_with_limit(&g15, true, limit).report(&g15);
         let mut cfg = AccelConfig::for_opt(&OptConfig::full());

@@ -2,10 +2,10 @@
 //! sweeps the on-chip activation pool and prints high-water mark and HBM
 //! overflow, then bench-measures the planner.
 
-use speedllm_bench::harness::Runner;
 use speedllm_accel::fusion::fuse;
 use speedllm_accel::ir::build_decode_graph;
 use speedllm_accel::memplan::{plan, plan_with_strategy, AllocStrategy};
+use speedllm_bench::harness::Runner;
 use speedllm_llama::config::ModelConfig;
 use std::hint::black_box;
 
@@ -25,7 +25,10 @@ fn print_ablation() {
         );
     }
     // Strategy comparison at the shipped pool size.
-    for (name, strat) in [("first-fit", AllocStrategy::FirstFit), ("best-fit", AllocStrategy::BestFit)] {
+    for (name, strat) in [
+        ("first-fit", AllocStrategy::FirstFit),
+        ("best-fit", AllocStrategy::BestFit),
+    ] {
         let p = plan_with_strategy(&graph, &schedule, true, 2 << 20, strat);
         println!(
             "strategy {name:<9}: high-water {:>7} B over {} allocations",

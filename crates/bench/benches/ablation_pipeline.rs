@@ -2,10 +2,10 @@
 //! (DESIGN.md §4): prints simulated per-token latency at depths 1–4 and
 //! bench-measures the tile scheduler recurrence.
 
-use speedllm_bench::harness::Runner;
 use speedllm_accel::engine::{AccelConfig, Engine};
 use speedllm_accel::opt::OptConfig;
 use speedllm_accel::pipeline::{schedule_kernel, PipelineConfig, TileCost, Unit, N_RESOURCES};
+use speedllm_bench::harness::Runner;
 use speedllm_fpga_sim::cycles::Cycles;
 use speedllm_fpga_sim::event::Timeline;
 use speedllm_llama::config::ModelConfig;
@@ -15,7 +15,10 @@ use std::sync::Arc;
 
 fn print_ablation() {
     println!("--- double-buffer depth ablation (stories260K, full design) ---");
-    let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::stories260k(), 42));
+    let weights = Arc::new(TransformerWeights::synthetic(
+        ModelConfig::stories260k(),
+        42,
+    ));
     for depth in [1usize, 2, 3, 4] {
         let mut cfg = AccelConfig::for_opt(&OptConfig::full());
         cfg.double_buffer_depth = depth;

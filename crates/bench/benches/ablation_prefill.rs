@@ -2,9 +2,9 @@
 //! prints prefill latency vs chunk length (weight-stream amortization) and
 //! bench-measures the chunked engine pass.
 
-use speedllm_bench::harness::Runner;
 use speedllm_accel::engine::{AccelConfig, Engine};
 use speedllm_accel::opt::OptConfig;
+use speedllm_bench::harness::Runner;
 use speedllm_llama::config::ModelConfig;
 use speedllm_llama::weights::TransformerWeights;
 use std::hint::black_box;
@@ -12,13 +12,19 @@ use std::sync::Arc;
 
 fn print_ablation() {
     println!("--- chunked-prefill ablation (stories260K, 32-token prompt) ---");
-    let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::stories260k(), 42));
+    let weights = Arc::new(TransformerWeights::synthetic(
+        ModelConfig::stories260k(),
+        42,
+    ));
     let tokens: Vec<u32> = (0..32).map(|i| 5 + i as u32).collect();
     let mut base_cycles = 0u64;
     for chunk in [1usize, 2, 4, 8, 16, 32] {
-        let mut engine =
-            Engine::with_config(Arc::clone(&weights), OptConfig::full(), AccelConfig::for_opt(&OptConfig::full()))
-                .unwrap();
+        let mut engine = Engine::with_config(
+            Arc::clone(&weights),
+            OptConfig::full(),
+            AccelConfig::for_opt(&OptConfig::full()),
+        )
+        .unwrap();
         let mut cycles = 0u64;
         let mut reads = 0u64;
         let mut pos = 0usize;
@@ -42,7 +48,10 @@ fn print_ablation() {
 
 fn bench_prefill(c: &mut Runner) {
     print_ablation();
-    let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::stories260k(), 42));
+    let weights = Arc::new(TransformerWeights::synthetic(
+        ModelConfig::stories260k(),
+        42,
+    ));
     let tokens: Vec<u32> = (0..16).map(|i| 5 + i as u32).collect();
     for chunk in [1usize, 16] {
         let mut engine = Engine::new(Arc::clone(&weights), OptConfig::full()).unwrap();
@@ -53,7 +62,10 @@ fn bench_prefill(c: &mut Runner) {
                 let mut total = 0u64;
                 while pos < tokens.len() {
                     let end = (pos + chunk).min(tokens.len());
-                    total += engine.prefill_chunk(black_box(&tokens[pos..end]), pos).cycles.0;
+                    total += engine
+                        .prefill_chunk(black_box(&tokens[pos..end]), pos)
+                        .cycles
+                        .0;
                     pos = end;
                 }
                 black_box(total)

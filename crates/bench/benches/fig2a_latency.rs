@@ -3,8 +3,8 @@
 //! startup — that is the figure's data; the timed samples measure the
 //! simulator's own host-side throughput for regression tracking.
 
-use speedllm_bench::harness::Runner;
 use speedllm_accel::opt::OptConfig;
+use speedllm_bench::harness::Runner;
 use speedllm_bench::{fig2a_workloads, headline_preset, run_paper_variants, SAMPLER, SEED};
 use speedllm_llama::config::ModelConfig;
 use std::hint::black_box;
@@ -29,8 +29,10 @@ fn print_figure_series() {
 
 fn bench_decode_step(c: &mut Runner) {
     print_figure_series();
-    let mut group = c.benchmark_group("fig2a/decode_step");
+    c.set_meta("config", "stories260k");
     for (name, opt) in OptConfig::paper_variants() {
+        c.set_meta("variant", name);
+        let mut group = c.benchmark_group("fig2a/decode_step");
         let system = speedllm_accel::runtime::AcceleratedLlm::synthetic(
             ModelConfig::stories260k(),
             SEED,
@@ -54,8 +56,8 @@ fn bench_decode_step(c: &mut Runner) {
                 black_box(r.cycles)
             })
         });
+        group.finish();
     }
-    group.finish();
 }
 
 fn main() {

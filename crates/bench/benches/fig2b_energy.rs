@@ -23,6 +23,8 @@ fn bench_energy(c: &mut Runner) {
 
     let stats = ms[0].report.stats;
     let pm = PowerModel::u280();
+    c.set_meta("config", "stories15m");
+    c.set_meta("variant", "full");
     c.bench_function("fig2b/energy_model", |b| {
         b.iter(|| black_box(pm.energy(black_box(&stats)).total_j()))
     });

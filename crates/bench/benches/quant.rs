@@ -2,9 +2,9 @@
 //! matvec vs the f32 matvec, plus the simulated int8-vs-fp32 accelerator
 //! comparison (the paper's mixed-precision motivation).
 
-use speedllm_bench::harness::Runner;
 use speedllm_accel::opt::OptConfig;
 use speedllm_accel::runtime::AcceleratedLlm;
+use speedllm_bench::harness::Runner;
 use speedllm_llama::config::ModelConfig;
 use speedllm_llama::ops;
 use speedllm_llama::quant::{QuantMatrix, QuantTensor};
@@ -13,7 +13,10 @@ use std::hint::black_box;
 
 fn print_precision_comparison() {
     println!("--- int8 vs fp32 accelerator (stories260K, simulated) ---");
-    for (name, opt) in [("fp32", OptConfig::full()), ("int8", OptConfig::full_int8())] {
+    for (name, opt) in [
+        ("fp32", OptConfig::full()),
+        ("int8", OptConfig::full_int8()),
+    ] {
         let sys = AcceleratedLlm::synthetic(ModelConfig::stories260k(), 42, opt).unwrap();
         let mut session = sys.session(speedllm_llama::sampler::SamplerKind::Argmax, 0);
         let r = session.generate("once upon a time", 32).unwrap();
@@ -21,7 +24,9 @@ fn print_precision_comparison() {
             "{name}: {:>8.0} tok/s, {:>7.0} tok/J, {} HBM read bytes/token",
             r.decode_tokens_per_s(),
             r.tokens_per_joule(),
-            r.stats.hbm.read_bytes / (r.output.generated_tokens.len() as u64 + r.output.prompt_tokens.len() as u64).max(1)
+            r.stats.hbm.read_bytes
+                / (r.output.generated_tokens.len() as u64 + r.output.prompt_tokens.len() as u64)
+                    .max(1)
         );
     }
     println!("----------------------------------------------------------");
@@ -55,7 +60,9 @@ fn bench_quant(c: &mut Runner) {
         })
     });
 
-    let data: Vec<f32> = (0..4096).map(|i| ((i * 31 % 997) as f32 - 498.0) / 100.0).collect();
+    let data: Vec<f32> = (0..4096)
+        .map(|i| ((i * 31 % 997) as f32 - 498.0) / 100.0)
+        .collect();
     c.bench_function("quant/tensor_roundtrip_4096", |b| {
         b.iter(|| {
             let qt = QuantTensor::quantize(black_box(&data));

@@ -57,12 +57,15 @@ fn bench_sparse_kernels(c: &mut Runner) {
     });
     for sparsity in [0.5f32, 0.9] {
         let m = BlockSparseMatrix::prune(&w, rows, cols, BLOCK, sparsity);
-        c.bench_function(&format!("sparsity/sparse_matvec_{:.0}pct", sparsity * 100.0), |b| {
-            b.iter(|| {
-                m.matvec(black_box(&mut out), &x);
-                black_box(out[0])
-            })
-        });
+        c.bench_function(
+            &format!("sparsity/sparse_matvec_{:.0}pct", sparsity * 100.0),
+            |b| {
+                b.iter(|| {
+                    m.matvec(black_box(&mut out), &x);
+                    black_box(out[0])
+                })
+            },
+        );
     }
     c.bench_function("sparsity/prune_768x288", |b| {
         b.iter(|| black_box(BlockSparseMatrix::prune(&w, rows, cols, BLOCK, 0.5).nnz_blocks()))

@@ -88,8 +88,18 @@ fn main() {
     write(&outdir, "fig2b_energy.csv", &fig2b);
 
     // --- Cost table ---
-    let mut cost = Table::new(&["device", "tokens_per_s", "price_usd", "tokens_per_s_per_usd"]);
-    let ours = run_variant(&headline_preset(), &fig2b_workload(), "SpeedLLM", OptConfig::full());
+    let mut cost = Table::new(&[
+        "device",
+        "tokens_per_s",
+        "price_usd",
+        "tokens_per_s_per_usd",
+    ]);
+    let ours = run_variant(
+        &headline_preset(),
+        &fig2b_workload(),
+        "SpeedLLM",
+        OptConfig::full(),
+    );
     cost.row(vec![
         "SpeedLLM/U280".into(),
         format!("{:.3}", ours.tokens_per_s()),

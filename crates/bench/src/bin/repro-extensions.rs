@@ -53,7 +53,10 @@ fn main() {
     // --- Batched serving ---
     println!("batched decode (aggregate throughput):\n");
     let mut table = Table::new(&["precision", "batch", "tok/s aggregate", "latency/token"]);
-    for (name, opt) in [("fp32", OptConfig::full()), ("int8", OptConfig::full_int8())] {
+    for (name, opt) in [
+        ("fp32", OptConfig::full()),
+        ("int8", OptConfig::full_int8()),
+    ] {
         let mut engine = Engine::new(Arc::clone(&weights), opt).unwrap();
         for batch in [1usize, 4, 16] {
             let mut seqs: Vec<_> = (0..batch).map(|_| engine.new_sequence()).collect();
@@ -77,7 +80,8 @@ fn main() {
     for (name, kv) in [("f32", Precision::Fp32), ("int8", Precision::Int8)] {
         let mut acfg = AccelConfig::for_opt(&OptConfig::full());
         acfg.kv_precision = kv;
-        let mut engine = Engine::with_config(Arc::clone(&weights), OptConfig::full(), acfg).unwrap();
+        let mut engine =
+            Engine::with_config(Arc::clone(&weights), OptConfig::full(), acfg).unwrap();
         let mut last = None;
         for pos in 0..=255 {
             last = Some(engine.decode_step(1 + (pos % 99) as u32, pos));
@@ -86,7 +90,10 @@ fn main() {
         table.row(vec![
             name.into(),
             r.cycles.0.to_string(),
-            format!("{:.2} MiB", r.stats.hbm.read_bytes as f64 / (1 << 20) as f64),
+            format!(
+                "{:.2} MiB",
+                r.stats.hbm.read_bytes as f64 / (1 << 20) as f64
+            ),
             r.stats.hbm.write_bytes.to_string(),
         ]);
     }
@@ -95,14 +102,20 @@ fn main() {
     // --- int8 MPE end-to-end ---
     println!("MPE precision end-to-end (one decode token at pos 0):\n");
     let mut table = Table::new(&["mpe", "cycles", "tok/s", "HBM read", "DSP used"]);
-    for (name, opt) in [("fp32", OptConfig::full()), ("int8", OptConfig::full_int8())] {
+    for (name, opt) in [
+        ("fp32", OptConfig::full()),
+        ("int8", OptConfig::full_int8()),
+    ] {
         let mut engine = Engine::new(Arc::clone(&weights), opt).unwrap();
         let r = engine.decode_step(1, 0);
         table.row(vec![
             name.into(),
             r.cycles.0.to_string(),
             format!("{:.0}", 1.0 / clock.to_seconds(r.cycles)),
-            format!("{:.1} MiB", r.stats.hbm.read_bytes as f64 / (1 << 20) as f64),
+            format!(
+                "{:.1} MiB",
+                r.stats.hbm.read_bytes as f64 / (1 << 20) as f64
+            ),
             engine.config().mpe.dsp_count().to_string(),
         ]);
     }

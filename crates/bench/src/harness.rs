@@ -37,19 +37,37 @@ pub struct BenchResult {
     pub samples: usize,
     /// Iterations per sample.
     pub iters_per_sample: u64,
+    /// Run metadata stamped onto the JSONL row (config name, variant, …)
+    /// so trajectory tooling can join results across runs.
+    pub meta: Vec<(String, String)>,
+    /// Whether the row was produced under `SPEEDLLM_TINY` (smoke mode).
+    pub tiny: bool,
+    /// Telemetry metrics snapshot (rendered JSON object), when an
+    /// instrumented run has recorded any.
+    pub metrics_json: Option<String>,
 }
 
 impl BenchResult {
     fn json(&self) -> String {
-        format!(
-            "{{\"name\":{name:?},\"median_ns\":{median:.1},\"p95_ns\":{p95:.1},\
-             \"samples\":{samples},\"iters_per_sample\":{iters}}}",
-            name = self.name,
+        use speedllm_telemetry::export::json_escape;
+        let mut row = format!(
+            "{{\"name\":\"{name}\",\"median_ns\":{median:.1},\"p95_ns\":{p95:.1},\
+             \"samples\":{samples},\"iters_per_sample\":{iters}",
+            name = json_escape(&self.name),
             median = self.median_ns,
             p95 = self.p95_ns,
             samples = self.samples,
             iters = self.iters_per_sample,
-        )
+        );
+        for (k, v) in &self.meta {
+            row.push_str(&format!(",\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        row.push_str(&format!(",\"tiny\":{}", self.tiny));
+        if let Some(m) = &self.metrics_json {
+            row.push_str(&format!(",\"metrics\":{m}"));
+        }
+        row.push('}');
+        row
     }
 }
 
@@ -59,11 +77,18 @@ pub struct Runner {
     smoke: bool,
     sample_size: usize,
     results: Vec<BenchResult>,
+    meta: Vec<(String, String)>,
 }
 
 impl Default for Runner {
     fn default() -> Self {
-        Self { filter: None, smoke: false, sample_size: 20, results: Vec::new() }
+        Self {
+            filter: None,
+            smoke: false,
+            sample_size: 20,
+            results: Vec::new(),
+            meta: Vec::new(),
+        }
     }
 }
 
@@ -85,6 +110,9 @@ impl Runner {
             // any child processes) switch to tiny model configs.
             std::env::set_var("SPEEDLLM_TINY", "1");
         }
+        // Instrumented bench runs (SPEEDLLM_TRACE=1) embed a metrics
+        // snapshot into each JSONL row.
+        speedllm_telemetry::init_from_env();
         r
     }
 
@@ -93,6 +121,18 @@ impl Runner {
     #[must_use]
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets (or replaces) a metadata key stamped onto every subsequent
+    /// result row — e.g. `set_meta("config", "stories260k")` or
+    /// `set_meta("variant", "no-fuse")`.
+    pub fn set_meta(&mut self, key: &str, value: &str) -> &mut Self {
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value.to_string();
+        } else {
+            self.meta.push((key.to_string(), value.to_string()));
+        }
         self
     }
 
@@ -106,9 +146,19 @@ impl Runner {
         let (samples, warmup, target) = if self.smoke {
             (3usize, Duration::ZERO, Duration::from_micros(200))
         } else {
-            (self.sample_size, Duration::from_millis(150), Duration::from_millis(8))
+            (
+                self.sample_size,
+                Duration::from_millis(150),
+                Duration::from_millis(8),
+            )
         };
-        let mut b = Bencher { warmup, target, samples, sample_ns: Vec::new(), iters: 1 };
+        let mut b = Bencher {
+            warmup,
+            target,
+            samples,
+            sample_ns: Vec::new(),
+            iters: 1,
+        };
         f(&mut b);
         assert!(
             !b.sample_ns.is_empty(),
@@ -116,12 +166,21 @@ impl Runner {
         );
         let mut ns = b.sample_ns;
         ns.sort_by(f64::total_cmp);
+        let metrics_json = if speedllm_telemetry::enabled() {
+            let snap = speedllm_telemetry::metrics::snapshot();
+            (!snap.is_empty()).then(|| speedllm_telemetry::export::snapshot_to_json(&snap))
+        } else {
+            None
+        };
         let result = BenchResult {
             name: name.to_string(),
             median_ns: percentile(&ns, 0.50),
             p95_ns: percentile(&ns, 0.95),
             samples: ns.len(),
             iters_per_sample: b.iters,
+            meta: self.meta.clone(),
+            tiny: is_smoke(),
+            metrics_json,
         };
         println!(
             "bench {name:<44} median {:>12}  p95 {:>12}  ({} samples x {} iters)",
@@ -137,7 +196,10 @@ impl Runner {
 
     /// Starts a named group; benchmark names are prefixed `group/name`.
     pub fn benchmark_group(&mut self, prefix: &str) -> Group<'_> {
-        Group { runner: self, prefix: prefix.to_string() }
+        Group {
+            runner: self,
+            prefix: prefix.to_string(),
+        }
     }
 
     /// Prints the run summary. Call last in `main`.
@@ -236,7 +298,10 @@ mod tests {
 
     #[test]
     fn bencher_produces_positive_samples() {
-        let mut r = Runner { smoke: true, ..Runner::default() };
+        let mut r = Runner {
+            smoke: true,
+            ..Runner::default()
+        };
         r.bench_function("noop", |b| b.iter(|| 1 + 1));
         assert_eq!(r.results.len(), 1);
         assert!(r.results[0].median_ns >= 0.0);
@@ -245,7 +310,11 @@ mod tests {
 
     #[test]
     fn filter_skips_nonmatching() {
-        let mut r = Runner { smoke: true, filter: Some("yes".into()), ..Runner::default() };
+        let mut r = Runner {
+            smoke: true,
+            filter: Some("yes".into()),
+            ..Runner::default()
+        };
         r.bench_function("no/skip", |b| b.iter(|| ()));
         r.bench_function("yes/run", |b| b.iter(|| ()));
         assert_eq!(r.results.len(), 1);
@@ -254,7 +323,10 @@ mod tests {
 
     #[test]
     fn groups_prefix_names() {
-        let mut r = Runner { smoke: true, ..Runner::default() };
+        let mut r = Runner {
+            smoke: true,
+            ..Runner::default()
+        };
         let mut g = r.benchmark_group("grp");
         g.bench_function("inner", |b| b.iter(|| ()));
         g.finish();
@@ -269,11 +341,53 @@ mod tests {
             p95_ns: 20.0,
             samples: 3,
             iters_per_sample: 7,
+            meta: vec![
+                ("config".into(), "stories260k".into()),
+                ("variant".into(), "full".into()),
+            ],
+            tiny: true,
+            metrics_json: None,
         };
         let j = res.json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"name\":\"a/b\""));
         assert!(j.contains("\"median_ns\":12.5"));
         assert!(j.contains("\"p95_ns\":20.0"));
+        assert!(j.contains("\"config\":\"stories260k\""));
+        assert!(j.contains("\"variant\":\"full\""));
+        assert!(j.contains("\"tiny\":true"));
+        assert!(!j.contains("\"metrics\""));
+    }
+
+    #[test]
+    fn metrics_snapshot_embeds_as_json_object() {
+        let res = BenchResult {
+            name: "m".into(),
+            median_ns: 1.0,
+            p95_ns: 1.0,
+            samples: 1,
+            iters_per_sample: 1,
+            meta: Vec::new(),
+            tiny: false,
+            metrics_json: Some("{\"counters\":{\"c\":1},\"gauges\":{},\"histograms\":{}}".into()),
+        };
+        let j = res.json();
+        assert!(j.contains("\"metrics\":{\"counters\":{\"c\":1}"));
+        assert!(j.ends_with("}}"));
+    }
+
+    #[test]
+    fn set_meta_replaces_existing_key() {
+        let mut r = Runner {
+            smoke: true,
+            ..Runner::default()
+        };
+        r.set_meta("variant", "full");
+        r.set_meta("variant", "no-fuse");
+        r.bench_function("x", |b| b.iter(|| ()));
+        assert_eq!(
+            r.results[0].meta,
+            vec![("variant".to_string(), "no-fuse".to_string())]
+        );
     }
 }

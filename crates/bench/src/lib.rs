@@ -44,15 +44,33 @@ pub fn tiny_mode() -> bool {
 pub fn model_presets() -> Vec<ModelPreset> {
     if tiny_mode() {
         return vec![
-            ModelPreset { name: "test-tiny", config: ModelConfig::test_tiny() },
-            ModelPreset { name: "stories260K", config: ModelConfig::stories260k() },
+            ModelPreset {
+                name: "test-tiny",
+                config: ModelConfig::test_tiny(),
+            },
+            ModelPreset {
+                name: "stories260K",
+                config: ModelConfig::stories260k(),
+            },
         ];
     }
     vec![
-        ModelPreset { name: "stories260K", config: ModelConfig::stories260k() },
-        ModelPreset { name: "stories15M", config: ModelConfig::stories15m() },
-        ModelPreset { name: "stories42M", config: ModelConfig::stories42m() },
-        ModelPreset { name: "stories110M", config: ModelConfig::stories110m() },
+        ModelPreset {
+            name: "stories260K",
+            config: ModelConfig::stories260k(),
+        },
+        ModelPreset {
+            name: "stories15M",
+            config: ModelConfig::stories15m(),
+        },
+        ModelPreset {
+            name: "stories42M",
+            config: ModelConfig::stories42m(),
+        },
+        ModelPreset {
+            name: "stories110M",
+            config: ModelConfig::stories110m(),
+        },
     ]
 }
 
@@ -61,9 +79,15 @@ pub fn model_presets() -> Vec<ModelPreset> {
 #[must_use]
 pub fn headline_preset() -> ModelPreset {
     if tiny_mode() {
-        return ModelPreset { name: "stories260K", config: ModelConfig::stories260k() };
+        return ModelPreset {
+            name: "stories260K",
+            config: ModelConfig::stories260k(),
+        };
     }
-    ModelPreset { name: "stories15M", config: ModelConfig::stories15m() }
+    ModelPreset {
+        name: "stories15M",
+        config: ModelConfig::stories15m(),
+    }
 }
 
 /// One benchmark workload: a prompt and a generation budget.
@@ -85,12 +109,24 @@ pub struct Workload {
 pub fn fig2a_workloads() -> Vec<Workload> {
     if tiny_mode() {
         return vec![
-            Workload { name: "chat-short", prompt: "Hello there", gen_tokens: 4 },
-            Workload { name: "story-8", prompt: "Once upon a time", gen_tokens: 8 },
+            Workload {
+                name: "chat-short",
+                prompt: "Hello there",
+                gen_tokens: 4,
+            },
+            Workload {
+                name: "story-8",
+                prompt: "Once upon a time",
+                gen_tokens: 8,
+            },
         ];
     }
     vec![
-        Workload { name: "chat-short", prompt: "Hello there, how are you today?", gen_tokens: 16 },
+        Workload {
+            name: "chat-short",
+            prompt: "Hello there, how are you today?",
+            gen_tokens: 16,
+        },
         Workload {
             name: "story-64",
             prompt: "Once upon a time there was a little dog named Tim.",
@@ -113,7 +149,11 @@ pub fn fig2a_workloads() -> Vec<Workload> {
 #[must_use]
 pub fn fig2b_workload() -> Workload {
     if tiny_mode() {
-        return Workload { name: "story-8", prompt: "Once upon a time", gen_tokens: 8 };
+        return Workload {
+            name: "story-8",
+            prompt: "Once upon a time",
+            gen_tokens: 8,
+        };
     }
     Workload {
         name: "story-128",
@@ -184,7 +224,11 @@ pub fn run_variant(
     let report = session
         .generate(workload.prompt, workload.gen_tokens)
         .expect("workload must fit the context window");
-    Measurement { variant, opt, report }
+    Measurement {
+        variant,
+        opt,
+        report,
+    }
 }
 
 /// Runs all four paper variants on a workload.
@@ -209,19 +253,29 @@ mod tests {
     use super::*;
 
     fn tiny_preset() -> ModelPreset {
-        ModelPreset { name: "tiny", config: ModelConfig::test_tiny() }
+        ModelPreset {
+            name: "tiny",
+            config: ModelConfig::test_tiny(),
+        }
     }
 
     #[test]
     fn presets_cover_paper_family() {
         let names: Vec<&str> = model_presets().iter().map(|p| p.name).collect();
-        assert_eq!(names, vec!["stories260K", "stories15M", "stories42M", "stories110M"]);
+        assert_eq!(
+            names,
+            vec!["stories260K", "stories15M", "stories42M", "stories110M"]
+        );
         assert_eq!(headline_preset().name, "stories15M");
     }
 
     #[test]
     fn run_variant_produces_tokens() {
-        let w = Workload { name: "t", prompt: "ab", gen_tokens: 4 };
+        let w = Workload {
+            name: "t",
+            prompt: "ab",
+            gen_tokens: 4,
+        };
         let m = run_variant(&tiny_preset(), &w, "full", OptConfig::full());
         assert!(!m.report.output.generated_tokens.is_empty());
         assert!(m.latency_s() > 0.0);
@@ -231,7 +285,11 @@ mod tests {
 
     #[test]
     fn paper_variants_agree_on_tokens() {
-        let w = Workload { name: "t", prompt: "xy", gen_tokens: 4 };
+        let w = Workload {
+            name: "t",
+            prompt: "xy",
+            gen_tokens: 4,
+        };
         let ms = run_paper_variants(&tiny_preset(), &w);
         assert_eq!(ms.len(), 4);
         for m in &ms[1..] {

@@ -47,7 +47,10 @@ fn repro_fig2b_runs_and_reports_all_variants() {
     for variant in ["SpeedLLM (ours)", "no-fuse", "no-parallel", "unoptimized"] {
         assert!(out.contains(variant), "missing variant {variant}:\n{out}");
     }
-    assert!(out.contains("tokens/J"), "missing efficiency column:\n{out}");
+    assert!(
+        out.contains("tokens/J"),
+        "missing efficiency column:\n{out}"
+    );
 }
 
 #[test]
@@ -69,10 +72,7 @@ fn repro_extensions_runs() {
 fn repro_csv_emits_wellformed_csv_files() {
     let outdir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("repro-csv-smoke");
     let _ = std::fs::remove_dir_all(&outdir);
-    run_bin(
-        env!("CARGO_BIN_EXE_repro-csv"),
-        &[outdir.to_str().unwrap()],
-    );
+    run_bin(env!("CARGO_BIN_EXE_repro-csv"), &[outdir.to_str().unwrap()]);
     let mut n_files = 0;
     for entry in std::fs::read_dir(&outdir).expect("outdir must exist") {
         let path = entry.unwrap().path();
@@ -96,7 +96,10 @@ fn repro_csv_emits_wellformed_csv_files() {
         }
         assert!(rows >= 1, "{path:?} has a header but no data rows");
     }
-    assert!(n_files >= 3, "expected several CSV artifacts, got {n_files}");
+    assert!(
+        n_files >= 3,
+        "expected several CSV artifacts, got {n_files}"
+    );
 }
 
 #[test]

@@ -196,7 +196,10 @@ mod tests {
 
     #[test]
     fn preset_names_resolve() {
-        assert_eq!(parse_preset("stories15m").unwrap(), ModelConfig::stories15m());
+        assert_eq!(
+            parse_preset("stories15m").unwrap(),
+            ModelConfig::stories15m()
+        );
         assert_eq!(parse_preset("15m").unwrap(), ModelConfig::stories15m());
         assert!(parse_preset("huge").is_err());
     }
@@ -212,14 +215,23 @@ mod tests {
     #[test]
     fn sampler_specs_resolve() {
         assert_eq!(parse_sampler("argmax").unwrap(), SamplerKind::Argmax);
-        assert_eq!(parse_sampler("temp:0.8").unwrap(), SamplerKind::Temperature(0.8));
+        assert_eq!(
+            parse_sampler("temp:0.8").unwrap(),
+            SamplerKind::Temperature(0.8)
+        );
         assert_eq!(
             parse_sampler("topp:0.9,0.95").unwrap(),
-            SamplerKind::TopP { temperature: 0.9, p: 0.95 }
+            SamplerKind::TopP {
+                temperature: 0.9,
+                p: 0.95
+            }
         );
         assert_eq!(
             parse_sampler("topk:1.0,40").unwrap(),
-            SamplerKind::TopK { temperature: 1.0, k: 40 }
+            SamplerKind::TopK {
+                temperature: 1.0,
+                k: 40
+            }
         );
         assert!(parse_sampler("weird").is_err());
         assert!(parse_sampler("topp:0.9").is_err());

@@ -11,7 +11,10 @@
 
 mod args;
 
+use std::cell::RefCell;
 use std::process::ExitCode;
+
+use speedllm_telemetry as tel;
 
 use args::{parse_preset, parse_sampler, parse_variant, Args};
 use speedllm_accel::opt::OptConfig;
@@ -32,6 +35,7 @@ COMMANDS
              --preset NAME | --model FILE --tokenizer FILE
              --prompt STR  --steps N  --variant V  --sampler S  --seed N
              --chunk N (chunked prefill, 1..64)
+  run        alias of generate (pairs well with --trace-out)
   compare    run all four Fig-2 variants on one workload
              --preset NAME --prompt STR --steps N --seed N
   inspect    print graph/schedule/memory-plan/resource summary
@@ -44,11 +48,26 @@ COMMANDS
              --preset NAME --tokens N --seed N
   help       this text
 
+GLOBAL FLAGS
+  --trace-out FILE  enable telemetry and write a combined Chrome
+                    trace-event JSON (host wall-time spans + simulator
+                    cycle timeline) loadable in Perfetto /
+                    chrome://tracing; also prints a metrics summary
+                    table. Setting SPEEDLLM_TRACE=1 enables telemetry
+                    (summary table only) without writing a file.
+
 VALUES
   presets:  stories260k stories15m stories42m stories110m tiny
   variants: full no-fuse no-parallel no-reuse unoptimized int8
   samplers: argmax | temp:T | topp:T,P | topk:T,K
 ";
+
+thread_local! {
+    /// Simulator timeline stashed by a traced command for the combined
+    /// trace written at exit.
+    static SIM_TRACE: RefCell<Option<speedllm_fpga_sim::trace::TraceBuffer>> =
+        const { RefCell::new(None) };
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -67,15 +86,91 @@ fn main() -> ExitCode {
 
 fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse(argv)?;
+    // Telemetry is a global concern: --trace-out (any command) or the
+    // SPEEDLLM_TRACE env var switches collection on before dispatch.
+    if args.get("trace-out").is_some() {
+        tel::set_enabled(true);
+    } else {
+        tel::init_from_env();
+    }
     match args.command.as_str() {
-        "generate" => cmd_generate(&args),
+        "generate" | "run" => cmd_generate(&args),
         "compare" => cmd_compare(&args),
         "inspect" => cmd_inspect(&args),
         "trace" => cmd_trace(&args),
         "devices" => cmd_devices(&args),
         "eval" => cmd_eval(&args),
-        other => Err(format!("unknown command `{other}`; try `speedllm help`").into()),
+        other => return Err(format!("unknown command `{other}`; try `speedllm help`").into()),
+    }?;
+    finalize_telemetry(args.get("trace-out"))
+}
+
+/// End-of-run telemetry surface: prints the metrics summary table and, if
+/// requested, writes the combined host+simulator Chrome trace.
+fn finalize_telemetry(trace_out: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
+    if !tel::enabled() {
+        return Ok(());
     }
+    let snap = tel::metrics::snapshot();
+    if !snap.is_empty() {
+        println!();
+        println!("telemetry summary");
+        let mut table = Table::new(&["metric", "count", "p50", "p95", "p99", "max"]);
+        for (name, s) in &snap.histograms {
+            table.row(vec![
+                (*name).into(),
+                s.count.to_string(),
+                s.p50.to_string(),
+                s.p95.to_string(),
+                s.p99.to_string(),
+                s.max.to_string(),
+            ]);
+        }
+        for (name, v) in &snap.counters {
+            table.row(vec![
+                (*name).into(),
+                v.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
+        for (name, v) in &snap.gauges {
+            table.row(vec![
+                (*name).into(),
+                format!("{v}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
+        println!("{}", table.render());
+        println!("(histogram rows: *_cycles in device cycles, *_ns in wall nanoseconds)");
+    }
+    if tel::dropped_spans() > 0 {
+        println!("(+{} spans dropped)", tel::dropped_spans());
+    }
+    if let Some(path) = trace_out {
+        let mut trace = tel::export::ChromeTrace::new();
+        SIM_TRACE.with(|t| {
+            if let Some(sim) = t.borrow_mut().take() {
+                sim.to_chrome_track(
+                    &speedllm_fpga_sim::cycles::ClockDomain::U280_KERNEL,
+                    tel::export::SIM_PID,
+                    &mut trace,
+                );
+            }
+        });
+        let json = tel::export::chrome_trace_json(&tel::drain_spans(), Some(trace));
+        std::fs::write(path, &json)?;
+        println!(
+            "wrote Chrome trace ({} bytes) to {path} — open in https://ui.perfetto.dev or chrome://tracing",
+            json.len()
+        );
+    }
+    Ok(())
 }
 
 fn build_system(args: &Args, opt: OptConfig) -> Result<AcceleratedLlm, Box<dyn std::error::Error>> {
@@ -85,8 +180,7 @@ fn build_system(args: &Args, opt: OptConfig) -> Result<AcceleratedLlm, Box<dyn s
             .get("tokenizer")
             .ok_or("--model requires --tokenizer")?;
         let weights = TransformerWeights::load(std::path::Path::new(model_path))?;
-        let tokenizer =
-            Tokenizer::load(std::path::Path::new(tok_path), weights.config.vocab_size)?;
+        let tokenizer = Tokenizer::load(std::path::Path::new(tok_path), weights.config.vocab_size)?;
         Ok(AcceleratedLlm::new(weights, tokenizer, opt)?)
     } else {
         let preset = parse_preset(args.get_or("preset", "stories15m"))?;
@@ -96,7 +190,16 @@ fn build_system(args: &Args, opt: OptConfig) -> Result<AcceleratedLlm, Box<dyn s
 
 fn cmd_generate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.expect_only(&[
-        "preset", "model", "tokenizer", "prompt", "steps", "variant", "sampler", "seed", "chunk",
+        "preset",
+        "model",
+        "tokenizer",
+        "prompt",
+        "steps",
+        "variant",
+        "sampler",
+        "seed",
+        "chunk",
+        "trace-out",
     ])?;
     let opt = parse_variant(args.get_or("variant", "full"))?;
     let sampler = parse_sampler(args.get_or("sampler", "argmax"))?;
@@ -109,16 +212,32 @@ fn cmd_generate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     set_prefill_chunk(&mut system, chunk, opt)?;
     let prompt = args.get_or("prompt", "Once upon a time");
     let mut session = system.session(sampler, args.get_u64("seed", 42)?);
+    if tel::enabled() {
+        // Capture the device timeline alongside host spans; the combined
+        // trace is written by finalize_telemetry.
+        session.engine_mut().capture_trace(1 << 16);
+    }
     let report = session.generate(prompt, steps)?;
+    if let Some(sim) = session.engine_mut().take_trace() {
+        SIM_TRACE.with(|s| *s.borrow_mut() = Some(sim));
+    }
 
     println!("model:   {}", system.config());
-    println!("variant: {} ({})", opt.short_name(), args.get_or("variant", "full"));
+    println!(
+        "variant: {} ({})",
+        opt.short_name(),
+        args.get_or("variant", "full")
+    );
     println!("prompt:  {prompt:?}");
     println!("output:  {:?}", report.output.text);
     println!();
     println!("latency:    {}", fmt_seconds(report.total_latency_s()));
     println!("throughput: {:.0} tok/s", report.decode_tokens_per_s());
-    println!("energy:     {} ({:.0} tok/J)", fmt_joules(report.energy.total_j()), report.tokens_per_joule());
+    println!(
+        "energy:     {} ({:.0} tok/J)",
+        fmt_joules(report.energy.total_j()),
+        report.tokens_per_joule()
+    );
     println!(
         "traffic:    {} HBM read, {} HBM write, {} on-chip",
         fmt_bytes(report.stats.hbm.read_bytes),
@@ -144,7 +263,7 @@ fn set_prefill_chunk(
 }
 
 fn cmd_compare(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    args.expect_only(&["preset", "prompt", "steps", "seed"])?;
+    args.expect_only(&["preset", "prompt", "steps", "seed", "trace-out"])?;
     let steps = args.get_usize("steps", 32)?;
     let prompt = args.get_or("prompt", "Once upon a time");
     let seed = args.get_u64("seed", 42)?;
@@ -177,7 +296,7 @@ fn cmd_compare(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_inspect(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    args.expect_only(&["preset", "variant", "dot", "seed"])?;
+    args.expect_only(&["preset", "variant", "dot", "seed", "trace-out"])?;
     let preset = parse_preset(args.get_or("preset", "stories15m"))?;
     let opt = parse_variant(args.get_or("variant", "full"))?;
 
@@ -188,7 +307,12 @@ fn cmd_inspect(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let graph = build_decode_graph(&preset);
     let schedule = fuse(&graph, opt.operator_fusion);
     let cfg = speedllm_accel::engine::AccelConfig::for_opt(&opt);
-    let mplan = plan(&graph, &schedule, opt.memory_reuse, cfg.activation_pool_bytes);
+    let mplan = plan(
+        &graph,
+        &schedule,
+        opt.memory_reuse,
+        cfg.activation_pool_bytes,
+    );
 
     println!("model:    {preset}");
     println!("variant:  {}", opt.short_name());
@@ -231,7 +355,7 @@ fn cmd_inspect(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_trace(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    args.expect_only(&["preset", "variant", "seed", "width", "chrome"])?;
+    args.expect_only(&["preset", "variant", "seed", "width", "chrome", "trace-out"])?;
     let preset = parse_preset(args.get_or("preset", "stories260k"))?;
     let opt = parse_variant(args.get_or("variant", "full"))?;
     let width = args.get_usize("width", 100)?;
@@ -251,13 +375,16 @@ fn cmd_trace(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(path) = args.get("chrome") {
         let json = trace.to_chrome_json(&speedllm_fpga_sim::cycles::ClockDomain::U280_KERNEL);
         std::fs::write(path, &json)?;
-        println!("wrote Chrome trace ({} bytes) to {path} — open in chrome://tracing", json.len());
+        println!(
+            "wrote Chrome trace ({} bytes) to {path} — open in chrome://tracing",
+            json.len()
+        );
     }
     Ok(())
 }
 
 fn cmd_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    args.expect_only(&["preset", "tokens", "seed"])?;
+    args.expect_only(&["preset", "tokens", "seed", "trace-out"])?;
     let preset = parse_preset(args.get_or("preset", "tiny"))?;
     let n_tokens = args.get_usize("tokens", 24)?.max(2).min(preset.seq_len);
     let seed = args.get_u64("seed", 42)?;
@@ -303,7 +430,7 @@ fn cmd_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_devices(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    args.expect_only(&["preset", "steps", "seed"])?;
+    args.expect_only(&["preset", "steps", "seed", "trace-out"])?;
     let preset = parse_preset(args.get_or("preset", "stories15m"))?;
     let steps = args.get_usize("steps", 32)?;
     let system = AcceleratedLlm::synthetic(preset, args.get_u64("seed", 42)?, OptConfig::full())?;

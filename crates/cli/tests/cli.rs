@@ -6,6 +6,8 @@ use std::process::{Command, Output};
 fn run(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_speedllm"))
         .args(args)
+        // Keep the ambient environment from toggling telemetry under us.
+        .env_remove("SPEEDLLM_TRACE")
         .output()
         .expect("binary must spawn")
 }
@@ -34,7 +36,9 @@ fn help_prints_usage() {
 
 #[test]
 fn generate_runs_on_tiny_preset() {
-    let o = run(&["generate", "--preset", "tiny", "--steps", "6", "--prompt", "hi"]);
+    let o = run(&[
+        "generate", "--preset", "tiny", "--steps", "6", "--prompt", "hi",
+    ]);
     assert!(o.status.success(), "stderr: {}", stderr(&o));
     let out = stdout(&o);
     assert!(out.contains("latency:"));
@@ -46,7 +50,15 @@ fn generate_runs_on_tiny_preset() {
 fn generate_with_all_samplers_and_chunk() {
     for sampler in ["argmax", "temp:0.9", "topp:0.9,0.9", "topk:1.0,8"] {
         let o = run(&[
-            "generate", "--preset", "tiny", "--steps", "4", "--sampler", sampler, "--chunk", "4",
+            "generate",
+            "--preset",
+            "tiny",
+            "--steps",
+            "4",
+            "--sampler",
+            sampler,
+            "--chunk",
+            "4",
         ]);
         assert!(o.status.success(), "sampler {sampler}: {}", stderr(&o));
     }
@@ -104,6 +116,45 @@ fn trace_draws_gantt_and_exports_chrome() {
 }
 
 #[test]
+fn run_with_trace_out_writes_combined_trace_and_summary() {
+    let path = std::env::temp_dir().join(format!("speedllm_cli_trace_{}.json", std::process::id()));
+    let o = run(&[
+        "run",
+        "--preset",
+        "tiny",
+        "--steps",
+        "6",
+        "--trace-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let out = stdout(&o);
+    assert!(
+        out.contains("telemetry summary"),
+        "no summary table:\n{out}"
+    );
+    assert!(out.contains("accel.decode_token_cycles"));
+    assert!(out.contains("p99"));
+    let json = std::fs::read_to_string(&path).expect("trace written");
+    std::fs::remove_file(&path).ok();
+    // Host spans and simulator spans share one trace file, as separate
+    // Chrome processes.
+    assert!(json.starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    assert!(json.contains("\"host (wall time)\""));
+    assert!(json.contains("\"fpga-sim (cycle time)\""));
+    assert!(json.contains("decode_token"));
+    assert!(json.contains("prefill_chunk"));
+}
+
+#[test]
+fn trace_disabled_by_default_prints_no_summary() {
+    let o = run(&["generate", "--preset", "tiny", "--steps", "4"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(!stdout(&o).contains("telemetry summary"));
+}
+
+#[test]
 fn devices_prints_cost_table() {
     let o = run(&["devices", "--preset", "stories260k", "--steps", "6"]);
     assert!(o.status.success(), "stderr: {}", stderr(&o));
@@ -149,7 +200,9 @@ fn generate_loads_real_checkpoint_files() {
     let tpath = dir.join(format!("speedllm_cli_t_{}.bin", std::process::id()));
     let cfg = ModelConfig::test_tiny();
     TransformerWeights::synthetic(cfg, 1).save(&wpath).unwrap();
-    Tokenizer::synthetic(cfg.vocab_size, 1).save(&tpath).unwrap();
+    Tokenizer::synthetic(cfg.vocab_size, 1)
+        .save(&tpath)
+        .unwrap();
     let o = run(&[
         "generate",
         "--model",

@@ -39,14 +39,22 @@ impl DmaConfig {
     /// by the optimized design's weight reader.
     #[must_use]
     pub fn wide() -> Self {
-        Self { channels: 16, setup_cycles: 16, pipelined: true }
+        Self {
+            channels: 16,
+            setup_cycles: 16,
+            pipelined: true,
+        }
     }
 
     /// A narrow blocking engine (2 channels) as found in naive single-port
     /// designs.
     #[must_use]
     pub fn narrow() -> Self {
-        Self { channels: 2, setup_cycles: 16, pipelined: false }
+        Self {
+            channels: 2,
+            setup_cycles: 16,
+            pipelined: false,
+        }
     }
 }
 
@@ -174,14 +182,22 @@ mod tests {
     fn cost_includes_setup() {
         let hbm = Hbm::new(HbmConfig::u280());
         let eng = DmaEngine::new(
-            DmaConfig { channels: 1, setup_cycles: 100, pipelined: false },
+            DmaConfig {
+                channels: 1,
+                setup_cycles: 100,
+                pipelined: false,
+            },
             Direction::Read,
         );
         let c = eng.transfer_cost(&hbm, 48);
         // setup 100 + latency 64 + ceil(64/48)=2 cycles.
         assert_eq!(c, Cycles(100 + 64 + 2));
         let pipe = DmaEngine::new(
-            DmaConfig { channels: 1, setup_cycles: 100, pipelined: true },
+            DmaConfig {
+                channels: 1,
+                setup_cycles: 100,
+                pipelined: true,
+            },
             Direction::Read,
         );
         // Pipelined: the 64-cycle access latency is hidden.

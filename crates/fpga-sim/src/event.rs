@@ -178,7 +178,13 @@ mod tests {
         let mut tl = Timeline::new(2);
         let r = ResourceId(0);
         let s1 = tl.schedule(r, Cycles(5), Cycles(10));
-        assert_eq!(s1, Span { start: Cycles(5), end: Cycles(15) });
+        assert_eq!(
+            s1,
+            Span {
+                start: Cycles(5),
+                end: Cycles(15)
+            }
+        );
         // Ready earlier than resource-free: starts when the resource frees.
         let s2 = tl.schedule(r, Cycles(0), Cycles(3));
         assert_eq!(s2.start, Cycles(15));

@@ -111,7 +111,10 @@ impl OcmPool {
         Self {
             kind,
             config,
-            free: vec![Segment { offset: 0, len: config.capacity_bytes }],
+            free: vec![Segment {
+                offset: 0,
+                len: config.capacity_bytes,
+            }],
             in_use: 0,
             high_water: 0,
             allocs: 0,
@@ -194,18 +197,27 @@ impl OcmPool {
         match pos {
             Some(i) => {
                 let seg = self.free[i];
-                let out = Segment { offset: seg.offset, len };
+                let out = Segment {
+                    offset: seg.offset,
+                    len,
+                };
                 if seg.len == len {
                     self.free.remove(i);
                 } else {
-                    self.free[i] = Segment { offset: seg.offset + len, len: seg.len - len };
+                    self.free[i] = Segment {
+                        offset: seg.offset + len,
+                        len: seg.len - len,
+                    };
                 }
                 self.in_use += len;
                 self.high_water = self.high_water.max(self.in_use);
                 self.allocs += 1;
                 Ok(out)
             }
-            None => Err(OcmFull { requested: len, largest_free: self.largest_free() }),
+            None => Err(OcmFull {
+                requested: len,
+                largest_free: self.largest_free(),
+            }),
         }
     }
 
@@ -222,17 +234,25 @@ impl OcmPool {
         // Insertion point by offset.
         let idx = self.free.partition_point(|s| s.offset < seg.offset);
         if let Some(prev) = idx.checked_sub(1).map(|i| self.free[i]) {
-            assert!(prev.offset + prev.len <= seg.offset, "double free (overlaps previous)");
+            assert!(
+                prev.offset + prev.len <= seg.offset,
+                "double free (overlaps previous)"
+            );
         }
         if idx < self.free.len() {
             let next = self.free[idx];
-            assert!(seg.offset + seg.len <= next.offset, "double free (overlaps next)");
+            assert!(
+                seg.offset + seg.len <= next.offset,
+                "double free (overlaps next)"
+            );
         }
         self.free.insert(idx, seg);
         self.in_use -= seg.len;
         self.frees += 1;
         // Coalesce with next, then with previous.
-        if idx + 1 < self.free.len() && self.free[idx].offset + self.free[idx].len == self.free[idx + 1].offset {
+        if idx + 1 < self.free.len()
+            && self.free[idx].offset + self.free[idx].len == self.free[idx + 1].offset
+        {
             self.free[idx].len += self.free[idx + 1].len;
             self.free.remove(idx + 1);
         }
@@ -271,7 +291,11 @@ mod tests {
     fn pool() -> OcmPool {
         OcmPool::new(
             OcmKind::Uram,
-            OcmConfig { capacity_bytes: 1000, bytes_per_cycle: 64.0, access_latency: Cycles(3) },
+            OcmConfig {
+                capacity_bytes: 1000,
+                bytes_per_cycle: 64.0,
+                access_latency: Cycles(3),
+            },
         )
     }
 

@@ -157,8 +157,15 @@ mod tests {
     fn stats(cycles: u64, hbm_bytes: u64, macs: u64) -> SimStats {
         SimStats {
             total_cycles: Cycles(cycles),
-            hbm: HbmCounters { read_bytes: hbm_bytes, ..Default::default() },
-            mpe: MpeCounters { macs, busy_cycles: cycles / 2, tiles: 1 },
+            hbm: HbmCounters {
+                read_bytes: hbm_bytes,
+                ..Default::default()
+            },
+            mpe: MpeCounters {
+                macs,
+                busy_cycles: cycles / 2,
+                tiles: 1,
+            },
             sfu: SfuCounters::default(),
             ..Default::default()
         }
@@ -178,7 +185,12 @@ mod tests {
         // energy too.
         let pm = PowerModel::u280();
         let e = pm.energy(&stats(45_000, 60 << 20, 15_000_000));
-        assert!(e.hbm_j > e.mpe_dyn_j * 10.0, "hbm {} vs mpe {}", e.hbm_j, e.mpe_dyn_j);
+        assert!(
+            e.hbm_j > e.mpe_dyn_j * 10.0,
+            "hbm {} vs mpe {}",
+            e.hbm_j,
+            e.mpe_dyn_j
+        );
     }
 
     #[test]
@@ -214,12 +226,23 @@ mod tests {
         let pm = PowerModel::u280();
         let mut s = stats(50_000, 10 << 20, 5_000_000);
         s.kernel_launches = 100;
-        s.sfu = SfuCounters { elements: 10_000, busy_cycles: 5_000, ops: 50 };
+        s.sfu = SfuCounters {
+            elements: 10_000,
+            busy_cycles: 5_000,
+            ops: 50,
+        };
         s.dma_busy_cycles = 20_000;
         s.ocm_read_bytes = 1 << 20;
         let e = pm.energy(&s);
-        let sum = e.hbm_j + e.ocm_j + e.mpe_dyn_j + e.sfu_dyn_j + e.launch_j
-            + e.mpe_static_j + e.dma_static_j + e.sfu_static_j + e.baseline_j;
+        let sum = e.hbm_j
+            + e.ocm_j
+            + e.mpe_dyn_j
+            + e.sfu_dyn_j
+            + e.launch_j
+            + e.mpe_static_j
+            + e.dma_static_j
+            + e.sfu_static_j
+            + e.baseline_j;
         assert!((sum - e.total_j()).abs() < 1e-15);
         assert!(e.launch_j > 0.0 && e.ocm_j > 0.0 && e.sfu_dyn_j > 0.0);
     }

@@ -115,7 +115,11 @@ pub fn check_fit(used: &Resources, budget: &Resources) -> Result<(), OverBudget>
     ];
     for (axis, u, b) in axes {
         if u > b {
-            return Err(OverBudget { axis, used: u, available: b });
+            return Err(OverBudget {
+                axis,
+                used: u,
+                available: b,
+            });
         }
     }
     Ok(())
@@ -155,7 +159,13 @@ pub fn estimate_sfu(kind: SfuKind) -> Resources {
         SfuKind::Add => (2_000, 2_500, 8, 0),
         SfuKind::Mul => (2_000, 2_500, 8, 0),
     };
-    Resources { luts, ffs, dsps, bram18: bram, uram: 0 }
+    Resources {
+        luts,
+        ffs,
+        dsps,
+        bram18: bram,
+        uram: 0,
+    }
 }
 
 /// Estimates the fabric cost of one DMA engine striped over `channels`.
@@ -223,9 +233,27 @@ mod tests {
 
     #[test]
     fn fits_is_componentwise() {
-        let b = Resources { luts: 10, ffs: 10, dsps: 10, bram18: 10, uram: 10 };
-        let ok = Resources { luts: 10, ffs: 9, dsps: 0, bram18: 1, uram: 10 };
-        let bad = Resources { luts: 1, ffs: 1, dsps: 11, bram18: 1, uram: 1 };
+        let b = Resources {
+            luts: 10,
+            ffs: 10,
+            dsps: 10,
+            bram18: 10,
+            uram: 10,
+        };
+        let ok = Resources {
+            luts: 10,
+            ffs: 9,
+            dsps: 0,
+            bram18: 1,
+            uram: 10,
+        };
+        let bad = Resources {
+            luts: 1,
+            ffs: 1,
+            dsps: 11,
+            bram18: 1,
+            uram: 1,
+        };
         assert!(ok.fits(&b));
         assert!(!bad.fits(&b));
     }
@@ -235,7 +263,11 @@ mod tests {
         let b = Resources::u280_budget();
         let u = estimate_mpe(&MpeConfig::u280_fp32()).utilization(&b);
         assert!(u.iter().all(|&f| (0.0..=1.0).contains(&f)), "{u:?}");
-        assert!(u[2] > 0.2, "DSP utilization should be significant: {}", u[2]);
+        assert!(
+            u[2] > 0.2,
+            "DSP utilization should be significant: {}",
+            u[2]
+        );
     }
 
     #[test]
@@ -249,8 +281,23 @@ mod tests {
 
     #[test]
     fn plus_adds_componentwise() {
-        let a = Resources { luts: 1, ffs: 2, dsps: 3, bram18: 4, uram: 5 };
+        let a = Resources {
+            luts: 1,
+            ffs: 2,
+            dsps: 3,
+            bram18: 4,
+            uram: 5,
+        };
         let s = a.plus(a);
-        assert_eq!(s, Resources { luts: 2, ffs: 4, dsps: 6, bram18: 8, uram: 10 });
+        assert_eq!(
+            s,
+            Resources {
+                luts: 2,
+                ffs: 4,
+                dsps: 6,
+                bram18: 8,
+                uram: 10
+            }
+        );
     }
 }

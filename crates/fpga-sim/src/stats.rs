@@ -81,11 +81,24 @@ mod tests {
     fn sample() -> SimStats {
         SimStats {
             total_cycles: Cycles(100),
-            hbm: HbmCounters { read_bytes: 1000, write_bytes: 200, read_transfers: 3, write_transfers: 1 },
+            hbm: HbmCounters {
+                read_bytes: 1000,
+                write_bytes: 200,
+                read_transfers: 3,
+                write_transfers: 1,
+            },
             ocm_read_bytes: 50,
             ocm_write_bytes: 60,
-            mpe: MpeCounters { macs: 5000, busy_cycles: 80, tiles: 2 },
-            sfu: SfuCounters { elements: 300, busy_cycles: 40, ops: 5 },
+            mpe: MpeCounters {
+                macs: 5000,
+                busy_cycles: 80,
+                tiles: 2,
+            },
+            sfu: SfuCounters {
+                elements: 300,
+                busy_cycles: 40,
+                ops: 5,
+            },
             dma_busy_cycles: 70,
             kernel_launches: 4,
             alloc_stalls: 2,

@@ -103,7 +103,8 @@ impl TraceBuffer {
             let mut row = vec![b'.'; width];
             for e in self.events.iter().filter(|e| e.resource == res) {
                 let a = ((e.span.start - t0).0 as f64 / total as f64 * width as f64) as usize;
-                let b = (((e.span.end - t0).0 as f64 / total as f64 * width as f64).ceil() as usize)
+                let b = (((e.span.end - t0).0 as f64 / total as f64 * width as f64).ceil()
+                    as usize)
                     .min(width);
                 for cell in &mut row[a.min(width.saturating_sub(1))..b] {
                     *cell = b'#';
@@ -115,7 +116,7 @@ impl TraceBuffer {
             ));
         }
         if self.dropped > 0 {
-            out.push_str(&format!("({} events dropped)\n", self.dropped));
+            out.push_str(&format!("(+{} dropped)\n", self.dropped));
         }
         out
     }
@@ -159,6 +160,44 @@ impl TraceBuffer {
         out.push(']');
         out
     }
+
+    /// Appends the captured window to a shared [`ChromeTrace`] under
+    /// `pid`, converting cycle spans to microseconds at the given clock.
+    /// This is how the simulator timeline lands in the same Perfetto file
+    /// as real host wall-time spans: one process per time domain.
+    ///
+    /// [`ChromeTrace`]: speedllm_telemetry::export::ChromeTrace
+    pub fn to_chrome_track(
+        &self,
+        clock: &crate::cycles::ClockDomain,
+        pid: u32,
+        trace: &mut speedllm_telemetry::export::ChromeTrace,
+    ) {
+        if self.events.is_empty() {
+            return;
+        }
+        trace.meta_process_name(pid, "fpga-sim (cycle time)");
+        let mut resources: Vec<&'static str> = Vec::new();
+        for e in &self.events {
+            let tid = match resources.iter().position(|r| *r == e.resource) {
+                Some(i) => i as u32,
+                None => {
+                    resources.push(e.resource);
+                    let tid = (resources.len() - 1) as u32;
+                    trace.meta_thread_name(pid, tid, e.resource);
+                    tid
+                }
+            };
+            trace.complete(
+                pid,
+                tid,
+                &e.label,
+                clock.to_micros(e.span.start),
+                clock.to_micros(e.span.duration()),
+                &[],
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -166,7 +205,10 @@ mod tests {
     use super::*;
 
     fn span(a: u64, b: u64) -> Span {
-        Span { start: Cycles(a), end: Cycles(b) }
+        Span {
+            start: Cycles(a),
+            end: Cycles(b),
+        }
     }
 
     #[test]
@@ -177,6 +219,7 @@ mod tests {
         t.record("A", span(2, 3), "z");
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.dropped(), 1);
+        assert!(t.render_gantt(20).contains("(+1 dropped)"));
         t.clear();
         assert!(t.events().is_empty());
         assert_eq!(t.dropped(), 0);
@@ -233,6 +276,29 @@ mod tests {
         assert_eq!(json.matches('"').count() % 2, 0);
         // 300 cycles at 300 MHz = 1 us.
         assert!(json.contains("\"dur\":1.000"));
+    }
+
+    #[test]
+    fn chrome_track_joins_shared_trace() {
+        let mut t = TraceBuffer::new(10);
+        t.record("MPE", span(0, 300), "k0:compute");
+        t.record("DMA-RD", span(0, 150), "k0:read");
+        let mut trace = speedllm_telemetry::export::ChromeTrace::new();
+        t.to_chrome_track(&crate::cycles::ClockDomain::U280_KERNEL, 2, &mut trace);
+        let json = trace.finish();
+        assert!(json.contains("fpga-sim (cycle time)"));
+        assert!(json.contains("\"pid\":2"));
+        // 1 process_name + 2 thread_name + 2 complete events.
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        // Empty buffers append nothing, not even process metadata.
+        let mut empty = speedllm_telemetry::export::ChromeTrace::new();
+        TraceBuffer::new(4).to_chrome_track(
+            &crate::cycles::ClockDomain::U280_KERNEL,
+            2,
+            &mut empty,
+        );
+        assert!(empty.is_empty());
     }
 
     #[test]

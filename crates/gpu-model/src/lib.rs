@@ -221,7 +221,11 @@ mod tests {
 
     #[test]
     fn cost_row_math() {
-        let r = CostRow { device: "U280".into(), tokens_per_s: 4000.0, price_usd: U280_PRICE_USD };
+        let r = CostRow {
+            device: "U280".into(),
+            tokens_per_s: 4000.0,
+            price_usd: U280_PRICE_USD,
+        };
         assert!((r.tokens_per_s_per_dollar() - 0.5).abs() < 1e-12);
     }
 

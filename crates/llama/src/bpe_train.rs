@@ -24,7 +24,10 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { vocab_size: 512, min_pair_count: 2 }
+        Self {
+            vocab_size: 512,
+            min_pair_count: 2,
+        }
     }
 }
 
@@ -34,7 +37,10 @@ impl Default for TrainConfig {
 /// Panics if `vocab_size < 259` (specials + byte fallback must fit).
 #[must_use]
 pub fn train(corpus: &str, config: TrainConfig) -> Tokenizer {
-    assert!(config.vocab_size >= 259, "vocab must hold specials + byte block");
+    assert!(
+        config.vocab_size >= 259,
+        "vocab must hold specials + byte block"
+    );
 
     // Seed vocabulary: specials + byte-fallback block.
     let mut vocab: Vec<Vec<u8>> = Vec::with_capacity(config.vocab_size);
@@ -147,7 +153,13 @@ mod tests {
         once upon a time there was a little cat named lily. lily liked the park too.";
 
     fn trained(vocab_size: usize) -> Tokenizer {
-        train(CORPUS, TrainConfig { vocab_size, min_pair_count: 2 })
+        train(
+            CORPUS,
+            TrainConfig {
+                vocab_size,
+                min_pair_count: 2,
+            },
+        )
     }
 
     #[test]
@@ -211,7 +223,13 @@ mod tests {
 
     #[test]
     fn tiny_corpus_pads_vocab() {
-        let t = train("ab", TrainConfig { vocab_size: 280, min_pair_count: 2 });
+        let t = train(
+            "ab",
+            TrainConfig {
+                vocab_size: 280,
+                min_pair_count: 2,
+            },
+        );
         assert_eq!(t.vocab_size(), 280);
         assert_eq!(t.decode(&t.encode("ab", true, false)), "ab");
     }
@@ -219,7 +237,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "specials + byte block")]
     fn undersized_vocab_rejected() {
-        let _ = train("hello", TrainConfig { vocab_size: 100, min_pair_count: 2 });
+        let _ = train(
+            "hello",
+            TrainConfig {
+                vocab_size: 100,
+                min_pair_count: 2,
+            },
+        );
     }
 
     #[test]

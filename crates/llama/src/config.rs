@@ -55,8 +55,14 @@ impl fmt::Display for ConfigError {
             ConfigError::DimNotDivisibleByHeads { dim, n_heads } => {
                 write!(f, "dim {dim} is not divisible by n_heads {n_heads}")
             }
-            ConfigError::HeadsNotDivisibleByKvHeads { n_heads, n_kv_heads } => {
-                write!(f, "n_heads {n_heads} is not divisible by n_kv_heads {n_kv_heads}")
+            ConfigError::HeadsNotDivisibleByKvHeads {
+                n_heads,
+                n_kv_heads,
+            } => {
+                write!(
+                    f,
+                    "n_heads {n_heads} is not divisible by n_kv_heads {n_kv_heads}"
+                )
             }
             ConfigError::OddHeadDim { head_dim } => {
                 write!(f, "head_dim {head_dim} must be even for RoPE")
@@ -225,9 +231,13 @@ impl ModelConfig {
             + d * d                           // wq
             + 2 * d * kv                      // wk, wv
             + d * d                           // wo
-            + 3 * d * h;                      // w1, w2, w3
+            + 3 * d * h; // w1, w2, w3
         let embed = self.vocab_size * d;
-        let classifier = if self.shared_classifier { 0 } else { self.vocab_size * d };
+        let classifier = if self.shared_classifier {
+            0
+        } else {
+            self.vocab_size * d
+        };
         embed + self.n_layers * per_layer + d /* final rmsnorm */ + classifier
     }
 
@@ -255,7 +265,7 @@ impl ModelConfig {
         let matmul_flops = 2
             * self.n_layers
             * (d * d /*wq*/ + d * kv /*wk*/ + d * kv /*wv*/ + d * d /*wo*/
-                + d * h /*w1*/ + d * h /*w3*/ + h * d /*w2*/);
+                + d * h /*w1*/ + d * h /*w3*/ + h * d/*w2*/);
         // Scores (q·k over pos+1 keys) and mix (probs·v), per head.
         let attn_flops = 2 * self.n_layers * (pos + 1) * (self.n_heads * self.head_dim()) * 2;
         let logits_flops = 2 * d * self.vocab_size;
@@ -363,7 +373,10 @@ mod tests {
     #[test]
     fn untied_classifier_adds_params() {
         let tied = ModelConfig::stories15m();
-        let untied = ModelConfig { shared_classifier: false, ..tied };
+        let untied = ModelConfig {
+            shared_classifier: false,
+            ..tied
+        };
         assert_eq!(
             untied.param_count() - tied.param_count(),
             tied.vocab_size * tied.dim

@@ -58,7 +58,10 @@ pub fn evaluate_reference(model: &mut Transformer, tokens: &[u32]) -> EvalResult
         model.config().seq_len
     );
     model.reset();
-    let mut result = EvalResult { tokens: 0, nll: 0.0 };
+    let mut result = EvalResult {
+        tokens: 0,
+        nll: 0.0,
+    };
     let mut probs: Vec<f32> = Vec::new();
     for (pos, window) in tokens.windows(2).enumerate() {
         let (current, next) = (window[0], window[1]);
@@ -82,7 +85,10 @@ pub fn evaluate_with(
     mut step: impl FnMut(u32, usize) -> Vec<f32>,
 ) -> EvalResult {
     assert!(tokens.len() >= 2, "need at least two tokens to score one");
-    let mut result = EvalResult { tokens: 0, nll: 0.0 };
+    let mut result = EvalResult {
+        tokens: 0,
+        nll: 0.0,
+    };
     for (pos, window) in tokens.windows(2).enumerate() {
         let (current, next) = (window[0], window[1]);
         let mut logits = step(current, pos);
@@ -123,11 +129,17 @@ mod tests {
 
     #[test]
     fn metrics_are_consistent() {
-        let r = EvalResult { tokens: 10, nll: 23.0 };
+        let r = EvalResult {
+            tokens: 10,
+            nll: 23.0,
+        };
         assert!((r.cross_entropy() - 2.3).abs() < 1e-12);
         assert!((r.perplexity() - (2.3f64).exp()).abs() < 1e-9);
         assert!((r.bits_per_token() - 2.3 / std::f64::consts::LN_2).abs() < 1e-12);
-        let empty = EvalResult { tokens: 0, nll: 0.0 };
+        let empty = EvalResult {
+            tokens: 0,
+            nll: 0.0,
+        };
         assert_eq!(empty.perplexity(), 1.0);
     }
 

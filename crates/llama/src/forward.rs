@@ -2,6 +2,8 @@
 //! llama2.c's `forward()`), used both as the correctness oracle for the
 //! simulated accelerator and as the CPU baseline in examples.
 
+use speedllm_telemetry as tel;
+
 use crate::config::ModelConfig;
 use crate::kv_cache::KvCache;
 use crate::ops;
@@ -129,7 +131,6 @@ impl Transformer {
         self.kv.reset();
     }
 
-
     /// Runs one decode step: processes `token` at position `pos` and
     /// returns the logits over the vocabulary.
     ///
@@ -138,12 +139,21 @@ impl Transformer {
     /// out of vocabulary.
     pub fn forward(&mut self, token: u32, pos: usize) -> &[f32] {
         let c = self.weights.config;
-        assert!(pos < c.seq_len, "pos {pos} outside context window {}", c.seq_len);
-        assert!((token as usize) < c.vocab_size, "token {token} out of vocab");
+        assert!(
+            pos < c.seq_len,
+            "pos {pos} outside context window {}",
+            c.seq_len
+        );
+        assert!(
+            (token as usize) < c.vocab_size,
+            "token {token} out of vocab"
+        );
         let dim = c.dim;
         let kv_dim = c.kv_dim();
         let head_dim = c.head_dim();
         let gqa = c.gqa_group();
+
+        let _fwd = tel::span("cpu", "forward").arg("pos", pos as i64);
 
         // Token embedding -> residual stream.
         self.state
@@ -155,42 +165,74 @@ impl Transformer {
             let lw = &self.weights.layers[layer];
 
             // ---- Attention block ----
-            ops::rmsnorm(&mut st.xb, &st.x, &lw.rms_att);
-            run_matvec(self.strategy, &mut st.q, &lw.wq, &st.xb, dim, dim);
-            run_matvec(self.strategy, &mut st.k, &lw.wk, &st.xb, kv_dim, dim);
-            run_matvec(self.strategy, &mut st.v, &lw.wv, &st.xb, kv_dim, dim);
+            {
+                let _att = tel::span("cpu", "attention").arg("layer", layer as i64);
+                ops::rmsnorm(&mut st.xb, &st.x, &lw.rms_att);
+                {
+                    let _qkv = tel::span("cpu", "qkv").arg("layer", layer as i64);
+                    run_matvec(self.strategy, &mut st.q, &lw.wq, &st.xb, dim, dim);
+                    run_matvec(self.strategy, &mut st.k, &lw.wk, &st.xb, kv_dim, dim);
+                    run_matvec(self.strategy, &mut st.v, &lw.wv, &st.xb, kv_dim, dim);
+                }
 
-            // Rotary embeddings on q (all heads) and k (kv heads).
-            ops::rope_inplace(&mut st.q, pos, head_dim, ops::ROPE_THETA);
-            ops::rope_inplace(&mut st.k, pos, head_dim, ops::ROPE_THETA);
-            // Cache this position's K/V.
-            self.kv.store(layer, pos, &st.k, &st.v);
+                // Rotary embeddings on q (all heads) and k (kv heads).
+                ops::rope_inplace(&mut st.q, pos, head_dim, ops::ROPE_THETA);
+                ops::rope_inplace(&mut st.k, pos, head_dim, ops::ROPE_THETA);
+                // Cache this position's K/V.
+                self.kv.store(layer, pos, &st.k, &st.v);
 
-            // Multi-head attention with grouped-query sharing.
-            for h in 0..c.n_heads {
-                let kv_head = h / gqa;
-                let q = &st.q[h * head_dim..(h + 1) * head_dim];
-                let att = &mut st.att[..pos + 1];
-                ops::attention_scores(att, q, |t| self.kv.key_head(layer, t, kv_head), pos);
-                ops::softmax(att);
-                let out = &mut st.xb[h * head_dim..(h + 1) * head_dim];
-                ops::attention_mix(out, att, |t| self.kv.value_head(layer, t, kv_head), pos);
+                // Multi-head attention with grouped-query sharing.
+                {
+                    let _mha = tel::span("cpu", "mha").arg("layer", layer as i64);
+                    for h in 0..c.n_heads {
+                        let kv_head = h / gqa;
+                        let q = &st.q[h * head_dim..(h + 1) * head_dim];
+                        let att = &mut st.att[..pos + 1];
+                        ops::attention_scores(att, q, |t| self.kv.key_head(layer, t, kv_head), pos);
+                        ops::softmax(att);
+                        let out = &mut st.xb[h * head_dim..(h + 1) * head_dim];
+                        ops::attention_mix(
+                            out,
+                            att,
+                            |t| self.kv.value_head(layer, t, kv_head),
+                            pos,
+                        );
+                    }
+                }
+
+                // Output projection + residual.
+                run_matvec(self.strategy, &mut st.xb2, &lw.wo, &st.xb, dim, dim);
+                ops::add_inplace(&mut st.x, &st.xb2);
             }
 
-            // Output projection + residual.
-            run_matvec(self.strategy, &mut st.xb2, &lw.wo, &st.xb, dim, dim);
-            ops::add_inplace(&mut st.x, &st.xb2);
-
             // ---- FFN block (SwiGLU) ----
-            ops::rmsnorm(&mut st.xb, &st.x, &lw.rms_ffn);
-            run_matvec(self.strategy, &mut st.hb, &lw.w1, &st.xb, c.hidden_dim, dim);
-            run_matvec(self.strategy, &mut st.hb2, &lw.w3, &st.xb, c.hidden_dim, dim);
-            ops::swiglu(&mut st.hb, &st.hb2);
-            run_matvec(self.strategy, &mut st.xb2, &lw.w2, &st.hb, dim, c.hidden_dim);
-            ops::add_inplace(&mut st.x, &st.xb2);
+            {
+                let _ffn = tel::span("cpu", "ffn").arg("layer", layer as i64);
+                ops::rmsnorm(&mut st.xb, &st.x, &lw.rms_ffn);
+                run_matvec(self.strategy, &mut st.hb, &lw.w1, &st.xb, c.hidden_dim, dim);
+                run_matvec(
+                    self.strategy,
+                    &mut st.hb2,
+                    &lw.w3,
+                    &st.xb,
+                    c.hidden_dim,
+                    dim,
+                );
+                ops::swiglu(&mut st.hb, &st.hb2);
+                run_matvec(
+                    self.strategy,
+                    &mut st.xb2,
+                    &lw.w2,
+                    &st.hb,
+                    dim,
+                    c.hidden_dim,
+                );
+                ops::add_inplace(&mut st.x, &st.xb2);
+            }
         }
 
         // Final norm + classifier.
+        let _cls = tel::span("cpu", "classifier").arg("pos", pos as i64);
         ops::rmsnorm_inplace(&mut self.state.x, &self.weights.rms_final);
         run_matvec(
             self.strategy,

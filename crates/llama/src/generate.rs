@@ -4,6 +4,8 @@
 
 use std::time::{Duration, Instant};
 
+use speedllm_telemetry as tel;
+
 use crate::forward::Transformer;
 use crate::sampler::Sampler;
 use crate::tokenizer::{Tokenizer, TOKEN_BOS, TOKEN_EOS};
@@ -89,7 +91,12 @@ pub fn generate(
     let prefill_start = Instant::now();
     let mut logits: Vec<f32> = Vec::new();
     for (pos, &tok) in prompt_tokens.iter().enumerate() {
+        let _g = tel::span("host", "prefill_token").arg("pos", pos as i64);
+        let t0 = tel::enabled().then(Instant::now);
         logits = model.forward(tok, pos).to_vec();
+        if let Some(t0) = t0 {
+            tel::metrics::observe("llama.prefill_token_ns", t0.elapsed().as_nanos() as u64);
+        }
     }
     let prefill_time = prefill_start.elapsed();
 
@@ -103,9 +110,15 @@ pub fn generate(
             break;
         }
         generated.push(next);
+        let _g = tel::span("host", "decode_token").arg("pos", pos as i64);
+        let t0 = tel::enabled().then(Instant::now);
         logits = model.forward(next, pos).to_vec();
+        if let Some(t0) = t0 {
+            tel::metrics::observe("llama.decode_token_ns", t0.elapsed().as_nanos() as u64);
+        }
     }
     let decode_time = decode_start.elapsed();
+    tel::metrics::counter_add("llama.tokens_generated", generated.len() as u64);
 
     let text = tokenizer.decode(&generated);
     GenerateOutput {
@@ -134,7 +147,10 @@ mod tests {
     fn generates_up_to_limit() {
         let (mut model, tok) = setup();
         let mut sampler = Sampler::argmax();
-        let opts = GenerateOptions { max_new_tokens: 8, stop_at_eos: false };
+        let opts = GenerateOptions {
+            max_new_tokens: 8,
+            stop_at_eos: false,
+        };
         let out = generate(&mut model, &tok, &mut sampler, "ab", opts);
         assert!(!out.prompt_tokens.is_empty());
         assert!(out.generated_tokens.len() <= 8);
@@ -145,7 +161,10 @@ mod tests {
     fn generation_is_deterministic_with_seeded_sampler() {
         let (mut m1, tok) = setup();
         let (mut m2, _) = setup();
-        let opts = GenerateOptions { max_new_tokens: 10, stop_at_eos: false };
+        let opts = GenerateOptions {
+            max_new_tokens: 10,
+            stop_at_eos: false,
+        };
         let mut s1 = Sampler::new(crate::sampler::SamplerKind::Temperature(1.0), 5);
         let mut s2 = Sampler::new(crate::sampler::SamplerKind::Temperature(1.0), 5);
         let a = generate(&mut m1, &tok, &mut s1, "hi", opts);
@@ -159,7 +178,10 @@ mod tests {
         let (mut model, tok) = setup();
         let mut sampler = Sampler::argmax();
         // Prompt close to the window; generation must stop at seq_len.
-        let opts = GenerateOptions { max_new_tokens: 1000, stop_at_eos: false };
+        let opts = GenerateOptions {
+            max_new_tokens: 1000,
+            stop_at_eos: false,
+        };
         let out = generate(&mut model, &tok, &mut sampler, "aaaa bbbb cccc", opts);
         assert!(out.prompt_tokens.len() + out.generated_tokens.len() <= 32);
     }
@@ -168,7 +190,10 @@ mod tests {
     fn consecutive_calls_reset_state() {
         let (mut model, tok) = setup();
         let mut sampler = Sampler::argmax();
-        let opts = GenerateOptions { max_new_tokens: 5, stop_at_eos: false };
+        let opts = GenerateOptions {
+            max_new_tokens: 5,
+            stop_at_eos: false,
+        };
         let a = generate(&mut model, &tok, &mut sampler, "xy", opts);
         let b = generate(&mut model, &tok, &mut sampler, "xy", opts);
         assert_eq!(a.generated_tokens, b.generated_tokens);
@@ -178,7 +203,10 @@ mod tests {
     fn throughput_metric_is_positive() {
         let (mut model, tok) = setup();
         let mut sampler = Sampler::argmax();
-        let opts = GenerateOptions { max_new_tokens: 6, stop_at_eos: false };
+        let opts = GenerateOptions {
+            max_new_tokens: 6,
+            stop_at_eos: false,
+        };
         let out = generate(&mut model, &tok, &mut sampler, "q", opts);
         assert!(out.decode_tokens_per_sec() > 0.0);
         assert!(out.total_latency() >= out.decode_time);

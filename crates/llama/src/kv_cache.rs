@@ -66,7 +66,11 @@ impl KvCache {
     /// # Panics
     /// Panics if `pos` exceeds capacity or the slices are misshapen.
     pub fn store(&mut self, layer: usize, pos: usize, k: &[f32], v: &[f32]) {
-        assert!(pos < self.seq_len, "pos {pos} out of cache capacity {}", self.seq_len);
+        assert!(
+            pos < self.seq_len,
+            "pos {pos} out of cache capacity {}",
+            self.seq_len
+        );
         assert_eq!(k.len(), self.kv_dim, "bad key width");
         assert_eq!(v.len(), self.kv_dim, "bad value width");
         let off = pos * self.kv_dim;

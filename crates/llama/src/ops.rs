@@ -267,7 +267,9 @@ mod tests {
     fn tiled_matvec_matches_dense() {
         let rows = 7;
         let cols = 13;
-        let w: Vec<f32> = (0..rows * cols).map(|i| ((i * 37 % 19) as f32) - 9.0).collect();
+        let w: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 37 % 19) as f32) - 9.0)
+            .collect();
         let x: Vec<f32> = (0..cols).map(|i| (i as f32 * 0.37).sin()).collect();
         let mut dense = vec![0.0f32; rows];
         matvec(&mut dense, &w, &x, rows, cols);
@@ -359,7 +361,12 @@ mod tests {
         let v0 = [4.0f32];
         let v1 = [8.0f32];
         let mut out = [0.0f32];
-        attention_mix(&mut out, &probs, |t| if t == 0 { &v0[..] } else { &v1[..] }, 1);
+        attention_mix(
+            &mut out,
+            &probs,
+            |t| if t == 0 { &v0[..] } else { &v1[..] },
+            1,
+        );
         assert_close(out[0], 0.25 * 4.0 + 0.75 * 8.0, 1e-6);
     }
 }

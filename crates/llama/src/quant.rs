@@ -42,7 +42,11 @@ impl QuantTensor {
                 }
             }
         }
-        Self { q, scales, len: data.len() }
+        Self {
+            q,
+            scales,
+            len: data.len(),
+        }
     }
 
     /// Reconstructs the `f32` values (padding excluded).
@@ -88,7 +92,11 @@ impl QuantMatrix {
         let row_data = (0..rows)
             .map(|r| QuantTensor::quantize(&w[r * cols..(r + 1) * cols]))
             .collect();
-        Self { rows, cols, row_data }
+        Self {
+            rows,
+            cols,
+            row_data,
+        }
     }
 
     /// Number of rows.

@@ -62,10 +62,7 @@ impl Xoshiro256 {
     /// Returns the next 64 pseudo-random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -155,7 +152,14 @@ mod tests {
         // Reference outputs for seed 1234567 from the canonical C code.
         let mut sm = SplitMix64::new(1234567);
         let got: Vec<u64> = (0..3).map(|_| sm.next_u64()).collect();
-        assert_eq!(got, vec![6457827717110365317, 3203168211198807973, 9817491932198370423]);
+        assert_eq!(
+            got,
+            vec![
+                6457827717110365317,
+                3203168211198807973,
+                9817491932198370423
+            ]
+        );
     }
 
     #[test]
@@ -202,7 +206,10 @@ mod tests {
             assert!(v < 10);
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear in 1000 draws"
+        );
     }
 
     #[test]
@@ -252,6 +259,9 @@ mod tests {
         let mut buf = vec![0.0f32; 20_000];
         rng.fill_normal(&mut buf, 0.5);
         let var: f64 = buf.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() / buf.len() as f64;
-        assert!((var - 0.25).abs() < 0.02, "variance {var} should be near 0.25");
+        assert!(
+            (var - 0.25).abs() < 0.02,
+            "variance {var} should be near 0.25"
+        );
     }
 }

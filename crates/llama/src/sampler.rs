@@ -149,8 +149,7 @@ impl Sampler {
 
     fn prepare_probs(&mut self, logits: &[f32], temperature: f32) {
         self.probs.clear();
-        self.probs
-            .extend(logits.iter().map(|&l| l / temperature));
+        self.probs.extend(logits.iter().map(|&l| l / temperature));
         softmax(&mut self.probs);
     }
 }
@@ -292,7 +291,13 @@ mod tests {
     fn top_p_excludes_tail() {
         // Token 0 has ~overwhelming mass; with small p only it survives.
         let logits = [10.0f32, 0.0, 0.0, 0.0];
-        let mut s = Sampler::new(SamplerKind::TopP { temperature: 1.0, p: 0.5 }, 9);
+        let mut s = Sampler::new(
+            SamplerKind::TopP {
+                temperature: 1.0,
+                p: 0.5,
+            },
+            9,
+        );
         for _ in 0..50 {
             assert_eq!(s.sample(&logits), 0);
         }
@@ -301,7 +306,13 @@ mod tests {
     #[test]
     fn top_p_one_behaves_like_full_multinomial_support() {
         let logits = [1.0f32, 1.0, 1.0];
-        let mut s = Sampler::new(SamplerKind::TopP { temperature: 1.0, p: 1.0 }, 17);
+        let mut s = Sampler::new(
+            SamplerKind::TopP {
+                temperature: 1.0,
+                p: 1.0,
+            },
+            17,
+        );
         let mut seen = [false; 3];
         for _ in 0..300 {
             seen[s.sample(&logits) as usize] = true;
@@ -315,7 +326,10 @@ mod tests {
         for kind in [
             SamplerKind::Argmax,
             SamplerKind::Temperature(1.3),
-            SamplerKind::TopP { temperature: 0.9, p: 0.9 },
+            SamplerKind::TopP {
+                temperature: 0.9,
+                p: 0.9,
+            },
         ] {
             let mut s = Sampler::new(kind, 23);
             for _ in 0..100 {
@@ -333,13 +347,25 @@ mod tests {
     #[test]
     #[should_panic(expected = "top-p mass")]
     fn bad_top_p_rejected() {
-        let _ = Sampler::new(SamplerKind::TopP { temperature: 1.0, p: 1.5 }, 0);
+        let _ = Sampler::new(
+            SamplerKind::TopP {
+                temperature: 1.0,
+                p: 1.5,
+            },
+            0,
+        );
     }
 
     #[test]
     fn top_k_one_is_argmax() {
         let logits = [0.5f32, 3.0, -1.0, 2.9];
-        let mut s = Sampler::new(SamplerKind::TopK { temperature: 1.0, k: 1 }, 3);
+        let mut s = Sampler::new(
+            SamplerKind::TopK {
+                temperature: 1.0,
+                k: 1,
+            },
+            3,
+        );
         for _ in 0..20 {
             assert_eq!(s.sample(&logits), 1);
         }
@@ -349,7 +375,13 @@ mod tests {
     fn top_k_restricts_support() {
         // With k=2, only the two best tokens may appear.
         let logits = [5.0f32, 4.9, -10.0, -10.0];
-        let mut s = Sampler::new(SamplerKind::TopK { temperature: 1.0, k: 2 }, 5);
+        let mut s = Sampler::new(
+            SamplerKind::TopK {
+                temperature: 1.0,
+                k: 2,
+            },
+            5,
+        );
         let mut seen = [false; 4];
         for _ in 0..200 {
             seen[s.sample(&logits) as usize] = true;
@@ -361,7 +393,13 @@ mod tests {
     #[test]
     fn top_k_larger_than_vocab_is_full_multinomial() {
         let logits = [1.0f32, 1.0, 1.0];
-        let mut s = Sampler::new(SamplerKind::TopK { temperature: 1.0, k: 99 }, 8);
+        let mut s = Sampler::new(
+            SamplerKind::TopK {
+                temperature: 1.0,
+                k: 99,
+            },
+            8,
+        );
         let mut seen = [false; 3];
         for _ in 0..300 {
             seen[s.sample(&logits) as usize] = true;
@@ -372,7 +410,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one candidate")]
     fn top_k_zero_rejected() {
-        let _ = Sampler::new(SamplerKind::TopK { temperature: 1.0, k: 0 }, 0);
+        let _ = Sampler::new(
+            SamplerKind::TopK {
+                temperature: 1.0,
+                k: 0,
+            },
+            0,
+        );
     }
 
     #[test]

@@ -86,7 +86,13 @@ impl BlockSparseMatrix {
             row_blocks.push(blocks);
             row_values.push(values);
         }
-        Self { rows, cols, block, row_blocks, row_values }
+        Self {
+            rows,
+            cols,
+            block,
+            row_blocks,
+            row_values,
+        }
     }
 
     /// Number of rows.
@@ -279,7 +285,10 @@ mod tests {
                 .zip(&got)
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0, f32::max);
-            assert!(err >= prev_err - 1e-4, "error should not shrink with pruning");
+            assert!(
+                err >= prev_err - 1e-4,
+                "error should not shrink with pruning"
+            );
             prev_err = err;
         }
     }

@@ -81,11 +81,20 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
 fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
         cap,
-        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
     });
-    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
 }
 
 impl<T> Sender<T> {
@@ -145,7 +154,9 @@ impl<T> Clone for Sender<T> {
         let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
         state.senders += 1;
         drop(state);
-        Self { shared: Arc::clone(&self.shared) }
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -154,7 +165,9 @@ impl<T> Clone for Receiver<T> {
         let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
         state.receivers += 1;
         drop(state);
-        Self { shared: Arc::clone(&self.shared) }
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -228,7 +241,11 @@ mod tests {
                 u2.store(1, Ordering::SeqCst);
             });
             std::thread::sleep(std::time::Duration::from_millis(20));
-            assert_eq!(unblocked.load(Ordering::SeqCst), 0, "send did not backpressure");
+            assert_eq!(
+                unblocked.load(Ordering::SeqCst),
+                0,
+                "send did not backpressure"
+            );
             assert_eq!(rx.recv(), Ok(0));
             assert_eq!(rx.recv(), Ok(1));
         });

@@ -94,14 +94,24 @@ impl Tensor {
     /// Panics if the tensor is not rank-2 or `r` is out of bounds.
     #[must_use]
     pub fn row(&self, r: usize) -> &[f32] {
-        assert_eq!(self.shape.len(), 2, "row() requires rank-2, got {:?}", self.shape);
+        assert_eq!(
+            self.shape.len(),
+            2,
+            "row() requires rank-2, got {:?}",
+            self.shape
+        );
         let cols = self.shape[1];
         &self.data[r * cols..(r + 1) * cols]
     }
 
     /// Mutable row `r` of a rank-2 tensor.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert_eq!(self.shape.len(), 2, "row_mut() requires rank-2, got {:?}", self.shape);
+        assert_eq!(
+            self.shape.len(),
+            2,
+            "row_mut() requires rank-2, got {:?}",
+            self.shape
+        );
         let cols = self.shape[1];
         &mut self.data[r * cols..(r + 1) * cols]
     }
@@ -109,7 +119,11 @@ impl Tensor {
     /// Reshapes in place; the element count must be preserved.
     pub fn reshape(&mut self, shape: &[usize]) {
         let expect: usize = shape.iter().product();
-        assert_eq!(expect, self.data.len(), "reshape to {shape:?} changes length");
+        assert_eq!(
+            expect,
+            self.data.len(),
+            "reshape to {shape:?} changes length"
+        );
         self.shape = shape.to_vec();
     }
 

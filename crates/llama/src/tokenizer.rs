@@ -106,8 +106,7 @@ impl Tokenizer {
             }
             vocab.push(format!("<0x{b:02X}>").into_bytes());
         }
-        let mut seen: std::collections::HashSet<Vec<u8>> =
-            vocab.iter().cloned().collect();
+        let mut seen: std::collections::HashSet<Vec<u8>> = vocab.iter().cloned().collect();
         let mut push_unique = |vocab: &mut Vec<Vec<u8>>, tok: Vec<u8>| {
             if vocab.len() < vocab_size && seen.insert(tok.clone()) {
                 vocab.push(tok);
@@ -126,18 +125,18 @@ impl Tokenizer {
         // Common English fragments, space-prefixed words first (the
         // TinyStories vocabulary is dominated by these).
         const FRAGMENTS: &[&str] = &[
-            " the", " and", " a", " to", " was", " it", " of", " in", " he", " she",
-            " that", " his", " her", " with", " for", " they", " on", " said", " had",
-            " you", " is", " one", " day", " very", " little", " big", " time", " saw",
-            " wanted", " happy", " play", " friend", " went", " were", " then", " so",
-            "ing", "ed", "er", "ly", "es", "th", "he", "in", "an", "on", "re", "at",
-            "en", "nd", "st", "or", "ou", "it", "is", "ar", "ll", "om", "ion", "ent",
+            " the", " and", " a", " to", " was", " it", " of", " in", " he", " she", " that",
+            " his", " her", " with", " for", " they", " on", " said", " had", " you", " is",
+            " one", " day", " very", " little", " big", " time", " saw", " wanted", " happy",
+            " play", " friend", " went", " were", " then", " so", "ing", "ed", "er", "ly", "es",
+            "th", "he", "in", "an", "on", "re", "at", "en", "nd", "st", "or", "ou", "it", "is",
+            "ar", "ll", "om", "ion", "ent",
             // Space-prefixed intermediates so multi-char space-prefixed
             // words are reachable by pairwise merges.
-            " t", " a", " s", " w", " h", " o", " b", " m", " d", " f", " p", " l",
-            " th", " wa", " an", " he", " sa", " wh", " O", " T", " L",
-            " Once", " upon", " there", " named", " Tim", " Lily", " mom", " dog",
-            " cat", " tree", " ball", " home", " did", " not", " but", " all", " up",
+            " t", " a", " s", " w", " h", " o", " b", " m", " d", " f", " p", " l", " th", " wa",
+            " an", " he", " sa", " wh", " O", " T", " L", " Once", " upon", " there", " named",
+            " Tim", " Lily", " mom", " dog", " cat", " tree", " ball", " home", " did", " not",
+            " but", " all", " up",
         ];
         for frag in FRAGMENTS {
             push_unique(&mut vocab, frag.as_bytes().to_vec());
@@ -216,7 +215,11 @@ impl Tokenizer {
                         // Degenerate vocabularies without the full byte
                         // table fall back to <unk> rather than emitting an
                         // out-of-range id.
-                        tokens.push(if (id as usize) < self.vocab.len() { id } else { TOKEN_UNK });
+                        tokens.push(if (id as usize) < self.vocab.len() {
+                            id
+                        } else {
+                            TOKEN_UNK
+                        });
                     }
                 }
             }
@@ -389,7 +392,9 @@ mod tests {
         assert_eq!(t.decode(&ids), text);
         // The snowman is certainly not in the synthetic vocab, so fallback
         // bytes must appear.
-        assert!(ids.iter().any(|&i| (BYTE_FALLBACK_BASE..BYTE_FALLBACK_BASE + 256).contains(&i)));
+        assert!(ids
+            .iter()
+            .any(|&i| (BYTE_FALLBACK_BASE..BYTE_FALLBACK_BASE + 256).contains(&i)));
     }
 
     #[test]
@@ -398,7 +403,11 @@ mod tests {
         let text = "the and the and the";
         let ids = t.encode(text, false, false);
         // Without merges this would be one token per char plus the prefix.
-        assert!(ids.len() < text.len() / 2, "merges ineffective: {} ids", ids.len());
+        assert!(
+            ids.len() < text.len() / 2,
+            "merges ineffective: {} ids",
+            ids.len()
+        );
     }
 
     #[test]
@@ -445,7 +454,11 @@ mod tests {
     #[test]
     fn all_token_ids_stay_in_vocab() {
         let t = Tokenizer::synthetic(300, 5);
-        let ids = t.encode("The quick brown fox jumps over the lazy dog! 0123", true, true);
+        let ids = t.encode(
+            "The quick brown fox jumps over the lazy dog! 0123",
+            true,
+            true,
+        );
         for &id in &ids {
             assert!((id as usize) < t.vocab_size(), "id {id} out of range");
         }

@@ -73,7 +73,10 @@ impl std::fmt::Display for WeightsError {
             WeightsError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             WeightsError::BadConfig(e) => write!(f, "checkpoint header invalid: {e}"),
             WeightsError::Truncated { expected, got } => {
-                write!(f, "checkpoint truncated: expected {expected} floats, got {got}")
+                write!(
+                    f,
+                    "checkpoint truncated: expected {expected} floats, got {got}"
+                )
             }
         }
     }
@@ -269,19 +272,21 @@ impl TransformerWeights {
             .enumerate()
         {
             if field(i) <= 0 {
-                return Err(WeightsError::BadConfig(crate::config::ConfigError::ZeroField(
-                    match *name {
+                return Err(WeightsError::BadConfig(
+                    crate::config::ConfigError::ZeroField(match *name {
                         "dim" => "dim",
                         "hidden_dim" => "hidden_dim",
                         "n_layers" => "n_layers",
                         "n_heads" => "n_heads",
                         _ => "n_kv_heads",
-                    },
-                )));
+                    }),
+                ));
             }
         }
         if field(6) <= 0 {
-            return Err(WeightsError::BadConfig(crate::config::ConfigError::ZeroField("seq_len")));
+            return Err(WeightsError::BadConfig(
+                crate::config::ConfigError::ZeroField("seq_len"),
+            ));
         }
         let vocab_field = field(5);
         let config = ModelConfig {
@@ -302,7 +307,10 @@ impl TransformerWeights {
             while filled < bytes.len() {
                 let got = r.read(&mut bytes[filled..])?;
                 if got == 0 {
-                    return Err(WeightsError::Truncated { expected: n, got: filled / 4 });
+                    return Err(WeightsError::Truncated {
+                        expected: n,
+                        got: filled / 4,
+                    });
                 }
                 filled += got;
             }
@@ -408,10 +416,16 @@ mod tests {
     fn classifier_tied_and_untied() {
         let tied = TransformerWeights::synthetic(ModelConfig::test_tiny(), 3);
         assert_eq!(tied.classifier().as_ptr(), tied.token_embedding.as_ptr());
-        let cfg = ModelConfig { shared_classifier: false, ..ModelConfig::test_tiny() };
+        let cfg = ModelConfig {
+            shared_classifier: false,
+            ..ModelConfig::test_tiny()
+        };
         let untied = TransformerWeights::synthetic(cfg, 3);
         assert!(untied.wcls.is_some());
-        assert_ne!(untied.classifier().as_ptr(), untied.token_embedding.as_ptr());
+        assert_ne!(
+            untied.classifier().as_ptr(),
+            untied.token_embedding.as_ptr()
+        );
     }
 
     #[test]
@@ -426,7 +440,10 @@ mod tests {
 
     #[test]
     fn roundtrip_untied_classifier() {
-        let cfg = ModelConfig { shared_classifier: false, ..ModelConfig::test_tiny() };
+        let cfg = ModelConfig {
+            shared_classifier: false,
+            ..ModelConfig::test_tiny()
+        };
         let w = TransformerWeights::synthetic(cfg, 5);
         let mut buf = Vec::new();
         w.write_to(&mut buf).unwrap();
@@ -443,7 +460,10 @@ mod tests {
         w.write_to(&mut buf).unwrap();
         buf.truncate(buf.len() / 2);
         let err = TransformerWeights::read_from(&mut buf.as_slice()).unwrap_err();
-        assert!(matches!(err, WeightsError::Truncated { .. } | WeightsError::Io(_)));
+        assert!(matches!(
+            err,
+            WeightsError::Truncated { .. } | WeightsError::Io(_)
+        ));
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Wall-time spans with RAII guards.
+//!
+//! A span opens with [`span`] and closes when the returned [`SpanGuard`]
+//! drops; the completed record lands in the global collector. Names and
+//! tracks are `&'static str` so the disabled path performs no allocation
+//! at all — variable data (token index, layer, position) travels in
+//! integer arguments instead.
+
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Track (Chrome "thread") the span renders on, e.g. `"host"`,
+    /// `"cpu"`, `"dataflow.read"`.
+    pub track: &'static str,
+    /// Event name, e.g. `"decode_token"`.
+    pub name: &'static str,
+    /// Start, microseconds since the telemetry epoch.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Integer tags (`("pos", 12)`, `("layer", 3)`, …), in insertion
+    /// order.
+    pub args: Vec<(&'static str, i64)>,
+}
+
+/// RAII guard returned by [`span`]; records on drop. Inert (no clock
+/// read, no allocation) when telemetry was disabled at creation.
+#[must_use = "a span measures the scope of its guard; bind it with `let _g = ...`"]
+pub struct SpanGuard {
+    // `None` when telemetry is disabled: the entire guard is inert.
+    start: Option<Instant>,
+    track: &'static str,
+    name: &'static str,
+    start_us: f64,
+    args: Vec<(&'static str, i64)>,
+}
+
+/// Opens a span on `track` named `name`. When telemetry is disabled this
+/// costs one relaxed atomic load and returns an inert guard.
+pub fn span(track: &'static str, name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            start: None,
+            track,
+            name,
+            start_us: 0.0,
+            args: Vec::new(),
+        };
+    }
+    SpanGuard {
+        start: Some(Instant::now()),
+        track,
+        name,
+        start_us: crate::now_us(),
+        args: Vec::new(),
+    }
+}
+
+impl SpanGuard {
+    /// Attaches an integer tag (builder style). No-op on inert guards.
+    pub fn arg(mut self, key: &'static str, value: impl Into<i64>) -> Self {
+        if self.start.is_some() {
+            self.args.push((key, value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        crate::push_span(SpanRecord {
+            track: self.track,
+            name: self.name,
+            start_us: self.start_us,
+            dur_us: start.elapsed().as_secs_f64() * 1e6,
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_guard_is_allocation_free() {
+        let _serial = crate::TEST_LOCK.lock().unwrap();
+        let was = crate::enabled();
+        crate::set_enabled(false);
+        // Not a heap profiler, but the structural claim holds: an inert
+        // guard carries no Instant and an empty (unallocated) args vec.
+        let g = span("t", "n").arg("k", 1);
+        assert!(g.start.is_none());
+        assert_eq!(g.args.capacity(), 0);
+        crate::set_enabled(was);
+    }
+}

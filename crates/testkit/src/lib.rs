@@ -49,10 +49,10 @@ pub use strategy::{
 
 /// Everything a property-test file needs.
 pub mod prelude {
+    pub use crate::runner::{Config, TestCaseError};
     pub use crate::strategy::{
         any_bool, any_u64, lowercase, printable_ascii, unicode, vec_of, Strategy, StrategyExt,
     };
-    pub use crate::runner::{Config, TestCaseError};
     pub use crate::{prop_assert, prop_assert_eq, props};
 }
 

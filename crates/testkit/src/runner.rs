@@ -21,7 +21,11 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Self { cases: 256, max_shrink_iters: 4096, seed: None }
+        Self {
+            cases: 256,
+            max_shrink_iters: 4096,
+            seed: None,
+        }
     }
 }
 
@@ -171,7 +175,10 @@ mod tests {
     #[test]
     fn passing_property_runs_all_cases() {
         let counted = std::cell::Cell::new(0u32);
-        let cfg = Config { cases: 64, ..Config::default() };
+        let cfg = Config {
+            cases: 64,
+            ..Config::default()
+        };
         run(&cfg, "always_true", &(0u64..100), |_| {
             counted.set(counted.get() + 1);
             Ok(())
@@ -182,7 +189,10 @@ mod tests {
 
     #[test]
     fn failing_property_reports_a_failure() {
-        let cfg = Config { cases: 256, ..Config::default() };
+        let cfg = Config {
+            cases: 256,
+            ..Config::default()
+        };
         let f = run(&cfg, "never_big", &(0u64..1000), |v| {
             if v >= 500 {
                 Err(TestCaseError::fail(format!("{v} too big")))
@@ -198,7 +208,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "property `boom` failed")]
     fn check_panics_with_report() {
-        let cfg = Config { cases: 16, ..Config::default() };
-        check(&cfg, "boom", &(0u64..10), |_| Err(TestCaseError::fail("no")));
+        let cfg = Config {
+            cases: 16,
+            ..Config::default()
+        };
+        check(&cfg, "boom", &(0u64..10), |_| {
+            Err(TestCaseError::fail("no"))
+        });
     }
 }

@@ -116,7 +116,11 @@ impl Strategy for BoolAny {
     }
 
     fn shrink(&self, value: &bool) -> Vec<bool> {
-        if *value { vec![false] } else { Vec::new() }
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -264,13 +268,19 @@ pub struct StringStrat {
 /// Strings of printable ASCII (`[ -~]`), `len` characters long.
 #[must_use]
 pub fn printable_ascii(len: std::ops::Range<usize>) -> StringStrat {
-    StringStrat { alphabet: Alphabet::PrintableAscii, len }
+    StringStrat {
+        alphabet: Alphabet::PrintableAscii,
+        len,
+    }
 }
 
 /// Strings of `[a-z]`, `len` characters long.
 #[must_use]
 pub fn lowercase(len: std::ops::Range<usize>) -> StringStrat {
-    StringStrat { alphabet: Alphabet::Lowercase, len }
+    StringStrat {
+        alphabet: Alphabet::Lowercase,
+        len,
+    }
 }
 
 /// Strings of printable Unicode drawn from several blocks (ASCII, Latin-1
@@ -278,7 +288,10 @@ pub fn lowercase(len: std::ops::Range<usize>) -> StringStrat {
 /// characters long.
 #[must_use]
 pub fn unicode(len: std::ops::Range<usize>) -> StringStrat {
-    StringStrat { alphabet: Alphabet::Unicode, len }
+    StringStrat {
+        alphabet: Alphabet::Unicode,
+        len,
+    }
 }
 
 /// Unicode blocks sampled by [`unicode`]; all code points are assigned,
@@ -302,8 +315,8 @@ impl StringStrat {
             }
             Alphabet::Lowercase => char::from_u32(rng.gen_range_u64(0x61, 0x7B) as u32).unwrap(),
             Alphabet::Unicode => {
-                let (lo, hi) = UNICODE_BLOCKS
-                    [rng.gen_range_u64(0, UNICODE_BLOCKS.len() as u64) as usize];
+                let (lo, hi) =
+                    UNICODE_BLOCKS[rng.gen_range_u64(0, UNICODE_BLOCKS.len() as u64) as usize];
                 char::from_u32(rng.gen_range_u64(u64::from(lo), u64::from(hi)) as u32)
                     .expect("blocks contain only valid scalar values")
             }

@@ -5,15 +5,25 @@ use speedllm_testkit::prelude::*;
 use speedllm_testkit::{run, Config, TestRng};
 
 fn cfg(seed: u64) -> Config {
-    Config { cases: 128, seed: Some(seed), ..Config::default() }
+    Config {
+        cases: 128,
+        seed: Some(seed),
+        ..Config::default()
+    }
 }
 
 #[test]
 fn same_seed_same_generated_sequence() {
-    let strat = (0u64..1_000_000, vec_of(-1.0f32..1.0, 0..8), printable_ascii(0..16));
+    let strat = (
+        0u64..1_000_000,
+        vec_of(-1.0f32..1.0, 0..8),
+        printable_ascii(0..16),
+    );
     let gen_with = |seed: u64| {
         let mut rng = TestRng::new(seed);
-        (0..64).map(|_| strat.generate(&mut rng)).collect::<Vec<_>>()
+        (0..64)
+            .map(|_| strat.generate(&mut rng))
+            .collect::<Vec<_>>()
     };
     assert_eq!(gen_with(42), gen_with(42));
     assert_ne!(gen_with(42), gen_with(43));
@@ -99,7 +109,11 @@ fn string_shrinking_only_simplifies() {
     })
     .expect_err("must fail");
     assert_eq!(f.minimal.chars().count(), 5);
-    assert!(f.minimal.chars().all(|c| c == ' '), "chars simplify to space: {:?}", f.minimal);
+    assert!(
+        f.minimal.chars().all(|c| c == ' '),
+        "chars simplify to space: {:?}",
+        f.minimal
+    );
 }
 
 #[test]
@@ -110,7 +124,10 @@ fn testkit_seed_env_is_honored() {
     let resolved = Config::default().resolved_seed();
     std::env::remove_var("TESTKIT_SEED");
     assert_eq!(resolved, 12345);
-    assert_eq!(Config::default().resolved_seed(), speedllm_testkit::DEFAULT_SEED);
+    assert_eq!(
+        Config::default().resolved_seed(),
+        speedllm_testkit::DEFAULT_SEED
+    );
 }
 
 #[test]

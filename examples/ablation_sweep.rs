@@ -10,7 +10,9 @@ fn main() {
     let prompt = "One day a little girl named Lily went to the park.";
     let gen = 48;
     println!("optimization-cube sweep on {cfg}");
-    println!("workload: {gen} new tokens; names: P=stream-parallel R=reuse F=fusion (capital = on)\n");
+    println!(
+        "workload: {gen} new tokens; names: P=stream-parallel R=reuse F=fusion (capital = on)\n"
+    );
 
     let mut table = Table::new(&[
         "variant",

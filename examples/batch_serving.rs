@@ -14,53 +14,62 @@ fn main() {
 
     let weights = std::sync::Arc::new(TransformerWeights::synthetic(cfg, 42));
     let decode_steps = 8;
-    for (mode, opt) in [("fp32 MPE", OptConfig::full()), ("int8 MPE", OptConfig::full_int8())] {
-    println!("--- {mode} ---");
-    let mut engine = Engine::new(std::sync::Arc::clone(&weights), opt).expect("build engine");
-    let clock = engine.power_model().clock;
+    for (mode, opt) in [
+        ("fp32 MPE", OptConfig::full()),
+        ("int8 MPE", OptConfig::full_int8()),
+    ] {
+        println!("--- {mode} ---");
+        let mut engine = Engine::new(std::sync::Arc::clone(&weights), opt).expect("build engine");
+        let clock = engine.power_model().clock;
 
-    let mut table = Table::new(&[
-        "batch",
-        "cycles/step",
-        "latency/token",
-        "aggregate tok/s",
-        "speedup",
-        "HBM read/step",
-    ]);
-    let mut base_tps = 0.0f64;
-    for batch in [1usize, 2, 4, 8, 16, 32] {
-        let mut seqs: Vec<_> = (0..batch).map(|_| engine.new_sequence()).collect();
-        // Warm each sequence with a couple of context tokens.
-        for (i, seq) in seqs.iter_mut().enumerate() {
-            for t in 0..2u32 {
-                let mut solo = [&mut *seq];
-                engine.decode_batch(&mut solo, &[(i as u32 + t) % 100 + 1]);
-            }
-        }
-        let mut cycles = 0u64;
-        let mut read = 0u64;
-        for step in 0..decode_steps {
-            let tokens: Vec<u32> = (0..batch).map(|i| ((i + step) % 200) as u32 + 1).collect();
-            let mut refs: Vec<&mut _> = seqs.iter_mut().collect();
-            let (_, r) = engine.decode_batch(&mut refs, &tokens);
-            cycles += r.cycles.0;
-            read += r.stats.hbm.read_bytes;
-        }
-        let secs = clock.to_seconds(speedllm::fpga::cycles::Cycles(cycles));
-        let tps = (batch * decode_steps) as f64 / secs;
-        if batch == 1 {
-            base_tps = tps;
-        }
-        table.row(vec![
-            batch.to_string(),
-            format!("{}", cycles / decode_steps as u64),
-            format!("{:.0} us", clock.to_micros(speedllm::fpga::cycles::Cycles(cycles / decode_steps as u64))),
-            format!("{tps:.0}"),
-            format!("{:.2}x", tps / base_tps),
-            format!("{:.1} MiB", read as f64 / decode_steps as f64 / (1024.0 * 1024.0)),
+        let mut table = Table::new(&[
+            "batch",
+            "cycles/step",
+            "latency/token",
+            "aggregate tok/s",
+            "speedup",
+            "HBM read/step",
         ]);
-    }
-    println!("{}", table.render());
+        let mut base_tps = 0.0f64;
+        for batch in [1usize, 2, 4, 8, 16, 32] {
+            let mut seqs: Vec<_> = (0..batch).map(|_| engine.new_sequence()).collect();
+            // Warm each sequence with a couple of context tokens.
+            for (i, seq) in seqs.iter_mut().enumerate() {
+                for t in 0..2u32 {
+                    let mut solo = [&mut *seq];
+                    engine.decode_batch(&mut solo, &[(i as u32 + t) % 100 + 1]);
+                }
+            }
+            let mut cycles = 0u64;
+            let mut read = 0u64;
+            for step in 0..decode_steps {
+                let tokens: Vec<u32> = (0..batch).map(|i| ((i + step) % 200) as u32 + 1).collect();
+                let mut refs: Vec<&mut _> = seqs.iter_mut().collect();
+                let (_, r) = engine.decode_batch(&mut refs, &tokens);
+                cycles += r.cycles.0;
+                read += r.stats.hbm.read_bytes;
+            }
+            let secs = clock.to_seconds(speedllm::fpga::cycles::Cycles(cycles));
+            let tps = (batch * decode_steps) as f64 / secs;
+            if batch == 1 {
+                base_tps = tps;
+            }
+            table.row(vec![
+                batch.to_string(),
+                format!("{}", cycles / decode_steps as u64),
+                format!(
+                    "{:.0} us",
+                    clock.to_micros(speedllm::fpga::cycles::Cycles(cycles / decode_steps as u64))
+                ),
+                format!("{tps:.0}"),
+                format!("{:.2}x", tps / base_tps),
+                format!(
+                    "{:.1} MiB",
+                    read as f64 / decode_steps as f64 / (1024.0 * 1024.0)
+                ),
+            ]);
+        }
+        println!("{}", table.render());
     }
     println!(
         "Weight streams are shared across the batch, so aggregate throughput\n\

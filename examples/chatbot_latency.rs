@@ -22,7 +22,10 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 fn main() {
     let cfg = ModelConfig::stories15m();
-    println!("chatbot workload on {cfg}\n{} turns, 24 new tokens per turn\n", TURNS.len());
+    println!(
+        "chatbot workload on {cfg}\n{} turns, 24 new tokens per turn\n",
+        TURNS.len()
+    );
 
     let mut table = Table::new(&[
         "variant",

@@ -46,7 +46,9 @@ fn main() {
     let mut table = Table::new(&["engine", "prefill", "decode", "total", "decode tok/s"]);
 
     let mut session = system.session(SamplerKind::Argmax, 0);
-    let r = session.generate(&prompt, gen_tokens).expect("accelerated run");
+    let r = session
+        .generate(&prompt, gen_tokens)
+        .expect("accelerated run");
     table.row(vec![
         "SpeedLLM / U280 (sim)".into(),
         fmt_seconds(r.clock.to_seconds(r.prefill_cycles)),
@@ -76,7 +78,9 @@ fn main() {
         ("CPU reference (serial)", MatVecStrategy::Serial),
         (
             "CPU reference (threads)",
-            MatVecStrategy::Parallel { threads: recommended_threads() },
+            MatVecStrategy::Parallel {
+                threads: recommended_threads(),
+            },
         ),
     ] {
         let mut model = Transformer::new((**system.weights()).clone());
@@ -88,7 +92,10 @@ fn main() {
             system.tokenizer(),
             &mut sampler,
             &prompt,
-            GenerateOptions { max_new_tokens: gen_tokens, stop_at_eos: true },
+            GenerateOptions {
+                max_new_tokens: gen_tokens,
+                stop_at_eos: true,
+            },
         );
         let _ = start.elapsed();
         table.row(vec![

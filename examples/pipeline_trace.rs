@@ -14,7 +14,11 @@ fn trace_step(opt: OptConfig, label: &str) {
     session.engine_mut().capture_trace(4096);
     let r = session.step(7, 2);
     let trace = session.engine_mut().take_trace().expect("trace");
-    println!("=== {label} ({}) — one decode step, {} cycles ===", opt.short_name(), r.cycles.0);
+    println!(
+        "=== {label} ({}) — one decode step, {} cycles ===",
+        opt.short_name(),
+        r.cycles.0
+    );
     print!("{}", trace.render_gantt(100));
     println!();
 }

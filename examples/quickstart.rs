@@ -18,11 +18,8 @@ fn main() {
         // Real checkpoint + tokenizer from disk (llama2.c formats).
         let weights = TransformerWeights::load(std::path::Path::new(&args[1]))
             .expect("failed to load checkpoint");
-        let tokenizer = Tokenizer::load(
-            std::path::Path::new(&args[2]),
-            weights.config.vocab_size,
-        )
-        .expect("failed to load tokenizer");
+        let tokenizer = Tokenizer::load(std::path::Path::new(&args[2]), weights.config.vocab_size)
+            .expect("failed to load tokenizer");
         println!("loaded checkpoint: {}", weights.config);
         AcceleratedLlm::new(weights, tokenizer, OptConfig::full()).expect("build accelerator")
     } else {
@@ -33,23 +30,44 @@ fn main() {
 
     let prompt = "Once upon a time there was a little dog named Tim.";
     println!("\nprompt: {prompt:?}");
-    let mut session = system.session(SamplerKind::TopP { temperature: 0.9, p: 0.9 }, 7);
+    let mut session = system.session(
+        SamplerKind::TopP {
+            temperature: 0.9,
+            p: 0.9,
+        },
+        7,
+    );
     let report = session.generate(prompt, 64).expect("generation");
 
-    println!("generated ({} tokens):", report.output.generated_tokens.len());
+    println!(
+        "generated ({} tokens):",
+        report.output.generated_tokens.len()
+    );
     println!("  {:?}\n", report.output.text);
 
     println!("--- SpeedLLM inference report ---");
-    println!("total latency:     {}", fmt_seconds(report.total_latency_s()));
+    println!(
+        "total latency:     {}",
+        fmt_seconds(report.total_latency_s())
+    );
     println!(
         "prefill / decode:  {} / {}",
         fmt_seconds(report.clock.to_seconds(report.prefill_cycles)),
         fmt_seconds(report.clock.to_seconds(report.decode_cycles)),
     );
-    println!("decode throughput: {:.0} tokens/s", report.decode_tokens_per_s());
+    println!(
+        "decode throughput: {:.0} tokens/s",
+        report.decode_tokens_per_s()
+    );
     println!("energy:            {}", fmt_joules(report.energy.total_j()));
-    println!("efficiency:        {:.0} tokens/J", report.tokens_per_joule());
-    println!("avg power:         {:.1} W (incremental)", report.avg_power_w());
+    println!(
+        "efficiency:        {:.0} tokens/J",
+        report.tokens_per_joule()
+    );
+    println!(
+        "avg power:         {:.1} W (incremental)",
+        report.avg_power_w()
+    );
     println!(
         "HBM traffic:       {} read, {} written",
         fmt_bytes(report.stats.hbm.read_bytes),

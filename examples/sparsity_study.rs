@@ -37,7 +37,9 @@ fn main() {
     let cfg = ModelConfig::stories260k();
     println!("sparsity study on {cfg}\n");
     let weights = TransformerWeights::synthetic(cfg, 42);
-    let tokens: Vec<u32> = (0..64).map(|i| (i * 31 + 7) % cfg.vocab_size as u32).collect();
+    let tokens: Vec<u32> = (0..64)
+        .map(|i| (i * 31 + 7) % cfg.vocab_size as u32)
+        .collect();
 
     // Device-side cost per FFN matvec at each density.
     let mpe = Mpe::new(MpeConfig::u280_fp32());
@@ -68,7 +70,10 @@ fn main() {
         table.row(vec![
             format!("{:.0}%", sparsity * 100.0),
             format!("{:.2}", r.perplexity()),
-            format!("{:+.1}%", 100.0 * (r.perplexity() / base.perplexity() - 1.0)),
+            format!(
+                "{:+.1}%",
+                100.0 * (r.perplexity() / base.perplexity() - 1.0)
+            ),
             format!("{}", cycles.0),
             format!("{:.2}x", dense_cycles.0 as f64 / cycles.0 as f64),
             format!("{}", sparse.bytes()),

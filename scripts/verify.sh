@@ -9,8 +9,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== tier 1: formatting =="
+cargo fmt --check
+
 echo "== tier 1: release build =="
-cargo build --release
+# --workspace so the release `speedllm` binary used by the telemetry smoke
+# below is rebuilt too (the root package alone excludes the CLI crate).
+cargo build --release --workspace
 
 # --workspace is a superset of the tier-1 `cargo test -q` (root package):
 # it adds every member crate's unit tests, the testkit self-tests, and
@@ -27,5 +32,26 @@ fi
 # run there — default libtest harnesses elsewhere would reject --smoke.
 echo "== bench smoke (tiny configs, 3 samples per bench) =="
 cargo bench -p speedllm-bench -- --smoke
+
+echo "== telemetry smoke (instrumented tiny generate -> Chrome trace) =="
+trace_file="$(mktemp /tmp/speedllm_verify_trace.XXXXXX.json)"
+trap 'rm -f "$trace_file"' EXIT
+# Capture first, then grep: grep -q closing a live pipe would SIGPIPE the
+# binary and trip pipefail.
+smoke_out="$(./target/release/speedllm run --preset tiny --steps 8 --trace-out "$trace_file")"
+grep -q "telemetry summary" <<<"$smoke_out"
+python3 - "$trace_file" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "trace has no complete events"
+# One span from each instrumented layer: host per-token work, the engine
+# timing pass, and the simulator's cycle timeline (pid 2).
+host = {e["name"] for e in spans if e["pid"] == 1}
+assert {"prefill_chunk", "decode_token"} <= host, f"host spans missing: {host}"
+assert "timing_pass" in host, f"engine spans missing: {host}"
+assert any(e["pid"] == 2 for e in spans), "no simulator spans"
+print(f"telemetry smoke OK: {len(spans)} spans")
+EOF
 
 echo "verify OK"

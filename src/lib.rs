@@ -35,6 +35,7 @@ pub use speedllm_accel as accel;
 pub use speedllm_fpga_sim as fpga;
 pub use speedllm_gpu_model as gpu;
 pub use speedllm_llama as llama;
+pub use speedllm_telemetry as telemetry;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {

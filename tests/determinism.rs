@@ -12,11 +12,23 @@ fn identical_seeds_reproduce_everything() {
     let cfg = ModelConfig::test_tiny();
     let mk = || AcceleratedLlm::synthetic(cfg, 1234, OptConfig::full()).unwrap();
     let ra = mk()
-        .session(SamplerKind::TopP { temperature: 0.8, p: 0.9 }, 99)
+        .session(
+            SamplerKind::TopP {
+                temperature: 0.8,
+                p: 0.9,
+            },
+            99,
+        )
         .generate("deterministic?", 12)
         .unwrap();
     let rb = mk()
-        .session(SamplerKind::TopP { temperature: 0.8, p: 0.9 }, 99)
+        .session(
+            SamplerKind::TopP {
+                temperature: 0.8,
+                p: 0.9,
+            },
+            99,
+        )
         .generate("deterministic?", 12)
         .unwrap();
     assert_eq!(ra.output.generated_tokens, rb.output.generated_tokens);
@@ -59,12 +71,18 @@ fn sessions_are_independent() {
     // Running one session must not perturb another from the same system.
     let cfg = ModelConfig::test_tiny();
     let sys = AcceleratedLlm::synthetic(cfg, 5, OptConfig::full()).unwrap();
-    let solo = sys.session(SamplerKind::Argmax, 0).generate("alpha", 8).unwrap();
+    let solo = sys
+        .session(SamplerKind::Argmax, 0)
+        .generate("alpha", 8)
+        .unwrap();
     let mut s1 = sys.session(SamplerKind::Argmax, 0);
     let mut s2 = sys.session(SamplerKind::Argmax, 0);
     let _ = s2.generate("something completely different", 8).unwrap();
     let interleaved = s1.generate("alpha", 8).unwrap();
-    assert_eq!(solo.output.generated_tokens, interleaved.output.generated_tokens);
+    assert_eq!(
+        solo.output.generated_tokens,
+        interleaved.output.generated_tokens
+    );
 }
 
 #[test]
@@ -86,8 +104,14 @@ fn simulated_timing_is_platform_independent() {
     // nondeterminism (e.g. HashMap iteration affecting timing) is caught.
     let cfg = ModelConfig::test_tiny();
     let sys = AcceleratedLlm::synthetic(cfg, 1234, OptConfig::full()).unwrap();
-    let r1 = sys.session(SamplerKind::Argmax, 0).generate("pin", 4).unwrap();
-    let r2 = sys.session(SamplerKind::Argmax, 0).generate("pin", 4).unwrap();
+    let r1 = sys
+        .session(SamplerKind::Argmax, 0)
+        .generate("pin", 4)
+        .unwrap();
+    let r2 = sys
+        .session(SamplerKind::Argmax, 0)
+        .generate("pin", 4)
+        .unwrap();
     assert_eq!(r1.decode_cycles, r2.decode_cycles);
     assert_eq!(r1.per_token_cycles, r2.per_token_cycles);
     assert!(r1.decode_cycles.0 > 0);

@@ -72,7 +72,10 @@ fn gqa_architecture_matches_reference() {
 
 #[test]
 fn untied_classifier_matches_reference() {
-    let cfg = ModelConfig { shared_classifier: false, ..ModelConfig::test_tiny() };
+    let cfg = ModelConfig {
+        shared_classifier: false,
+        ..ModelConfig::test_tiny()
+    };
     check_equivalence(cfg, 13, 5, 1e-4);
 }
 

@@ -22,8 +22,14 @@ fn chunked_prefill_end_to_end_equivalence() {
     let mut chunked_sys = AcceleratedLlm::synthetic(cfg, 42, OptConfig::full()).unwrap();
     chunked_sys.set_prefill_chunk(8);
     let prompt = "Once upon a time there was a little dog named Tim and he liked to play";
-    let a = plain.session(SamplerKind::Argmax, 0).generate(prompt, 12).unwrap();
-    let b = chunked_sys.session(SamplerKind::Argmax, 0).generate(prompt, 12).unwrap();
+    let a = plain
+        .session(SamplerKind::Argmax, 0)
+        .generate(prompt, 12)
+        .unwrap();
+    let b = chunked_sys
+        .session(SamplerKind::Argmax, 0)
+        .generate(prompt, 12)
+        .unwrap();
     assert_eq!(a.output.generated_tokens, b.output.generated_tokens);
     assert!(
         b.prefill_cycles < a.prefill_cycles,
@@ -39,7 +45,9 @@ fn chunked_prefill_end_to_end_equivalence() {
 fn accelerator_perplexity_matches_reference() {
     let cfg = ModelConfig::test_tiny();
     let weights = TransformerWeights::synthetic(cfg, 42);
-    let tokens: Vec<u32> = (0..20).map(|i| (i * 13 + 7) % cfg.vocab_size as u32).collect();
+    let tokens: Vec<u32> = (0..20)
+        .map(|i| (i * 13 + 7) % cfg.vocab_size as u32)
+        .collect();
     let mut reference = Transformer::new(weights.clone());
     let want = evaluate_reference(&mut reference, &tokens);
 
@@ -65,7 +73,9 @@ fn int8_perplexity_degrades_only_mildly() {
     // *quality*, not just per-logit distance.
     let cfg = ModelConfig::test_tiny();
     let weights = TransformerWeights::synthetic(cfg, 42);
-    let tokens: Vec<u32> = (0..20).map(|i| (i * 11 + 3) % cfg.vocab_size as u32).collect();
+    let tokens: Vec<u32> = (0..20)
+        .map(|i| (i * 11 + 3) % cfg.vocab_size as u32)
+        .collect();
     let mut reference = Transformer::new(weights.clone());
     let base = evaluate_reference(&mut reference, &tokens);
 
@@ -135,7 +145,8 @@ fn dataflow_functional_mode_end_to_end() {
     let weights = Arc::new(TransformerWeights::synthetic(cfg, 5));
     let mut accel_cfg = AccelConfig::for_opt(&OptConfig::full());
     accel_cfg.functional_dataflow = true;
-    let mut threaded = Engine::with_config(Arc::clone(&weights), OptConfig::full(), accel_cfg).unwrap();
+    let mut threaded =
+        Engine::with_config(Arc::clone(&weights), OptConfig::full(), accel_cfg).unwrap();
     let mut serial = Engine::new(weights, OptConfig::full()).unwrap();
     for pos in 0..2 {
         assert_eq!(

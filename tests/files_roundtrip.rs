@@ -107,12 +107,18 @@ fn corrupted_checkpoint_fails_loudly() {
 fn foreign_header_with_untied_classifier_loads() {
     // Emulate a file produced by llama2.c's export with negative vocab
     // (untied classifier) and confirm the loader honors it.
-    let cfg = ModelConfig { shared_classifier: false, ..ModelConfig::test_tiny() };
+    let cfg = ModelConfig {
+        shared_classifier: false,
+        ..ModelConfig::test_tiny()
+    };
     let w = TransformerWeights::synthetic(cfg, 17);
     let mut buf = Vec::new();
     w.write_to(&mut buf).unwrap();
     let header_vocab = i32::from_le_bytes(buf[20..24].try_into().unwrap());
-    assert!(header_vocab < 0, "untied classifier encodes as negative vocab");
+    assert!(
+        header_vocab < 0,
+        "untied classifier encodes as negative vocab"
+    );
     let r = TransformerWeights::read_from(&mut buf.as_slice()).unwrap();
     assert!(!r.config.shared_classifier);
     assert!(r.wcls.is_some());

@@ -7,7 +7,12 @@ use speedllm::accel::runtime::AcceleratedLlm;
 use speedllm::llama::config::ModelConfig;
 use speedllm::llama::sampler::SamplerKind;
 
-fn run(cfg: ModelConfig, opt: OptConfig, prompt: &str, gen: usize) -> speedllm::accel::InferenceReport {
+fn run(
+    cfg: ModelConfig,
+    opt: OptConfig,
+    prompt: &str,
+    gen: usize,
+) -> speedllm::accel::InferenceReport {
     let sys = AcceleratedLlm::synthetic(cfg, 42, opt).unwrap();
     let mut s = sys.session(SamplerKind::Argmax, 0);
     s.generate(prompt, gen).unwrap()
@@ -67,8 +72,14 @@ fn fig2b_energy_ablation_ordering_holds() {
         no_par.energy.total_j(),
         unopt.energy.total_j(),
     );
-    assert!(e_unopt > e_no_par, "unopt {e_unopt} <= no-parallel {e_no_par}");
-    assert!(e_no_par > e_no_fuse, "no-parallel {e_no_par} <= no-fusion {e_no_fuse}");
+    assert!(
+        e_unopt > e_no_par,
+        "unopt {e_unopt} <= no-parallel {e_no_par}"
+    );
+    assert!(
+        e_no_par > e_no_fuse,
+        "no-parallel {e_no_par} <= no-fusion {e_no_fuse}"
+    );
     assert!(e_no_fuse > e_full, "no-fusion {e_no_fuse} <= full {e_full}");
 }
 
@@ -95,8 +106,14 @@ fn fig2b_energy_efficiency_ordering_and_ratios() {
     // Paper ratios: 1.01x vs no-fuse (small), 1.18x vs unoptimized.
     let vs_no_fuse = e_ours / e_no_fuse;
     let vs_unopt = e_ours / e_unopt;
-    assert!((1.0..1.1).contains(&vs_no_fuse), "vs no-fuse {vs_no_fuse:.3}");
-    assert!((1.05..1.4).contains(&vs_unopt), "vs unoptimized {vs_unopt:.3}");
+    assert!(
+        (1.0..1.1).contains(&vs_no_fuse),
+        "vs no-fuse {vs_no_fuse:.3}"
+    );
+    assert!(
+        (1.05..1.4).contains(&vs_unopt),
+        "vs unoptimized {vs_unopt:.3}"
+    );
 }
 
 #[test]
@@ -162,6 +179,9 @@ fn speedup_grows_then_saturates_across_model_sizes() {
     let big_ours = run(ModelConfig::stories15m(), OptConfig::full(), "a", 4);
     let big_unopt = run(ModelConfig::stories15m(), OptConfig::unoptimized(), "a", 4);
     let s_big = big_unopt.total_latency_s() / big_ours.total_latency_s();
-    assert!(s_small > s_big, "launch-bound regime must show larger speedup");
+    assert!(
+        s_small > s_big,
+        "launch-bound regime must show larger speedup"
+    );
     assert!(s_big > 3.0, "bandwidth-bound regime speedup {s_big}");
 }

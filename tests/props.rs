@@ -20,6 +20,93 @@ use speedllm::llama::quant::{QuantTensor, GROUP};
 use speedllm::llama::sparse::BlockSparseMatrix;
 use speedllm::llama::tokenizer::Tokenizer;
 
+/// Builds a [`SimStats`] from 16 scalars — one per public leaf field. The
+/// struct literal is exhaustive (no `..Default::default()`), so adding a
+/// field to `SimStats` or its nested counters breaks this helper at compile
+/// time, forcing `accumulate` (checked below) to be updated with it.
+fn sim_stats_from(v: &[u64; 16]) -> speedllm::fpga::stats::SimStats {
+    use speedllm::fpga::hbm::HbmCounters;
+    use speedllm::fpga::mpe::MpeCounters;
+    use speedllm::fpga::sfu::SfuCounters;
+    speedllm::fpga::stats::SimStats {
+        total_cycles: Cycles(v[0]),
+        hbm: HbmCounters {
+            read_bytes: v[1],
+            write_bytes: v[2],
+            read_transfers: v[3],
+            write_transfers: v[4],
+        },
+        ocm_read_bytes: v[5],
+        ocm_write_bytes: v[6],
+        mpe: MpeCounters {
+            macs: v[7],
+            busy_cycles: v[8],
+            tiles: v[9],
+        },
+        sfu: SfuCounters {
+            elements: v[10],
+            busy_cycles: v[11],
+            ops: v[12],
+        },
+        dma_busy_cycles: v[13],
+        kernel_launches: v[14],
+        alloc_stalls: v[15],
+    }
+}
+
+/// Flattens every public leaf field of a [`SimStats`] back into the order
+/// used by [`sim_stats_from`]; exhaustive destructuring keeps it honest.
+fn sim_stats_fields(s: &speedllm::fpga::stats::SimStats) -> [u64; 16] {
+    use speedllm::fpga::hbm::HbmCounters;
+    use speedllm::fpga::mpe::MpeCounters;
+    use speedllm::fpga::sfu::SfuCounters;
+    let speedllm::fpga::stats::SimStats {
+        total_cycles,
+        hbm:
+            HbmCounters {
+                read_bytes,
+                write_bytes,
+                read_transfers,
+                write_transfers,
+            },
+        ocm_read_bytes,
+        ocm_write_bytes,
+        mpe:
+            MpeCounters {
+                macs,
+                busy_cycles: mpe_busy,
+                tiles,
+            },
+        sfu:
+            SfuCounters {
+                elements,
+                busy_cycles: sfu_busy,
+                ops,
+            },
+        dma_busy_cycles,
+        kernel_launches,
+        alloc_stalls,
+    } = *s;
+    [
+        total_cycles.0,
+        read_bytes,
+        write_bytes,
+        read_transfers,
+        write_transfers,
+        ocm_read_bytes,
+        ocm_write_bytes,
+        macs,
+        mpe_busy,
+        tiles,
+        elements,
+        sfu_busy,
+        ops,
+        dma_busy_cycles,
+        kernel_launches,
+        alloc_stalls,
+    ]
+}
+
 props! {
     #![config(cases = 64)]
 
@@ -237,5 +324,23 @@ props! {
         w.write_to(&mut buf).unwrap();
         let r = speedllm::llama::weights::TransformerWeights::read_from(&mut buf.as_slice()).unwrap();
         prop_assert_eq!(w, r);
+    }
+
+    fn sim_stats_accumulate_sums_every_public_field(
+        a in vec_of(0u64..1_000_000_000, 16..17),
+        b in vec_of(0u64..1_000_000_000, 16..17),
+    ) {
+        let a: [u64; 16] = a.try_into().unwrap();
+        let b: [u64; 16] = b.try_into().unwrap();
+        let mut acc = sim_stats_from(&a);
+        acc.accumulate(&sim_stats_from(&b));
+        let got = sim_stats_fields(&acc);
+        for (i, (&x, &y)) in a.iter().zip(&b).enumerate() {
+            prop_assert_eq!(got[i], x + y, "field #{} not summed by accumulate", i);
+        }
+        // Accumulating the zero stats is the identity.
+        let mut id = sim_stats_from(&a);
+        id.accumulate(&speedllm::fpga::stats::SimStats::default());
+        prop_assert_eq!(sim_stats_fields(&id), a);
     }
 }

@@ -15,7 +15,8 @@ use speedllm::llama::weights::TransformerWeights;
 fn every_shipped_variant_fits_the_u280() {
     for (name, opt) in OptConfig::all_corners() {
         let cfg = AccelConfig::for_opt(&opt);
-        cfg.validate().unwrap_or_else(|e| panic!("{name} does not fit: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("{name} does not fit: {e}"));
     }
     AccelConfig::for_opt(&OptConfig::full_int8())
         .validate()
@@ -30,8 +31,16 @@ fn utilization_is_meaningful() {
     let u = used.utilization(&budget);
     // A real accelerator uses a substantial chunk of the device but fits.
     assert!(u.iter().all(|&f| f <= 1.0), "{u:?}");
-    assert!(u[2] > 0.15, "DSP utilization should be substantial: {}", u[2]);
-    assert!(u[0] > 0.10, "LUT utilization should be substantial: {}", u[0]);
+    assert!(
+        u[2] > 0.15,
+        "DSP utilization should be substantial: {}",
+        u[2]
+    );
+    assert!(
+        u[0] > 0.10,
+        "LUT utilization should be substantial: {}",
+        u[0]
+    );
 }
 
 #[test]
@@ -81,9 +90,6 @@ fn kv_cache_fits_hbm_for_all_presets() {
         ModelConfig::tinyllama1_1b(),
     ] {
         let need = cfg.weight_bytes(4) as u64 + cfg.kv_cache_bytes() as u64;
-        assert!(
-            need < hbm.capacity_bytes,
-            "{cfg} needs {need} B of HBM"
-        );
+        assert!(need < hbm.capacity_bytes, "{cfg} needs {need} B of HBM");
     }
 }

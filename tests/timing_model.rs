@@ -46,9 +46,27 @@ fn each_optimization_helps_individually() {
         e.decode_step(1, 0).cycles
     };
     for (name, opt) in [
-        ("P", OptConfig { stream_parallel: true, ..OptConfig::unoptimized() }),
-        ("R", OptConfig { memory_reuse: true, ..OptConfig::unoptimized() }),
-        ("F", OptConfig { operator_fusion: true, ..OptConfig::unoptimized() }),
+        (
+            "P",
+            OptConfig {
+                stream_parallel: true,
+                ..OptConfig::unoptimized()
+            },
+        ),
+        (
+            "R",
+            OptConfig {
+                memory_reuse: true,
+                ..OptConfig::unoptimized()
+            },
+        ),
+        (
+            "F",
+            OptConfig {
+                operator_fusion: true,
+                ..OptConfig::unoptimized()
+            },
+        ),
     ] {
         let mut e = Engine::new(Arc::clone(&w), opt).unwrap();
         let c = e.decode_step(1, 0).cycles;
@@ -133,8 +151,7 @@ fn streamed_total_beats_sum_of_stage_busy() {
     // approaches).
     let mut e = Engine::new(weights(ModelConfig::stories15m()), OptConfig::full()).unwrap();
     let r = e.decode_step(1, 0);
-    let busy_sum = r.stats.mpe.busy_cycles + r.stats.sfu.busy_cycles
-        + r.stats.dma_busy_cycles / 24; // channel-cycles back to engine-cycles
+    let busy_sum = r.stats.mpe.busy_cycles + r.stats.sfu.busy_cycles + r.stats.dma_busy_cycles / 24; // channel-cycles back to engine-cycles
     assert!(
         r.cycles.0 * 3 < busy_sum * 2,
         "overlap missing: makespan {} vs busy sum {busy_sum}",
@@ -150,7 +167,11 @@ fn per_token_cost_is_stable_in_steady_state() {
     for pos in 1..6 {
         let c = e.decode_step(1, pos).cycles.0;
         let rel = (c as f64 - prev as f64).abs() / prev as f64;
-        assert!(rel < 0.05, "step-to-step jump of {:.1}% at pos {pos}", rel * 100.0);
+        assert!(
+            rel < 0.05,
+            "step-to-step jump of {:.1}% at pos {pos}",
+            rel * 100.0
+        );
         prev = c;
     }
 }
