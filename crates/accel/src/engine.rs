@@ -216,6 +216,25 @@ impl SequenceState {
     }
 }
 
+impl speedllm_llama::kv_cache::PoolSlot for SequenceState {
+    fn reset_slot(&mut self) {
+        self.reset();
+        // Drop cached SSA values too: a recycled slot must not leak the
+        // previous tenant's activations to a stale-value read.
+        for v in &mut self.values {
+            *v = None;
+        }
+    }
+
+    fn slot_len(&self) -> usize {
+        self.context_len()
+    }
+
+    fn poison_slot(&mut self) {
+        self.kv.poison();
+    }
+}
+
 /// Result of one decode step.
 #[derive(Debug, Clone)]
 pub struct StepResult {
@@ -971,8 +990,13 @@ impl Engine {
         )
     }
 
-    fn run_chunk(&mut self, tokens: &[u32], start_pos: usize) -> StepResult {
-        let c = self.graph.config;
+    /// Validates a chunk against the staging limit, context window, and
+    /// vocabulary; returns the positions the chunk occupies.
+    fn check_chunk(
+        c: &speedllm_llama::config::ModelConfig,
+        tokens: &[u32],
+        start_pos: usize,
+    ) -> Vec<usize> {
         assert!(!tokens.is_empty(), "empty chunk");
         assert!(
             tokens.len() <= 64,
@@ -988,33 +1012,92 @@ impl Engine {
         for &t in tokens {
             assert!((t as usize) < c.vocab_size, "token {t} out of vocab");
         }
-        let positions: Vec<usize> = (start_pos..=last_pos).collect();
-        let before = self.counters_snapshot();
+        (start_pos..=last_pos).collect()
+    }
 
-        // --- Functional pass: token-sequential, op order (causally exact;
-        // within a chunk later tokens attend to earlier ones through the
-        // KV cache, which KvAppend updates in program order). ---
+    /// Functional pass over a chunk: token-sequential, op order (causally
+    /// exact; within a chunk later tokens attend to earlier ones through
+    /// the KV cache, which KvAppend updates in program order). Returns the
+    /// logits after the last token.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_chunk(
+        graph: &Graph,
+        weights: &TransformerWeights,
+        quant: &mut HashMap<WeightRef, QuantMatrix>,
+        cfg: &AccelConfig,
+        opt: &OptConfig,
+        seq: &mut SequenceState,
+        tokens: &[u32],
+        start_pos: usize,
+    ) -> Vec<f32> {
         for (i, &tok) in tokens.iter().enumerate() {
-            for v in &mut self.seq.values {
+            for v in &mut seq.values {
                 *v = None;
             }
-            for oi in 0..self.graph.ops.len() {
-                Self::exec_op(
-                    &self.graph,
-                    &self.weights,
-                    &mut self.quant,
-                    &self.cfg,
-                    &self.opt,
-                    &mut self.seq,
-                    oi,
-                    tok,
-                    start_pos + i,
-                );
+            for oi in 0..graph.ops.len() {
+                Self::exec_op(graph, weights, quant, cfg, opt, seq, oi, tok, start_pos + i);
             }
         }
-        let logits = self.seq.value(self.graph.output()).to_vec();
+        seq.value(graph.output()).to_vec()
+    }
 
-        // --- Timing pass: kernel-order over the whole chunk. ---
+    /// [`Engine::prefill_chunk`] against an **external** sequence — the
+    /// batched-serving entry point. A scheduler that owns a pool of
+    /// [`SequenceState`]s prefills each newly admitted request through
+    /// here, then interleaves them with [`Engine::decode_batch`]. The
+    /// functional pass is identical to the default-sequence path, so the
+    /// logits (and any tokens sampled from them) match a single-tenant run
+    /// exactly.
+    ///
+    /// # Panics
+    /// Same conditions as [`Engine::prefill_chunk`], plus a sequence whose
+    /// context length does not equal `start_pos` (the chunk must extend the
+    /// sequence contiguously).
+    pub fn prefill_chunk_seq(
+        &mut self,
+        seq: &mut SequenceState,
+        tokens: &[u32],
+        start_pos: usize,
+    ) -> StepResult {
+        assert_eq!(
+            seq.context_len(),
+            start_pos,
+            "chunk must extend the sequence contiguously"
+        );
+        let positions = Self::check_chunk(&self.graph.config, tokens, start_pos);
+        let before = self.counters_snapshot();
+        let logits = Self::exec_chunk(
+            &self.graph,
+            &self.weights,
+            &mut self.quant,
+            &self.cfg,
+            &self.opt,
+            seq,
+            tokens,
+            start_pos,
+        );
+        let (cycles, ocm_read, ocm_write) = self.timing_pass(&positions);
+        let stats = self.step_stats(&before, cycles, ocm_read, ocm_write);
+        StepResult {
+            logits,
+            cycles,
+            stats,
+        }
+    }
+
+    fn run_chunk(&mut self, tokens: &[u32], start_pos: usize) -> StepResult {
+        let positions = Self::check_chunk(&self.graph.config, tokens, start_pos);
+        let before = self.counters_snapshot();
+        let logits = Self::exec_chunk(
+            &self.graph,
+            &self.weights,
+            &mut self.quant,
+            &self.cfg,
+            &self.opt,
+            &mut self.seq,
+            tokens,
+            start_pos,
+        );
         let (cycles, ocm_read, ocm_write) = self.timing_pass(&positions);
         let stats = self.step_stats(&before, cycles, ocm_read, ocm_write);
         StepResult {
@@ -1398,6 +1481,55 @@ mod tests {
         // KV rows dominate writes under full reuse; Q8_0 is ~0.28x the f32
         // bytes before burst padding, so expect a clear reduction.
         assert!(wb < wa, "int8 KV writes {wb} !< f32 {wa}");
+    }
+
+    #[test]
+    fn prefill_chunk_seq_matches_default_sequence() {
+        let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::test_tiny(), 42));
+        let tokens: Vec<u32> = vec![3, 9, 14, 27, 5];
+        let mut a = Engine::new(Arc::clone(&weights), OptConfig::full()).unwrap();
+        let ra = a.prefill_chunk(&tokens, 0);
+        let mut b = Engine::new(weights, OptConfig::full()).unwrap();
+        let mut seq = b.new_sequence();
+        let rb = b.prefill_chunk_seq(&mut seq, &tokens, 0);
+        assert_eq!(ra.logits, rb.logits, "external-sequence prefill diverged");
+        assert_eq!(
+            ra.cycles, rb.cycles,
+            "timing model must not care whose KV it is"
+        );
+        assert_eq!(seq.context_len(), tokens.len());
+        // And the engine's own default sequence was not disturbed.
+        assert_eq!(b.context_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguously")]
+    fn prefill_chunk_seq_rejects_position_gap() {
+        let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::test_tiny(), 42));
+        let mut e = Engine::new(weights, OptConfig::full()).unwrap();
+        let mut seq = e.new_sequence();
+        e.prefill_chunk_seq(&mut seq, &[1, 2], 3);
+    }
+
+    #[test]
+    fn sequence_state_works_as_pool_slot() {
+        use speedllm_llama::kv_cache::{KvCachePool, PoolSlot};
+        let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::test_tiny(), 42));
+        let mut e = Engine::new(Arc::clone(&weights), OptConfig::full()).unwrap();
+        let mut pool = KvCachePool::new(2, || e.new_sequence());
+        let mut slot = pool.acquire().expect("slot free");
+        e.prefill_chunk_seq(slot.state_mut(), &[3, 9], 0);
+        assert_eq!(slot.state().slot_len(), 2);
+        pool.release(slot);
+        // Reused slot must behave exactly like a fresh sequence.
+        let mut again = pool.acquire().expect("slot free");
+        assert_eq!(again.state().slot_len(), 0);
+        let r = e.prefill_chunk_seq(again.state_mut(), &[3, 9], 0);
+        let fresh = e.prefill_chunk_seq(&mut e.new_sequence(), &[3, 9], 0);
+        assert_eq!(r.logits, fresh.logits, "recycled slot leaked state");
+        pool.release(again);
+        assert!(pool.all_free());
+        assert_eq!(pool.reuse_count(), 1);
     }
 
     #[test]

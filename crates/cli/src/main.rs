@@ -46,6 +46,13 @@ COMMANDS
              --preset NAME --steps N
   eval       perplexity of each MPE/KV precision vs the fp32 reference
              --preset NAME --tokens N --seed N
+  serve-bench  continuous-batching serve loop over seeded synthetic
+             traffic; prints a deterministic TTFT/latency/throughput
+             report in virtual ticks
+             --preset NAME --backend cpu|accel --requests N
+             --slots N --batch N --chunk N --queue-cap N
+             --mode open|closed --mean TICKS --concurrency N
+             --max-new N --sampler S --seed N [--smoke]
   help       this text
 
 GLOBAL FLAGS
@@ -84,8 +91,24 @@ fn main() -> ExitCode {
     }
 }
 
+/// Flags in `bools` may appear without a value (`--smoke`); give them one
+/// so the uniform `--flag value` grammar still holds downstream.
+fn normalize_bool_flags(mut argv: Vec<String>, bools: &[&str]) -> Vec<String> {
+    let mut i = 0;
+    while i < argv.len() {
+        let is_bool = argv[i]
+            .strip_prefix("--")
+            .map_or(false, |k| bools.contains(&k));
+        if is_bool && argv.get(i + 1).map_or(true, |v| v.starts_with("--")) {
+            argv.insert(i + 1, "1".into());
+        }
+        i += 1;
+    }
+    argv
+}
+
 fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
-    let args = Args::parse(argv)?;
+    let args = Args::parse(normalize_bool_flags(argv, &["smoke"]))?;
     // Telemetry is a global concern: --trace-out (any command) or the
     // SPEEDLLM_TRACE env var switches collection on before dispatch.
     if args.get("trace-out").is_some() {
@@ -100,6 +123,7 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "trace" => cmd_trace(&args),
         "devices" => cmd_devices(&args),
         "eval" => cmd_eval(&args),
+        "serve-bench" => cmd_serve_bench(&args),
         other => return Err(format!("unknown command `{other}`; try `speedllm help`").into()),
     }?;
     finalize_telemetry(args.get("trace-out"))
@@ -454,5 +478,112 @@ fn cmd_devices(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     println!("{}", table.render());
+    Ok(())
+}
+
+/// Drives one serve-bench run to completion and renders its report.
+fn serve_bench_run<B: speedllm_serve::Backend>(
+    backend: B,
+    scfg: speedllm_serve::ServeConfig,
+    lcfg: &speedllm_serve::LoadGenConfig,
+) -> String {
+    let mut engine = speedllm_serve::ServeEngine::new(backend, scfg);
+    let name = engine.backend().name();
+    let mut traffic = speedllm_serve::LoadGen::new(lcfg);
+    let completions = engine.run_with_source(&mut traffic);
+    speedllm_serve::ServeReport::from_run(&completions, engine.stats(), engine.slot_reuses())
+        .render(name)
+}
+
+fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use speedllm_serve::{AccelBackend, ArrivalMode, CpuBackend, LoadGenConfig, ServeConfig};
+
+    args.expect_only(&[
+        "preset",
+        "backend",
+        "requests",
+        "slots",
+        "batch",
+        "chunk",
+        "queue-cap",
+        "mode",
+        "mean",
+        "concurrency",
+        "max-new",
+        "sampler",
+        "seed",
+        "smoke",
+        "trace-out",
+    ])?;
+    // --smoke: a fixed tiny workload (8 requests on the test-tiny model)
+    // that scripts/verify.sh runs twice and byte-compares.
+    let smoke = args.get("smoke").is_some();
+    let backend = args.get_or("backend", "accel");
+    if !matches!(backend, "cpu" | "accel") {
+        return Err(format!("unknown --backend `{backend}` (cpu|accel)").into());
+    }
+    let preset = parse_preset(args.get_or("preset", if smoke { "tiny" } else { "stories260k" }))?;
+    let n_requests = args.get_usize("requests", if smoke { 8 } else { 32 })?;
+    let seed = args.get_u64("seed", 42)?;
+    let sampler = parse_sampler(args.get_or("sampler", "temp:0.8"))?;
+    let scfg = ServeConfig {
+        slots: args.get_usize("slots", if smoke { 2 } else { 4 })?,
+        max_batch: args.get_usize("batch", 8)?,
+        prefill_chunk: args.get_usize("chunk", if smoke { 4 } else { 16 })?,
+        queue_cap: args.get_usize("queue-cap", 64)?,
+    };
+    let mode = match args.get_or("mode", "closed") {
+        "closed" => ArrivalMode::Closed {
+            concurrency: args.get_usize("concurrency", scfg.slots * 2)?,
+        },
+        "open" => ArrivalMode::Open {
+            mean_interarrival: args.get_u64("mean", 32)?,
+        },
+        other => return Err(format!("unknown --mode `{other}` (open|closed)").into()),
+    };
+    let lcfg = LoadGenConfig {
+        n_requests,
+        mode,
+        prompt_len: (2, (preset.seq_len / 4).clamp(2, 12)),
+        max_new_tokens: (
+            1,
+            args.get_usize("max-new", if smoke { 6 } else { 16 })?
+                .max(1),
+        ),
+        sampler,
+        stop_at_eos: true,
+        vocab_size: preset.vocab_size,
+        seq_len: preset.seq_len,
+        seed,
+    };
+
+    println!("model:    {preset}");
+    println!(
+        "schedule: {} slots, batch <= {}, prefill chunk {}, queue cap {}",
+        scfg.slots, scfg.max_batch, scfg.prefill_chunk, scfg.queue_cap
+    );
+    match mode {
+        ArrivalMode::Open { mean_interarrival } => println!(
+            "workload: {n_requests} requests, open loop (mean gap {mean_interarrival} ticks), seed {seed}"
+        ),
+        ArrivalMode::Closed { concurrency } => println!(
+            "workload: {n_requests} requests, closed loop (concurrency {concurrency}), seed {seed}"
+        ),
+    }
+    println!();
+
+    let report = if backend == "cpu" {
+        let weights = TransformerWeights::synthetic(preset, seed);
+        serve_bench_run(
+            CpuBackend::new(speedllm_llama::forward::Transformer::new(weights)),
+            scfg,
+            &lcfg,
+        )
+    } else {
+        let weights = std::sync::Arc::new(TransformerWeights::synthetic(preset, seed));
+        let engine = speedllm_accel::engine::Engine::new(weights, OptConfig::full())?;
+        serve_bench_run(AccelBackend::new(engine), scfg, &lcfg)
+    };
+    print!("{report}");
     Ok(())
 }

@@ -1,0 +1,53 @@
+//! End-to-end determinism of `speedllm serve-bench`: the acceptance bar
+//! is that the same seed yields a byte-identical report (virtual-tick
+//! timing, exact percentiles — no wall-clock anywhere in the output).
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_speedllm"))
+        .args(args)
+        .output()
+        .expect("spawn speedllm");
+    assert!(
+        out.status.success(),
+        "serve-bench failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn smoke_report_is_byte_identical_across_runs() {
+    let a = run(&["serve-bench", "--smoke"]);
+    let b = run(&["serve-bench", "--smoke"]);
+    assert_eq!(a, b, "same seed must render the same bytes");
+    assert!(a.contains("serve-bench report (accel backend)"));
+    assert!(a.contains("requests completed   8"));
+    // A bare `--smoke` and an explicit `--smoke 1` are the same flag.
+    assert_eq!(a, run(&["serve-bench", "--smoke", "1"]));
+}
+
+#[test]
+fn seed_changes_the_workload() {
+    let a = run(&["serve-bench", "--smoke", "--backend", "cpu"]);
+    let b = run(&["serve-bench", "--smoke", "--backend", "cpu", "--seed", "43"]);
+    assert_ne!(a, b, "a different seed must change the report");
+}
+
+#[test]
+fn open_loop_mode_runs_on_cpu_backend() {
+    let a = run(&[
+        "serve-bench",
+        "--smoke",
+        "--backend",
+        "cpu",
+        "--mode",
+        "open",
+        "--mean",
+        "8",
+    ]);
+    assert!(a.contains("serve-bench report (cpu backend)"));
+    assert!(a.contains("open loop (mean gap 8 ticks)"));
+    assert!(a.contains("requests completed   8"));
+}

@@ -138,7 +138,58 @@ impl Transformer {
     /// Panics if `pos` is outside the model's context window or `token` is
     /// out of vocabulary.
     pub fn forward(&mut self, token: u32, pos: usize) -> &[f32] {
-        let c = self.weights.config;
+        Self::forward_into(
+            &self.weights,
+            &mut self.state,
+            &mut self.kv,
+            self.strategy,
+            token,
+            pos,
+        );
+        &self.state.logits
+    }
+
+    /// Runs one decode step against an **external** KV cache instead of the
+    /// transformer's own — the multi-tenant entry point. A server holds one
+    /// `Transformer` (weights + scratch) and a pool of caches, one per
+    /// in-flight sequence; the internal cache is untouched, so single-tenant
+    /// callers are unaffected.
+    ///
+    /// Bit-identical to [`Transformer::forward`]: both run the same serial
+    /// kernels in the same order, so a sequence decoded through a pooled
+    /// cache reproduces the single-tenant token stream exactly.
+    ///
+    /// # Panics
+    /// Panics if `pos` is outside the context window, `token` is out of
+    /// vocabulary, or `kv` was not sized for this model's config.
+    pub fn forward_with_cache(&mut self, kv: &mut KvCache, token: u32, pos: usize) -> &[f32] {
+        assert_eq!(
+            kv.capacity(),
+            self.weights.config.seq_len,
+            "kv cache sized for a different context window"
+        );
+        Self::forward_into(
+            &self.weights,
+            &mut self.state,
+            kv,
+            self.strategy,
+            token,
+            pos,
+        );
+        &self.state.logits
+    }
+
+    /// The forward pass over explicit parts, so callers can substitute the
+    /// KV cache while reusing the shared scratch state.
+    fn forward_into(
+        weights: &TransformerWeights,
+        state: &mut RunState,
+        kv: &mut KvCache,
+        strategy: MatVecStrategy,
+        token: u32,
+        pos: usize,
+    ) {
+        let c = weights.config;
         assert!(
             pos < c.seq_len,
             "pos {pos} outside context window {}",
@@ -156,13 +207,13 @@ impl Transformer {
         let _fwd = tel::span("cpu", "forward").arg("pos", pos as i64);
 
         // Token embedding -> residual stream.
-        self.state
+        state
             .x
-            .copy_from_slice(self.weights.embedding_row(token as usize));
+            .copy_from_slice(weights.embedding_row(token as usize));
 
         for layer in 0..c.n_layers {
-            let st = &mut self.state;
-            let lw = &self.weights.layers[layer];
+            let st = &mut *state;
+            let lw = &weights.layers[layer];
 
             // ---- Attention block ----
             {
@@ -170,16 +221,16 @@ impl Transformer {
                 ops::rmsnorm(&mut st.xb, &st.x, &lw.rms_att);
                 {
                     let _qkv = tel::span("cpu", "qkv").arg("layer", layer as i64);
-                    run_matvec(self.strategy, &mut st.q, &lw.wq, &st.xb, dim, dim);
-                    run_matvec(self.strategy, &mut st.k, &lw.wk, &st.xb, kv_dim, dim);
-                    run_matvec(self.strategy, &mut st.v, &lw.wv, &st.xb, kv_dim, dim);
+                    run_matvec(strategy, &mut st.q, &lw.wq, &st.xb, dim, dim);
+                    run_matvec(strategy, &mut st.k, &lw.wk, &st.xb, kv_dim, dim);
+                    run_matvec(strategy, &mut st.v, &lw.wv, &st.xb, kv_dim, dim);
                 }
 
                 // Rotary embeddings on q (all heads) and k (kv heads).
                 ops::rope_inplace(&mut st.q, pos, head_dim, ops::ROPE_THETA);
                 ops::rope_inplace(&mut st.k, pos, head_dim, ops::ROPE_THETA);
                 // Cache this position's K/V.
-                self.kv.store(layer, pos, &st.k, &st.v);
+                kv.store(layer, pos, &st.k, &st.v);
 
                 // Multi-head attention with grouped-query sharing.
                 {
@@ -188,20 +239,15 @@ impl Transformer {
                         let kv_head = h / gqa;
                         let q = &st.q[h * head_dim..(h + 1) * head_dim];
                         let att = &mut st.att[..pos + 1];
-                        ops::attention_scores(att, q, |t| self.kv.key_head(layer, t, kv_head), pos);
+                        ops::attention_scores(att, q, |t| kv.key_head(layer, t, kv_head), pos);
                         ops::softmax(att);
                         let out = &mut st.xb[h * head_dim..(h + 1) * head_dim];
-                        ops::attention_mix(
-                            out,
-                            att,
-                            |t| self.kv.value_head(layer, t, kv_head),
-                            pos,
-                        );
+                        ops::attention_mix(out, att, |t| kv.value_head(layer, t, kv_head), pos);
                     }
                 }
 
                 // Output projection + residual.
-                run_matvec(self.strategy, &mut st.xb2, &lw.wo, &st.xb, dim, dim);
+                run_matvec(strategy, &mut st.xb2, &lw.wo, &st.xb, dim, dim);
                 ops::add_inplace(&mut st.x, &st.xb2);
             }
 
@@ -209,40 +255,25 @@ impl Transformer {
             {
                 let _ffn = tel::span("cpu", "ffn").arg("layer", layer as i64);
                 ops::rmsnorm(&mut st.xb, &st.x, &lw.rms_ffn);
-                run_matvec(self.strategy, &mut st.hb, &lw.w1, &st.xb, c.hidden_dim, dim);
-                run_matvec(
-                    self.strategy,
-                    &mut st.hb2,
-                    &lw.w3,
-                    &st.xb,
-                    c.hidden_dim,
-                    dim,
-                );
+                run_matvec(strategy, &mut st.hb, &lw.w1, &st.xb, c.hidden_dim, dim);
+                run_matvec(strategy, &mut st.hb2, &lw.w3, &st.xb, c.hidden_dim, dim);
                 ops::swiglu(&mut st.hb, &st.hb2);
-                run_matvec(
-                    self.strategy,
-                    &mut st.xb2,
-                    &lw.w2,
-                    &st.hb,
-                    dim,
-                    c.hidden_dim,
-                );
+                run_matvec(strategy, &mut st.xb2, &lw.w2, &st.hb, dim, c.hidden_dim);
                 ops::add_inplace(&mut st.x, &st.xb2);
             }
         }
 
         // Final norm + classifier.
         let _cls = tel::span("cpu", "classifier").arg("pos", pos as i64);
-        ops::rmsnorm_inplace(&mut self.state.x, &self.weights.rms_final);
+        ops::rmsnorm_inplace(&mut state.x, &weights.rms_final);
         run_matvec(
-            self.strategy,
-            &mut self.state.logits,
-            self.weights.classifier(),
-            &self.state.x,
+            strategy,
+            &mut state.logits,
+            weights.classifier(),
+            &state.x,
             c.vocab_size,
             dim,
         );
-        &self.state.logits
     }
 }
 

@@ -1,10 +1,17 @@
-//! Key/value cache for autoregressive decoding.
+//! Key/value cache for autoregressive decoding, plus the fixed-size slot
+//! pool the serving layer admits requests into.
 //!
 //! One contiguous buffer per layer per side (`K`, `V`), laid out
 //! `[seq_len, kv_dim]` row-major so that a timestep's keys for all KV heads
 //! are contiguous — the same layout the accelerator stages into HBM. Slices
 //! are handed out per `(layer, timestep, head)` so attention kernels never
 //! index raw offsets.
+//!
+//! [`KvCachePool`] holds a fixed number of pre-allocated cache slots
+//! (anything implementing [`PoolSlot`]) and checks them out one request at
+//! a time. Released slots are logically reset — and, in debug builds,
+//! poison-filled with NaN — so a reused slot is indistinguishable from a
+//! fresh one and any read of a stale row surfaces immediately.
 
 use crate::config::ModelConfig;
 
@@ -120,6 +127,164 @@ impl KvCache {
     pub fn bytes(&self) -> usize {
         2 * self.k.len() * self.seq_len * self.kv_dim * std::mem::size_of::<f32>()
     }
+
+    /// Overwrites every row with NaN. Correct decoding never reads a row it
+    /// has not first stored, so after a poison-fill any stale read shows up
+    /// as NaN logits instead of silently borrowing a previous tenant's
+    /// context. Called by [`KvCachePool`] on release in debug builds.
+    pub fn poison(&mut self) {
+        for side in [&mut self.k, &mut self.v] {
+            for layer in side.iter_mut() {
+                layer.fill(f32::NAN);
+            }
+        }
+    }
+}
+
+/// Per-sequence state a [`KvCachePool`] can manage. Implemented by
+/// [`KvCache`] itself (the CPU reference backend) and by richer wrappers
+/// such as the accelerator's per-sequence functional state.
+pub trait PoolSlot {
+    /// Clears the logical contents so the slot can host a new sequence.
+    fn reset_slot(&mut self);
+    /// Number of positions currently stored.
+    fn slot_len(&self) -> usize;
+    /// Debug-build guard: overwrite reusable storage with a poison pattern
+    /// so stale reads are loud. Default is a no-op.
+    fn poison_slot(&mut self) {}
+}
+
+impl PoolSlot for KvCache {
+    fn reset_slot(&mut self) {
+        self.reset();
+    }
+
+    fn slot_len(&self) -> usize {
+        self.len()
+    }
+
+    fn poison_slot(&mut self) {
+        self.poison();
+    }
+}
+
+/// A slot checked out of a [`KvCachePool`]. Move-only: releasing consumes
+/// it, so double-release is a compile error rather than a runtime bug.
+#[derive(Debug)]
+pub struct PooledSlot<S> {
+    index: usize,
+    state: S,
+}
+
+impl<S> PooledSlot<S> {
+    /// The pool index this slot occupies (stable across its checkout).
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The slot's sequence state.
+    #[must_use]
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Mutable access to the slot's sequence state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+}
+
+/// A fixed pool of pre-allocated sequence slots with checkout semantics:
+/// [`KvCachePool::acquire`] moves a free slot out (admission), and
+/// [`KvCachePool::release`] moves it back after resetting it (eviction).
+/// The pool size is the serving layer's hard concurrency limit — when every
+/// slot is checked out, admission stalls and requests queue.
+#[derive(Debug)]
+pub struct KvCachePool<S> {
+    /// `None` = checked out. Index is the slot id.
+    slots: Vec<Option<S>>,
+    /// Free-slot indices, popped LIFO so reuse is exercised eagerly.
+    free: Vec<usize>,
+    /// Slots that have hosted at least one earlier sequence.
+    used_before: Vec<bool>,
+    /// Acquisitions that reused a previously-released slot.
+    reuses: u64,
+}
+
+impl<S: PoolSlot> KvCachePool<S> {
+    /// Builds a pool of `n` slots created by `make` (≥ 1).
+    pub fn new(n: usize, mut make: impl FnMut() -> S) -> Self {
+        assert!(n >= 1, "pool needs at least one slot");
+        Self {
+            slots: (0..n).map(|_| Some(make())).collect(),
+            free: (0..n).rev().collect(),
+            used_before: vec![false; n],
+            reuses: 0,
+        }
+    }
+
+    /// Total number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots currently checked out.
+    #[must_use]
+    pub fn in_use(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Free slots available for admission.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True when every slot has been released back.
+    #[must_use]
+    pub fn all_free(&self) -> bool {
+        self.free.len() == self.slots.len()
+    }
+
+    /// Acquisitions that reused a previously-released slot.
+    #[must_use]
+    pub fn reuse_count(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Checks a slot out, or `None` when the pool is exhausted. The slot is
+    /// handed out logically empty (`slot_len() == 0`).
+    pub fn acquire(&mut self) -> Option<PooledSlot<S>> {
+        let index = self.free.pop()?;
+        let state = self.slots[index].take().expect("free slot present");
+        if self.used_before[index] {
+            self.reuses += 1;
+        }
+        self.used_before[index] = true;
+        debug_assert_eq!(state.slot_len(), 0, "acquired slot not reset");
+        Some(PooledSlot { index, state })
+    }
+
+    /// Returns a slot to the pool: resets it and, in debug builds,
+    /// poison-fills its storage so a stale read by the next tenant is loud.
+    ///
+    /// # Panics
+    /// Panics if the slot does not belong to this pool.
+    pub fn release(&mut self, mut slot: PooledSlot<S>) {
+        assert!(
+            slot.index < self.slots.len() && self.slots[slot.index].is_none(),
+            "slot {} does not belong to this pool",
+            slot.index
+        );
+        slot.state.reset_slot();
+        if cfg!(debug_assertions) {
+            slot.state.poison_slot();
+        }
+        self.slots[slot.index] = Some(slot.state);
+        self.free.push(slot.index);
+    }
 }
 
 #[cfg(test)]
@@ -202,5 +367,68 @@ mod tests {
         c.store(0, 1, &k, &k);
         crate::ops::rope_inplace(c.key_row_mut(0, 1), 1, 4, crate::ops::ROPE_THETA);
         assert_ne!(c.key_row(0, 1), &k[..]);
+    }
+
+    #[test]
+    fn poison_marks_every_row() {
+        let mut c = cache();
+        let k: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        c.store(0, 0, &k, &k);
+        c.poison();
+        assert!(c.key_row(0, 0).iter().all(|x| x.is_nan()));
+        assert!(c.value_row(1, 5).iter().all(|x| x.is_nan()));
+    }
+
+    fn pool() -> KvCachePool<KvCache> {
+        let cfg = ModelConfig::test_tiny();
+        KvCachePool::new(2, || KvCache::new(&cfg))
+    }
+
+    #[test]
+    fn pool_checkout_bookkeeping() {
+        let mut p = pool();
+        assert_eq!(p.capacity(), 2);
+        assert!(p.all_free());
+        let a = p.acquire().unwrap();
+        let b = p.acquire().unwrap();
+        assert_ne!(a.index(), b.index());
+        assert_eq!(p.in_use(), 2);
+        assert!(p.acquire().is_none(), "pool exhausted");
+        p.release(a);
+        assert_eq!(p.available(), 1);
+        p.release(b);
+        assert!(p.all_free());
+    }
+
+    #[test]
+    fn pool_reset_on_reuse_and_reuse_counter() {
+        let mut p = pool();
+        let z = vec![0.5f32; 8];
+        let mut a = p.acquire().unwrap();
+        for layer in 0..2 {
+            a.state_mut().store(layer, 0, &z, &z);
+        }
+        assert_eq!(a.state().len(), 1);
+        assert_eq!(p.reuse_count(), 0);
+        p.release(a);
+        // The freshly released slot comes back first (LIFO) and is empty.
+        let b = p.acquire().unwrap();
+        assert_eq!(b.state().len(), 0);
+        assert_eq!(p.reuse_count(), 1);
+        // In debug builds the old rows are poisoned, never silently stale.
+        if cfg!(debug_assertions) {
+            assert!(b.state().key_row(0, 0).iter().all(|x| x.is_nan()));
+        }
+        p.release(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn pool_rejects_foreign_slot() {
+        let mut p = pool();
+        let mut q = pool();
+        let a = p.acquire().unwrap();
+        // q never handed out slot `a.index()`, so its entry is occupied.
+        q.release(a);
     }
 }

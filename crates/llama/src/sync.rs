@@ -37,6 +37,15 @@ impl<T> std::fmt::Debug for SendError<T> {
 #[derive(Debug, PartialEq, Eq)]
 pub struct RecvError;
 
+/// Error returned by [`Receiver::try_recv`] when no item is ready.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is momentarily empty but senders remain; retry later.
+    Empty,
+    /// The queue is drained and every sender has been dropped.
+    Disconnected,
+}
+
 struct State<T> {
     queue: VecDeque<T>,
     senders: usize,
@@ -140,6 +149,25 @@ impl<T> Receiver<T> {
                 .not_empty
                 .wait(state)
                 .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Dequeues the next item without blocking. Distinguishes a
+    /// momentarily empty queue ([`TryRecvError::Empty`]) from a drained,
+    /// sender-less channel ([`TryRecvError::Disconnected`]) — a polling
+    /// scheduler keeps batching on the former and shuts down on the
+    /// latter.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(value) = state.queue.pop_front() {
+            drop(state);
+            self.shared.not_full.notify_one();
+            return Ok(value);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
         }
     }
 
@@ -283,6 +311,30 @@ mod tests {
             drop(tx);
         });
         assert_eq!(seen.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = bounded::<u32>(2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(8).unwrap();
+        drop(tx);
+        // Queued items drain before disconnection is reported.
+        assert_eq!(rx.try_recv(), Ok(8));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_recv_releases_backpressure() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        // The pop must have freed capacity for a non-blocking send.
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(2));
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! The [`Backend`] trait: what the continuous-batching scheduler needs
+//! from an inference substrate, and its two implementations.
+//!
+//! A backend owns the model and scratch state; per-sequence context lives
+//! in the backend's slot type, which the scheduler checks in and out of a
+//! [`speedllm_llama::kv_cache::KvCachePool`]. Both implementations run the
+//! exact same per-sequence math as their single-tenant entry points
+//! (`llama::generate` / `accel::runtime::Session`), which is what the
+//! batched-vs-sequential equivalence suite asserts.
+//!
+//! Costs are reported in **virtual ticks** so serve-bench reports are
+//! bit-reproducible across machines:
+//!
+//! * [`CpuBackend`] charges one tick per token forward — the CPU has no
+//!   batching economy, so a batch of `n` costs `n` ticks.
+//! * [`AccelBackend`] charges the simulated device cycles of the pass, so
+//!   weight-stream amortization across a batch (the whole point of
+//!   continuous batching on the accelerator) shows up in the report.
+
+use speedllm_accel::engine::{Engine, SequenceState};
+use speedllm_llama::config::ModelConfig;
+use speedllm_llama::forward::Transformer;
+use speedllm_llama::kv_cache::{KvCache, PoolSlot};
+
+/// Inference substrate for the serving scheduler: per-sequence state is
+/// externalized into `Slot` so one backend serves many interleaved
+/// sequences.
+pub trait Backend {
+    /// Per-sequence context (KV cache and friends), poolable.
+    type Slot: PoolSlot;
+
+    /// The model architecture.
+    fn config(&self) -> ModelConfig;
+
+    /// Creates an empty slot sized for this model.
+    fn new_slot(&self) -> Self::Slot;
+
+    /// Runs one prefill chunk (1..=64 tokens) that contiguously extends
+    /// `slot` starting at `start_pos`. Returns the logits after the last
+    /// chunk token and the virtual-tick cost of the pass.
+    fn prefill(
+        &mut self,
+        slot: &mut Self::Slot,
+        tokens: &[u32],
+        start_pos: usize,
+    ) -> (Vec<f32>, u64);
+
+    /// Runs one batched decode step: `tokens[i]` extends `slots[i]` at its
+    /// current context length. Returns one logit vector per slot, in
+    /// order, plus the virtual-tick cost of the whole pass.
+    fn decode(&mut self, slots: &mut [&mut Self::Slot], tokens: &[u32]) -> (Vec<Vec<f32>>, u64);
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// CPU reference backend: one [`Transformer`] (weights + scratch) shared
+/// across all sequences via [`Transformer::forward_with_cache`].
+pub struct CpuBackend {
+    model: Transformer,
+}
+
+impl CpuBackend {
+    /// Wraps a transformer.
+    #[must_use]
+    pub fn new(model: Transformer) -> Self {
+        Self { model }
+    }
+
+    /// The underlying model.
+    #[must_use]
+    pub fn model(&self) -> &Transformer {
+        &self.model
+    }
+}
+
+impl Backend for CpuBackend {
+    type Slot = KvCache;
+
+    fn config(&self) -> ModelConfig {
+        *self.model.config()
+    }
+
+    fn new_slot(&self) -> Self::Slot {
+        KvCache::new(self.model.config())
+    }
+
+    fn prefill(
+        &mut self,
+        slot: &mut Self::Slot,
+        tokens: &[u32],
+        start_pos: usize,
+    ) -> (Vec<f32>, u64) {
+        assert!(!tokens.is_empty(), "empty chunk");
+        let mut logits = Vec::new();
+        for (i, &tok) in tokens.iter().enumerate() {
+            logits = self
+                .model
+                .forward_with_cache(slot, tok, start_pos + i)
+                .to_vec();
+        }
+        (logits, tokens.len() as u64)
+    }
+
+    fn decode(&mut self, slots: &mut [&mut Self::Slot], tokens: &[u32]) -> (Vec<Vec<f32>>, u64) {
+        assert_eq!(slots.len(), tokens.len(), "one token per sequence");
+        let mut out = Vec::with_capacity(slots.len());
+        for (slot, &tok) in slots.iter_mut().zip(tokens) {
+            let pos = slot.len();
+            out.push(self.model.forward_with_cache(slot, tok, pos).to_vec());
+        }
+        (out, slots.len() as u64)
+    }
+
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+}
+
+/// Accelerator-simulation backend: one [`Engine`] shared across sequences
+/// via [`Engine::prefill_chunk_seq`] and [`Engine::decode_batch`]. Costs
+/// are the simulated device cycles, so batching amortizes weight streams
+/// exactly as the device would.
+pub struct AccelBackend {
+    engine: Engine,
+}
+
+impl AccelBackend {
+    /// Wraps an engine.
+    #[must_use]
+    pub fn new(engine: Engine) -> Self {
+        Self { engine }
+    }
+
+    /// The underlying engine.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+impl Backend for AccelBackend {
+    type Slot = SequenceState;
+
+    fn config(&self) -> ModelConfig {
+        self.engine.graph().config
+    }
+
+    fn new_slot(&self) -> Self::Slot {
+        self.engine.new_sequence()
+    }
+
+    fn prefill(
+        &mut self,
+        slot: &mut Self::Slot,
+        tokens: &[u32],
+        start_pos: usize,
+    ) -> (Vec<f32>, u64) {
+        let step = self.engine.prefill_chunk_seq(slot, tokens, start_pos);
+        (step.logits, step.cycles.0)
+    }
+
+    fn decode(&mut self, slots: &mut [&mut Self::Slot], tokens: &[u32]) -> (Vec<Vec<f32>>, u64) {
+        let (logits, step) = self.engine.decode_batch(slots, tokens);
+        (logits, step.cycles.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "accel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speedllm_accel::opt::OptConfig;
+    use speedllm_llama::weights::TransformerWeights;
+    use std::sync::Arc;
+
+    fn weights() -> TransformerWeights {
+        TransformerWeights::synthetic(ModelConfig::test_tiny(), 42)
+    }
+
+    #[test]
+    fn cpu_backend_matches_single_tenant_forward() {
+        let mut backend = CpuBackend::new(Transformer::new(weights()));
+        let mut oracle = Transformer::new(weights());
+        let mut slot = backend.new_slot();
+        let (chunk_logits, cost) = backend.prefill(&mut slot, &[1, 5, 9], 0);
+        assert_eq!(cost, 3);
+        let mut want = Vec::new();
+        for (pos, &t) in [1u32, 5, 9].iter().enumerate() {
+            want = oracle.forward(t, pos).to_vec();
+        }
+        assert_eq!(chunk_logits, want, "prefill diverged from single-tenant");
+
+        let mut refs = [&mut slot];
+        let (dec, cost) = backend.decode(&mut refs, &[7]);
+        assert_eq!(cost, 1);
+        assert_eq!(dec[0], oracle.forward(7, 3).to_vec());
+    }
+
+    #[test]
+    fn accel_backend_matches_cpu_backend() {
+        let mut cpu = CpuBackend::new(Transformer::new(weights()));
+        let engine = Engine::new(Arc::new(weights()), OptConfig::full()).unwrap();
+        let mut acc = AccelBackend::new(engine);
+        let mut cs = cpu.new_slot();
+        let mut as_ = acc.new_slot();
+        let (lc, _) = cpu.prefill(&mut cs, &[3, 9, 14], 0);
+        let (la, _) = acc.prefill(&mut as_, &[3, 9, 14], 0);
+        let d = lc
+            .iter()
+            .zip(&la)
+            .fold(0.0f32, |m, (a, b)| m.max((a - b).abs()));
+        assert!(d < 1e-4, "backends diverged by {d}");
+    }
+
+    #[test]
+    fn accel_decode_cost_is_sublinear_in_batch() {
+        let engine = Engine::new(Arc::new(weights()), OptConfig::full()).unwrap();
+        let mut acc = AccelBackend::new(engine);
+        let mut one = acc.new_slot();
+        let mut refs = [&mut one];
+        let (_, c1) = acc.decode(&mut refs, &[5]);
+        let mut slots: Vec<SequenceState> = (0..4).map(|_| acc.new_slot()).collect();
+        let mut refs: Vec<&mut SequenceState> = slots.iter_mut().collect();
+        let (_, c4) = acc.decode(&mut refs, &[5, 6, 7, 8]);
+        assert!(c4 < 4 * c1, "batching must amortize: 1->{c1}, 4->{c4}");
+    }
+}

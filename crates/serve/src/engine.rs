@@ -1,0 +1,707 @@
+//! The continuous-batching scheduler.
+//!
+//! [`ServeEngine`] runs the serving loop over a fixed pool of KV-cache
+//! slots: admit queued requests while slots are free, advance one prefill
+//! chunk per admitted-but-cold request, then run **one batched decode
+//! step** across every warm request, evicting finished sequences and
+//! back-filling from the queue (DESIGN.md §11).
+//!
+//! Time is a **virtual clock** in backend-defined ticks (token forwards on
+//! the CPU backend, simulated device cycles on the accelerator), so every
+//! latency in a [`Completion`] — and therefore the whole serve-bench
+//! report — is bit-reproducible across machines and wall-clock noise.
+//!
+//! Two drivers are provided:
+//!
+//! * [`ServeEngine::run_with_source`] — single-threaded, pulls from a
+//!   [`TrafficSource`]; the deterministic path serve-bench uses.
+//! * [`ServeEngine::run_queue`] — pulls requests from an
+//!   [`speedllm_llama::sync`] channel and pushes completions to another;
+//!   the threaded serving front door (a bounded request channel gives
+//!   admission backpressure). Token streams are still deterministic per
+//!   request; arrival interleaving is whatever the threads produce.
+
+use std::collections::VecDeque;
+
+use speedllm_telemetry as tel;
+
+use speedllm_llama::kv_cache::{KvCachePool, PooledSlot};
+use speedllm_llama::sampler::{Sampler, SamplerKind};
+use speedllm_llama::sync::{Receiver, RecvError, Sender, TryRecvError};
+use speedllm_llama::tokenizer::{TOKEN_BOS, TOKEN_EOS};
+
+use crate::backend::Backend;
+
+/// One generation request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen id, echoed in the [`Completion`].
+    pub id: u64,
+    /// Prompt token ids (BOS included), non-empty, at most `seq_len`.
+    pub prompt: Vec<u32>,
+    /// Budget of new tokens (further clamped by the context window).
+    pub max_new_tokens: usize,
+    /// Stop when EOS/BOS is sampled (the token is not emitted).
+    pub stop_at_eos: bool,
+    /// Sampling policy.
+    pub sampler: SamplerKind,
+    /// Seed of this request's private sampler — what makes its token
+    /// stream independent of batch composition.
+    pub seed: u64,
+    /// Arrival tick (virtual time).
+    pub arrival: u64,
+}
+
+/// A finished request with its token output and lifecycle timestamps
+/// (all in virtual ticks).
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Echo of [`Request::id`].
+    pub id: u64,
+    /// Generated token ids (EOS excluded).
+    pub tokens: Vec<u32>,
+    /// Echo of [`Request::arrival`].
+    pub arrival: u64,
+    /// When the request left the queue and took a slot.
+    pub admitted_at: u64,
+    /// When the first generated token was sampled (None for zero-token
+    /// completions).
+    pub first_token_at: Option<u64>,
+    /// When the request finished and released its slot.
+    pub finished_at: u64,
+    /// Pool index of the slot that hosted the sequence.
+    pub slot_index: usize,
+    /// Admission order (0-based, strictly increasing with queue order).
+    pub admission_seq: u64,
+}
+
+impl Completion {
+    /// Time to first token, from arrival.
+    #[must_use]
+    pub fn ttft(&self) -> Option<u64> {
+        self.first_token_at.map(|t| t - self.arrival)
+    }
+
+    /// End-to-end latency, from arrival.
+    #[must_use]
+    pub fn e2e(&self) -> u64 {
+        self.finished_at - self.arrival
+    }
+}
+
+/// Scheduler parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// KV-cache slots — the hard concurrency limit.
+    pub slots: usize,
+    /// Max sequences per batched decode step (clamped to 1..=64, the
+    /// on-chip staging limit).
+    pub max_batch: usize,
+    /// Prefill chunk length (clamped to 1..=64).
+    pub prefill_chunk: usize,
+    /// Bounded request-queue depth — admission backpressure.
+    pub queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            slots: 4,
+            max_batch: 8,
+            prefill_chunk: 16,
+            queue_cap: 64,
+        }
+    }
+}
+
+/// Aggregate scheduler counters (monotone over the engine's life).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Scheduler iterations run.
+    pub iterations: u64,
+    /// Batched decode passes issued.
+    pub decode_batches: u64,
+    /// Largest decode batch observed.
+    pub max_batch_observed: usize,
+    /// Prefill chunks issued.
+    pub prefill_chunks: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests completed.
+    pub completed: u64,
+}
+
+/// A stream of requests the synchronous driver pulls from. `poll` may be
+/// called repeatedly with the same `now`; implementations hand out each
+/// request exactly once.
+pub trait TrafficSource {
+    /// Requests due at or before `now`, at most `room` of them (the free
+    /// space in the engine's bounded queue — backpressure holds the rest
+    /// back). `outstanding` is queued + in-flight, for closed-loop pacing.
+    fn poll(&mut self, now: u64, outstanding: usize, room: usize) -> Vec<Request>;
+
+    /// Earliest tick at which `poll` could return something, for idle
+    /// jumps; may be in the past. `None` when exhausted.
+    fn next_arrival(&self, outstanding: usize) -> Option<u64>;
+
+    /// True once every request has been handed out.
+    fn is_exhausted(&self) -> bool;
+}
+
+/// An admitted, in-flight request.
+struct Active<B: Backend> {
+    req: Request,
+    slot: PooledSlot<B::Slot>,
+    sampler: Sampler,
+    /// Prompt tokens prefilled so far.
+    prefilled: usize,
+    /// Logits after the last forward (valid once fully prefilled).
+    logits: Vec<f32>,
+    generated: Vec<u32>,
+    /// One past the last position the budget/context allows.
+    end_pos: usize,
+    admitted_at: u64,
+    first_token_at: Option<u64>,
+    admission_seq: u64,
+}
+
+/// The continuous-batching engine. Generic over the [`Backend`]; all
+/// scheduling state (queue, pool, virtual clock) lives here.
+pub struct ServeEngine<B: Backend> {
+    backend: B,
+    cfg: ServeConfig,
+    pool: KvCachePool<B::Slot>,
+    queue: VecDeque<Request>,
+    active: Vec<Active<B>>,
+    now: u64,
+    admission_seq: u64,
+    stats: ServeStats,
+    seq_len: usize,
+}
+
+impl<B: Backend> ServeEngine<B> {
+    /// Builds an engine with `cfg.slots` pre-allocated slots.
+    pub fn new(backend: B, cfg: ServeConfig) -> Self {
+        let cfg = ServeConfig {
+            slots: cfg.slots.max(1),
+            max_batch: cfg.max_batch.clamp(1, 64),
+            prefill_chunk: cfg.prefill_chunk.clamp(1, 64),
+            queue_cap: cfg.queue_cap.max(1),
+        };
+        let seq_len = backend.config().seq_len;
+        let pool = KvCachePool::new(cfg.slots, || backend.new_slot());
+        Self {
+            backend,
+            cfg,
+            pool,
+            queue: VecDeque::new(),
+            active: Vec::new(),
+            now: 0,
+            admission_seq: 0,
+            stats: ServeStats::default(),
+            seq_len,
+        }
+    }
+
+    /// The scheduler configuration (after clamping).
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The backend.
+    #[must_use]
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Scheduler counters.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Slot acquisitions that reused a previously released slot.
+    #[must_use]
+    pub fn slot_reuses(&self) -> u64 {
+        self.pool.reuse_count()
+    }
+
+    /// True when every slot has been released back to the pool.
+    #[must_use]
+    pub fn all_slots_free(&self) -> bool {
+        self.pool.all_free()
+    }
+
+    /// Queued + in-flight requests.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.queue.len() + self.active.len()
+    }
+
+    /// True when there is nothing queued or in flight.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.outstanding() == 0
+    }
+
+    /// Enqueues a request, or hands it back when the bounded queue is full
+    /// (admission backpressure).
+    ///
+    /// # Panics
+    /// Panics on an empty prompt or one longer than the context window —
+    /// such a request could never be served.
+    pub fn submit(&mut self, req: Request) -> Result<(), Request> {
+        assert!(!req.prompt.is_empty(), "empty prompt");
+        assert!(
+            req.prompt.len() <= self.seq_len,
+            "prompt of {} tokens exceeds context window {}",
+            req.prompt.len(),
+            self.seq_len
+        );
+        if self.queue.len() >= self.cfg.queue_cap {
+            return Err(req);
+        }
+        self.queue.push_back(req);
+        Ok(())
+    }
+
+    /// Runs one scheduler iteration: admit → prefill chunks → one batched
+    /// decode step → evict. Returns the requests that finished.
+    pub fn step(&mut self) -> Vec<Completion> {
+        let _g = tel::span("serve", "step").arg("active", self.active.len() as i64);
+        self.stats.iterations += 1;
+        self.admit();
+        self.prefill_phase();
+        let finished = self.decode_phase();
+        let done = self.evict(finished);
+        if tel::enabled() {
+            tel::metrics::gauge_set("serve.queue_depth", self.queue.len() as f64);
+            tel::metrics::gauge_set("serve.active", self.active.len() as f64);
+        }
+        done
+    }
+
+    /// Moves queued requests into free slots, FIFO.
+    fn admit(&mut self) {
+        while self.pool.available() > 0 {
+            let Some(req) = self.queue.pop_front() else {
+                break;
+            };
+            let reuses_before = self.pool.reuse_count();
+            let slot = self.pool.acquire().expect("availability checked");
+            if tel::enabled() {
+                tel::metrics::counter_add(
+                    "serve.slot_reuse",
+                    self.pool.reuse_count() - reuses_before,
+                );
+            }
+            let end_pos = (req.prompt.len() + req.max_new_tokens).min(self.seq_len);
+            let sampler = Sampler::new(req.sampler, req.seed);
+            self.active.push(Active {
+                end_pos,
+                sampler,
+                slot,
+                prefilled: 0,
+                logits: Vec::new(),
+                generated: Vec::new(),
+                admitted_at: self.now,
+                first_token_at: None,
+                admission_seq: self.admission_seq,
+                req,
+            });
+            self.admission_seq += 1;
+            self.stats.admitted += 1;
+        }
+    }
+
+    /// Advances every cold request by one prefill chunk.
+    fn prefill_phase(&mut self) {
+        let chunk_len = self.cfg.prefill_chunk;
+        for a in &mut self.active {
+            if a.prefilled >= a.req.prompt.len() {
+                continue;
+            }
+            let end = (a.prefilled + chunk_len).min(a.req.prompt.len());
+            let chunk = &a.req.prompt[a.prefilled..end];
+            let _g = tel::span("serve", "prefill_chunk")
+                .arg("req", a.req.id as i64)
+                .arg("tokens", chunk.len() as i64);
+            let (logits, cost) = self.backend.prefill(a.slot.state_mut(), chunk, a.prefilled);
+            self.now += cost;
+            a.prefilled = end;
+            if a.prefilled == a.req.prompt.len() {
+                a.logits = logits;
+            }
+            self.stats.prefill_chunks += 1;
+        }
+    }
+
+    /// Samples one token per warm request (mirroring the single-tenant
+    /// loop: sample → EOS check → emit), then runs the batched forward for
+    /// every request that still needs logits. Returns the indices of
+    /// requests that finished this iteration.
+    fn decode_phase(&mut self) -> Vec<usize> {
+        let mut finished: Vec<usize> = Vec::new();
+        let mut members: Vec<usize> = Vec::new();
+        let mut tokens: Vec<u32> = Vec::new();
+        for (i, a) in self.active.iter_mut().enumerate() {
+            if a.prefilled < a.req.prompt.len() {
+                continue; // still cold
+            }
+            let pos_next = a.req.prompt.len() + a.generated.len();
+            if pos_next >= a.end_pos {
+                finished.push(i); // zero budget (e.g. max_new_tokens = 0)
+                continue;
+            }
+            let next = a.sampler.sample(&a.logits);
+            if a.req.stop_at_eos && (next == TOKEN_EOS || next == TOKEN_BOS) {
+                finished.push(i);
+                continue;
+            }
+            a.generated.push(next);
+            if a.first_token_at.is_none() {
+                a.first_token_at = Some(self.now);
+            }
+            if pos_next + 1 >= a.end_pos {
+                // Budget exhausted by this token; the single-tenant loop
+                // would still run one last forward, but its logits are
+                // never sampled — skipping it cannot change the output.
+                finished.push(i);
+                continue;
+            }
+            members.push(i);
+            tokens.push(next);
+        }
+
+        // Batched forward, in groups of at most `max_batch`. Field-level
+        // borrows: `slots` borrows `self.active`, the call borrows
+        // `self.backend` — disjoint.
+        let mut start = 0;
+        while start < members.len() {
+            let end = (start + self.cfg.max_batch).min(members.len());
+            let idxs = &members[start..end];
+            let toks = &tokens[start..end];
+            let mut slots: Vec<&mut B::Slot> = Vec::with_capacity(idxs.len());
+            {
+                let mut want = idxs.iter().peekable();
+                for (i, a) in self.active.iter_mut().enumerate() {
+                    if want.peek() == Some(&&i) {
+                        want.next();
+                        slots.push(a.slot.state_mut());
+                    }
+                }
+            }
+            let _g = tel::span("serve", "decode_batch").arg("batch", idxs.len() as i64);
+            let (logits, cost) = self.backend.decode(&mut slots, toks);
+            drop(slots);
+            self.now += cost;
+            self.stats.decode_batches += 1;
+            self.stats.max_batch_observed = self.stats.max_batch_observed.max(idxs.len());
+            if tel::enabled() {
+                tel::metrics::gauge_set("serve.batch_size", idxs.len() as f64);
+            }
+            for (&i, l) in idxs.iter().zip(logits) {
+                self.active[i].logits = l;
+            }
+            start = end;
+        }
+        finished
+    }
+
+    /// Releases finished requests' slots and builds their completions, in
+    /// admission order.
+    fn evict(&mut self, finished: Vec<usize>) -> Vec<Completion> {
+        let mut done = Vec::with_capacity(finished.len());
+        for &i in finished.iter().rev() {
+            let a = self.active.remove(i);
+            let completion = Completion {
+                id: a.req.id,
+                arrival: a.req.arrival,
+                admitted_at: a.admitted_at,
+                first_token_at: a.first_token_at,
+                finished_at: self.now,
+                slot_index: a.slot.index(),
+                admission_seq: a.admission_seq,
+                tokens: a.generated,
+            };
+            self.pool.release(a.slot);
+            if tel::enabled() {
+                tel::metrics::counter_add("serve.tokens_generated", completion.tokens.len() as u64);
+                if let Some(ttft) = completion.ttft() {
+                    tel::metrics::observe("serve.ttft_ticks", ttft);
+                }
+                tel::metrics::observe("serve.e2e_ticks", completion.e2e());
+            }
+            self.stats.completed += 1;
+            done.push(completion);
+        }
+        done.reverse();
+        done
+    }
+
+    /// Drives the engine to completion over a [`TrafficSource`],
+    /// synchronously and deterministically. Returns every completion in
+    /// finish order.
+    pub fn run_with_source(&mut self, source: &mut dyn TrafficSource) -> Vec<Completion> {
+        let mut completions = Vec::new();
+        loop {
+            let room = self.cfg.queue_cap.saturating_sub(self.queue.len());
+            if room > 0 {
+                for req in source.poll(self.now, self.outstanding(), room) {
+                    self.submit(req).expect("room was checked");
+                }
+            }
+            if self.is_idle() {
+                if source.is_exhausted() {
+                    break;
+                }
+                // Jump the virtual clock to the next arrival; the +1 is a
+                // progress guarantee against a source whose next_arrival
+                // never becomes due.
+                match source.next_arrival(0) {
+                    Some(t) if t > self.now => self.now = t,
+                    Some(_) => self.now += 1,
+                    None => break,
+                }
+                continue;
+            }
+            completions.extend(self.step());
+        }
+        completions
+    }
+
+    /// Serves from a request channel until it disconnects and drains,
+    /// pushing completions as they finish. A bounded `rx` channel is the
+    /// admission backpressure. Returns the number of requests served.
+    /// Stops early (with queued work dropped) only if the completion
+    /// receiver disappears.
+    pub fn run_queue(&mut self, rx: &Receiver<Request>, tx: &Sender<Completion>) -> u64 {
+        let mut served = 0u64;
+        let mut disconnected = false;
+        loop {
+            // Opportunistically drain arrivals without blocking.
+            while self.queue.len() < self.cfg.queue_cap {
+                match rx.try_recv() {
+                    Ok(req) => {
+                        self.submit(req).expect("queue depth checked");
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        disconnected = true;
+                        break;
+                    }
+                }
+            }
+            if self.is_idle() {
+                if disconnected {
+                    return served;
+                }
+                // Nothing to do: block until the next request (or EOF).
+                match rx.recv() {
+                    Ok(req) => {
+                        self.submit(req).expect("queue was empty");
+                    }
+                    Err(RecvError) => return served,
+                }
+                continue;
+            }
+            for c in self.step() {
+                served += 1;
+                if tx.send(c).is_err() {
+                    return served; // nobody is listening
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::CpuBackend;
+    use speedllm_llama::config::ModelConfig;
+    use speedllm_llama::forward::Transformer;
+    use speedllm_llama::generate::{generate, GenerateOptions};
+    use speedllm_llama::tokenizer::Tokenizer;
+    use speedllm_llama::weights::TransformerWeights;
+
+    fn cpu_engine(slots: usize) -> ServeEngine<CpuBackend> {
+        let model = Transformer::new(TransformerWeights::synthetic(ModelConfig::test_tiny(), 42));
+        ServeEngine::new(
+            CpuBackend::new(model),
+            ServeConfig {
+                slots,
+                max_batch: 8,
+                prefill_chunk: 4,
+                queue_cap: 16,
+            },
+        )
+    }
+
+    fn req(id: u64, prompt: Vec<u32>, max_new: usize, seed: u64) -> Request {
+        Request {
+            id,
+            prompt,
+            max_new_tokens: max_new,
+            stop_at_eos: true,
+            sampler: SamplerKind::Temperature(0.8),
+            seed,
+            arrival: 0,
+        }
+    }
+
+    fn drain(engine: &mut ServeEngine<CpuBackend>) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while !engine.is_idle() {
+            out.extend(engine.step());
+        }
+        out
+    }
+
+    #[test]
+    fn batched_tokens_match_sequential_generate() {
+        let mut engine = cpu_engine(2);
+        let tok = Tokenizer::synthetic(64, 42);
+        let prompts = ["once upon", "hello there", "abc"];
+        for (i, p) in prompts.iter().enumerate() {
+            let prompt = tok.encode(p, true, false);
+            engine
+                .submit(req(i as u64, prompt, 10, 100 + i as u64))
+                .unwrap();
+        }
+        let mut completions = drain(&mut engine);
+        completions.sort_by_key(|c| c.id);
+        assert_eq!(completions.len(), 3);
+
+        for (i, p) in prompts.iter().enumerate() {
+            let mut oracle =
+                Transformer::new(TransformerWeights::synthetic(ModelConfig::test_tiny(), 42));
+            let mut sampler = Sampler::new(SamplerKind::Temperature(0.8), 100 + i as u64);
+            let want = generate(
+                &mut oracle,
+                &tok,
+                &mut sampler,
+                p,
+                GenerateOptions {
+                    max_new_tokens: 10,
+                    stop_at_eos: true,
+                },
+            );
+            assert_eq!(
+                completions[i].tokens, want.generated_tokens,
+                "request {i} diverged from sequential oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_budget_request_completes_with_no_tokens() {
+        let mut engine = cpu_engine(1);
+        engine.submit(req(0, vec![1, 5], 0, 9)).unwrap();
+        let done = drain(&mut engine);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].tokens.is_empty());
+        assert!(done[0].first_token_at.is_none());
+        assert!(engine.all_slots_free());
+    }
+
+    #[test]
+    fn admission_is_fifo_and_slots_bound_concurrency() {
+        let mut engine = cpu_engine(2);
+        for i in 0..6 {
+            engine
+                .submit(req(i, vec![1, (i + 3) as u32], 4, i))
+                .unwrap();
+        }
+        let done = drain(&mut engine);
+        assert_eq!(done.len(), 6);
+        // Admission order must follow submission order.
+        let mut by_id: Vec<_> = done.clone();
+        by_id.sort_by_key(|c| c.id);
+        for (i, c) in by_id.iter().enumerate() {
+            assert_eq!(c.admission_seq, i as u64, "FIFO admission violated");
+        }
+        // Two slots only: slot indices stay within the pool.
+        assert!(done.iter().all(|c| c.slot_index < 2));
+        assert!(engine.all_slots_free());
+        assert!(
+            engine.slot_reuses() >= 4,
+            "6 requests through 2 slots must reuse"
+        );
+    }
+
+    #[test]
+    fn backpressure_rejects_when_queue_full() {
+        let model = Transformer::new(TransformerWeights::synthetic(ModelConfig::test_tiny(), 42));
+        let mut engine = ServeEngine::new(
+            CpuBackend::new(model),
+            ServeConfig {
+                slots: 1,
+                max_batch: 4,
+                prefill_chunk: 4,
+                queue_cap: 2,
+            },
+        );
+        assert!(engine.submit(req(0, vec![1, 3], 2, 0)).is_ok());
+        assert!(engine.submit(req(1, vec![1, 3], 2, 1)).is_ok());
+        let back = engine.submit(req(2, vec![1, 3], 2, 2));
+        assert_eq!(back.unwrap_err().id, 2, "queue_cap=2 must reject the third");
+    }
+
+    #[test]
+    fn virtual_clock_advances_and_timestamps_are_ordered() {
+        let mut engine = cpu_engine(2);
+        engine.submit(req(0, vec![1, 4, 9, 22, 7], 6, 3)).unwrap();
+        let done = drain(&mut engine);
+        let c = &done[0];
+        assert!(engine.now() > 0);
+        assert!(c.admitted_at >= c.arrival);
+        let ft = c.first_token_at.expect("tokens were generated");
+        assert!(ft >= c.admitted_at);
+        assert!(c.finished_at >= ft);
+        // TTFT covers at least the prompt's prefill cost (5 CPU ticks).
+        assert!(c.ttft().unwrap() >= 5);
+    }
+
+    #[test]
+    fn run_queue_serves_over_channels() {
+        let (req_tx, req_rx) = speedllm_llama::sync::bounded::<Request>(4);
+        let (done_tx, done_rx) = speedllm_llama::sync::unbounded::<Completion>();
+        let tok = Tokenizer::synthetic(64, 42);
+        let prompt = tok.encode("hi", true, false);
+        let n = 5u64;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut engine = cpu_engine(2);
+                let served = engine.run_queue(&req_rx, &done_tx);
+                assert_eq!(served, n);
+                drop(done_tx);
+            });
+            for i in 0..n {
+                req_tx.send(req(i, prompt.clone(), 4, i)).unwrap();
+            }
+            drop(req_tx);
+        });
+        let mut got: Vec<Completion> = done_rx.iter().collect();
+        got.sort_by_key(|c| c.id);
+        assert_eq!(got.len(), n as usize);
+        // Token streams are batch-composition-independent, so the threaded
+        // path must agree with a fresh synchronous run.
+        let mut sync_engine = cpu_engine(2);
+        for i in 0..n {
+            sync_engine.submit(req(i, prompt.clone(), 4, i)).unwrap();
+        }
+        let mut want = drain(&mut sync_engine);
+        want.sort_by_key(|c| c.id);
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.tokens, b.tokens);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # speedllm-serve
+//!
+//! The serving layer above the SpeedLLM accelerator: a continuous-batching
+//! engine that multiplexes many generation requests over one model and a
+//! fixed pool of KV-cache slots (DESIGN.md §11).
+//!
+//! * [`engine::ServeEngine`] — the scheduler: admit → chunked prefill →
+//!   one batched decode step per iteration → evict and back-fill.
+//! * [`backend`] — the [`backend::Backend`] trait plus the CPU-reference
+//!   and accelerator-simulation implementations.
+//! * [`loadgen`] — a seeded, deterministic synthetic traffic generator
+//!   (open or closed loop).
+//! * [`report`] — exact-percentile latency/throughput reporting in
+//!   virtual ticks, byte-reproducible for a given seed.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use speedllm_llama::config::ModelConfig;
+//! use speedllm_llama::forward::Transformer;
+//! use speedllm_llama::sampler::SamplerKind;
+//! use speedllm_llama::weights::TransformerWeights;
+//! use speedllm_serve::backend::CpuBackend;
+//! use speedllm_serve::engine::{ServeConfig, ServeEngine};
+//! use speedllm_serve::loadgen::{ArrivalMode, LoadGen, LoadGenConfig};
+//!
+//! let cfg = ModelConfig::test_tiny();
+//! let backend = CpuBackend::new(Transformer::new(TransformerWeights::synthetic(cfg, 42)));
+//! let mut engine = ServeEngine::new(backend, ServeConfig::default());
+//! let mut traffic = LoadGen::new(&LoadGenConfig {
+//!     n_requests: 4,
+//!     mode: ArrivalMode::Closed { concurrency: 2 },
+//!     prompt_len: (2, 6),
+//!     max_new_tokens: (1, 8),
+//!     sampler: SamplerKind::Temperature(0.8),
+//!     stop_at_eos: true,
+//!     vocab_size: cfg.vocab_size,
+//!     seq_len: cfg.seq_len,
+//!     seed: 7,
+//! });
+//! let completions = engine.run_with_source(&mut traffic);
+//! assert_eq!(completions.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod engine;
+pub mod loadgen;
+pub mod report;
+
+pub use backend::{AccelBackend, Backend, CpuBackend};
+pub use engine::{Completion, Request, ServeConfig, ServeEngine, ServeStats, TrafficSource};
+pub use loadgen::{ArrivalMode, LoadGen, LoadGenConfig};
+pub use report::{percentile, Percentiles, ServeReport};

@@ -1,0 +1,208 @@
+//! Deterministic latency/throughput report over a set of completions.
+//!
+//! Percentiles are **exact nearest-rank** over the full sample (no
+//! histogram buckets), and every latency is in virtual ticks — two runs
+//! of the same seeded workload render byte-identical reports, which is
+//! what `scripts/verify.sh` asserts.
+
+use std::fmt::Write as _;
+
+use speedllm_llama::generate::safe_rate;
+
+use crate::engine::{Completion, ServeStats};
+
+/// Exact nearest-rank percentile of an ascending-sorted sample;
+/// 0 for an empty sample.
+#[must_use]
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    // Nearest-rank: smallest rank r (1-based) with r >= p/100 * n.
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// p50/p95/p99 of one latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl Percentiles {
+    fn of(mut sample: Vec<u64>) -> Self {
+        sample.sort_unstable();
+        Self {
+            p50: percentile(&sample, 50.0),
+            p95: percentile(&sample, 95.0),
+            p99: percentile(&sample, 99.0),
+        }
+    }
+}
+
+/// Aggregated serve-bench results.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Completions analyzed.
+    pub requests: usize,
+    /// Total generated tokens.
+    pub tokens: u64,
+    /// Virtual time from first arrival to last completion.
+    pub makespan: u64,
+    /// Aggregate decode throughput, tokens per kilotick.
+    pub tokens_per_kilotick: f64,
+    /// Time to first token (arrival → first sample), ticks.
+    pub ttft: Percentiles,
+    /// Per-output-token latency (first sample → finish, over tokens-1…
+    /// computed as milli-ticks per token), for requests with ≥ 2 tokens.
+    pub tpot_millis: Percentiles,
+    /// End-to-end latency (arrival → finish), ticks.
+    pub e2e: Percentiles,
+    /// Scheduler counters of the run.
+    pub stats: ServeStats,
+    /// Slot reuses over the run.
+    pub slot_reuses: u64,
+}
+
+impl ServeReport {
+    /// Builds the report from a finished run.
+    #[must_use]
+    pub fn from_run(completions: &[Completion], stats: ServeStats, slot_reuses: u64) -> Self {
+        let tokens: u64 = completions.iter().map(|c| c.tokens.len() as u64).sum();
+        let first_arrival = completions.iter().map(|c| c.arrival).min().unwrap_or(0);
+        let last_finish = completions.iter().map(|c| c.finished_at).max().unwrap_or(0);
+        let makespan = last_finish.saturating_sub(first_arrival);
+        let ttft = Percentiles::of(completions.iter().filter_map(Completion::ttft).collect());
+        let tpot = Percentiles::of(
+            completions
+                .iter()
+                .filter(|c| c.tokens.len() >= 2)
+                .map(|c| {
+                    let span = c.finished_at - c.first_token_at.expect("has tokens");
+                    // Milli-ticks per inter-token gap, integer-exact.
+                    span * 1000 / (c.tokens.len() as u64 - 1)
+                })
+                .collect(),
+        );
+        let e2e = Percentiles::of(completions.iter().map(Completion::e2e).collect());
+        Self {
+            requests: completions.len(),
+            tokens,
+            makespan,
+            tokens_per_kilotick: safe_rate(tokens as f64, makespan as f64) * 1000.0,
+            ttft,
+            tpot_millis: tpot,
+            e2e,
+            stats,
+            slot_reuses,
+        }
+    }
+
+    /// Renders the deterministic text report.
+    #[must_use]
+    pub fn render(&self, backend: &str) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "serve-bench report ({backend} backend)");
+        let _ = writeln!(s, "  requests completed   {}", self.requests);
+        let _ = writeln!(s, "  tokens generated     {}", self.tokens);
+        let _ = writeln!(s, "  makespan             {} ticks", self.makespan);
+        let _ = writeln!(
+            s,
+            "  throughput           {:.3} tok/ktick",
+            self.tokens_per_kilotick
+        );
+        let _ = writeln!(
+            s,
+            "  ttft p50/p95/p99     {} / {} / {} ticks",
+            self.ttft.p50, self.ttft.p95, self.ttft.p99
+        );
+        let _ = writeln!(
+            s,
+            "  tpot p50/p95/p99     {} / {} / {} mticks/tok",
+            self.tpot_millis.p50, self.tpot_millis.p95, self.tpot_millis.p99
+        );
+        let _ = writeln!(
+            s,
+            "  e2e  p50/p95/p99     {} / {} / {} ticks",
+            self.e2e.p50, self.e2e.p95, self.e2e.p99
+        );
+        let _ = writeln!(
+            s,
+            "  decode batches       {} (max batch {})",
+            self.stats.decode_batches, self.stats.max_batch_observed
+        );
+        let _ = writeln!(s, "  prefill chunks       {}", self.stats.prefill_chunks);
+        let _ = writeln!(s, "  slot reuses          {}", self.slot_reuses);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 95.0), 95);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    fn completion(id: u64, tokens: usize, arrival: u64, first: u64, finish: u64) -> Completion {
+        Completion {
+            id,
+            tokens: vec![9; tokens],
+            arrival,
+            admitted_at: arrival,
+            first_token_at: (tokens > 0).then_some(first),
+            finished_at: finish,
+            slot_index: 0,
+            admission_seq: id,
+        }
+    }
+
+    #[test]
+    fn report_aggregates_and_renders_deterministically() {
+        let completions = vec![
+            completion(0, 4, 0, 10, 40),
+            completion(1, 2, 5, 12, 30),
+            completion(2, 0, 8, 0, 20),
+        ];
+        let r = ServeReport::from_run(&completions, ServeStats::default(), 3);
+        assert_eq!(r.requests, 3);
+        assert_eq!(r.tokens, 6);
+        assert_eq!(r.makespan, 40);
+        assert!((r.tokens_per_kilotick - 150.0).abs() < 1e-9);
+        // TTFT sample: {10, 7} (zero-token request excluded).
+        assert_eq!(r.ttft.p50, 7);
+        assert_eq!(r.ttft.p99, 10);
+        // TPOT: req0 = (40-10)*1000/3 = 10000; req1 = (30-12)*1000/1.
+        assert_eq!(r.tpot_millis.p50, 10000);
+        assert_eq!(r.tpot_millis.p99, 18000);
+        let a = r.render("cpu");
+        let b = r.render("cpu");
+        assert_eq!(a, b);
+        assert!(a.contains("requests completed   3"));
+        assert!(a.contains("150.000 tok/ktick"));
+    }
+
+    #[test]
+    fn empty_run_renders_zeros_without_nan() {
+        let r = ServeReport::from_run(&[], ServeStats::default(), 0);
+        assert_eq!(r.tokens_per_kilotick, 0.0);
+        assert!(r
+            .render("cpu")
+            .contains("throughput           0.000 tok/ktick"));
+    }
+}

@@ -33,6 +33,21 @@ fi
 echo "== bench smoke (tiny configs, 3 samples per bench) =="
 cargo bench -p speedllm-bench -- --smoke
 
+echo "== serve smoke (continuous batching, byte-identical reports) =="
+# The serve layer keeps all timing in virtual ticks, so the same seed must
+# render the same bytes, run to run and backend-config to backend-config.
+serve_a="$(./target/release/speedllm serve-bench --smoke)"
+serve_b="$(./target/release/speedllm serve-bench --smoke)"
+if [[ "$serve_a" != "$serve_b" ]]; then
+    echo "serve-bench --smoke is not deterministic:" >&2
+    diff <(printf '%s\n' "$serve_a") <(printf '%s\n' "$serve_b") >&2 || true
+    exit 1
+fi
+grep -q "requests completed   8" <<<"$serve_a"
+serve_cpu="$(./target/release/speedllm serve-bench --smoke --backend cpu)"
+grep -q "serve-bench report (cpu backend)" <<<"$serve_cpu"
+echo "serve smoke OK: accel + cpu backends deterministic"
+
 echo "== telemetry smoke (instrumented tiny generate -> Chrome trace) =="
 trace_file="$(mktemp /tmp/speedllm_verify_trace.XXXXXX.json)"
 trap 'rm -f "$trace_file"' EXIT

@@ -35,6 +35,7 @@ pub use speedllm_accel as accel;
 pub use speedllm_fpga_sim as fpga;
 pub use speedllm_gpu_model as gpu;
 pub use speedllm_llama as llama;
+pub use speedllm_serve as serve;
 pub use speedllm_telemetry as telemetry;
 
 /// The most commonly used types, re-exported flat.
@@ -46,4 +47,7 @@ pub mod prelude {
     pub use speedllm_llama::sampler::{Sampler, SamplerKind};
     pub use speedllm_llama::tokenizer::Tokenizer;
     pub use speedllm_llama::weights::TransformerWeights;
+    pub use speedllm_serve::{
+        AccelBackend, Backend, CpuBackend, ServeConfig, ServeEngine, ServeReport,
+    };
 }

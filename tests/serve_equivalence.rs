@@ -1,0 +1,206 @@
+//! Batched-vs-sequential equivalence: the continuous-batching engine must
+//! emit **token-identical** streams to the single-tenant entry points —
+//! `llama::generate` for the CPU backend and the accel runtime `Session`
+//! for the simulated accelerator — across a grid of slot counts, request
+//! counts, seeds, and samplers. Batching changes timing, never tokens:
+//! each request carries its own seeded sampler, so its stream cannot
+//! depend on what else shares the batch.
+
+use std::sync::Arc;
+
+use speedllm::accel::engine::Engine;
+use speedllm::accel::opt::OptConfig;
+use speedllm::accel::runtime::AcceleratedLlm;
+use speedllm::llama::config::ModelConfig;
+use speedllm::llama::forward::Transformer;
+use speedllm::llama::generate::{generate, GenerateOptions};
+use speedllm::llama::sampler::{Sampler, SamplerKind};
+use speedllm::llama::tokenizer::Tokenizer;
+use speedllm::llama::weights::TransformerWeights;
+use speedllm::serve::{
+    AccelBackend, Backend, Completion, CpuBackend, Request, ServeConfig, ServeEngine,
+};
+
+const PROMPTS: [&str; 4] = ["once upon a time", "hello", "the quick brown fox", "ab"];
+const MAX_NEW: usize = 8;
+
+fn serve_cfg(slots: usize) -> ServeConfig {
+    ServeConfig {
+        slots,
+        max_batch: 4,
+        prefill_chunk: 3,
+        queue_cap: 16,
+    }
+}
+
+fn request(id: u64, prompt: Vec<u32>, sampler: SamplerKind, seed: u64) -> Request {
+    Request {
+        id,
+        prompt,
+        max_new_tokens: MAX_NEW,
+        stop_at_eos: true,
+        sampler,
+        seed,
+        arrival: 0,
+    }
+}
+
+/// Submits `prompts` all at once and drains the engine; completions come
+/// back sorted by request id.
+fn serve_all<B: Backend>(
+    mut engine: ServeEngine<B>,
+    prompts: &[Vec<u32>],
+    sampler: SamplerKind,
+    seed_base: u64,
+) -> Vec<Completion> {
+    for (i, p) in prompts.iter().enumerate() {
+        engine
+            .submit(request(i as u64, p.clone(), sampler, seed_base + i as u64))
+            .expect("queue_cap covers the grid sizes");
+    }
+    let mut done = Vec::new();
+    while !engine.is_idle() {
+        done.extend(engine.step());
+    }
+    assert!(engine.all_slots_free(), "a slot leaked");
+    done.sort_by_key(|c| c.id);
+    done
+}
+
+fn cpu_grid_case(cfg: ModelConfig, seed: u64, n_requests: usize, slots: usize, kind: SamplerKind) {
+    let tok = Tokenizer::synthetic(cfg.vocab_size, seed);
+    let prompts: Vec<Vec<u32>> = PROMPTS[..n_requests]
+        .iter()
+        .map(|p| tok.encode(p, true, false))
+        .collect();
+
+    let backend = CpuBackend::new(Transformer::new(TransformerWeights::synthetic(cfg, seed)));
+    let done = serve_all(
+        ServeEngine::new(backend, serve_cfg(slots)),
+        &prompts,
+        kind,
+        1000,
+    );
+
+    assert_eq!(done.len(), n_requests);
+    for (i, text) in PROMPTS[..n_requests].iter().enumerate() {
+        let mut oracle = Transformer::new(TransformerWeights::synthetic(cfg, seed));
+        let mut sampler = Sampler::new(kind, 1000 + i as u64);
+        let want = generate(
+            &mut oracle,
+            &tok,
+            &mut sampler,
+            text,
+            GenerateOptions {
+                max_new_tokens: MAX_NEW,
+                stop_at_eos: true,
+            },
+        );
+        assert_eq!(
+            done[i].tokens, want.generated_tokens,
+            "cpu backend diverged from llama::generate \
+             (seed {seed}, n {n_requests}, slots {slots}, request {i}, {kind:?})"
+        );
+    }
+}
+
+fn accel_grid_case(
+    cfg: ModelConfig,
+    seed: u64,
+    n_requests: usize,
+    slots: usize,
+    kind: SamplerKind,
+) {
+    // The sequential oracle is the accel runtime Session (which always
+    // stops at EOS/BOS — hence stop_at_eos: true on every request).
+    let system = AcceleratedLlm::synthetic(cfg, seed, OptConfig::full()).unwrap();
+    let prompts: Vec<Vec<u32>> = PROMPTS[..n_requests]
+        .iter()
+        .map(|p| system.tokenizer().encode(p, true, false))
+        .collect();
+
+    let weights = Arc::new(TransformerWeights::synthetic(cfg, seed));
+    let backend = AccelBackend::new(Engine::new(weights, OptConfig::full()).unwrap());
+    let done = serve_all(
+        ServeEngine::new(backend, serve_cfg(slots)),
+        &prompts,
+        kind,
+        2000,
+    );
+
+    assert_eq!(done.len(), n_requests);
+    for (i, text) in PROMPTS[..n_requests].iter().enumerate() {
+        let mut session = system.session(kind, 2000 + i as u64);
+        let want = session.generate(text, MAX_NEW).unwrap();
+        assert_eq!(
+            done[i].tokens, want.output.generated_tokens,
+            "accel backend diverged from Session::generate \
+             (seed {seed}, n {n_requests}, slots {slots}, request {i}, {kind:?})"
+        );
+    }
+}
+
+#[test]
+fn cpu_backend_matches_sequential_generate_across_grid() {
+    for seed in [7u64, 21] {
+        for n_requests in [1usize, 2, 4] {
+            for slots in [1usize, 2, 4] {
+                for kind in [SamplerKind::Argmax, SamplerKind::Temperature(0.8)] {
+                    cpu_grid_case(ModelConfig::test_tiny(), seed, n_requests, slots, kind);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn accel_backend_matches_sequential_session_across_grid() {
+    for seed in [7u64, 21] {
+        for n_requests in [1usize, 2, 4] {
+            for slots in [1usize, 2] {
+                for kind in [SamplerKind::Argmax, SamplerKind::Temperature(0.8)] {
+                    accel_grid_case(ModelConfig::test_tiny(), seed, n_requests, slots, kind);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn equivalence_holds_on_a_real_preset() {
+    // One heavier spot check on stories260k: both backends, mixed batch.
+    cpu_grid_case(
+        ModelConfig::stories260k(),
+        42,
+        3,
+        2,
+        SamplerKind::Temperature(0.9),
+    );
+    accel_grid_case(ModelConfig::stories260k(), 42, 2, 2, SamplerKind::Argmax);
+}
+
+#[test]
+fn cpu_and_accel_backends_agree_with_each_other() {
+    // Transitivity check done directly: the two backends serve the same
+    // workload and must emit the same streams (fp32 accel path).
+    let cfg = ModelConfig::test_tiny();
+    let seed = 11u64;
+    let tok = Tokenizer::synthetic(cfg.vocab_size, seed ^ 0x5eed);
+    let prompts: Vec<Vec<u32>> = PROMPTS.iter().map(|p| tok.encode(p, true, false)).collect();
+    let kind = SamplerKind::Temperature(0.7);
+
+    let cpu = CpuBackend::new(Transformer::new(TransformerWeights::synthetic(cfg, seed)));
+    let a = serve_all(ServeEngine::new(cpu, serve_cfg(2)), &prompts, kind, 3000);
+
+    let weights = Arc::new(TransformerWeights::synthetic(cfg, seed));
+    let accel = AccelBackend::new(Engine::new(weights, OptConfig::full()).unwrap());
+    let b = serve_all(ServeEngine::new(accel, serve_cfg(3)), &prompts, kind, 3000);
+
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            x.tokens, y.tokens,
+            "request {} differs across backends",
+            x.id
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Property tests (speedllm-testkit) over the serving layer: for random
+//! request streams and scheduler shapes, every admitted request completes
+//! exactly once, admission stays FIFO, slot usage never exceeds the pool
+//! or overlaps on one slot, and the pool drains clean after every run —
+//! plus a reuse-hygiene check that a recycled slot is indistinguishable
+//! from a fresh one.
+
+use speedllm_testkit::prelude::*;
+
+use speedllm::llama::config::ModelConfig;
+use speedllm::llama::forward::Transformer;
+use speedllm::llama::rng::Xoshiro256;
+use speedllm::llama::sampler::SamplerKind;
+use speedllm::llama::tokenizer::TOKEN_BOS;
+use speedllm::llama::weights::TransformerWeights;
+use speedllm::serve::{
+    ArrivalMode, Completion, CpuBackend, LoadGen, LoadGenConfig, Request, ServeConfig, ServeEngine,
+};
+
+fn cpu_engine(slots: usize, max_batch: usize, chunk: usize) -> ServeEngine<CpuBackend> {
+    let model = Transformer::new(TransformerWeights::synthetic(ModelConfig::test_tiny(), 42));
+    ServeEngine::new(
+        CpuBackend::new(model),
+        ServeConfig {
+            slots,
+            max_batch,
+            prefill_chunk: chunk,
+            queue_cap: 64,
+        },
+    )
+}
+
+/// A random but valid request stream for the tiny model: prompt lengths
+/// 1..=6 (BOS first), budgets 0..=5 (zero budget included on purpose).
+fn random_requests(seed: u64, n: usize) -> Vec<Request> {
+    let cfg = ModelConfig::test_tiny();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..n as u64)
+        .map(|id| {
+            let plen = 1 + rng.below(6) as usize;
+            let mut prompt = vec![TOKEN_BOS];
+            for _ in 1..plen {
+                prompt.push(3 + rng.below(cfg.vocab_size as u64 - 3) as u32);
+            }
+            Request {
+                id,
+                prompt,
+                max_new_tokens: rng.below(6) as usize,
+                stop_at_eos: true,
+                sampler: SamplerKind::Temperature(0.8),
+                seed: rng.next_u64(),
+                arrival: 0,
+            }
+        })
+        .collect()
+}
+
+fn drain(engine: &mut ServeEngine<CpuBackend>) -> Vec<Completion> {
+    let mut out = Vec::new();
+    while !engine.is_idle() {
+        out.extend(engine.step());
+    }
+    out
+}
+
+props! {
+    #![config(cases = 64)]
+
+    fn every_request_completes_exactly_once(
+        n in 1usize..12,
+        slots in 1usize..5,
+        max_batch in 1usize..6,
+        chunk in 1usize..5,
+        seed in any_u64(),
+    ) {
+        let mut engine = cpu_engine(slots, max_batch, chunk);
+        for req in random_requests(seed, n) {
+            prop_assert!(engine.submit(req).is_ok());
+        }
+        let mut done = drain(&mut engine);
+        prop_assert_eq!(done.len(), n, "a request was lost or duplicated");
+        done.sort_by_key(|c| c.id);
+        for (i, c) in done.iter().enumerate() {
+            prop_assert_eq!(c.id, i as u64, "ids must cover 0..n exactly once");
+        }
+        prop_assert!(engine.all_slots_free(), "pool did not drain");
+    }
+
+    fn admission_is_fifo_and_slots_bound_usage(
+        n in 2usize..12,
+        slots in 1usize..4,
+        seed in any_u64(),
+    ) {
+        let mut engine = cpu_engine(slots, 8, 3);
+        for req in random_requests(seed, n) {
+            prop_assert!(engine.submit(req).is_ok());
+        }
+        let mut done = drain(&mut engine);
+        done.sort_by_key(|c| c.id);
+        for (i, c) in done.iter().enumerate() {
+            // Submission order == id order, the queue is FIFO, so the
+            // admission sequence must equal the id.
+            prop_assert_eq!(c.admission_seq, i as u64, "FIFO admission violated");
+            prop_assert!(c.slot_index < slots, "slot index outside the pool");
+        }
+        // No slot double-assignment: two requests whose occupancy windows
+        // strictly overlap in virtual time can never share a slot.
+        for a in &done {
+            for b in &done {
+                if a.id < b.id
+                    && a.admitted_at < b.finished_at
+                    && b.admitted_at < a.finished_at
+                {
+                    prop_assert!(
+                        a.slot_index != b.slot_index,
+                        "requests {} and {} overlapped on slot {}",
+                        a.id, b.id, a.slot_index
+                    );
+                }
+            }
+        }
+    }
+
+    fn loadgen_traffic_drains_clean_and_reuses_slots(
+        n in 1usize..16,
+        slots in 1usize..4,
+        closed in any_bool(),
+        seed in any_u64(),
+    ) {
+        let mode = if closed {
+            ArrivalMode::Closed { concurrency: slots.max(2) }
+        } else {
+            ArrivalMode::Open { mean_interarrival: 8 }
+        };
+        let cfg = ModelConfig::test_tiny();
+        let mut engine = cpu_engine(slots, 8, 4);
+        let mut traffic = LoadGen::new(&LoadGenConfig {
+            n_requests: n,
+            mode,
+            prompt_len: (2, 6),
+            max_new_tokens: (1, 6),
+            sampler: SamplerKind::Temperature(0.8),
+            stop_at_eos: true,
+            vocab_size: cfg.vocab_size,
+            seq_len: cfg.seq_len,
+            seed,
+        });
+        let done = engine.run_with_source(&mut traffic);
+        prop_assert_eq!(done.len(), n, "an admitted request never completed");
+        prop_assert!(engine.all_slots_free(), "slot leaked after traffic run");
+        // Every acquisition past the first per slot is a reuse.
+        prop_assert!(
+            engine.slot_reuses() >= n.saturating_sub(slots) as u64,
+            "{} requests through {} slots reused only {} times",
+            n, slots, engine.slot_reuses()
+        );
+    }
+
+    fn token_streams_are_independent_of_batch_composition(
+        n in 2usize..8,
+        seed in any_u64(),
+    ) {
+        // The same requests served strictly sequentially (1 slot) and
+        // fully batched (n slots) must emit identical per-id streams.
+        let reqs = random_requests(seed, n);
+        let mut solo = cpu_engine(1, 1, 2);
+        let mut wide = cpu_engine(n, 8, 4);
+        for req in reqs.iter().cloned() {
+            prop_assert!(solo.submit(req).is_ok());
+        }
+        for req in reqs {
+            prop_assert!(wide.submit(req).is_ok());
+        }
+        let mut a = drain(&mut solo);
+        let mut b = drain(&mut wide);
+        a.sort_by_key(|c| c.id);
+        b.sort_by_key(|c| c.id);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(
+                &x.tokens, &y.tokens,
+                "request {} changed its stream under batching", x.id
+            );
+        }
+    }
+}
+
+/// Reuse hygiene: after a traffic run drains, a second identical wave
+/// through the same (recycled) pool must reproduce the first wave's
+/// streams token for token — a reused slot is indistinguishable from a
+/// fresh one.
+#[test]
+fn recycled_slots_are_indistinguishable_from_fresh() {
+    let mut engine = cpu_engine(2, 4, 3);
+    let wave = random_requests(9, 8);
+
+    for req in wave.iter().cloned() {
+        engine.submit(req).unwrap();
+    }
+    let mut first = drain(&mut engine);
+    assert!(engine.all_slots_free());
+    assert!(
+        engine.slot_reuses() >= 6,
+        "8 requests over 2 slots must recycle"
+    );
+
+    for req in wave {
+        engine.submit(req).unwrap();
+    }
+    let mut second = drain(&mut engine);
+    assert!(engine.all_slots_free());
+
+    first.sort_by_key(|c| c.id);
+    second.sort_by_key(|c| c.id);
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.tokens, b.tokens, "recycled slot changed request {}", a.id);
+    }
+}
