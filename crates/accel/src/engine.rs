@@ -36,6 +36,7 @@ use speedllm_llama::kv_cache::KvCache;
 use speedllm_llama::ops;
 use speedllm_llama::quant::QuantMatrix;
 use speedllm_llama::weights::TransformerWeights;
+use speedllm_pagedkv::{BlockConfig, BlockId, BlockTable, PagedKvArena};
 
 use crate::fusion::{fuse_with_limit, Schedule};
 use crate::ir::{build_decode_graph, Graph, OpKind, ValueId, WeightRef};
@@ -181,19 +182,39 @@ fn dataflow_matvec(out: &mut [f32], w: &[f32], x: &[f32], rows: usize, cols: usi
     );
 }
 
-/// Per-sequence functional state: the KV cache and the SSA value store.
+/// Where one sequence's K/V rows live: a private contiguous cache, or a
+/// per-sequence block table over the engine's shared [`PagedKvArena`].
+/// The indirection is functional-only — the timing model already charges
+/// page-granular KV traffic either way, so paged and flat sequences cost
+/// the same cycles and produce bit-identical logits.
+pub enum SeqKv {
+    /// Contiguous per-sequence cache (single-tenant and slot-pool serving).
+    Flat(KvCache),
+    /// Logical position → physical block mapping into the engine's arena
+    /// (paged serving with prefix sharing).
+    Paged(BlockTable),
+}
+
+/// Per-sequence functional state: the KV storage and the SSA value store.
 /// One [`Engine`] owns a default sequence (used by [`Engine::decode_step`]);
 /// additional sequences can be created for batched serving via
 /// [`Engine::new_sequence`] + [`Engine::decode_batch`].
 pub struct SequenceState {
-    kv: KvCache,
+    kv: SeqKv,
     values: Vec<Option<Vec<f32>>>,
 }
 
 impl SequenceState {
     fn new(config: &speedllm_llama::config::ModelConfig, n_values: usize) -> Self {
         Self {
-            kv: KvCache::new(config),
+            kv: SeqKv::Flat(KvCache::new(config)),
+            values: vec![None; n_values],
+        }
+    }
+
+    fn new_paged(block_size: usize, n_values: usize) -> Self {
+        Self {
+            kv: SeqKv::Paged(BlockTable::new(block_size)),
             values: vec![None; n_values],
         }
     }
@@ -201,12 +222,36 @@ impl SequenceState {
     /// Number of positions already decoded into this sequence.
     #[must_use]
     pub fn context_len(&self) -> usize {
-        self.kv.len()
+        match &self.kv {
+            SeqKv::Flat(kv) => kv.len(),
+            SeqKv::Paged(table) => table.len(),
+        }
     }
 
-    /// Clears the sequence for reuse.
+    /// Clears the sequence for reuse. A paged sequence must have had its
+    /// block chain stripped (released back to the allocator) first.
     pub fn reset(&mut self) {
-        self.kv.reset();
+        match &mut self.kv {
+            SeqKv::Flat(kv) => kv.reset(),
+            SeqKv::Paged(table) => table.reset(),
+        }
+    }
+
+    /// The block table of a paged sequence (`None` for flat sequences).
+    #[must_use]
+    pub fn block_table(&self) -> Option<&BlockTable> {
+        match &self.kv {
+            SeqKv::Flat(_) => None,
+            SeqKv::Paged(table) => Some(table),
+        }
+    }
+
+    /// Mutable block table of a paged sequence.
+    pub fn block_table_mut(&mut self) -> Option<&mut BlockTable> {
+        match &mut self.kv {
+            SeqKv::Flat(_) => None,
+            SeqKv::Paged(table) => Some(table),
+        }
     }
 
     fn value(&self, v: ValueId) -> &[f32] {
@@ -231,7 +276,41 @@ impl speedllm_llama::kv_cache::PoolSlot for SequenceState {
     }
 
     fn poison_slot(&mut self) {
-        self.kv.poison();
+        // Paged storage is poisoned block-by-block as blocks are freed
+        // (the arena owns the rows, and shared blocks may still be live).
+        if let SeqKv::Flat(kv) = &mut self.kv {
+            kv.poison();
+        }
+    }
+}
+
+/// Read view over either KV storage for the attention kernels.
+enum KvCtx<'a> {
+    Flat(&'a KvCache),
+    Paged(&'a PagedKvArena, &'a BlockTable),
+}
+
+impl KvCtx<'_> {
+    #[inline]
+    fn key_head(&self, layer: usize, t: usize, kv_head: usize) -> &[f32] {
+        match self {
+            KvCtx::Flat(kv) => kv.key_head(layer, t, kv_head),
+            KvCtx::Paged(arena, table) => {
+                let (b, s) = table.locate(t);
+                arena.key_head_at(layer, b, s, kv_head)
+            }
+        }
+    }
+
+    #[inline]
+    fn value_head(&self, layer: usize, t: usize, kv_head: usize) -> &[f32] {
+        match self {
+            KvCtx::Flat(kv) => kv.value_head(layer, t, kv_head),
+            KvCtx::Paged(arena, table) => {
+                let (b, s) = table.locate(t);
+                arena.value_head_at(layer, b, s, kv_head)
+            }
+        }
     }
 }
 
@@ -281,6 +360,9 @@ pub struct Engine {
     stalls: u64,
     // Functional state of the default (single-session) sequence.
     seq: SequenceState,
+    /// Shared physical KV store for paged sequences; `None` until
+    /// [`Engine::enable_paged_kv`]. The default sequence stays flat.
+    paged: Option<PagedKvArena>,
     quant: HashMap<WeightRef, QuantMatrix>,
     // Optional capture of the next step's timeline.
     trace: Option<TraceBuffer>,
@@ -331,6 +413,7 @@ impl Engine {
             launches: 0,
             stalls: 0,
             seq,
+            paged: None,
             quant: HashMap::new(),
             trace: None,
         })
@@ -394,10 +477,38 @@ impl Engine {
         self.seq.context_len()
     }
 
-    /// Creates an empty sequence for batched serving.
+    /// Creates an empty sequence for batched serving: paged when
+    /// [`Engine::enable_paged_kv`] has been called, flat otherwise.
     #[must_use]
     pub fn new_sequence(&self) -> SequenceState {
-        SequenceState::new(&self.graph.config, self.graph.values.len())
+        match &self.paged {
+            Some(arena) => SequenceState::new_paged(arena.block_size(), self.graph.values.len()),
+            None => SequenceState::new(&self.graph.config, self.graph.values.len()),
+        }
+    }
+
+    /// Switches serving sequences to paged KV storage: allocates the
+    /// shared physical arena and makes every subsequent
+    /// [`Engine::new_sequence`] a block-table sequence. The scheduler owns
+    /// the block allocator and installs chains into each table; the engine
+    /// only resolves the indirection. The default (single-tenant) sequence
+    /// stays flat.
+    pub fn enable_paged_kv(&mut self, blocks: BlockConfig) {
+        self.paged = Some(PagedKvArena::new(&self.graph.config, blocks));
+    }
+
+    /// Geometry of the paged arena, when enabled.
+    #[must_use]
+    pub fn paged_block_config(&self) -> Option<BlockConfig> {
+        self.paged.as_ref().map(PagedKvArena::block_config)
+    }
+
+    /// NaN-poisons freed blocks' arena rows (debug reuse hygiene; no-op
+    /// without a paged arena).
+    pub fn poison_blocks(&mut self, blocks: &[BlockId]) {
+        if let Some(arena) = &mut self.paged {
+            arena.poison_blocks(blocks);
+        }
     }
 
     /// Weight bytes streamed per element in the active precision
@@ -448,6 +559,7 @@ impl Engine {
     }
 
     /// Functionally executes one op into a sequence's value store.
+    /// `arena` is the shared paged store; required iff `seq` is paged.
     #[allow(clippy::too_many_arguments)]
     fn exec_op(
         graph: &Graph,
@@ -456,6 +568,7 @@ impl Engine {
         cfg: &AccelConfig,
         opt: &OptConfig,
         seq: &mut SequenceState,
+        arena: Option<&mut PagedKvArena>,
         op_idx: usize,
         token: u32,
         pos: usize,
@@ -512,7 +625,17 @@ impl Engine {
                     k = speedllm_llama::quant::QuantTensor::quantize(&k).dequantize();
                     v = speedllm_llama::quant::QuantTensor::quantize(&v).dequantize();
                 }
-                seq.kv.store(layer, pos, &k, &v);
+                match &mut seq.kv {
+                    SeqKv::Flat(kv) => kv.store(layer, pos, &k, &v),
+                    SeqKv::Paged(table) => {
+                        let arena = arena.expect("paged sequence without a paged arena");
+                        let (b, s) = table.locate(pos);
+                        arena.store_at(layer, b, s, &k, &v);
+                        if layer == graph.config.n_layers - 1 {
+                            table.note_stored(pos);
+                        }
+                    }
+                }
             }
             OpKind::Attention {
                 layer,
@@ -524,23 +647,31 @@ impl Engine {
                 let gqa = n_heads / n_kv_heads;
                 let mut out = vec![0.0f32; n_heads * head_dim];
                 let mut scores = vec![0.0f32; pos + 1];
+                let ctx = match (&seq.kv, arena.as_deref()) {
+                    (SeqKv::Flat(kv), _) => KvCtx::Flat(kv),
+                    (SeqKv::Paged(table), Some(arena)) => KvCtx::Paged(arena, table),
+                    (SeqKv::Paged(_), None) => {
+                        panic!("paged sequence without a paged arena")
+                    }
+                };
                 for h in 0..n_heads {
                     let kv_head = h / gqa;
                     let qh = &q[h * head_dim..(h + 1) * head_dim];
                     ops::attention_scores(
                         &mut scores,
                         qh,
-                        |t| seq.kv.key_head(layer, t, kv_head),
+                        |t| ctx.key_head(layer, t, kv_head),
                         pos,
                     );
                     ops::softmax(&mut scores[..pos + 1]);
                     ops::attention_mix(
                         &mut out[h * head_dim..(h + 1) * head_dim],
                         &scores,
-                        |t| seq.kv.value_head(layer, t, kv_head),
+                        |t| ctx.value_head(layer, t, kv_head),
                         pos,
                     );
                 }
+                drop(ctx);
                 seq.values[op.output().0] = Some(out);
             }
             OpKind::Silu => {
@@ -968,6 +1099,7 @@ impl Engine {
                     &self.cfg,
                     &self.opt,
                     seq,
+                    self.paged.as_mut(),
                     oi,
                     tokens[i],
                     positions[i],
@@ -1027,6 +1159,7 @@ impl Engine {
         cfg: &AccelConfig,
         opt: &OptConfig,
         seq: &mut SequenceState,
+        mut arena: Option<&mut PagedKvArena>,
         tokens: &[u32],
         start_pos: usize,
     ) -> Vec<f32> {
@@ -1035,7 +1168,18 @@ impl Engine {
                 *v = None;
             }
             for oi in 0..graph.ops.len() {
-                Self::exec_op(graph, weights, quant, cfg, opt, seq, oi, tok, start_pos + i);
+                Self::exec_op(
+                    graph,
+                    weights,
+                    quant,
+                    cfg,
+                    opt,
+                    seq,
+                    arena.as_deref_mut(),
+                    oi,
+                    tok,
+                    start_pos + i,
+                );
             }
         }
         seq.value(graph.output()).to_vec()
@@ -1073,6 +1217,7 @@ impl Engine {
             &self.cfg,
             &self.opt,
             seq,
+            self.paged.as_mut(),
             tokens,
             start_pos,
         );
@@ -1095,6 +1240,7 @@ impl Engine {
             &self.cfg,
             &self.opt,
             &mut self.seq,
+            self.paged.as_mut(),
             tokens,
             start_pos,
         );
@@ -1530,6 +1676,72 @@ mod tests {
         pool.release(again);
         assert!(pool.all_free());
         assert_eq!(pool.reuse_count(), 1);
+    }
+
+    #[test]
+    fn paged_sequences_match_flat_bit_for_bit() {
+        use speedllm_pagedkv::BlockAllocator;
+        let weights = Arc::new(TransformerWeights::synthetic(ModelConfig::test_tiny(), 42));
+        let prompt: Vec<u32> = vec![3, 9, 14, 27, 5, 61];
+        let decode: Vec<u32> = vec![8, 12, 19];
+
+        // Flat reference.
+        let mut flat = Engine::new(Arc::clone(&weights), OptConfig::full()).unwrap();
+        let mut fseq = flat.new_sequence();
+        let mut flat_logits = vec![flat.prefill_chunk_seq(&mut fseq, &prompt, 0).logits];
+        for &t in &decode {
+            let (l, _) = flat.decode_batch(&mut [&mut fseq], &[t]);
+            flat_logits.push(l.into_iter().next().unwrap());
+        }
+
+        // Paged twin: same weights, block-table indirection.
+        let bc = BlockConfig {
+            block_size: 4,
+            n_blocks: 8,
+        };
+        let mut paged = Engine::new(weights, OptConfig::full()).unwrap();
+        paged.enable_paged_kv(bc);
+        assert_eq!(paged.paged_block_config(), Some(bc));
+        let mut alloc = BlockAllocator::new(bc);
+        let mut pseq = paged.new_sequence();
+        {
+            let table = pseq.block_table_mut().expect("paged sequence");
+            let need = (prompt.len() + decode.len()).div_ceil(bc.block_size);
+            for _ in 0..need {
+                table.push_block(alloc.alloc().unwrap());
+            }
+        }
+        let mut paged_logits = vec![paged.prefill_chunk_seq(&mut pseq, &prompt, 0).logits];
+        for &t in &decode {
+            let (l, _) = paged.decode_batch(&mut [&mut pseq], &[t]);
+            paged_logits.push(l.into_iter().next().unwrap());
+        }
+        assert_eq!(paged_logits, flat_logits, "block indirection changed math");
+        assert_eq!(pseq.context_len(), prompt.len() + decode.len());
+
+        // A second sequence sharing the first full prompt block resumes at
+        // the divergence point and still matches a from-scratch flat run.
+        let shared_tokens = bc.block_size; // one full block
+        let tail: Vec<u32> = vec![40, 22];
+        let mut full2: Vec<u32> = prompt[..shared_tokens].to_vec();
+        full2.extend(&tail);
+        let mut f2 = flat.new_sequence();
+        let flat2 = flat.prefill_chunk_seq(&mut f2, &full2, 0).logits;
+
+        let mut p2 = paged.new_sequence();
+        {
+            let shared_block = pseq.block_table().unwrap().blocks()[0];
+            alloc.retain(shared_block);
+            let table = p2.block_table_mut().unwrap();
+            table.push_block(shared_block);
+            table.push_block(alloc.alloc().unwrap());
+            table.set_len(shared_tokens); // prefix-hit credit
+        }
+        assert_eq!(p2.context_len(), shared_tokens);
+        let paged2 = paged
+            .prefill_chunk_seq(&mut p2, &full2[shared_tokens..], shared_tokens)
+            .logits;
+        assert_eq!(paged2, flat2, "prefix sharing changed math");
     }
 
     #[test]

@@ -22,6 +22,7 @@ fn workload(cfg: ModelConfig, n_requests: usize, concurrency: usize) -> LoadGenC
         n_requests,
         mode: ArrivalMode::Closed { concurrency },
         prompt_len: (2, (cfg.seq_len / 4).clamp(2, 12)),
+        shared_prefix_len: 0,
         max_new_tokens: (4, 12),
         sampler: SamplerKind::Temperature(0.8),
         stop_at_eos: true,

@@ -51,8 +51,12 @@ COMMANDS
              report in virtual ticks
              --preset NAME --backend cpu|accel --requests N
              --slots N --batch N --chunk N --queue-cap N
+             --kv pool|paged --block-size N --shared-prefix N
              --mode open|closed --mean TICKS --concurrency N
              --max-new N --sampler S --seed N [--smoke]
+             (--kv paged serves block-granular KV with radix
+             prefix sharing and preemptive eviction at the same
+             memory budget as --slots flat slots)
   help       this text
 
 GLOBAL FLAGS
@@ -506,6 +510,9 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "batch",
         "chunk",
         "queue-cap",
+        "kv",
+        "block-size",
+        "shared-prefix",
         "mode",
         "mean",
         "concurrency",
@@ -526,8 +533,24 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let n_requests = args.get_usize("requests", if smoke { 8 } else { 32 })?;
     let seed = args.get_u64("seed", 42)?;
     let sampler = parse_sampler(args.get_or("sampler", "temp:0.8"))?;
+    let kv = args.get_or("kv", "pool");
+    if !matches!(kv, "pool" | "paged") {
+        return Err(format!("unknown --kv `{kv}` (pool|paged)").into());
+    }
+    let slots = args.get_usize("slots", if smoke { 2 } else { 4 })?;
+    let block_size = args.get_usize("block-size", 8)?;
+    if block_size == 0 {
+        return Err("--block-size must be >= 1".into());
+    }
+    // Equal KV memory to `slots` flat slots; a paged "slot" is only a
+    // block table, so concurrency is bounded by blocks instead.
+    let n_blocks = slots * preset.seq_len.div_ceil(block_size);
+    let block_cfg = speedllm_pagedkv::BlockConfig {
+        block_size,
+        n_blocks,
+    };
     let scfg = ServeConfig {
-        slots: args.get_usize("slots", if smoke { 2 } else { 4 })?,
+        slots: if kv == "paged" { n_blocks } else { slots },
         max_batch: args.get_usize("batch", 8)?,
         prefill_chunk: args.get_usize("chunk", if smoke { 4 } else { 16 })?,
         queue_cap: args.get_usize("queue-cap", 64)?,
@@ -541,10 +564,19 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         },
         other => return Err(format!("unknown --mode `{other}` (open|closed)").into()),
     };
+    let shared_prefix_len = args.get_usize("shared-prefix", 0)?;
+    let prompt_lo = 2 + shared_prefix_len;
+    let prompt_hi = (preset.seq_len / 4).clamp(2, 12).max(prompt_lo);
+    if prompt_hi > preset.seq_len {
+        return Err(
+            format!("--shared-prefix {shared_prefix_len} does not fit the context window").into(),
+        );
+    }
     let lcfg = LoadGenConfig {
         n_requests,
         mode,
-        prompt_len: (2, (preset.seq_len / 4).clamp(2, 12)),
+        prompt_len: (prompt_lo, prompt_hi),
+        shared_prefix_len,
         max_new_tokens: (
             1,
             args.get_usize("max-new", if smoke { 6 } else { 16 })?
@@ -562,6 +594,14 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "schedule: {} slots, batch <= {}, prefill chunk {}, queue cap {}",
         scfg.slots, scfg.max_batch, scfg.prefill_chunk, scfg.queue_cap
     );
+    if kv == "paged" {
+        println!("kv:       paged, {n_blocks} blocks x {block_size} tokens (= {slots} flat slots)");
+    } else {
+        println!("kv:       slot pool ({slots} flat slots)");
+    }
+    if shared_prefix_len > 0 {
+        println!("prefix:   {shared_prefix_len} shared tokens per prompt");
+    }
     match mode {
         ArrivalMode::Open { mean_interarrival } => println!(
             "workload: {n_requests} requests, open loop (mean gap {mean_interarrival} ticks), seed {seed}"
@@ -572,17 +612,36 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
 
-    let report = if backend == "cpu" {
-        let weights = TransformerWeights::synthetic(preset, seed);
-        serve_bench_run(
-            CpuBackend::new(speedllm_llama::forward::Transformer::new(weights)),
-            scfg,
-            &lcfg,
-        )
-    } else {
-        let weights = std::sync::Arc::new(TransformerWeights::synthetic(preset, seed));
-        let engine = speedllm_accel::engine::Engine::new(weights, OptConfig::full())?;
-        serve_bench_run(AccelBackend::new(engine), scfg, &lcfg)
+    let report = match (backend, kv) {
+        ("cpu", "pool") => {
+            let weights = TransformerWeights::synthetic(preset, seed);
+            serve_bench_run(
+                CpuBackend::new(speedllm_llama::forward::Transformer::new(weights)),
+                scfg,
+                &lcfg,
+            )
+        }
+        ("cpu", _) => {
+            let weights = TransformerWeights::synthetic(preset, seed);
+            serve_bench_run(
+                CpuBackend::new_paged(
+                    speedllm_llama::forward::Transformer::new(weights),
+                    block_cfg,
+                ),
+                scfg,
+                &lcfg,
+            )
+        }
+        (_, "pool") => {
+            let weights = std::sync::Arc::new(TransformerWeights::synthetic(preset, seed));
+            let engine = speedllm_accel::engine::Engine::new(weights, OptConfig::full())?;
+            serve_bench_run(AccelBackend::new(engine), scfg, &lcfg)
+        }
+        _ => {
+            let weights = std::sync::Arc::new(TransformerWeights::synthetic(preset, seed));
+            let engine = speedllm_accel::engine::Engine::new(weights, OptConfig::full())?;
+            serve_bench_run(AccelBackend::new_paged(engine, block_cfg), scfg, &lcfg)
+        }
     };
     print!("{report}");
     Ok(())

@@ -5,7 +5,7 @@
 use speedllm_telemetry as tel;
 
 use crate::config::ModelConfig;
-use crate::kv_cache::KvCache;
+use crate::kv_cache::{KvCache, KvStore};
 use crate::ops;
 use crate::weights::TransformerWeights;
 
@@ -163,8 +163,23 @@ impl Transformer {
     /// Panics if `pos` is outside the context window, `token` is out of
     /// vocabulary, or `kv` was not sized for this model's config.
     pub fn forward_with_cache(&mut self, kv: &mut KvCache, token: u32, pos: usize) -> &[f32] {
+        self.forward_with_kv(kv, token, pos)
+    }
+
+    /// Like [`Transformer::forward_with_cache`] but over any [`KvStore`]
+    /// implementation — in particular a paged block-table view, where the
+    /// logical position → physical row mapping goes through a per-sequence
+    /// block table instead of assuming contiguity. The kernels and their
+    /// execution order are identical, so paged and contiguous caches
+    /// produce bit-identical logits.
+    pub fn forward_with_kv<K: KvStore + ?Sized>(
+        &mut self,
+        kv: &mut K,
+        token: u32,
+        pos: usize,
+    ) -> &[f32] {
         assert_eq!(
-            kv.capacity(),
+            kv.kv_capacity(),
             self.weights.config.seq_len,
             "kv cache sized for a different context window"
         );
@@ -181,10 +196,10 @@ impl Transformer {
 
     /// The forward pass over explicit parts, so callers can substitute the
     /// KV cache while reusing the shared scratch state.
-    fn forward_into(
+    fn forward_into<K: KvStore + ?Sized>(
         weights: &TransformerWeights,
         state: &mut RunState,
-        kv: &mut KvCache,
+        kv: &mut K,
         strategy: MatVecStrategy,
         token: u32,
         pos: usize,

@@ -141,6 +141,51 @@ impl KvCache {
     }
 }
 
+/// Anything the transformer forward pass can read attention context from
+/// and append new K/V rows into. [`KvCache`] is the contiguous reference
+/// implementation; the paged KV arena (crate `speedllm-pagedkv`) adapts a
+/// block table over the same interface so attention reads go through a
+/// logical-position → physical-block indirection instead of assuming
+/// contiguity.
+///
+/// Object-safe on purpose: `DecodeSession` holds an external store as
+/// `&mut dyn KvStore`.
+pub trait KvStore {
+    /// Number of positions fully stored (all layers written).
+    fn kv_len(&self) -> usize;
+    /// Maximum logical position count (the context window).
+    fn kv_capacity(&self) -> usize;
+    /// Writes the key and value rows for `pos` in `layer`. Writing the
+    /// last layer advances [`KvStore::kv_len`] to `pos + 1`.
+    fn store(&mut self, layer: usize, pos: usize, k: &[f32], v: &[f32]);
+    /// Key vector of one KV head at `(layer, pos)`.
+    fn key_head(&self, layer: usize, pos: usize, kv_head: usize) -> &[f32];
+    /// Value vector of one KV head at `(layer, pos)`.
+    fn value_head(&self, layer: usize, pos: usize, kv_head: usize) -> &[f32];
+}
+
+impl KvStore for KvCache {
+    fn kv_len(&self) -> usize {
+        self.len()
+    }
+
+    fn kv_capacity(&self) -> usize {
+        self.capacity()
+    }
+
+    fn store(&mut self, layer: usize, pos: usize, k: &[f32], v: &[f32]) {
+        KvCache::store(self, layer, pos, k, v);
+    }
+
+    fn key_head(&self, layer: usize, pos: usize, kv_head: usize) -> &[f32] {
+        KvCache::key_head(self, layer, pos, kv_head)
+    }
+
+    fn value_head(&self, layer: usize, pos: usize, kv_head: usize) -> &[f32] {
+        KvCache::value_head(self, layer, pos, kv_head)
+    }
+}
+
 /// Per-sequence state a [`KvCachePool`] can manage. Implemented by
 /// [`KvCache`] itself (the CPU reference backend) and by richer wrappers
 /// such as the accelerator's per-sequence functional state.

@@ -1,0 +1,37 @@
+//! Block-granular paged KV-cache with prefix sharing.
+//!
+//! The paper's second co-design pillar is a memory-allocation *reuse*
+//! strategy: buffer segments are recycled cyclically under a liveness
+//! schedule so short-lived data never pays an allocation stall. This
+//! crate lifts that discipline from single-kernel buffers to the
+//! multi-request serving tier:
+//!
+//! - [`BlockAllocator`] — a free-list allocator over fixed
+//!   `block_size`-token KV pages with O(1) alloc/free, per-block
+//!   refcounts, and fork/copy-on-write support.
+//! - [`BlockTable`] — a per-sequence logical→physical mapping (position
+//!   `p` lives in `blocks[p / block_size]` at slot `p % block_size`),
+//!   so attention reads no longer assume contiguity.
+//! - [`PagedKvArena`] — the physical K/V backing store, one flat buffer
+//!   per layer, addressed through block tables. [`PagedKvArena::view`]
+//!   adapts an `(arena, table)` pair into a [`speedllm_llama::kv_cache::KvStore`]
+//!   so the unmodified transformer forward pass writes straight into
+//!   paged memory.
+//! - [`RadixIndex`] — a radix tree over *full* blocks mapping token
+//!   prefixes to shared block chains. Requests with a common prompt
+//!   prefix reuse already-prefilled blocks and skip straight to the
+//!   divergence point; cached chains are evicted LRU under pressure.
+//!
+//! Sharing is full-block-only: a block becomes shareable only once all
+//! `block_size` positions are written and the owning sequence has
+//! frozen it (inserted it into the index). Writers must hold a block
+//! exclusively (`refcount == 1`); [`PagedKvArena::make_writable`]
+//! performs the copy-on-write when a forked table needs to append.
+
+pub mod arena;
+pub mod block;
+pub mod radix;
+
+pub use arena::{PagedKvArena, PagedSeqView};
+pub use block::{BlockAllocator, BlockConfig, BlockId, BlockTable};
+pub use radix::RadixIndex;

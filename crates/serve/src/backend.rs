@@ -8,6 +8,17 @@
 //! (`llama::generate` / `accel::runtime::Session`), which is what the
 //! batched-vs-sequential equivalence suite asserts.
 //!
+//! A backend can serve KV context in one of two shapes:
+//!
+//! * **Flat slots** — each slot owns a contiguous `[seq_len, kv_dim]`
+//!   cache (the PR 3 baseline).
+//! * **Paged slots** — each slot holds a [`BlockTable`] into a shared
+//!   [`PagedKvArena`]; blocks are granted by the scheduler, which is what
+//!   enables prefix sharing and preemptive eviction (DESIGN.md §12).
+//!   Backends built with `new_paged` report their [`BlockConfig`] via
+//!   [`Backend::block_config`], and the scheduler drives block-table
+//!   plumbing through [`Backend::slot_table_mut`].
+//!
 //! Costs are reported in **virtual ticks** so serve-bench reports are
 //! bit-reproducible across machines:
 //!
@@ -21,6 +32,7 @@ use speedllm_accel::engine::{Engine, SequenceState};
 use speedllm_llama::config::ModelConfig;
 use speedllm_llama::forward::Transformer;
 use speedllm_llama::kv_cache::{KvCache, PoolSlot};
+use speedllm_pagedkv::{BlockConfig, BlockId, BlockTable, PagedKvArena};
 
 /// Inference substrate for the serving scheduler: per-sequence state is
 /// externalized into `Slot` so one backend serves many interleaved
@@ -50,21 +62,87 @@ pub trait Backend {
     /// order, plus the virtual-tick cost of the whole pass.
     fn decode(&mut self, slots: &mut [&mut Self::Slot], tokens: &[u32]) -> (Vec<Vec<f32>>, u64);
 
+    /// Block geometry when this backend serves paged KV, `None` for flat
+    /// slots. The scheduler switches to block-budget admission iff this
+    /// returns `Some`.
+    fn block_config(&self) -> Option<BlockConfig> {
+        None
+    }
+
+    /// The slot's block table, for paged backends. The scheduler grants
+    /// and reclaims blocks through this; flat slots return `None`.
+    fn slot_table_mut(slot: &mut Self::Slot) -> Option<&mut BlockTable> {
+        let _ = slot;
+        None
+    }
+
+    /// Hook invoked when the scheduler returns blocks to the free list —
+    /// paged backends poison the freed rows in debug builds so stale
+    /// reads through a dangling table are loud.
+    fn on_blocks_freed(&mut self, blocks: &[BlockId]) {
+        let _ = blocks;
+    }
+
     /// Short name for reports.
     fn name(&self) -> &'static str;
 }
 
+/// Per-sequence context of the [`CpuBackend`]: a flat private cache, or a
+/// block table into the backend's shared paged arena.
+pub enum CpuSlot {
+    /// Contiguous per-sequence cache (slot-pool baseline).
+    Flat(KvCache),
+    /// Block-table view into the backend's [`PagedKvArena`].
+    Paged(BlockTable),
+}
+
+impl PoolSlot for CpuSlot {
+    fn reset_slot(&mut self) {
+        match self {
+            CpuSlot::Flat(kv) => kv.reset(),
+            // The scheduler strips the block chain before release.
+            CpuSlot::Paged(table) => table.reset(),
+        }
+    }
+
+    fn slot_len(&self) -> usize {
+        match self {
+            CpuSlot::Flat(kv) => kv.len(),
+            CpuSlot::Paged(table) => table.len(),
+        }
+    }
+
+    fn poison_slot(&mut self) {
+        // Paged storage is poisoned block-by-block as blocks are freed
+        // (the arena owns the rows, and shared blocks may still be live).
+        if let CpuSlot::Flat(kv) = self {
+            kv.poison();
+        }
+    }
+}
+
 /// CPU reference backend: one [`Transformer`] (weights + scratch) shared
-/// across all sequences via [`Transformer::forward_with_cache`].
+/// across all sequences via [`Transformer::forward_with_kv`].
 pub struct CpuBackend {
     model: Transformer,
+    arena: Option<PagedKvArena>,
 }
 
 impl CpuBackend {
-    /// Wraps a transformer.
+    /// Wraps a transformer with flat (slot-pool) KV context.
     #[must_use]
     pub fn new(model: Transformer) -> Self {
-        Self { model }
+        Self { model, arena: None }
+    }
+
+    /// Wraps a transformer with a shared paged-KV arena of `blocks`.
+    #[must_use]
+    pub fn new_paged(model: Transformer, blocks: BlockConfig) -> Self {
+        let arena = PagedKvArena::new(model.config(), blocks);
+        Self {
+            model,
+            arena: Some(arena),
+        }
     }
 
     /// The underlying model.
@@ -72,17 +150,37 @@ impl CpuBackend {
     pub fn model(&self) -> &Transformer {
         &self.model
     }
+
+    fn forward(
+        model: &mut Transformer,
+        arena: &mut Option<PagedKvArena>,
+        slot: &mut CpuSlot,
+        tok: u32,
+        pos: usize,
+    ) -> Vec<f32> {
+        match slot {
+            CpuSlot::Flat(kv) => model.forward_with_kv(kv, tok, pos).to_vec(),
+            CpuSlot::Paged(table) => {
+                let arena = arena.as_mut().expect("paged slot without an arena");
+                let mut view = arena.view(table);
+                model.forward_with_kv(&mut view, tok, pos).to_vec()
+            }
+        }
+    }
 }
 
 impl Backend for CpuBackend {
-    type Slot = KvCache;
+    type Slot = CpuSlot;
 
     fn config(&self) -> ModelConfig {
         *self.model.config()
     }
 
     fn new_slot(&self) -> Self::Slot {
-        KvCache::new(self.model.config())
+        match &self.arena {
+            None => CpuSlot::Flat(KvCache::new(self.model.config())),
+            Some(arena) => CpuSlot::Paged(BlockTable::new(arena.block_size())),
+        }
     }
 
     fn prefill(
@@ -94,10 +192,7 @@ impl Backend for CpuBackend {
         assert!(!tokens.is_empty(), "empty chunk");
         let mut logits = Vec::new();
         for (i, &tok) in tokens.iter().enumerate() {
-            logits = self
-                .model
-                .forward_with_cache(slot, tok, start_pos + i)
-                .to_vec();
+            logits = Self::forward(&mut self.model, &mut self.arena, slot, tok, start_pos + i);
         }
         (logits, tokens.len() as u64)
     }
@@ -106,10 +201,35 @@ impl Backend for CpuBackend {
         assert_eq!(slots.len(), tokens.len(), "one token per sequence");
         let mut out = Vec::with_capacity(slots.len());
         for (slot, &tok) in slots.iter_mut().zip(tokens) {
-            let pos = slot.len();
-            out.push(self.model.forward_with_cache(slot, tok, pos).to_vec());
+            let pos = slot.slot_len();
+            out.push(Self::forward(
+                &mut self.model,
+                &mut self.arena,
+                slot,
+                tok,
+                pos,
+            ));
         }
         (out, slots.len() as u64)
+    }
+
+    fn block_config(&self) -> Option<BlockConfig> {
+        self.arena.as_ref().map(PagedKvArena::block_config)
+    }
+
+    fn slot_table_mut(slot: &mut Self::Slot) -> Option<&mut BlockTable> {
+        match slot {
+            CpuSlot::Flat(_) => None,
+            CpuSlot::Paged(table) => Some(table),
+        }
+    }
+
+    fn on_blocks_freed(&mut self, blocks: &[BlockId]) {
+        if cfg!(debug_assertions) {
+            if let Some(arena) = &mut self.arena {
+                arena.poison_blocks(blocks);
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -126,9 +246,17 @@ pub struct AccelBackend {
 }
 
 impl AccelBackend {
-    /// Wraps an engine.
+    /// Wraps an engine with flat (slot-pool) KV context.
     #[must_use]
     pub fn new(engine: Engine) -> Self {
+        Self { engine }
+    }
+
+    /// Wraps an engine and switches it to a shared paged-KV arena of
+    /// `blocks`.
+    #[must_use]
+    pub fn new_paged(mut engine: Engine, blocks: BlockConfig) -> Self {
+        engine.enable_paged_kv(blocks);
         Self { engine }
     }
 
@@ -165,6 +293,20 @@ impl Backend for AccelBackend {
         (logits, step.cycles.0)
     }
 
+    fn block_config(&self) -> Option<BlockConfig> {
+        self.engine.paged_block_config()
+    }
+
+    fn slot_table_mut(slot: &mut Self::Slot) -> Option<&mut BlockTable> {
+        slot.block_table_mut()
+    }
+
+    fn on_blocks_freed(&mut self, blocks: &[BlockId]) {
+        if cfg!(debug_assertions) {
+            self.engine.poison_blocks(blocks);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "accel"
     }
@@ -175,6 +317,7 @@ mod tests {
     use super::*;
     use speedllm_accel::opt::OptConfig;
     use speedllm_llama::weights::TransformerWeights;
+    use speedllm_pagedkv::BlockAllocator;
     use std::sync::Arc;
 
     fn weights() -> TransformerWeights {
@@ -198,6 +341,35 @@ mod tests {
         let (dec, cost) = backend.decode(&mut refs, &[7]);
         assert_eq!(cost, 1);
         assert_eq!(dec[0], oracle.forward(7, 3).to_vec());
+    }
+
+    #[test]
+    fn paged_cpu_backend_matches_flat_cpu_backend() {
+        let mut flat = CpuBackend::new(Transformer::new(weights()));
+        let bc = BlockConfig {
+            block_size: 4,
+            n_blocks: 8,
+        };
+        let mut paged = CpuBackend::new_paged(Transformer::new(weights()), bc);
+        assert_eq!(paged.block_config(), Some(bc));
+        assert!(flat.block_config().is_none());
+
+        let mut alloc = BlockAllocator::new(bc);
+        let mut fs = flat.new_slot();
+        let mut ps = paged.new_slot();
+        let table = CpuBackend::slot_table_mut(&mut ps).expect("paged slot");
+        for _ in 0..2 {
+            table.push_block(alloc.alloc().unwrap());
+        }
+        let (lf, _) = flat.prefill(&mut fs, &[3, 9, 14, 27, 5], 0);
+        let (lp, _) = paged.prefill(&mut ps, &[3, 9, 14, 27, 5], 0);
+        assert_eq!(lp, lf, "block indirection changed CPU math");
+
+        let mut fr = [&mut fs];
+        let mut pr = [&mut ps];
+        let (df, _) = flat.decode(&mut fr, &[8]);
+        let (dp, _) = paged.decode(&mut pr, &[8]);
+        assert_eq!(dp, df);
     }
 
     #[test]

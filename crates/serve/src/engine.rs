@@ -6,6 +6,18 @@
 //! step** across every warm request, evicting finished sequences and
 //! back-filling from the queue (DESIGN.md §11).
 //!
+//! When the backend serves **paged KV** (its [`Backend::block_config`]
+//! returns `Some`), admission is additionally gated on the block budget
+//! (DESIGN.md §12): a request is admitted only when its prompt's blocks
+//! can be granted, common prompt prefixes are resolved against a radix
+//! index so shared blocks are reused instead of recomputed, and when the
+//! arena runs dry mid-decode the youngest sequence is **preempted** — its
+//! blocks are released and it is re-queued for recompute. Because K/V
+//! rows are a deterministic function of the token prefix and every
+//! request carries its own seeded sampler, prefix sharing and preemption
+//! are invisible in the token streams: every completion stays
+//! byte-identical to the flat slot-pool engine.
+//!
 //! Time is a **virtual clock** in backend-defined ticks (token forwards on
 //! the CPU backend, simulated device cycles on the accelerator), so every
 //! latency in a [`Completion`] — and therefore the whole serve-bench
@@ -21,6 +33,7 @@
 //!   admission backpressure). Token streams are still deterministic per
 //!   request; arrival interleaving is whatever the threads produce.
 
+use std::cmp::Ordering;
 use std::collections::VecDeque;
 
 use speedllm_telemetry as tel;
@@ -29,6 +42,7 @@ use speedllm_llama::kv_cache::{KvCachePool, PooledSlot};
 use speedllm_llama::sampler::{Sampler, SamplerKind};
 use speedllm_llama::sync::{Receiver, RecvError, Sender, TryRecvError};
 use speedllm_llama::tokenizer::{TOKEN_BOS, TOKEN_EOS};
+use speedllm_pagedkv::{BlockAllocator, BlockId, RadixIndex};
 
 use crate::backend::Backend;
 
@@ -62,14 +76,16 @@ pub struct Completion {
     pub tokens: Vec<u32>,
     /// Echo of [`Request::arrival`].
     pub arrival: u64,
-    /// When the request left the queue and took a slot.
+    /// When the request left the queue and took a slot (first admission —
+    /// a preempted request keeps its original timestamp).
     pub admitted_at: u64,
     /// When the first generated token was sampled (None for zero-token
     /// completions).
     pub first_token_at: Option<u64>,
     /// When the request finished and released its slot.
     pub finished_at: u64,
-    /// Pool index of the slot that hosted the sequence.
+    /// Pool index of the slot that hosted the sequence (the last one, if
+    /// the request was preempted and resumed).
     pub slot_index: usize,
     /// Admission order (0-based, strictly increasing with queue order).
     pub admission_seq: u64,
@@ -92,7 +108,9 @@ impl Completion {
 /// Scheduler parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
-    /// KV-cache slots — the hard concurrency limit.
+    /// KV-cache slots — the hard concurrency limit. With a paged backend
+    /// a slot is only a block table, so this is typically set to the
+    /// block budget and admission is gated on blocks instead.
     pub slots: usize,
     /// Max sequences per batched decode step (clamped to 1..=64, the
     /// on-chip staging limit).
@@ -125,10 +143,22 @@ pub struct ServeStats {
     pub max_batch_observed: usize,
     /// Prefill chunks issued.
     pub prefill_chunks: u64,
-    /// Requests admitted.
+    /// Requests admitted (first admissions; resumes not re-counted).
     pub admitted: u64,
     /// Requests completed.
     pub completed: u64,
+    /// Submissions bounced off the full queue (backpressure).
+    pub rejected: u64,
+    /// Sequences preempted to reclaim KV blocks (paged backends only).
+    pub preemptions: u64,
+    /// Prompt tokens skipped at admission thanks to radix prefix hits.
+    pub prefix_hit_tokens: u64,
+    /// Cached blocks reclaimed from the radix index under pressure.
+    pub cache_evicted_blocks: u64,
+    /// High-water mark of allocated KV blocks (paged backends only).
+    pub peak_blocks_in_use: u64,
+    /// Largest number of concurrently admitted sequences observed.
+    pub max_active_observed: usize,
 }
 
 /// A stream of requests the synchronous driver pulls from. `poll` may be
@@ -153,11 +183,15 @@ struct Active<B: Backend> {
     req: Request,
     slot: PooledSlot<B::Slot>,
     sampler: Sampler,
-    /// Prompt tokens prefilled so far.
+    /// Context tokens prefilled so far (against `resume_context` when the
+    /// request was preempted, else against the prompt).
     prefilled: usize,
     /// Logits after the last forward (valid once fully prefilled).
     logits: Vec<f32>,
     generated: Vec<u32>,
+    /// Prompt + generated-so-far of a resumed request: what must be
+    /// re-prefilled before decoding continues. `None` for first runs.
+    resume_context: Option<Vec<u32>>,
     /// One past the last position the budget/context allows.
     end_pos: usize,
     admitted_at: u64,
@@ -165,14 +199,55 @@ struct Active<B: Backend> {
     admission_seq: u64,
 }
 
+impl<B: Backend> Active<B> {
+    /// Tokens that must be in the KV context before decode can proceed.
+    fn ctx_len(&self) -> usize {
+        self.resume_context
+            .as_ref()
+            .map_or(self.req.prompt.len(), Vec::len)
+    }
+}
+
+/// A preempted request waiting to re-enter: everything needed to resume
+/// its exact token stream after its KV blocks were taken away.
+struct Preempted {
+    req: Request,
+    /// The request's seeded sampler, carried across the preemption so the
+    /// continuation samples exactly what an uninterrupted run would.
+    sampler: Sampler,
+    generated: Vec<u32>,
+    /// Prompt + generated at preemption time: the context to re-prefill.
+    resume_context: Vec<u32>,
+    admitted_at: u64,
+    first_token_at: Option<u64>,
+    admission_seq: u64,
+}
+
+/// Block-budget state of a paged backend: the allocator over the shared
+/// arena plus the radix prefix index.
+struct PagedKv {
+    alloc: BlockAllocator,
+    radix: RadixIndex,
+}
+
+/// Admission candidate: resumes take priority over fresh arrivals so
+/// preemption cannot starve an old request.
+enum Cand {
+    Resumed(Preempted),
+    Fresh(Request),
+}
+
 /// The continuous-batching engine. Generic over the [`Backend`]; all
-/// scheduling state (queue, pool, virtual clock) lives here.
+/// scheduling state (queue, pool, block budget, virtual clock) lives here.
 pub struct ServeEngine<B: Backend> {
     backend: B,
     cfg: ServeConfig,
     pool: KvCachePool<B::Slot>,
     queue: VecDeque<Request>,
     active: Vec<Active<B>>,
+    /// Preempted requests, oldest admission first.
+    preempted: VecDeque<Preempted>,
+    paged: Option<PagedKv>,
     now: u64,
     admission_seq: u64,
     stats: ServeStats,
@@ -180,7 +255,14 @@ pub struct ServeEngine<B: Backend> {
 }
 
 impl<B: Backend> ServeEngine<B> {
-    /// Builds an engine with `cfg.slots` pre-allocated slots.
+    /// Builds an engine with `cfg.slots` pre-allocated slots. A paged
+    /// backend (one whose [`Backend::block_config`] is `Some`) switches
+    /// admission to the block budget.
+    ///
+    /// # Panics
+    /// Panics when a paged backend's arena is too small to ever host one
+    /// full-context sequence (`n_blocks * block_size < seq_len`) — such
+    /// an engine could deadlock.
     pub fn new(backend: B, cfg: ServeConfig) -> Self {
         let cfg = ServeConfig {
             slots: cfg.slots.max(1),
@@ -189,6 +271,19 @@ impl<B: Backend> ServeEngine<B> {
             queue_cap: cfg.queue_cap.max(1),
         };
         let seq_len = backend.config().seq_len;
+        let paged = backend.block_config().map(|bc| {
+            assert!(
+                bc.n_blocks >= seq_len.div_ceil(bc.block_size),
+                "{} blocks of {} tokens cannot host one full context of {}",
+                bc.n_blocks,
+                bc.block_size,
+                seq_len
+            );
+            PagedKv {
+                alloc: BlockAllocator::new(bc),
+                radix: RadixIndex::new(bc.block_size),
+            }
+        });
         let pool = KvCachePool::new(cfg.slots, || backend.new_slot());
         Self {
             backend,
@@ -196,6 +291,8 @@ impl<B: Backend> ServeEngine<B> {
             pool,
             queue: VecDeque::new(),
             active: Vec::new(),
+            preempted: VecDeque::new(),
+            paged,
             now: 0,
             admission_seq: 0,
             stats: ServeStats::default(),
@@ -239,20 +336,45 @@ impl<B: Backend> ServeEngine<B> {
         self.pool.all_free()
     }
 
-    /// Queued + in-flight requests.
+    /// Queued + in-flight + preempted requests.
     #[must_use]
     pub fn outstanding(&self) -> usize {
-        self.queue.len() + self.active.len()
+        self.queue.len() + self.active.len() + self.preempted.len()
     }
 
-    /// True when there is nothing queued or in flight.
+    /// True when there is nothing queued, in flight, or preempted.
     #[must_use]
     pub fn is_idle(&self) -> bool {
         self.outstanding() == 0
     }
 
+    /// KV blocks currently allocated (0 for flat backends).
+    #[must_use]
+    pub fn blocks_in_use(&self) -> usize {
+        self.paged.as_ref().map_or(0, |p| p.alloc.in_use())
+    }
+
+    /// KV blocks retained by the radix prefix cache (0 for flat backends).
+    #[must_use]
+    pub fn blocks_cached(&self) -> usize {
+        self.paged.as_ref().map_or(0, |p| p.radix.cached_blocks())
+    }
+
+    /// Structural check of the paged-KV bookkeeping: free-list/refcount
+    /// conservation and radix-tree invariants. `Ok` for flat backends.
+    pub fn check_paged_invariants(&self) -> Result<(), String> {
+        match &self.paged {
+            None => Ok(()),
+            Some(p) => {
+                p.alloc.check_invariants()?;
+                p.radix.check_invariants(&p.alloc)
+            }
+        }
+    }
+
     /// Enqueues a request, or hands it back when the bounded queue is full
-    /// (admission backpressure).
+    /// (admission backpressure). Rejections are counted in
+    /// [`ServeStats::rejected`].
     ///
     /// # Panics
     /// Panics on an empty prompt or one longer than the context window —
@@ -266,6 +388,10 @@ impl<B: Backend> ServeEngine<B> {
             self.seq_len
         );
         if self.queue.len() >= self.cfg.queue_cap {
+            self.stats.rejected += 1;
+            if tel::enabled() {
+                tel::metrics::counter_add("serve.rejected", 1);
+            }
             return Err(req);
         }
         self.queue.push_back(req);
@@ -278,18 +404,60 @@ impl<B: Backend> ServeEngine<B> {
         let _g = tel::span("serve", "step").arg("active", self.active.len() as i64);
         self.stats.iterations += 1;
         self.admit();
+        self.stats.max_active_observed = self.stats.max_active_observed.max(self.active.len());
+        self.note_block_peak();
         self.prefill_phase();
         let finished = self.decode_phase();
+        self.note_block_peak();
         let done = self.evict(finished);
         if tel::enabled() {
             tel::metrics::gauge_set("serve.queue_depth", self.queue.len() as f64);
             tel::metrics::gauge_set("serve.active", self.active.len() as f64);
+            if self.paged.is_some() {
+                tel::metrics::gauge_set("serve.blocks_in_use", self.blocks_in_use() as f64);
+                tel::metrics::gauge_set("serve.blocks_cached", self.blocks_cached() as f64);
+                let frag = self.kv_fragmentation();
+                tel::metrics::gauge_set("serve.kv_fragmentation", frag);
+            }
         }
         done
     }
 
-    /// Moves queued requests into free slots, FIFO.
+    /// Records the block high-water mark.
+    fn note_block_peak(&mut self) {
+        if let Some(p) = &self.paged {
+            self.stats.peak_blocks_in_use =
+                self.stats.peak_blocks_in_use.max(p.alloc.in_use() as u64);
+        }
+    }
+
+    /// Internal fragmentation of the granted blocks: 1 − used/capacity
+    /// over all active block tables (0.0 when nothing is active).
+    fn kv_fragmentation(&mut self) -> f64 {
+        if self.paged.is_none() {
+            return 0.0;
+        }
+        let (mut used, mut cap) = (0usize, 0usize);
+        for a in &mut self.active {
+            if let Some(t) = B::slot_table_mut(a.slot.state_mut()) {
+                used += t.len();
+                cap += t.capacity_tokens();
+            }
+        }
+        if cap == 0 {
+            0.0
+        } else {
+            1.0 - used as f64 / cap as f64
+        }
+    }
+
+    /// Moves queued requests into free slots, FIFO. Paged backends gate
+    /// on the block budget too.
     fn admit(&mut self) {
+        if self.paged.is_some() {
+            self.admit_paged();
+            return;
+        }
         while self.pool.available() > 0 {
             let Some(req) = self.queue.pop_front() else {
                 break;
@@ -311,6 +479,7 @@ impl<B: Backend> ServeEngine<B> {
                 prefilled: 0,
                 logits: Vec::new(),
                 generated: Vec::new(),
+                resume_context: None,
                 admitted_at: self.now,
                 first_token_at: None,
                 admission_seq: self.admission_seq,
@@ -321,26 +490,276 @@ impl<B: Backend> ServeEngine<B> {
         }
     }
 
-    /// Advances every cold request by one prefill chunk.
+    /// Block-budget admission: resolve the context against the radix
+    /// prefix index, retain the hit blocks, allocate the rest (evicting
+    /// cold cache entries if needed), and credit the matched prefix so
+    /// prefill skips straight to the divergence point. Resumed requests
+    /// go first, then the FIFO queue; admission stops at the first
+    /// candidate whose blocks cannot be granted.
+    fn admit_paged(&mut self) {
+        while self.pool.available() > 0 {
+            let cand = match self.preempted.pop_front() {
+                Some(p) => Cand::Resumed(p),
+                None => match self.queue.pop_front() {
+                    Some(r) => Cand::Fresh(r),
+                    None => break,
+                },
+            };
+            let ctx: &[u32] = match &cand {
+                Cand::Resumed(p) => &p.resume_context,
+                Cand::Fresh(r) => &r.prompt,
+            };
+            let paged = self.paged.as_mut().expect("paged admission");
+            let bs = paged.alloc.block_size();
+            let total_blocks = ctx.len().div_ceil(bs);
+            // Cap the usable prefix one token short of the context, so at
+            // least one token is actually prefilled and yields logits.
+            let cap = (ctx.len() - 1) / bs * bs;
+            let hit = paged.radix.lookup(ctx, cap);
+            for &b in &hit {
+                paged.alloc.retain(b);
+            }
+            let new_needed = total_blocks - hit.len();
+            let mut evicted: Vec<BlockId> = Vec::new();
+            if paged.alloc.free_blocks() < new_needed {
+                let short = new_needed - paged.alloc.free_blocks();
+                evicted = paged.radix.evict(short, &mut paged.alloc);
+            }
+            let enough = paged.alloc.free_blocks() >= new_needed;
+            if !enough {
+                // Undo the prefix retains; the tree still holds them.
+                for &b in &hit {
+                    let freed = paged.alloc.release(b);
+                    debug_assert!(!freed, "prefix-hit block freed by unretain");
+                }
+            }
+            self.stats.cache_evicted_blocks += evicted.len() as u64;
+            if !evicted.is_empty() {
+                self.backend.on_blocks_freed(&evicted);
+            }
+            let matched = hit.len() * bs;
+            if !enough {
+                match cand {
+                    Cand::Resumed(p) => self.preempted.push_front(p),
+                    Cand::Fresh(r) => self.queue.push_front(r),
+                }
+                break;
+            }
+            let reuses_before = self.pool.reuse_count();
+            let mut slot = self.pool.acquire().expect("availability checked");
+            if tel::enabled() {
+                tel::metrics::counter_add(
+                    "serve.slot_reuse",
+                    self.pool.reuse_count() - reuses_before,
+                );
+            }
+            {
+                let paged = self.paged.as_mut().expect("paged admission");
+                let table = B::slot_table_mut(slot.state_mut())
+                    .expect("paged backend must expose block tables");
+                debug_assert!(table.is_empty(), "pooled paged slot came back unstripped");
+                for &b in &hit {
+                    table.push_block(b);
+                }
+                for _ in 0..new_needed {
+                    table.push_block(paged.alloc.alloc().expect("free blocks were checked"));
+                }
+                table.set_len(matched);
+            }
+            self.stats.prefix_hit_tokens += matched as u64;
+            if tel::enabled() && matched > 0 {
+                tel::metrics::counter_add("serve.prefix_hit_tokens", matched as u64);
+            }
+            match cand {
+                Cand::Fresh(req) => {
+                    let end_pos = (req.prompt.len() + req.max_new_tokens).min(self.seq_len);
+                    let sampler = Sampler::new(req.sampler, req.seed);
+                    self.active.push(Active {
+                        end_pos,
+                        sampler,
+                        slot,
+                        prefilled: matched,
+                        logits: Vec::new(),
+                        generated: Vec::new(),
+                        resume_context: None,
+                        admitted_at: self.now,
+                        first_token_at: None,
+                        admission_seq: self.admission_seq,
+                        req,
+                    });
+                    self.admission_seq += 1;
+                    self.stats.admitted += 1;
+                }
+                Cand::Resumed(p) => {
+                    let end_pos = (p.req.prompt.len() + p.req.max_new_tokens).min(self.seq_len);
+                    self.active.push(Active {
+                        end_pos,
+                        sampler: p.sampler,
+                        slot,
+                        prefilled: matched,
+                        logits: Vec::new(),
+                        generated: p.generated,
+                        resume_context: Some(p.resume_context),
+                        admitted_at: p.admitted_at,
+                        first_token_at: p.first_token_at,
+                        admission_seq: p.admission_seq,
+                        req: p.req,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Advances every cold request by one prefill chunk. When a paged
+    /// request finishes its prefill, its full prompt blocks are inserted
+    /// into the radix index so later requests can share them.
     fn prefill_phase(&mut self) {
         let chunk_len = self.cfg.prefill_chunk;
         for a in &mut self.active {
-            if a.prefilled >= a.req.prompt.len() {
+            let ctx_len = a.ctx_len();
+            if a.prefilled >= ctx_len {
                 continue;
             }
-            let end = (a.prefilled + chunk_len).min(a.req.prompt.len());
-            let chunk = &a.req.prompt[a.prefilled..end];
+            let end = (a.prefilled + chunk_len).min(ctx_len);
+            let chunk_owner: &[u32] = a.resume_context.as_deref().unwrap_or(&a.req.prompt);
+            let chunk = &chunk_owner[a.prefilled..end];
             let _g = tel::span("serve", "prefill_chunk")
                 .arg("req", a.req.id as i64)
                 .arg("tokens", chunk.len() as i64);
             let (logits, cost) = self.backend.prefill(a.slot.state_mut(), chunk, a.prefilled);
             self.now += cost;
             a.prefilled = end;
-            if a.prefilled == a.req.prompt.len() {
-                a.logits = logits;
-            }
             self.stats.prefill_chunks += 1;
+            if a.prefilled < ctx_len {
+                continue;
+            }
+            a.logits = logits;
+            if let Some(paged) = &mut self.paged {
+                let bs = paged.alloc.block_size();
+                let full = a.req.prompt.len() / bs;
+                if full > 0 {
+                    let table = B::slot_table_mut(a.slot.state_mut()).expect("paged backend");
+                    paged.radix.insert(
+                        &a.req.prompt[..full * bs],
+                        &table.blocks()[..full],
+                        &mut paged.alloc,
+                    );
+                }
+            }
         }
+    }
+
+    /// Grants one more block to every warm sequence about to outgrow its
+    /// table. When the arena is dry: evict a cold radix entry; failing
+    /// that, preempt the **youngest** sequence and retry. Termination is
+    /// guaranteed because each preemption shrinks the active set and one
+    /// sequence always fits the arena (checked at construction).
+    fn ensure_decode_capacity(&mut self) {
+        if self.paged.is_none() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.active.len() {
+            let needs = {
+                let a = &mut self.active[i];
+                let warm = a.prefilled >= a.ctx_len();
+                let pos_next = a.req.prompt.len() + a.generated.len();
+                // Only a sequence that will run the batched forward this
+                // step can need a block (pos_next + 1 < end_pos; an EOS
+                // sample may still skip it — the spare block is freed at
+                // eviction).
+                warm && pos_next + 1 < a.end_pos && {
+                    let table = B::slot_table_mut(a.slot.state_mut()).expect("paged backend");
+                    pos_next >= table.capacity_tokens()
+                }
+            };
+            if !needs {
+                i += 1;
+                continue;
+            }
+            let (granted, evicted) = {
+                let paged = self.paged.as_mut().expect("checked");
+                match paged.alloc.alloc() {
+                    Some(b) => (Some(b), Vec::new()),
+                    None => {
+                        let evicted = paged.radix.evict(1, &mut paged.alloc);
+                        (paged.alloc.alloc(), evicted)
+                    }
+                }
+            };
+            self.stats.cache_evicted_blocks += evicted.len() as u64;
+            if !evicted.is_empty() {
+                self.backend.on_blocks_freed(&evicted);
+            }
+            match granted {
+                Some(b) => {
+                    B::slot_table_mut(self.active[i].slot.state_mut())
+                        .expect("paged backend")
+                        .push_block(b);
+                    i += 1;
+                }
+                None => {
+                    let victim = self
+                        .active
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, a)| a.admission_seq)
+                        .map(|(j, _)| j)
+                        .expect("active is non-empty");
+                    self.preempt(victim);
+                    match victim.cmp(&i) {
+                        // The needy sequence preempted itself; the next
+                        // sequence now sits at index i.
+                        Ordering::Equal => {}
+                        // Indices shifted down; retry the same sequence.
+                        Ordering::Less => i -= 1,
+                        // Retry the same sequence at the same index.
+                        Ordering::Greater => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Takes sequence `j` off the device: release its blocks (shared ones
+    /// stay alive in the radix tree), free its slot, and park it —
+    /// sampler, generated tokens and timestamps intact — for re-admission
+    /// in original admission order.
+    fn preempt(&mut self, j: usize) {
+        let mut a = self.active.remove(j);
+        let chain = B::slot_table_mut(a.slot.state_mut())
+            .expect("paged backend")
+            .take_blocks();
+        let paged = self.paged.as_mut().expect("preempt is paged-only");
+        let mut freed = Vec::new();
+        for b in chain {
+            if paged.alloc.release(b) {
+                freed.push(b);
+            }
+        }
+        if !freed.is_empty() {
+            self.backend.on_blocks_freed(&freed);
+        }
+        self.pool.release(a.slot);
+        self.stats.preemptions += 1;
+        if tel::enabled() {
+            tel::metrics::counter_add("serve.preemptions", 1);
+        }
+        let mut resume_context = a.req.prompt.clone();
+        resume_context.extend_from_slice(&a.generated);
+        let p = Preempted {
+            req: a.req,
+            sampler: a.sampler,
+            generated: a.generated,
+            resume_context,
+            admitted_at: a.admitted_at,
+            first_token_at: a.first_token_at,
+            admission_seq: a.admission_seq,
+        };
+        let pos = self
+            .preempted
+            .partition_point(|q| q.admission_seq < p.admission_seq);
+        self.preempted.insert(pos, p);
     }
 
     /// Samples one token per warm request (mirroring the single-tenant
@@ -348,11 +767,12 @@ impl<B: Backend> ServeEngine<B> {
     /// every request that still needs logits. Returns the indices of
     /// requests that finished this iteration.
     fn decode_phase(&mut self) -> Vec<usize> {
+        self.ensure_decode_capacity();
         let mut finished: Vec<usize> = Vec::new();
         let mut members: Vec<usize> = Vec::new();
         let mut tokens: Vec<u32> = Vec::new();
         for (i, a) in self.active.iter_mut().enumerate() {
-            if a.prefilled < a.req.prompt.len() {
+            if a.prefilled < a.ctx_len() {
                 continue; // still cold
             }
             let pos_next = a.req.prompt.len() + a.generated.len();
@@ -415,12 +835,28 @@ impl<B: Backend> ServeEngine<B> {
         finished
     }
 
-    /// Releases finished requests' slots and builds their completions, in
-    /// admission order.
+    /// Releases finished requests' slots (and, on paged backends, their
+    /// non-shared blocks) and builds their completions, in admission
+    /// order.
     fn evict(&mut self, finished: Vec<usize>) -> Vec<Completion> {
         let mut done = Vec::with_capacity(finished.len());
         for &i in finished.iter().rev() {
-            let a = self.active.remove(i);
+            let mut a = self.active.remove(i);
+            if self.paged.is_some() {
+                let chain = B::slot_table_mut(a.slot.state_mut())
+                    .expect("paged backend")
+                    .take_blocks();
+                let paged = self.paged.as_mut().expect("checked");
+                let mut freed = Vec::new();
+                for b in chain {
+                    if paged.alloc.release(b) {
+                        freed.push(b);
+                    }
+                }
+                if !freed.is_empty() {
+                    self.backend.on_blocks_freed(&freed);
+                }
+            }
             let completion = Completion {
                 id: a.req.id,
                 arrival: a.req.arrival,
@@ -441,6 +877,12 @@ impl<B: Backend> ServeEngine<B> {
             }
             self.stats.completed += 1;
             done.push(completion);
+        }
+        #[cfg(debug_assertions)]
+        if self.active.is_empty() {
+            if let Err(e) = self.check_paged_invariants() {
+                panic!("paged-KV invariants violated at idle: {e}");
+            }
         }
         done.reverse();
         done
@@ -531,11 +973,35 @@ mod tests {
     use speedllm_llama::generate::{generate, GenerateOptions};
     use speedllm_llama::tokenizer::Tokenizer;
     use speedllm_llama::weights::TransformerWeights;
+    use speedllm_pagedkv::BlockConfig;
 
     fn cpu_engine(slots: usize) -> ServeEngine<CpuBackend> {
         let model = Transformer::new(TransformerWeights::synthetic(ModelConfig::test_tiny(), 42));
         ServeEngine::new(
             CpuBackend::new(model),
+            ServeConfig {
+                slots,
+                max_batch: 8,
+                prefill_chunk: 4,
+                queue_cap: 16,
+            },
+        )
+    }
+
+    fn cpu_paged_engine(
+        slots: usize,
+        block_size: usize,
+        n_blocks: usize,
+    ) -> ServeEngine<CpuBackend> {
+        let model = Transformer::new(TransformerWeights::synthetic(ModelConfig::test_tiny(), 42));
+        ServeEngine::new(
+            CpuBackend::new_paged(
+                model,
+                BlockConfig {
+                    block_size,
+                    n_blocks,
+                },
+            ),
             ServeConfig {
                 slots,
                 max_batch: 8,
@@ -638,7 +1104,7 @@ mod tests {
     }
 
     #[test]
-    fn backpressure_rejects_when_queue_full() {
+    fn backpressure_rejects_when_queue_full_and_counts_it() {
         let model = Transformer::new(TransformerWeights::synthetic(ModelConfig::test_tiny(), 42));
         let mut engine = ServeEngine::new(
             CpuBackend::new(model),
@@ -651,8 +1117,17 @@ mod tests {
         );
         assert!(engine.submit(req(0, vec![1, 3], 2, 0)).is_ok());
         assert!(engine.submit(req(1, vec![1, 3], 2, 1)).is_ok());
+        assert_eq!(engine.stats().rejected, 0);
         let back = engine.submit(req(2, vec![1, 3], 2, 2));
         assert_eq!(back.unwrap_err().id, 2, "queue_cap=2 must reject the third");
+        assert_eq!(engine.stats().rejected, 1, "rejection must be counted");
+        let back = engine.submit(req(3, vec![1, 3], 2, 3));
+        assert_eq!(back.unwrap_err().id, 3);
+        assert_eq!(engine.stats().rejected, 2);
+        // Rejections do not disturb the accepted work.
+        let done = drain(&mut engine);
+        assert_eq!(done.len(), 2);
+        assert_eq!(engine.stats().rejected, 2);
     }
 
     #[test]
@@ -668,6 +1143,86 @@ mod tests {
         assert!(c.finished_at >= ft);
         // TTFT covers at least the prompt's prefill cost (5 CPU ticks).
         assert!(c.ttft().unwrap() >= 5);
+    }
+
+    #[test]
+    fn paged_engine_matches_flat_engine() {
+        let mut flat = cpu_engine(2);
+        let mut paged = cpu_paged_engine(2, 4, 16);
+        for i in 0..5u64 {
+            let r = req(i, vec![1, 3 + i as u32, 7, 9 + i as u32], 6, 40 + i);
+            flat.submit(r.clone()).unwrap();
+            paged.submit(r).unwrap();
+        }
+        let mut a = drain(&mut flat);
+        let mut b = drain(&mut paged);
+        a.sort_by_key(|c| c.id);
+        b.sort_by_key(|c| c.id);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tokens, y.tokens, "paged KV changed request {}", x.id);
+        }
+        paged.check_paged_invariants().unwrap();
+        assert!(paged.all_slots_free());
+        assert!(paged.stats().peak_blocks_in_use > 0);
+    }
+
+    #[test]
+    fn tight_block_budget_preempts_and_streams_survive() {
+        // 9 blocks of 4 tokens: one full context (32) needs 8, so two
+        // long sequences must fight for blocks and the youngest gets
+        // preempted. Streams must still match the flat engine.
+        let mut flat = cpu_engine(2);
+        let mut paged = cpu_paged_engine(2, 4, 9);
+        for i in 0..3u64 {
+            let mut r = req(i, vec![1, 5 + i as u32], 20, 70 + i);
+            r.stop_at_eos = false; // force long generations
+            flat.submit(r.clone()).unwrap();
+            paged.submit(r).unwrap();
+        }
+        let mut a = drain(&mut flat);
+        let mut b = drain(&mut paged);
+        a.sort_by_key(|c| c.id);
+        b.sort_by_key(|c| c.id);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tokens, y.tokens, "preemption changed request {}", x.id);
+            assert_eq!(x.tokens.len(), 20, "budget must be exhausted");
+        }
+        assert!(
+            paged.stats().preemptions > 0,
+            "tight budget must force preemption"
+        );
+        paged.check_paged_invariants().unwrap();
+        assert!(paged.all_slots_free());
+    }
+
+    #[test]
+    fn shared_prefix_hits_the_radix_cache() {
+        let shared = vec![1u32, 11, 12, 13, 14, 15, 16, 17]; // two full blocks
+        let mut paged = cpu_paged_engine(2, 4, 16);
+        let mut flat = cpu_engine(2);
+        for i in 0..3u64 {
+            let mut prompt = shared.clone();
+            prompt.push(30 + i as u32);
+            let r = req(i, prompt, 5, 90 + i);
+            flat.submit(r.clone()).unwrap();
+            paged.submit(r).unwrap();
+        }
+        let mut a = drain(&mut flat);
+        let mut b = drain(&mut paged);
+        a.sort_by_key(|c| c.id);
+        b.sort_by_key(|c| c.id);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tokens, y.tokens, "prefix reuse changed request {}", x.id);
+        }
+        assert!(
+            paged.stats().prefix_hit_tokens >= 8,
+            "later requests must reuse the shared prefix, got {}",
+            paged.stats().prefix_hit_tokens
+        );
+        paged.check_paged_invariants().unwrap();
+        // The prefix stays cached for future traffic.
+        assert!(paged.blocks_cached() >= 2);
     }
 
     #[test]

@@ -5,9 +5,13 @@
 //! fixed pool of KV-cache slots (DESIGN.md §11).
 //!
 //! * [`engine::ServeEngine`] — the scheduler: admit → chunked prefill →
-//!   one batched decode step per iteration → evict and back-fill.
+//!   one batched decode step per iteration → evict and back-fill. With a
+//!   paged backend, admission is block-budget gated, common prompt
+//!   prefixes are shared through a radix index, and block exhaustion
+//!   preempts the youngest sequence (DESIGN.md §12).
 //! * [`backend`] — the [`backend::Backend`] trait plus the CPU-reference
-//!   and accelerator-simulation implementations.
+//!   and accelerator-simulation implementations, each in flat (slot-pool)
+//!   and paged (block-table) flavors.
 //! * [`loadgen`] — a seeded, deterministic synthetic traffic generator
 //!   (open or closed loop).
 //! * [`report`] — exact-percentile latency/throughput reporting in
@@ -31,6 +35,7 @@
 //!     n_requests: 4,
 //!     mode: ArrivalMode::Closed { concurrency: 2 },
 //!     prompt_len: (2, 6),
+//!     shared_prefix_len: 0,
 //!     max_new_tokens: (1, 8),
 //!     sampler: SamplerKind::Temperature(0.8),
 //!     stop_at_eos: true,
@@ -49,7 +54,7 @@ pub mod engine;
 pub mod loadgen;
 pub mod report;
 
-pub use backend::{AccelBackend, Backend, CpuBackend};
+pub use backend::{AccelBackend, Backend, CpuBackend, CpuSlot};
 pub use engine::{Completion, Request, ServeConfig, ServeEngine, ServeStats, TrafficSource};
 pub use loadgen::{ArrivalMode, LoadGen, LoadGenConfig};
 pub use report::{percentile, Percentiles, ServeReport};

@@ -41,6 +41,12 @@ pub struct LoadGenConfig {
     pub mode: ArrivalMode,
     /// Inclusive prompt-length range, BOS included (min ≥ 1).
     pub prompt_len: (usize, usize),
+    /// Tokens (after BOS) shared by every prompt — a common system-prompt
+    /// prefix for exercising radix prefix caching. 0 disables sharing and
+    /// reproduces the pre-prefix schedules byte-for-byte. When non-zero,
+    /// every prompt still ends in at least one unique token, so
+    /// `shared_prefix_len + 2 <= prompt_len.0` is required.
+    pub shared_prefix_len: usize,
     /// Inclusive new-token-budget range.
     pub max_new_tokens: (usize, usize),
     /// Sampling policy stamped on every request.
@@ -86,6 +92,24 @@ impl LoadGen {
             assert!(concurrency >= 1, "closed loop needs concurrency >= 1");
         }
 
+        // The shared prefix draws from its own salted stream so that
+        // `shared_prefix_len = 0` leaves the main stream — and therefore
+        // every pre-existing (config, seed) schedule — untouched.
+        let shared: Vec<u32> = if cfg.shared_prefix_len > 0 {
+            assert!(
+                cfg.shared_prefix_len + 2 <= cfg.prompt_len.0,
+                "shared prefix of {} leaves no unique token in the shortest prompt ({})",
+                cfg.shared_prefix_len,
+                cfg.prompt_len.0
+            );
+            let mut prng = Xoshiro256::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+            (0..cfg.shared_prefix_len)
+                .map(|_| 3 + prng.below(cfg.vocab_size as u64 - 3) as u32)
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
         let in_range = |rng: &mut Xoshiro256, (lo, hi): (usize, usize)| -> usize {
             lo + rng.below((hi - lo + 1) as u64) as usize
@@ -96,7 +120,8 @@ impl LoadGen {
             let plen = in_range(&mut rng, cfg.prompt_len);
             let mut prompt = Vec::with_capacity(plen);
             prompt.push(TOKEN_BOS);
-            for _ in 1..plen {
+            prompt.extend_from_slice(&shared);
+            for _ in prompt.len()..plen {
                 // Ordinary tokens only: 3..vocab (0=pad, 1=BOS, 2=EOS).
                 prompt.push(3 + rng.below(cfg.vocab_size as u64 - 3) as u32);
             }
@@ -182,6 +207,7 @@ mod tests {
             n_requests: 8,
             mode,
             prompt_len: (2, 6),
+            shared_prefix_len: 0,
             max_new_tokens: (1, 8),
             sampler: SamplerKind::Temperature(0.8),
             stop_at_eos: true,
@@ -279,5 +305,34 @@ mod tests {
         }
         // Arrivals are non-decreasing (FIFO schedule).
         assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn shared_prefix_is_common_and_prompts_stay_unique() {
+        let mut c = cfg(ArrivalMode::Closed { concurrency: 2 }, 5);
+        c.prompt_len = (8, 12);
+        c.shared_prefix_len = 6;
+        let reqs = drain_all(&mut LoadGen::new(&c));
+        assert_eq!(reqs.len(), 8);
+        let prefix = &reqs[0].prompt[1..7];
+        for r in &reqs {
+            assert_eq!(r.prompt[0], TOKEN_BOS);
+            assert_eq!(&r.prompt[1..7], prefix, "prefix must be shared");
+            assert!(r.prompt.len() >= 8, "prefix plus at least one unique token");
+            assert!(r.prompt[1..].iter().all(|&t| (3..64).contains(&t)));
+        }
+        // The tails still differ (same master seed, distinct draws).
+        assert!(
+            reqs.iter().any(|r| r.prompt[7..] != reqs[0].prompt[7..]),
+            "tails should diverge across requests"
+        );
+        // Turning sharing off reproduces the unshared schedule exactly.
+        let mut base = cfg(ArrivalMode::Closed { concurrency: 2 }, 5);
+        base.prompt_len = (8, 12);
+        let plain = drain_all(&mut LoadGen::new(&base));
+        let again = drain_all(&mut LoadGen::new(&base.clone()));
+        for (x, y) in plain.iter().zip(&again) {
+            assert_eq!(x.prompt, y.prompt);
+        }
     }
 }

@@ -139,6 +139,24 @@ impl ServeReport {
         );
         let _ = writeln!(s, "  prefill chunks       {}", self.stats.prefill_chunks);
         let _ = writeln!(s, "  slot reuses          {}", self.slot_reuses);
+        let _ = writeln!(
+            s,
+            "  max active           {}",
+            self.stats.max_active_observed
+        );
+        let _ = writeln!(s, "  rejected             {}", self.stats.rejected);
+        let _ = writeln!(s, "  preemptions          {}", self.stats.preemptions);
+        let _ = writeln!(s, "  prefix-hit tokens    {}", self.stats.prefix_hit_tokens);
+        let _ = writeln!(
+            s,
+            "  cache-evicted blocks {}",
+            self.stats.cache_evicted_blocks
+        );
+        let _ = writeln!(
+            s,
+            "  peak blocks in use   {}",
+            self.stats.peak_blocks_in_use
+        );
         s
     }
 }

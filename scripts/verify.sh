@@ -48,6 +48,32 @@ serve_cpu="$(./target/release/speedllm serve-bench --smoke --backend cpu)"
 grep -q "serve-bench report (cpu backend)" <<<"$serve_cpu"
 echo "serve smoke OK: accel + cpu backends deterministic"
 
+echo "== paged-serve smoke (block pool + radix prefix cache, both backends) =="
+# Same determinism bar for the paged KV path: the block allocator, radix
+# sharing, and preemptive eviction all run in virtual time, so reports
+# must be byte-identical run to run.
+paged_a="$(./target/release/speedllm serve-bench --smoke --kv paged)"
+paged_b="$(./target/release/speedllm serve-bench --smoke --kv paged)"
+if [[ "$paged_a" != "$paged_b" ]]; then
+    echo "serve-bench --smoke --kv paged is not deterministic:" >&2
+    diff <(printf '%s\n' "$paged_a") <(printf '%s\n' "$paged_b") >&2 || true
+    exit 1
+fi
+grep -q "requests completed   8" <<<"$paged_a"
+grep -q "peak blocks in use" <<<"$paged_a"
+paged_cpu="$(./target/release/speedllm serve-bench --smoke --backend cpu --kv paged --block-size 4 --shared-prefix 8)"
+grep -q "requests completed   8" <<<"$paged_cpu"
+# With a 2-block shared prefix the radix cache must actually hit.
+grep -q "prefix-hit tokens" <<<"$paged_cpu"
+if grep -Eq "prefix-hit tokens +0$" <<<"$paged_cpu"; then
+    echo "paged cpu smoke: shared prefix never hit the radix cache" >&2
+    exit 1
+fi
+# Recycled-block hygiene + equal-memory ablation, in the release profile
+# (debug poisoning off — reuse must be clean on its own merits).
+cargo test --release -q -p speedllm --test paged_reuse
+echo "paged serve smoke OK: deterministic on accel + cpu, prefix cache hits"
+
 echo "== telemetry smoke (instrumented tiny generate -> Chrome trace) =="
 trace_file="$(mktemp /tmp/speedllm_verify_trace.XXXXXX.json)"
 trap 'rm -f "$trace_file"' EXIT

@@ -16,6 +16,9 @@
 //! * [`accel`] — the SpeedLLM accelerator itself (IR, fusion, memory
 //!   planner, streamed pipeline, engine, host runtime).
 //! * [`gpu`] — the analytical GPU roofline used in the cost study.
+//! * [`pagedkv`] — the block-granular paged KV-cache (free-list allocator,
+//!   block tables, radix-tree prefix sharing) behind `--kv paged` serving.
+//! * [`serve`] — the continuous-batching serve layer over either backend.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +38,7 @@ pub use speedllm_accel as accel;
 pub use speedllm_fpga_sim as fpga;
 pub use speedllm_gpu_model as gpu;
 pub use speedllm_llama as llama;
+pub use speedllm_pagedkv as pagedkv;
 pub use speedllm_serve as serve;
 pub use speedllm_telemetry as telemetry;
 
@@ -47,6 +51,7 @@ pub mod prelude {
     pub use speedllm_llama::sampler::{Sampler, SamplerKind};
     pub use speedllm_llama::tokenizer::Tokenizer;
     pub use speedllm_llama::weights::TransformerWeights;
+    pub use speedllm_pagedkv::{BlockAllocator, BlockConfig, BlockTable, PagedKvArena, RadixIndex};
     pub use speedllm_serve::{
         AccelBackend, Backend, CpuBackend, ServeConfig, ServeEngine, ServeReport,
     };

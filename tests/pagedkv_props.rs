@@ -1,0 +1,253 @@
+//! Property tests (speedllm-testkit) over the paged KV-cache subsystem:
+//! free-list conservation under random alloc/free interleavings, refcount
+//! correctness under fork/release interleavings, radix-tree invariants
+//! (lookup of an inserted prefix returns exactly its blocks; shared
+//! blocks stay pinned while referenced), and copy-on-write isolation.
+
+use speedllm_testkit::prelude::*;
+
+use speedllm::llama::config::ModelConfig;
+use speedllm::llama::rng::Xoshiro256;
+use speedllm::pagedkv::{BlockAllocator, BlockConfig, BlockTable, PagedKvArena, RadixIndex};
+
+fn cfg(block_size: usize, n_blocks: usize) -> BlockConfig {
+    BlockConfig {
+        block_size,
+        n_blocks,
+    }
+}
+
+/// Tokens 3.. in a deterministic stream, `len` of them.
+fn tokens(rng: &mut Xoshiro256, len: usize) -> Vec<u32> {
+    (0..len).map(|_| 3 + rng.below(61) as u32).collect()
+}
+
+props! {
+    #![config(cases = 64)]
+
+    fn free_list_conserves_blocks_under_random_churn(
+        block_size in 1usize..9,
+        n_blocks in 1usize..33,
+        steps in 1usize..200,
+        seed in any_u64(),
+    ) {
+        let mut alloc = BlockAllocator::new(cfg(block_size, n_blocks));
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut held = Vec::new();
+        for _ in 0..steps {
+            if rng.below(2) == 0 {
+                if let Some(b) = alloc.alloc() {
+                    // No double-hand-out: a granted block is never one we
+                    // already hold.
+                    prop_assert!(
+                        !held.contains(&b),
+                        "block {:?} handed out twice", b
+                    );
+                    held.push(b);
+                } else {
+                    prop_assert_eq!(held.len(), n_blocks, "dry arena but blocks unaccounted");
+                }
+            } else if !held.is_empty() {
+                let i = rng.below(held.len() as u64) as usize;
+                let b = held.swap_remove(i);
+                prop_assert!(alloc.release(b), "sole owner's release must free");
+            }
+            // Conservation: allocated + free == total, free list exact.
+            prop_assert_eq!(alloc.in_use() + alloc.free_blocks(), n_blocks);
+            prop_assert_eq!(alloc.in_use(), held.len());
+            prop_assert!(alloc.check_invariants().is_ok());
+        }
+        for b in held {
+            prop_assert!(alloc.release(b));
+        }
+        prop_assert_eq!(alloc.free_blocks(), n_blocks, "everything must drain");
+        prop_assert!(alloc.check_invariants().is_ok());
+    }
+
+    fn refcounts_survive_fork_release_interleavings(
+        block_size in 1usize..5,
+        chains in 1usize..5,
+        forks in 0usize..8,
+        seed in any_u64(),
+    ) {
+        let n_blocks = 64;
+        let mut alloc = BlockAllocator::new(cfg(block_size, n_blocks));
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        // Base tables with 1..=3 blocks each, then random forks of random
+        // tables — every fork bumps each chain block's refcount by one.
+        let mut tables: Vec<BlockTable> = Vec::new();
+        for _ in 0..chains {
+            let mut t = BlockTable::new(block_size);
+            for _ in 0..1 + rng.below(3) {
+                t.push_block(alloc.alloc().expect("64 blocks is plenty"));
+            }
+            tables.push(t);
+        }
+        for _ in 0..forks {
+            let src = rng.below(tables.len() as u64) as usize;
+            let forked = alloc.fork(&tables[src]);
+            prop_assert_eq!(forked.blocks(), tables[src].blocks());
+            for &b in forked.blocks() {
+                prop_assert!(alloc.refcount(b) >= 2, "forked block not shared");
+            }
+            tables.push(forked);
+            prop_assert!(alloc.check_invariants().is_ok());
+        }
+        // Release tables in random order; a block frees exactly when its
+        // last referencing table lets go.
+        while !tables.is_empty() {
+            let i = rng.below(tables.len() as u64) as usize;
+            let mut t = tables.swap_remove(i);
+            for b in t.take_blocks() {
+                let before = alloc.refcount(b);
+                let freed = alloc.release(b);
+                prop_assert_eq!(freed, before == 1, "freed iff last reference");
+            }
+            prop_assert!(alloc.check_invariants().is_ok());
+        }
+        prop_assert_eq!(alloc.free_blocks(), n_blocks, "refcount leak");
+    }
+
+    fn radix_lookup_returns_exactly_the_inserted_prefix(
+        block_size in 1usize..5,
+        blocks_len in 1usize..6,
+        seed in any_u64(),
+    ) {
+        let n_blocks = 64;
+        let mut alloc = BlockAllocator::new(cfg(block_size, n_blocks));
+        let mut radix = RadixIndex::new(block_size);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let toks = tokens(&mut rng, blocks_len * block_size);
+        let chain: Vec<_> = (0..blocks_len)
+            .map(|_| alloc.alloc().expect("plenty of blocks"))
+            .collect();
+        radix.insert(&toks, &chain, &mut alloc);
+        prop_assert!(radix.check_invariants(&alloc).is_ok());
+
+        // Exact-prefix lookup returns the chain, in order, truncated at
+        // the requested cap.
+        let hit = radix.lookup(&toks, toks.len());
+        prop_assert_eq!(&hit, &chain, "full lookup must return the chain");
+        let cap = rng.below(toks.len() as u64 + 1) as usize;
+        let hit = radix.lookup(&toks, cap);
+        prop_assert_eq!(&hit[..], &chain[..cap / block_size], "capped lookup");
+
+        // A diverging query shares only the common full-block prefix.
+        let mut other = toks.clone();
+        let flip = rng.below(other.len() as u64) as usize;
+        other[flip] = if other[flip] == 3 { 4 } else { 3 };
+        let hit = radix.lookup(&other, other.len());
+        prop_assert_eq!(&hit[..], &chain[..flip / block_size], "divergence point");
+
+        // The sequence lets go; cached blocks stay alive (tree retained
+        // them), and eviction reclaims every one of them.
+        for b in chain {
+            prop_assert!(!alloc.release(b), "tree must keep cached blocks alive");
+        }
+        let evicted = radix.evict(usize::MAX, &mut alloc);
+        prop_assert_eq!(evicted.len(), blocks_len, "evict must drain the tree");
+        prop_assert!(radix.check_invariants(&alloc).is_ok());
+        prop_assert_eq!(alloc.free_blocks(), n_blocks);
+    }
+
+    fn radix_shared_blocks_are_counted_once_per_owner(
+        block_size in 1usize..5,
+        shared_blocks in 1usize..4,
+        seed in any_u64(),
+    ) {
+        let n_blocks = 64;
+        let mut alloc = BlockAllocator::new(cfg(block_size, n_blocks));
+        let mut radix = RadixIndex::new(block_size);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let prefix = tokens(&mut rng, shared_blocks * block_size);
+
+        // Sequence A prefills the prefix plus one private block.
+        let mut a_toks = prefix.clone();
+        a_toks.extend(tokens(&mut rng, block_size));
+        let a_chain: Vec<_> = (0..shared_blocks + 1)
+            .map(|_| alloc.alloc().unwrap())
+            .collect();
+        radix.insert(&a_toks, &a_chain, &mut alloc);
+
+        // Sequence B shares the prefix: lookup + retain, as admission does.
+        let hit = radix.lookup(&prefix, prefix.len());
+        prop_assert_eq!(&hit[..], &a_chain[..shared_blocks]);
+        for &b in &hit {
+            alloc.retain(b);
+            // Owners: sequence A, the tree, sequence B.
+            prop_assert_eq!(alloc.refcount(b), 3, "one count per owner");
+        }
+        prop_assert!(radix.check_invariants(&alloc).is_ok());
+
+        // While B still references the shared blocks, eviction must not
+        // touch them even under maximal pressure.
+        let evicted = radix.evict(usize::MAX, &mut alloc);
+        prop_assert!(
+            !evicted.iter().any(|b| hit.contains(b)),
+            "evicted a pinned shared block"
+        );
+
+        // Unwind: A, then B, then whatever is left cached.
+        for b in a_chain {
+            alloc.release(b);
+        }
+        for b in hit {
+            alloc.release(b);
+        }
+        radix.evict(usize::MAX, &mut alloc);
+        prop_assert!(radix.check_invariants(&alloc).is_ok());
+        prop_assert_eq!(alloc.free_blocks(), n_blocks, "shared blocks leaked");
+    }
+
+    fn copy_on_write_isolates_forked_sequences(
+        seed in any_u64(),
+    ) {
+        let model = ModelConfig::test_tiny();
+        let bc = cfg(4, 16);
+        let mut alloc = BlockAllocator::new(bc);
+        let mut arena = PagedKvArena::new(&model, bc);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+
+        // Parent writes one full block of distinctive rows.
+        let mut parent = BlockTable::new(bc.block_size);
+        parent.push_block(alloc.alloc().unwrap());
+        let kv_dim = 8; // test_tiny: 2 kv heads x head_dim 4
+        for pos in 0..bc.block_size {
+            let k: Vec<f32> = (0..kv_dim).map(|_| rng.next_f32()).collect();
+            let v: Vec<f32> = (0..kv_dim).map(|_| rng.next_f32()).collect();
+            for layer in 0..2 {
+                let (b, s) = parent.locate(pos);
+                arena.store_at(layer, b, s, &k, &v);
+            }
+            parent.note_stored(pos);
+        }
+        let parent_row: Vec<f32> = {
+            let (b, _) = parent.locate(0);
+            arena.key_head_at(0, b, 0, 0).to_vec()
+        };
+
+        // Fork, then write position 0 through the child: CoW must give the
+        // child a private block and leave the parent's bytes untouched.
+        let mut child = alloc.fork(&parent);
+        prop_assert!(arena.make_writable(&mut alloc, &mut child, 0));
+        prop_assert!(parent.blocks()[0] != child.blocks()[0], "no private copy");
+        let zeros = vec![0.0f32; kv_dim];
+        let (cb, cs) = child.locate(0);
+        arena.store_at(0, cb, cs, &zeros, &zeros);
+        let (pb, _) = parent.locate(0);
+        prop_assert_eq!(
+            arena.key_head_at(0, pb, 0, 0),
+            &parent_row[..],
+            "child write leaked into the parent block"
+        );
+        prop_assert!(alloc.check_invariants().is_ok());
+
+        for b in parent.take_blocks() {
+            alloc.release(b);
+        }
+        for b in child.take_blocks() {
+            alloc.release(b);
+        }
+        prop_assert_eq!(alloc.free_blocks(), bc.n_blocks);
+    }
+}

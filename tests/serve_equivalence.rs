@@ -13,10 +13,11 @@ use speedllm::accel::opt::OptConfig;
 use speedllm::accel::runtime::AcceleratedLlm;
 use speedllm::llama::config::ModelConfig;
 use speedllm::llama::forward::Transformer;
-use speedllm::llama::generate::{generate, GenerateOptions};
+use speedllm::llama::generate::{generate, DecodeSession, GenerateOptions};
 use speedllm::llama::sampler::{Sampler, SamplerKind};
 use speedllm::llama::tokenizer::Tokenizer;
 use speedllm::llama::weights::TransformerWeights;
+use speedllm::pagedkv::BlockConfig;
 use speedllm::serve::{
     AccelBackend, Backend, Completion, CpuBackend, Request, ServeConfig, ServeEngine,
 };
@@ -177,6 +178,237 @@ fn equivalence_holds_on_a_real_preset() {
         SamplerKind::Temperature(0.9),
     );
     accel_grid_case(ModelConfig::stories260k(), 42, 2, 2, SamplerKind::Argmax);
+}
+
+/// Synthetic token prompts with a common `shared`-token prefix after BOS
+/// and a 2-token unique tail, so the radix index has something to share.
+fn shared_prefix_prompts(cfg: ModelConfig, n: usize, shared: usize, seed: u64) -> Vec<Vec<u32>> {
+    let ord = (cfg.vocab_size - 3) as u32; // ids 3.. are ordinary tokens
+    (0..n)
+        .map(|i| {
+            let mut p = vec![1u32]; // BOS
+            for j in 0..shared {
+                p.push(3 + ((seed as u32).wrapping_add(j as u32 * 13)) % ord);
+            }
+            p.push(3 + (i as u32 * 7 + 1) % ord);
+            p.push(3 + (i as u32 * 11 + 5) % ord);
+            p
+        })
+        .collect()
+}
+
+/// Sequential single-tenant oracle over raw token prompts.
+fn decode_oracle(
+    cfg: ModelConfig,
+    seed: u64,
+    prompt: &[u32],
+    kind: SamplerKind,
+    sampler_seed: u64,
+) -> Vec<u32> {
+    let mut model = Transformer::new(TransformerWeights::synthetic(cfg, seed));
+    let mut session = DecodeSession::begin(
+        &mut model,
+        prompt,
+        GenerateOptions {
+            max_new_tokens: MAX_NEW,
+            stop_at_eos: true,
+        },
+    );
+    let mut sampler = Sampler::new(kind, sampler_seed);
+    let mut out = Vec::new();
+    while let Some(t) = session.step(&mut sampler) {
+        out.push(t);
+    }
+    out
+}
+
+fn paged_cpu_case(
+    cfg: ModelConfig,
+    seed: u64,
+    n_requests: usize,
+    block_size: usize,
+    shared: usize,
+) {
+    let prompts = shared_prefix_prompts(cfg, n_requests, shared, seed);
+    let kind = SamplerKind::Temperature(0.8);
+    let blocks = BlockConfig {
+        block_size,
+        // Equal memory to 3 flat slots.
+        n_blocks: 3 * cfg.seq_len.div_ceil(block_size),
+    };
+    let backend = CpuBackend::new_paged(
+        Transformer::new(TransformerWeights::synthetic(cfg, seed)),
+        blocks,
+    );
+    let done = serve_all(
+        ServeEngine::new(backend, serve_cfg(3)),
+        &prompts,
+        kind,
+        4000,
+    );
+    assert_eq!(done.len(), n_requests);
+    for (i, p) in prompts.iter().enumerate() {
+        let want = decode_oracle(cfg, seed, p, kind, 4000 + i as u64);
+        assert_eq!(
+            done[i].tokens, want,
+            "paged cpu diverged from DecodeSession \
+             (seed {seed}, n {n_requests}, bs {block_size}, shared {shared}, request {i})"
+        );
+    }
+}
+
+fn paged_accel_case(
+    cfg: ModelConfig,
+    seed: u64,
+    n_requests: usize,
+    block_size: usize,
+    shared: usize,
+) {
+    let prompts = shared_prefix_prompts(cfg, n_requests, shared, seed);
+    let kind = SamplerKind::Temperature(0.8);
+    let blocks = BlockConfig {
+        block_size,
+        n_blocks: 3 * cfg.seq_len.div_ceil(block_size),
+    };
+    let weights = Arc::new(TransformerWeights::synthetic(cfg, seed));
+    let paged = AccelBackend::new_paged(
+        Engine::new(Arc::clone(&weights), OptConfig::full()).unwrap(),
+        blocks,
+    );
+    let a = serve_all(ServeEngine::new(paged, serve_cfg(3)), &prompts, kind, 5000);
+    let flat = AccelBackend::new(Engine::new(weights, OptConfig::full()).unwrap());
+    let b = serve_all(ServeEngine::new(flat, serve_cfg(3)), &prompts, kind, 5000);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            x.tokens, y.tokens,
+            "paged accel diverged from flat accel \
+             (seed {seed}, n {n_requests}, bs {block_size}, shared {shared}, request {})",
+            x.id
+        );
+    }
+}
+
+#[test]
+fn paged_cpu_matches_sequential_across_grid() {
+    let cfg = ModelConfig::test_tiny();
+    for seed in [7u64, 21] {
+        for n_requests in [2usize, 4] {
+            for block_size in [4usize, 8] {
+                for shared in [0usize, 5, 9] {
+                    paged_cpu_case(cfg, seed, n_requests, block_size, shared);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn paged_accel_matches_flat_accel_across_grid() {
+    let cfg = ModelConfig::test_tiny();
+    for seed in [7u64, 21] {
+        for n_requests in [2usize, 4] {
+            for block_size in [4usize, 8] {
+                for shared in [0usize, 5, 9] {
+                    paged_accel_case(cfg, seed, n_requests, block_size, shared);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn preemption_under_tight_block_budget_preserves_streams() {
+    // One spare block beyond the single-sequence minimum: concurrent
+    // decoding must preempt, and every stream must still match the
+    // uninterrupted oracle.
+    const TIGHT_NEW: usize = 20;
+    let cfg = ModelConfig::test_tiny();
+    let seed = 13u64;
+    let kind = SamplerKind::Temperature(0.8);
+    for block_size in [4usize, 8] {
+        let blocks = BlockConfig {
+            block_size,
+            n_blocks: cfg.seq_len.div_ceil(block_size) + 1,
+        };
+        let prompts = shared_prefix_prompts(cfg, 3, 0, seed);
+
+        let backend = CpuBackend::new_paged(
+            Transformer::new(TransformerWeights::synthetic(cfg, seed)),
+            blocks,
+        );
+        let mut engine = ServeEngine::new(backend, serve_cfg(3));
+        for (i, p) in prompts.iter().enumerate() {
+            let mut r = request(i as u64, p.clone(), kind, 6000 + i as u64);
+            r.stop_at_eos = false; // force long generations → block pressure
+            r.max_new_tokens = TIGHT_NEW;
+            engine.submit(r).unwrap();
+        }
+        let mut done = Vec::new();
+        while !engine.is_idle() {
+            done.extend(engine.step());
+        }
+        done.sort_by_key(|c| c.id);
+        assert!(
+            engine.stats().preemptions > 0,
+            "bs {block_size}: tight budget must force preemption"
+        );
+        engine.check_paged_invariants().unwrap();
+        for (i, p) in prompts.iter().enumerate() {
+            let mut model = Transformer::new(TransformerWeights::synthetic(cfg, seed));
+            let mut session = DecodeSession::begin(
+                &mut model,
+                p,
+                GenerateOptions {
+                    max_new_tokens: TIGHT_NEW,
+                    stop_at_eos: false,
+                },
+            );
+            let mut sampler = Sampler::new(kind, 6000 + i as u64);
+            let mut want = Vec::new();
+            while let Some(t) = session.step(&mut sampler) {
+                want.push(t);
+            }
+            assert_eq!(
+                done[i].tokens, want,
+                "bs {block_size}: preemption changed request {i}"
+            );
+        }
+
+        // Same tight budget through the accelerator backend.
+        let weights = Arc::new(TransformerWeights::synthetic(cfg, seed));
+        let paged = AccelBackend::new_paged(
+            Engine::new(Arc::clone(&weights), OptConfig::full()).unwrap(),
+            blocks,
+        );
+        let mut engine = ServeEngine::new(paged, serve_cfg(3));
+        let flat = AccelBackend::new(Engine::new(weights, OptConfig::full()).unwrap());
+        let mut flat_engine = ServeEngine::new(flat, serve_cfg(3));
+        for (i, p) in prompts.iter().enumerate() {
+            let mut r = request(i as u64, p.clone(), kind, 6000 + i as u64);
+            r.stop_at_eos = false;
+            r.max_new_tokens = TIGHT_NEW;
+            engine.submit(r.clone()).unwrap();
+            flat_engine.submit(r).unwrap();
+        }
+        let mut a = Vec::new();
+        while !engine.is_idle() {
+            a.extend(engine.step());
+        }
+        let mut b = Vec::new();
+        while !flat_engine.is_idle() {
+            b.extend(flat_engine.step());
+        }
+        a.sort_by_key(|c| c.id);
+        b.sort_by_key(|c| c.id);
+        assert!(engine.stats().preemptions > 0);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.tokens, y.tokens,
+                "bs {block_size}: accel preemption changed request {}",
+                x.id
+            );
+        }
+    }
 }
 
 #[test]

@@ -138,6 +138,7 @@ props! {
             n_requests: n,
             mode,
             prompt_len: (2, 6),
+            shared_prefix_len: 0,
             max_new_tokens: (1, 6),
             sampler: SamplerKind::Temperature(0.8),
             stop_at_eos: true,
