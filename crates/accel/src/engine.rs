@@ -1111,6 +1111,14 @@ impl Engine {
         // Timing pass over the whole batch (weights streamed once).
         let (cycles, ocm_read, ocm_write) = self.timing_pass(&positions);
         let stats = self.step_stats(&before, cycles, ocm_read, ocm_write);
+        if tel::enabled() {
+            // Same batched-GEMM accounting as the CPU path (`cpu.gemm_*`):
+            // one device pass streams the dense weights once for the whole
+            // batch, so bytes-per-token falls with the batch width.
+            tel::metrics::counter_add("accel.gemm_weight_bytes", c.gemm_weight_bytes() as u64);
+            tel::metrics::counter_add("accel.gemm_tokens", seqs.len() as u64);
+            tel::metrics::gauge_set("accel.gemm_batch_width", seqs.len() as f64);
+        }
         let logits = all_logits.last().cloned().unwrap_or_default();
         (
             all_logits,

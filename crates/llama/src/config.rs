@@ -248,6 +248,24 @@ impl ModelConfig {
         self.param_count() * bytes_per_el
     }
 
+    /// Bytes of f32 weight data streamed through the dense GEMM kernels by
+    /// one forward step: the seven per-layer projections plus the
+    /// classifier. This is exactly the traffic a batched decode step
+    /// amortizes — a batch of B sequences streams these bytes once instead
+    /// of B times — so `gemm_weight_bytes / tokens` is the
+    /// weight-bytes-per-token figure the telemetry counters report.
+    #[must_use]
+    pub fn gemm_weight_bytes(&self) -> usize {
+        let d = self.dim;
+        let h = self.hidden_dim;
+        let kv = self.kv_dim();
+        let per_layer = d * d       // wq
+            + 2 * d * kv            // wk, wv
+            + d * d                 // wo
+            + 3 * d * h; // w1, w2, w3
+        (self.n_layers * per_layer + self.vocab_size * d) * 4
+    }
+
     /// Bytes of KV cache required for a full `seq_len` context in f32.
     #[must_use]
     pub fn kv_cache_bytes(&self) -> usize {

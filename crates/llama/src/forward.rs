@@ -5,7 +5,7 @@
 use speedllm_telemetry as tel;
 
 use crate::config::ModelConfig;
-use crate::kv_cache::{KvCache, KvStore};
+use crate::kv_cache::{KvBatch, KvCache, KvStore};
 use crate::ops;
 use crate::weights::TransformerWeights;
 
@@ -63,6 +63,77 @@ impl RunState {
     }
 }
 
+/// Scratch buffers for the batched decode pass, sequence-major: sequence
+/// `b`'s slice of an `[n * width]` buffer is `[b * width..(b + 1) * width]`,
+/// the same per-sequence layout as [`RunState`], so every per-sequence
+/// kernel (rmsnorm, RoPE, attention, swiglu) runs on exactly the operands
+/// it would see in the sequential path. Only the GEMM staging buffer is
+/// row-major (`[rows][batch]`, the [`ops::matmul`] output layout); its
+/// contents are scattered back to sequence-major immediately after each
+/// matmul.
+#[derive(Debug, Clone)]
+struct BatchState {
+    /// Allocated batch capacity; buffers are sized for this many sequences.
+    capacity: usize,
+    /// Residual streams, `[capacity * dim]`.
+    x: Vec<f32>,
+    /// Normed input / attention output scratch, `[capacity * dim]`.
+    xb: Vec<f32>,
+    /// Projection results, `[capacity * dim]`.
+    xb2: Vec<f32>,
+    /// FFN gate activations, `[capacity * hidden_dim]`.
+    hb: Vec<f32>,
+    /// FFN up activations, `[capacity * hidden_dim]`.
+    hb2: Vec<f32>,
+    /// Query vectors, `[capacity * dim]`.
+    q: Vec<f32>,
+    /// Key scratch, `[capacity * kv_dim]`.
+    k: Vec<f32>,
+    /// Value scratch, `[capacity * kv_dim]`.
+    v: Vec<f32>,
+    /// Attention scores for one head of one sequence, `[seq_len]`.
+    att: Vec<f32>,
+    /// Output logits, `[capacity * vocab_size]`, sequence-major.
+    logits: Vec<f32>,
+    /// Row-major GEMM staging, `[max(dim, hidden_dim, vocab) * capacity]`.
+    gemm: Vec<f32>,
+}
+
+impl BatchState {
+    fn new(c: &ModelConfig, capacity: usize) -> Self {
+        let widest = c.dim.max(c.hidden_dim).max(c.vocab_size);
+        Self {
+            capacity,
+            x: vec![0.0; capacity * c.dim],
+            xb: vec![0.0; capacity * c.dim],
+            xb2: vec![0.0; capacity * c.dim],
+            hb: vec![0.0; capacity * c.hidden_dim],
+            hb2: vec![0.0; capacity * c.hidden_dim],
+            q: vec![0.0; capacity * c.dim],
+            k: vec![0.0; capacity * c.kv_dim()],
+            v: vec![0.0; capacity * c.kv_dim()],
+            att: vec![0.0; c.seq_len],
+            logits: vec![0.0; capacity * c.vocab_size],
+            gemm: vec![0.0; capacity * widest],
+        }
+    }
+}
+
+/// Scatters a row-major GEMM result (`src[r * batch + b]`, the
+/// [`ops::matmul`] output layout) into sequence-major scratch
+/// (`dst[b * rows + r]`). Pure data movement — `O(rows × batch)` against
+/// the `O(rows × cols)` weight stream it unlocks — and therefore neutral
+/// to bit-identity.
+fn scatter_to_seq(dst: &mut [f32], src: &[f32], rows: usize, batch: usize) {
+    debug_assert_eq!(dst.len(), rows * batch);
+    debug_assert_eq!(src.len(), rows * batch);
+    for (b, seq) in dst.chunks_exact_mut(rows).enumerate() {
+        for (r, o) in seq.iter_mut().enumerate() {
+            *o = src[r * batch + b];
+        }
+    }
+}
+
 /// Dispatches a dense matvec according to the chosen strategy.
 fn run_matvec(
     strategy: MatVecStrategy,
@@ -80,11 +151,34 @@ fn run_matvec(
     }
 }
 
+/// Dispatches a batched dense matmul according to the chosen strategy.
+/// Serial and parallel kernels compute every element with the same
+/// [`ops::dot`], so the choice affects wall-clock only, never values.
+fn run_matmul(
+    strategy: MatVecStrategy,
+    out: &mut [f32],
+    w: &[f32],
+    xs: &[f32],
+    rows: usize,
+    cols: usize,
+    batch: usize,
+) {
+    match strategy {
+        MatVecStrategy::Serial => ops::matmul(out, w, xs, rows, cols, batch),
+        MatVecStrategy::Parallel { threads } => {
+            crate::parallel::par_matmul(out, w, xs, rows, cols, batch, threads.max(1));
+        }
+    }
+}
+
 /// A transformer with its weights, KV cache, and scratch state: everything
 /// needed to decode token-by-token.
 pub struct Transformer {
     weights: TransformerWeights,
     state: RunState,
+    /// Batched-decode scratch, allocated on first batched call and grown
+    /// to the largest batch width seen since.
+    batch: Option<BatchState>,
     kv: KvCache,
     strategy: MatVecStrategy,
 }
@@ -98,6 +192,7 @@ impl Transformer {
         Self {
             weights,
             state,
+            batch: None,
             kv,
             strategy: MatVecStrategy::Serial,
         }
@@ -194,6 +289,291 @@ impl Transformer {
         &self.state.logits
     }
 
+    /// Runs one decode step for a whole **batch** of independent sequences
+    /// in a single walk over the layers: `tokens[i]` extends sequence `i`
+    /// (whose context lives at index `i` of `kv`) at `positions[i]`.
+    /// Returns the logits sequence-major — sequence `i`'s vocabulary
+    /// distribution is `out[i * vocab..(i + 1) * vocab]`.
+    ///
+    /// The point is **weight reuse**: every dense projection runs as one
+    /// [`ops::matmul`] over all B activation columns, so each weight
+    /// matrix is streamed from memory once per step instead of once per
+    /// sequence. Decode is bandwidth-bound, which is why serve throughput
+    /// scales with batch width under this entry point (DESIGN.md §13).
+    ///
+    /// **Bit-identical** to calling [`Transformer::forward_with_kv`] once
+    /// per sequence: the batched kernels compute every element with the
+    /// same `dot` over the same operands in the same order, the
+    /// per-sequence kernels (rmsnorm, RoPE, attention, SwiGLU) run on
+    /// sequence-major slices identical to the sequential scratch, and
+    /// sequences share no state, so the layer-interleaved schedule cannot
+    /// change any value.
+    ///
+    /// # Panics
+    /// Panics on an empty batch, mismatched `tokens`/`positions`/batch
+    /// lengths, a position outside the context window, an out-of-vocab
+    /// token, or a store sized for a different context window.
+    pub fn forward_batch_with_kv<B: KvBatch + ?Sized>(
+        &mut self,
+        kv: &mut B,
+        tokens: &[u32],
+        positions: &[usize],
+    ) -> &[f32] {
+        let c = self.weights.config;
+        let n = tokens.len();
+        assert!(n >= 1, "empty batch");
+        assert_eq!(n, positions.len(), "one position per token");
+        assert_eq!(n, kv.batch_len(), "one KV store per token");
+        for i in 0..n {
+            assert_eq!(
+                kv.kv_capacity(i),
+                c.seq_len,
+                "kv store {i} sized for a different context window"
+            );
+        }
+        if self.batch.as_ref().map_or(true, |b| b.capacity < n) {
+            self.batch = Some(BatchState::new(&c, n));
+        }
+        let bs = self.batch.as_mut().expect("batch state just ensured");
+        Self::forward_batch_into(&self.weights, bs, kv, self.strategy, tokens, positions);
+        &bs.logits[..n * c.vocab_size]
+    }
+
+    /// The batched forward pass over explicit parts (the batched twin of
+    /// [`Transformer::forward_into`]): same layer walk, but each dense
+    /// projection is one GEMM over the whole batch, and everything
+    /// per-sequence runs on that sequence's slice of the sequence-major
+    /// scratch.
+    fn forward_batch_into<B: KvBatch + ?Sized>(
+        weights: &TransformerWeights,
+        bs: &mut BatchState,
+        kv: &mut B,
+        strategy: MatVecStrategy,
+        tokens: &[u32],
+        positions: &[usize],
+    ) {
+        let c = weights.config;
+        let n = tokens.len();
+        let dim = c.dim;
+        let kv_dim = c.kv_dim();
+        let head_dim = c.head_dim();
+        let gqa = c.gqa_group();
+        let hid = c.hidden_dim;
+        for (&tok, &pos) in tokens.iter().zip(positions) {
+            assert!(
+                pos < c.seq_len,
+                "pos {pos} outside context window {}",
+                c.seq_len
+            );
+            assert!((tok as usize) < c.vocab_size, "token {tok} out of vocab");
+        }
+
+        let _fwd = tel::span("cpu", "forward_batch").arg("batch", n as i64);
+        if tel::enabled() {
+            // One batched step streams the GEMM weights once for all n
+            // tokens; `gemm_weight_bytes / gemm_tokens` is bytes-per-token.
+            tel::metrics::counter_add("cpu.gemm_weight_bytes", c.gemm_weight_bytes() as u64);
+            tel::metrics::counter_add("cpu.gemm_tokens", n as u64);
+            tel::metrics::gauge_set("cpu.gemm_batch_width", n as f64);
+        }
+
+        // Gather: token embeddings -> per-sequence residual streams.
+        for (b, &tok) in tokens.iter().enumerate() {
+            bs.x[b * dim..(b + 1) * dim].copy_from_slice(weights.embedding_row(tok as usize));
+        }
+
+        for layer in 0..c.n_layers {
+            let lw = &weights.layers[layer];
+
+            // ---- Attention block ----
+            {
+                let _att = tel::span("cpu", "attention_batch").arg("layer", layer as i64);
+                for b in 0..n {
+                    ops::rmsnorm(
+                        &mut bs.xb[b * dim..(b + 1) * dim],
+                        &bs.x[b * dim..(b + 1) * dim],
+                        &lw.rms_att,
+                    );
+                }
+                {
+                    let _qkv = tel::span("cpu", "qkv_batch").arg("layer", layer as i64);
+                    run_matmul(
+                        strategy,
+                        &mut bs.gemm[..dim * n],
+                        &lw.wq,
+                        &bs.xb[..n * dim],
+                        dim,
+                        dim,
+                        n,
+                    );
+                    scatter_to_seq(&mut bs.q[..n * dim], &bs.gemm[..dim * n], dim, n);
+                    run_matmul(
+                        strategy,
+                        &mut bs.gemm[..kv_dim * n],
+                        &lw.wk,
+                        &bs.xb[..n * dim],
+                        kv_dim,
+                        dim,
+                        n,
+                    );
+                    scatter_to_seq(&mut bs.k[..n * kv_dim], &bs.gemm[..kv_dim * n], kv_dim, n);
+                    run_matmul(
+                        strategy,
+                        &mut bs.gemm[..kv_dim * n],
+                        &lw.wv,
+                        &bs.xb[..n * dim],
+                        kv_dim,
+                        dim,
+                        n,
+                    );
+                    scatter_to_seq(&mut bs.v[..n * kv_dim], &bs.gemm[..kv_dim * n], kv_dim, n);
+                }
+
+                for b in 0..n {
+                    let pos = positions[b];
+                    ops::rope_inplace(
+                        &mut bs.q[b * dim..(b + 1) * dim],
+                        pos,
+                        head_dim,
+                        ops::ROPE_THETA,
+                    );
+                    ops::rope_inplace(
+                        &mut bs.k[b * kv_dim..(b + 1) * kv_dim],
+                        pos,
+                        head_dim,
+                        ops::ROPE_THETA,
+                    );
+                    kv.store(
+                        b,
+                        layer,
+                        pos,
+                        &bs.k[b * kv_dim..(b + 1) * kv_dim],
+                        &bs.v[b * kv_dim..(b + 1) * kv_dim],
+                    );
+                }
+
+                {
+                    let _mha = tel::span("cpu", "mha_batch").arg("layer", layer as i64);
+                    for b in 0..n {
+                        let pos = positions[b];
+                        for h in 0..c.n_heads {
+                            let kv_head = h / gqa;
+                            let q = &bs.q[b * dim + h * head_dim..b * dim + (h + 1) * head_dim];
+                            let att = &mut bs.att[..pos + 1];
+                            ops::attention_scores(
+                                att,
+                                q,
+                                |t| kv.key_head(b, layer, t, kv_head),
+                                pos,
+                            );
+                            ops::softmax(att);
+                            let out =
+                                &mut bs.xb[b * dim + h * head_dim..b * dim + (h + 1) * head_dim];
+                            ops::attention_mix(
+                                out,
+                                att,
+                                |t| kv.value_head(b, layer, t, kv_head),
+                                pos,
+                            );
+                        }
+                    }
+                }
+
+                run_matmul(
+                    strategy,
+                    &mut bs.gemm[..dim * n],
+                    &lw.wo,
+                    &bs.xb[..n * dim],
+                    dim,
+                    dim,
+                    n,
+                );
+                scatter_to_seq(&mut bs.xb2[..n * dim], &bs.gemm[..dim * n], dim, n);
+                for b in 0..n {
+                    ops::add_inplace(
+                        &mut bs.x[b * dim..(b + 1) * dim],
+                        &bs.xb2[b * dim..(b + 1) * dim],
+                    );
+                }
+            }
+
+            // ---- FFN block (SwiGLU) ----
+            {
+                let _ffn = tel::span("cpu", "ffn_batch").arg("layer", layer as i64);
+                for b in 0..n {
+                    ops::rmsnorm(
+                        &mut bs.xb[b * dim..(b + 1) * dim],
+                        &bs.x[b * dim..(b + 1) * dim],
+                        &lw.rms_ffn,
+                    );
+                }
+                run_matmul(
+                    strategy,
+                    &mut bs.gemm[..hid * n],
+                    &lw.w1,
+                    &bs.xb[..n * dim],
+                    hid,
+                    dim,
+                    n,
+                );
+                scatter_to_seq(&mut bs.hb[..n * hid], &bs.gemm[..hid * n], hid, n);
+                run_matmul(
+                    strategy,
+                    &mut bs.gemm[..hid * n],
+                    &lw.w3,
+                    &bs.xb[..n * dim],
+                    hid,
+                    dim,
+                    n,
+                );
+                scatter_to_seq(&mut bs.hb2[..n * hid], &bs.gemm[..hid * n], hid, n);
+                for b in 0..n {
+                    ops::swiglu(
+                        &mut bs.hb[b * hid..(b + 1) * hid],
+                        &bs.hb2[b * hid..(b + 1) * hid],
+                    );
+                }
+                run_matmul(
+                    strategy,
+                    &mut bs.gemm[..dim * n],
+                    &lw.w2,
+                    &bs.hb[..n * hid],
+                    dim,
+                    hid,
+                    n,
+                );
+                scatter_to_seq(&mut bs.xb2[..n * dim], &bs.gemm[..dim * n], dim, n);
+                for b in 0..n {
+                    ops::add_inplace(
+                        &mut bs.x[b * dim..(b + 1) * dim],
+                        &bs.xb2[b * dim..(b + 1) * dim],
+                    );
+                }
+            }
+        }
+
+        // Final norm + classifier.
+        let _cls = tel::span("cpu", "classifier_batch").arg("batch", n as i64);
+        for b in 0..n {
+            ops::rmsnorm_inplace(&mut bs.x[b * dim..(b + 1) * dim], &weights.rms_final);
+        }
+        run_matmul(
+            strategy,
+            &mut bs.gemm[..c.vocab_size * n],
+            weights.classifier(),
+            &bs.x[..n * dim],
+            c.vocab_size,
+            dim,
+            n,
+        );
+        scatter_to_seq(
+            &mut bs.logits[..n * c.vocab_size],
+            &bs.gemm[..c.vocab_size * n],
+            c.vocab_size,
+            n,
+        );
+    }
+
     /// The forward pass over explicit parts, so callers can substitute the
     /// KV cache while reusing the shared scratch state.
     fn forward_into<K: KvStore + ?Sized>(
@@ -220,6 +600,13 @@ impl Transformer {
         let gqa = c.gqa_group();
 
         let _fwd = tel::span("cpu", "forward").arg("pos", pos as i64);
+        if tel::enabled() {
+            // The sequential path streams the GEMM weights once per token —
+            // the baseline the batched counters are compared against.
+            tel::metrics::counter_add("cpu.gemm_weight_bytes", c.gemm_weight_bytes() as u64);
+            tel::metrics::counter_add("cpu.gemm_tokens", 1);
+            tel::metrics::gauge_set("cpu.gemm_batch_width", 1.0);
+        }
 
         // Token embedding -> residual stream.
         state
@@ -358,6 +745,87 @@ mod tests {
                 .fold(0.0f32, |m, (x, y)| m.max((x - y).abs()));
             assert!(max_diff < 1e-4, "parallel diverged: {max_diff}");
         }
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_sequential() {
+        use crate::kv_cache::KvCache;
+        let cfg = ModelConfig::test_tiny();
+        for strategy in [
+            MatVecStrategy::Serial,
+            MatVecStrategy::Parallel { threads: 3 },
+        ] {
+            for n in [1usize, 2, 5] {
+                let weights = TransformerWeights::synthetic(cfg, 7);
+                let mut batched = Transformer::new(weights.clone());
+                batched.set_strategy(strategy);
+                let mut oracle = Transformer::new(weights);
+                oracle.set_strategy(strategy);
+
+                let mut kvs_b: Vec<KvCache> = (0..n).map(|_| KvCache::new(&cfg)).collect();
+                let mut kvs_s: Vec<KvCache> = (0..n).map(|_| KvCache::new(&cfg)).collect();
+                // Stagger contexts so the batch composition is heterogeneous.
+                for (i, kv) in kvs_s.iter_mut().enumerate() {
+                    for p in 0..i {
+                        oracle.forward_with_kv(kv, (i + p) as u32 % 64, p);
+                    }
+                }
+                for (i, kv) in kvs_b.iter_mut().enumerate() {
+                    for p in 0..i {
+                        oracle.forward_with_kv(kv, (i + p) as u32 % 64, p);
+                    }
+                }
+
+                for step in 0..3 {
+                    let tokens: Vec<u32> = (0..n).map(|i| ((7 * i + step) % 64) as u32).collect();
+                    let positions: Vec<usize> = kvs_b.iter().map(KvCache::len).collect();
+                    let mut refs: Vec<&mut KvCache> = kvs_b.iter_mut().collect();
+                    let got = batched
+                        .forward_batch_with_kv(refs.as_mut_slice(), &tokens, &positions)
+                        .to_vec();
+                    for (i, kv) in kvs_s.iter_mut().enumerate() {
+                        let want = oracle.forward_with_kv(kv, tokens[i], positions[i]);
+                        assert_eq!(
+                            &got[i * cfg.vocab_size..(i + 1) * cfg.vocab_size],
+                            want,
+                            "batch {n} seq {i} step {step} diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scratch_grows_and_shrinks_transparently() {
+        use crate::kv_cache::KvCache;
+        let cfg = ModelConfig::test_tiny();
+        let mut t = model();
+        let mut oracle = model();
+        // Wide batch first, then a narrower one reusing the larger scratch.
+        for n in [4usize, 2, 6, 1] {
+            let mut kvs: Vec<KvCache> = (0..n).map(|_| KvCache::new(&cfg)).collect();
+            let tokens: Vec<u32> = (0..n as u32).map(|i| 3 + i).collect();
+            let positions = vec![0usize; n];
+            let mut refs: Vec<&mut KvCache> = kvs.iter_mut().collect();
+            let got = t
+                .forward_batch_with_kv(refs.as_mut_slice(), &tokens, &positions)
+                .to_vec();
+            for (i, &tok) in tokens.iter().enumerate() {
+                let mut kv = KvCache::new(&cfg);
+                let want = oracle.forward_with_kv(&mut kv, tok, 0);
+                assert_eq!(&got[i * cfg.vocab_size..(i + 1) * cfg.vocab_size], want);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        use crate::kv_cache::KvCache;
+        let mut t = model();
+        let mut refs: Vec<&mut KvCache> = Vec::new();
+        t.forward_batch_with_kv(refs.as_mut_slice(), &[], &[]);
     }
 
     #[test]

@@ -186,6 +186,59 @@ impl KvStore for KvCache {
     }
 }
 
+/// Batched analogue of [`KvStore`]: per-sequence KV access addressed by a
+/// batch index, so one batched forward pass can read and append context
+/// for B independent sequences. A slice of `&mut K` stores is the flat
+/// implementation (each sequence owns its cache); the paged arena provides
+/// `PagedKvBatch` in `speedllm-pagedkv`, where B block tables share one
+/// arena — something a slice of [`KvStore`]s cannot express because the
+/// arena admits only one mutable view at a time.
+///
+/// Every method is the per-index twin of the corresponding [`KvStore`]
+/// method and must behave identically to calling it on sequence `i`'s own
+/// store: that equivalence is what keeps the batched forward pass
+/// bit-identical to the per-sequence loop.
+pub trait KvBatch {
+    /// Number of sequences in the batch.
+    fn batch_len(&self) -> usize;
+    /// Positions fully stored for sequence `i` (all layers written).
+    fn kv_len(&self, i: usize) -> usize;
+    /// Context window of sequence `i`'s store.
+    fn kv_capacity(&self, i: usize) -> usize;
+    /// Writes sequence `i`'s key/value rows for `pos` in `layer`.
+    fn store(&mut self, i: usize, layer: usize, pos: usize, k: &[f32], v: &[f32]);
+    /// Key vector of one KV head at `(layer, pos)` for sequence `i`.
+    fn key_head(&self, i: usize, layer: usize, pos: usize, kv_head: usize) -> &[f32];
+    /// Value vector of one KV head at `(layer, pos)` for sequence `i`.
+    fn value_head(&self, i: usize, layer: usize, pos: usize, kv_head: usize) -> &[f32];
+}
+
+impl<K: KvStore + ?Sized> KvBatch for [&mut K] {
+    fn batch_len(&self) -> usize {
+        self.len()
+    }
+
+    fn kv_len(&self, i: usize) -> usize {
+        self[i].kv_len()
+    }
+
+    fn kv_capacity(&self, i: usize) -> usize {
+        self[i].kv_capacity()
+    }
+
+    fn store(&mut self, i: usize, layer: usize, pos: usize, k: &[f32], v: &[f32]) {
+        self[i].store(layer, pos, k, v);
+    }
+
+    fn key_head(&self, i: usize, layer: usize, pos: usize, kv_head: usize) -> &[f32] {
+        self[i].key_head(layer, pos, kv_head)
+    }
+
+    fn value_head(&self, i: usize, layer: usize, pos: usize, kv_head: usize) -> &[f32] {
+        self[i].value_head(layer, pos, kv_head)
+    }
+}
+
 /// Per-sequence state a [`KvCachePool`] can manage. Implemented by
 /// [`KvCache`] itself (the CPU reference backend) and by richer wrappers
 /// such as the accelerator's per-sequence functional state.

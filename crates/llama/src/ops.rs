@@ -83,6 +83,107 @@ pub fn matvec(out: &mut [f32], w: &[f32], x: &[f32], rows: usize, cols: usize) {
     }
 }
 
+/// Transposes sequence-major activations (`xs[b * cols + c]`) into
+/// batch-major order (`xt[c * batch + b]`), the layout the batched matmul
+/// kernel consumes: all batch lanes for one column sit adjacent, so the
+/// inner loop reads them with one contiguous load per weight element.
+#[must_use]
+pub fn transpose_batch_major(xs: &[f32], cols: usize, batch: usize) -> Vec<f32> {
+    debug_assert_eq!(xs.len(), batch * cols);
+    let mut xt = vec![0.0f32; cols * batch];
+    for (b, x) in xs.chunks_exact(cols).enumerate() {
+        for (c, &v) in x.iter().enumerate() {
+            xt[c * batch + b] = v;
+        }
+    }
+    xt
+}
+
+/// One weight row against `L` batch lanes of batch-major activations:
+/// `acc[l] = Σ_c row[c] · xt[c * batch + b0 + l]`, accumulating in
+/// increasing `c` with a single f32 accumulator per lane — the exact
+/// mul-then-add sequence [`dot`] performs, so every lane is bit-identical
+/// to `dot(row, xs[b])`. The `L` chains are *independent output elements*;
+/// keeping them live together is what breaks the one-accumulator latency
+/// chain (and lets the compiler vectorize across lanes) without ever
+/// reassociating a single element's sum.
+#[inline]
+fn row_lanes<const L: usize>(row: &[f32], xt: &[f32], batch: usize, b0: usize) -> [f32; L] {
+    let mut acc = [0.0f32; L];
+    for (&wv, xc) in row.iter().zip(xt.chunks_exact(batch)) {
+        let x: &[f32; L] = xc[b0..b0 + L].try_into().expect("lane block in bounds");
+        for l in 0..L {
+            acc[l] += wv * x[l];
+        }
+    }
+    acc
+}
+
+/// Batched matmul inner kernel over pre-transposed (batch-major)
+/// activations: `out[(r - rows.start) * batch + b] = w[r, :] · x_b` for
+/// `r` in `rows`. Lanes are processed in blocks of 8/4/2/1, each block a
+/// [`row_lanes`] call, so each weight row is streamed once per row visit
+/// and reused across every batch lane. [`crate::parallel::par_matmul`]
+/// hands disjoint row ranges of this kernel to its workers.
+pub fn matmul_rows_xt(
+    out: &mut [f32],
+    w: &[f32],
+    xt: &[f32],
+    rows: std::ops::Range<usize>,
+    cols: usize,
+    batch: usize,
+) {
+    debug_assert_eq!(out.len(), rows.len() * batch);
+    debug_assert!(rows.end * cols <= w.len());
+    debug_assert_eq!(xt.len(), cols * batch);
+    for (out_row, r) in out.chunks_exact_mut(batch).zip(rows) {
+        let row = &w[r * cols..(r + 1) * cols];
+        let mut b0 = 0;
+        while b0 + 8 <= batch {
+            out_row[b0..b0 + 8].copy_from_slice(&row_lanes::<8>(row, xt, batch, b0));
+            b0 += 8;
+        }
+        if b0 + 4 <= batch {
+            out_row[b0..b0 + 4].copy_from_slice(&row_lanes::<4>(row, xt, batch, b0));
+            b0 += 4;
+        }
+        if b0 + 2 <= batch {
+            out_row[b0..b0 + 2].copy_from_slice(&row_lanes::<2>(row, xt, batch, b0));
+            b0 += 2;
+        }
+        if b0 < batch {
+            out_row[b0] = row_lanes::<1>(row, xt, batch, b0)[0];
+        }
+    }
+}
+
+/// Batched dense matmul with weight reuse: `out[r * batch + b] =
+/// w[r, :] · xs[b]` for a row-major `rows × cols` matrix `w` and `batch`
+/// activation columns stored sequence-major (`xs[b * cols..(b + 1) * cols]`
+/// is sequence `b`'s vector, the same layout the forward pass keeps its
+/// per-sequence scratch in).
+///
+/// The output is **row-major** (`[rows][batch]`): all batch results for one
+/// weight row are adjacent, which is what lets the kernel stream each
+/// weight row exactly once and reuse it across the whole batch — a batch of
+/// B decode steps reads `rows × cols` weights once instead of B times. The
+/// activations are transposed to batch-major once (O(cols·batch), nothing
+/// next to the O(rows·cols·batch) GEMM) so the [`row_lanes`] kernel can
+/// keep up to 8 independent accumulator chains live per weight row; each
+/// chain replays [`dot`]'s exact accumulation order, so a batched result
+/// is **bit-identical** to `batch` independent [`matvec`] calls.
+pub fn matmul(out: &mut [f32], w: &[f32], xs: &[f32], rows: usize, cols: usize, batch: usize) {
+    debug_assert_eq!(out.len(), rows * batch);
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(xs.len(), batch * cols);
+    if batch == 1 {
+        matvec(out, w, xs, rows, cols);
+        return;
+    }
+    let xt = transpose_batch_major(xs, cols, batch);
+    matmul_rows_xt(out, w, &xt, 0..rows, cols, batch);
+}
+
 /// Tiled partial matvec: accumulates `w[r, c0..c1] · x[c0..c1]` into
 /// `out[r - r0]` for rows `r0..r1`. Callers must zero `out` before the first
 /// column tile. This is the kernel the accelerator's MPE tiles map onto.
@@ -261,6 +362,41 @@ mod tests {
         let mut out = [0.0f32; 2];
         matvec(&mut out, &w, &x, 2, 3);
         assert_eq!(out, [-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matmul_is_bit_identical_to_per_column_matvec() {
+        let (rows, cols) = (5usize, 9usize);
+        let w: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 31 % 17) as f32) * 0.37 - 4.0)
+            .collect();
+        for batch in [1usize, 2, 3, 8] {
+            let xs: Vec<f32> = (0..batch * cols)
+                .map(|i| (i as f32 * 0.21).cos() * 1.7)
+                .collect();
+            let mut batched = vec![0.0f32; rows * batch];
+            matmul(&mut batched, &w, &xs, rows, cols, batch);
+            for b in 0..batch {
+                let mut single = vec![0.0f32; rows];
+                matvec(&mut single, &w, &xs[b * cols..(b + 1) * cols], rows, cols);
+                for r in 0..rows {
+                    // Exact: the batched kernel must not reassociate.
+                    assert_eq!(batched[r * batch + b], single[r], "r={r} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_batch_one_equals_matvec() {
+        let (rows, cols) = (4usize, 6usize);
+        let w: Vec<f32> = (0..rows * cols).map(|i| i as f32 - 11.0).collect();
+        let x: Vec<f32> = (0..cols).map(|i| (i as f32).sin()).collect();
+        let mut mv = vec![0.0f32; rows];
+        matvec(&mut mv, &w, &x, rows, cols);
+        let mut mm = vec![0.0f32; rows];
+        matmul(&mut mm, &w, &x, rows, cols, 1);
+        assert_eq!(mv, mm);
     }
 
     #[test]

@@ -24,10 +24,23 @@ use crate::sync::{unbounded, Sender};
 /// pays for thread wake-up; below this, [`par_matvec`] runs serially.
 const PAR_MIN_MACS_PER_THREAD: usize = 64 * 1024;
 
-/// Returns a sensible worker count: available parallelism capped at 16
-/// (beyond that, memory bandwidth dominates for matvec).
+/// Environment variable that pins the worker count returned by
+/// [`recommended_threads`], so bench runs are reproducible across hosts.
+pub const THREADS_ENV: &str = "SPEEDLLM_THREADS";
+
+/// Returns a sensible worker count: the `SPEEDLLM_THREADS` environment
+/// variable when set to a positive integer (capped at 64 as a fat-finger
+/// guard), otherwise available parallelism capped at 16 (beyond that,
+/// memory bandwidth dominates for matvec).
 #[must_use]
 pub fn recommended_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(64);
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -79,6 +92,49 @@ pub fn par_matvec(out: &mut [f32], w: &[f32], x: &[f32], rows: usize, cols: usiz
                 for (o, r) in chunk.iter_mut().zip(range) {
                     *o = crate::ops::dot(&w[r * cols..(r + 1) * cols], x);
                 }
+            });
+        }
+    });
+}
+
+/// Parallel batched matmul: `out[r * batch + b] = w[r, :] · xs[b]` with
+/// rows statically partitioned over `threads` workers, exactly like
+/// [`par_matvec`]. The activations are transposed to batch-major once
+/// (workers share the read-only transpose), and the row-major
+/// `[rows][batch]` output layout makes each worker's row range a
+/// contiguous `&mut` chunk, so the same `split_at_mut` partitioning
+/// applies. Every worker runs the same [`crate::ops::matmul_rows_xt`]
+/// lane-blocked kernel as the serial [`crate::ops::matmul`], so results
+/// are bit-identical regardless of thread count. Falls back to the serial
+/// kernel when the total work is too small to amortize thread wake-up.
+pub fn par_matmul(
+    out: &mut [f32],
+    w: &[f32],
+    xs: &[f32],
+    rows: usize,
+    cols: usize,
+    batch: usize,
+    threads: usize,
+) {
+    assert_eq!(out.len(), rows * batch);
+    assert_eq!(w.len(), rows * cols);
+    assert_eq!(xs.len(), batch * cols);
+    let threads = threads.max(1);
+    if threads == 1 || rows * cols * batch < PAR_MIN_MACS_PER_THREAD * 2 {
+        crate::ops::matmul(out, w, xs, rows, cols, batch);
+        return;
+    }
+    let ranges = split_ranges(rows, threads);
+    let xt = crate::ops::transpose_batch_major(xs, cols, batch);
+    let xt: &[f32] = &xt;
+    std::thread::scope(|s| {
+        let mut rest = out;
+        for range in &ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len() * batch);
+            rest = tail;
+            let range = range.clone();
+            s.spawn(move || {
+                crate::ops::matmul_rows_xt(chunk, w, xt, range, cols, batch);
             });
         }
     });
@@ -235,6 +291,50 @@ mod tests {
                 for (a, b) in serial.iter().zip(&par) {
                     assert!((a - b).abs() < 1e-4, "{a} vs {b}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn par_matmul_is_bit_identical_to_serial() {
+        // Large enough to clear the serial-fallback threshold, so the
+        // scoped-thread path really runs.
+        let (rows, cols) = (193usize, 517usize);
+        let w: Vec<f32> = (0..rows * cols).map(|i| ((i % 23) as f32) - 11.0).collect();
+        for batch in [1usize, 3, 4] {
+            let xs: Vec<f32> = (0..batch * cols).map(|i| (i as f32 * 0.05).sin()).collect();
+            let mut serial = vec![0.0f32; rows * batch];
+            crate::ops::matmul(&mut serial, &w, &xs, rows, cols, batch);
+            for threads in [1usize, 2, 5] {
+                let mut par = vec![0.0f32; rows * batch];
+                par_matmul(&mut par, &w, &xs, rows, cols, batch, threads);
+                // Exact equality: same dot over the same operands per element.
+                assert_eq!(serial, par, "threads={threads} batch={batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn threads_env_override_pins_worker_count() {
+        // Process-global env var: restore whatever was set so concurrently
+        // running tests only ever observe a valid positive override.
+        let prev = std::env::var(THREADS_ENV).ok();
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(recommended_threads(), 3);
+        std::env::set_var(THREADS_ENV, "999");
+        assert_eq!(recommended_threads(), 64, "override is capped");
+        match prev {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+        // Garbage and non-positive values fall back to the default.
+        for bad in ["0", "-2", "lots", ""] {
+            let prev = std::env::var(THREADS_ENV).ok();
+            std::env::set_var(THREADS_ENV, bad);
+            assert!(recommended_threads() >= 1);
+            match prev {
+                Some(v) => std::env::set_var(THREADS_ENV, v),
+                None => std::env::remove_var(THREADS_ENV),
             }
         }
     }

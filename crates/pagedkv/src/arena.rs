@@ -3,7 +3,7 @@
 //! transformer forward pass writes straight into paged memory.
 
 use speedllm_llama::config::ModelConfig;
-use speedllm_llama::kv_cache::KvStore;
+use speedllm_llama::kv_cache::{KvBatch, KvStore};
 
 use crate::block::{BlockAllocator, BlockConfig, BlockId, BlockTable};
 
@@ -170,6 +170,29 @@ impl PagedKvArena {
         );
         PagedSeqView { arena: self, table }
     }
+
+    /// A [`KvBatch`] view over several sequences at once: each batch index
+    /// resolves through its own block table into this shared arena. This
+    /// is what the batched decode pass uses — a slice of
+    /// [`PagedKvArena::view`]s cannot exist because each view borrows the
+    /// whole arena mutably, whereas one batch view holds the single arena
+    /// borrow and fans out per-index.
+    ///
+    /// # Panics
+    /// Panics if any table's block size disagrees with the arena's.
+    pub fn batch_view<'a>(&'a mut self, tables: Vec<&'a mut BlockTable>) -> PagedKvBatch<'a> {
+        for (i, t) in tables.iter().enumerate() {
+            assert_eq!(
+                t.block_size(),
+                self.block_size,
+                "table {i}/arena block size mismatch"
+            );
+        }
+        PagedKvBatch {
+            arena: self,
+            tables,
+        }
+    }
 }
 
 /// Borrowed `(arena, table)` pair implementing [`KvStore`]: the forward
@@ -210,6 +233,55 @@ impl KvStore for PagedSeqView<'_> {
 
     fn value_head(&self, layer: usize, pos: usize, kv_head: usize) -> &[f32] {
         let (block, slot) = self.table.locate(pos);
+        self.arena.value_head_at(layer, block, slot, kv_head)
+    }
+}
+
+/// Borrowed `(arena, tables)` group implementing [`KvBatch`]: one batched
+/// forward pass reads and appends context for several paged sequences.
+/// Per index, every access behaves exactly like the corresponding
+/// [`PagedSeqView`] access — same `locate`, same `store_at`, same
+/// `note_stored` on the last layer — which is what keeps batched paged
+/// decoding bit-identical to the per-sequence loop.
+#[derive(Debug)]
+pub struct PagedKvBatch<'a> {
+    arena: &'a mut PagedKvArena,
+    tables: Vec<&'a mut BlockTable>,
+}
+
+impl KvBatch for PagedKvBatch<'_> {
+    fn batch_len(&self) -> usize {
+        self.tables.len()
+    }
+
+    fn kv_len(&self, i: usize) -> usize {
+        self.tables[i].len()
+    }
+
+    fn kv_capacity(&self, _i: usize) -> usize {
+        self.arena.seq_len
+    }
+
+    fn store(&mut self, i: usize, layer: usize, pos: usize, k: &[f32], v: &[f32]) {
+        assert!(
+            pos < self.arena.seq_len,
+            "pos {pos} out of cache capacity {}",
+            self.arena.seq_len
+        );
+        let (block, slot) = self.tables[i].locate(pos);
+        self.arena.store_at(layer, block, slot, k, v);
+        if layer == self.arena.k.len() - 1 {
+            self.tables[i].note_stored(pos);
+        }
+    }
+
+    fn key_head(&self, i: usize, layer: usize, pos: usize, kv_head: usize) -> &[f32] {
+        let (block, slot) = self.tables[i].locate(pos);
+        self.arena.key_head_at(layer, block, slot, kv_head)
+    }
+
+    fn value_head(&self, i: usize, layer: usize, pos: usize, kv_head: usize) -> &[f32] {
+        let (block, slot) = self.tables[i].locate(pos);
         self.arena.value_head_at(layer, block, slot, kv_head)
     }
 }

@@ -32,6 +32,6 @@ pub mod arena;
 pub mod block;
 pub mod radix;
 
-pub use arena::{PagedKvArena, PagedSeqView};
+pub use arena::{PagedKvArena, PagedKvBatch, PagedSeqView};
 pub use block::{BlockAllocator, BlockConfig, BlockId, BlockTable};
 pub use radix::RadixIndex;

@@ -22,8 +22,11 @@
 //! Costs are reported in **virtual ticks** so serve-bench reports are
 //! bit-reproducible across machines:
 //!
-//! * [`CpuBackend`] charges one tick per token forward — the CPU has no
-//!   batching economy, so a batch of `n` costs `n` ticks.
+//! * [`CpuBackend`] charges one tick per token forward. Its decode step
+//!   runs the batched weight-reuse GEMM path (one layer walk, one weight
+//!   stream per matrix for the whole batch — DESIGN.md §13), but the tick
+//!   cost stays `n` for a batch of `n` so reports from older seeds remain
+//!   byte-identical; the batching economy is a *wall-clock* effect.
 //! * [`AccelBackend`] charges the simulated device cycles of the pass, so
 //!   weight-stream amortization across a batch (the whole point of
 //!   continuous batching on the accelerator) shows up in the report.
@@ -151,19 +154,23 @@ impl CpuBackend {
         &self.model
     }
 
-    fn forward(
-        model: &mut Transformer,
+    /// One sequential forward step. Returns a borrow of the model's logits
+    /// scratch — the caller decides when (and whether) to copy, so a
+    /// prefill chunk of N tokens no longer pays N `to_vec` allocations,
+    /// only the single copy of the last token's logits it actually keeps.
+    fn forward<'m>(
+        model: &'m mut Transformer,
         arena: &mut Option<PagedKvArena>,
         slot: &mut CpuSlot,
         tok: u32,
         pos: usize,
-    ) -> Vec<f32> {
+    ) -> &'m [f32] {
         match slot {
-            CpuSlot::Flat(kv) => model.forward_with_kv(kv, tok, pos).to_vec(),
+            CpuSlot::Flat(kv) => model.forward_with_kv(kv, tok, pos),
             CpuSlot::Paged(table) => {
                 let arena = arena.as_mut().expect("paged slot without an arena");
                 let mut view = arena.view(table);
-                model.forward_with_kv(&mut view, tok, pos).to_vec()
+                model.forward_with_kv(&mut view, tok, pos)
             }
         }
     }
@@ -190,26 +197,62 @@ impl Backend for CpuBackend {
         start_pos: usize,
     ) -> (Vec<f32>, u64) {
         assert!(!tokens.is_empty(), "empty chunk");
-        let mut logits = Vec::new();
-        for (i, &tok) in tokens.iter().enumerate() {
-            logits = Self::forward(&mut self.model, &mut self.arena, slot, tok, start_pos + i);
+        let (last, rest) = tokens.split_last().expect("non-empty chunk");
+        for (i, &tok) in rest.iter().enumerate() {
+            // Intermediate logits stay in the model's scratch, uncopied.
+            Self::forward(&mut self.model, &mut self.arena, slot, tok, start_pos + i);
         }
-        (logits, tokens.len() as u64)
+        let logits = Self::forward(
+            &mut self.model,
+            &mut self.arena,
+            slot,
+            *last,
+            start_pos + rest.len(),
+        );
+        (logits.to_vec(), tokens.len() as u64)
     }
 
+    /// One batched decode step through
+    /// [`Transformer::forward_batch_with_kv`]: the layers are walked once
+    /// and every weight matrix is streamed once for the whole batch
+    /// (bit-identical to the per-sequence loop — see DESIGN.md §13). The
+    /// virtual-tick cost stays `slots.len()` — the serve clock charges
+    /// per-token work so reports remain byte-reproducible; the weight-reuse
+    /// win shows up in wall-clock throughput (`ablation_batched_gemm`) and
+    /// in the `cpu.gemm_*` telemetry counters.
     fn decode(&mut self, slots: &mut [&mut Self::Slot], tokens: &[u32]) -> (Vec<Vec<f32>>, u64) {
         assert_eq!(slots.len(), tokens.len(), "one token per sequence");
-        let mut out = Vec::with_capacity(slots.len());
-        for (slot, &tok) in slots.iter_mut().zip(tokens) {
-            let pos = slot.slot_len();
-            out.push(Self::forward(
-                &mut self.model,
-                &mut self.arena,
-                slot,
-                tok,
-                pos,
-            ));
-        }
+        assert!(!slots.is_empty(), "empty batch");
+        let positions: Vec<usize> = slots.iter().map(|s| s.slot_len()).collect();
+        let vocab = self.model.config().vocab_size;
+        let logits: &[f32] = match &mut self.arena {
+            None => {
+                let mut kvs: Vec<&mut KvCache> = slots
+                    .iter_mut()
+                    .map(|s| match &mut **s {
+                        CpuSlot::Flat(kv) => kv,
+                        CpuSlot::Paged(_) => panic!("paged slot in a flat backend"),
+                    })
+                    .collect();
+                self.model
+                    .forward_batch_with_kv(kvs.as_mut_slice(), tokens, &positions)
+            }
+            Some(arena) => {
+                let tables: Vec<&mut BlockTable> = slots
+                    .iter_mut()
+                    .map(|s| match &mut **s {
+                        CpuSlot::Paged(table) => table,
+                        CpuSlot::Flat(_) => panic!("flat slot in a paged backend"),
+                    })
+                    .collect();
+                let mut batch = arena.batch_view(tables);
+                self.model
+                    .forward_batch_with_kv(&mut batch, tokens, &positions)
+            }
+        };
+        let out = (0..slots.len())
+            .map(|b| logits[b * vocab..(b + 1) * vocab].to_vec())
+            .collect();
         (out, slots.len() as u64)
     }
 

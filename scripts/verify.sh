@@ -74,6 +74,20 @@ fi
 cargo test --release -q -p speedllm --test paged_reuse
 echo "paged serve smoke OK: deterministic on accel + cpu, prefix cache hits"
 
+echo "== batched-decode GEMM identity gate (release) =="
+# The batched serve hot path must stay bit-identical to the sequential
+# per-sequence loop in the profile the benches and serve runs actually
+# use (debug asserts off): flat + paged slots, serial + parallel kernels,
+# permuted batch order, on both backends.
+cargo test --release -q -p speedllm --test batched_decode_props
+
+echo "== batched GEMM ablation smoke (tok/s + weight bytes/token vs width) =="
+gemm_out="$(cargo bench -q -p speedllm-bench --bench ablation_batched_gemm -- --smoke)"
+grep -q "batch 8:" <<<"$gemm_out"
+# JSONL rows must carry the batch_width meta the repro tooling keys on.
+grep -q '"batch_width":"8"' <<<"$gemm_out"
+echo "batched GEMM smoke OK: ablation table + batch_width-stamped JSONL rows"
+
 echo "== telemetry smoke (instrumented tiny generate -> Chrome trace) =="
 trace_file="$(mktemp /tmp/speedllm_verify_trace.XXXXXX.json)"
 trap 'rm -f "$trace_file"' EXIT
