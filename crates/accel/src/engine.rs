@@ -1130,6 +1130,90 @@ impl Engine {
         )
     }
 
+    /// One **mixed** device pass over several independent sequences, each
+    /// contributing a *run* of one or more consecutive tokens: a decode
+    /// step is a run of length 1, a prefill chunk a run of its chunk
+    /// length (Sarathi-style unified batching — see DESIGN.md §14).
+    /// Weight streams are shared across every row of every run in the
+    /// timing model, exactly as in [`Engine::decode_batch`]; the
+    /// functional pass stays token-sequential per sequence, so logits are
+    /// bit-identical to running each run through
+    /// [`Engine::prefill_chunk_seq`] / [`Engine::decode_batch`] alone.
+    /// Returns the logits after the **last** token of each run, in order.
+    ///
+    /// # Panics
+    /// Panics on an empty batch, an empty run, total rows above the
+    /// staging limit (64), a run that does not extend its sequence
+    /// contiguously, positions outside the context window, or tokens out
+    /// of vocabulary.
+    pub fn forward_mixed(
+        &mut self,
+        seqs: &mut [&mut SequenceState],
+        runs: &[&[u32]],
+    ) -> (Vec<Vec<f32>>, StepResult) {
+        let c = self.graph.config;
+        assert!(!seqs.is_empty(), "empty batch");
+        assert_eq!(seqs.len(), runs.len(), "one token run per sequence");
+        let rows: usize = runs.iter().map(|r| r.len()).sum();
+        assert!(
+            rows <= 64,
+            "mixed batch of {rows} rows exceeds the staging limit (64)"
+        );
+        let mut positions = Vec::with_capacity(rows);
+        for (seq, run) in seqs.iter().zip(runs) {
+            assert!(!run.is_empty(), "empty run");
+            let start = seq.context_len();
+            let last = start + run.len() - 1;
+            assert!(
+                last < c.seq_len,
+                "pos {last} outside context window {}",
+                c.seq_len
+            );
+            for &t in *run {
+                assert!((t as usize) < c.vocab_size, "token {t} out of vocab");
+            }
+            positions.extend(start..=last);
+        }
+        let before = self.counters_snapshot();
+
+        // Functional pass, sequence by sequence, token-sequential inside
+        // each run (causally exact through KvAppend program order).
+        let mut all_logits = Vec::with_capacity(seqs.len());
+        for (seq, run) in seqs.iter_mut().zip(runs) {
+            let start = seq.context_len();
+            all_logits.push(Self::exec_chunk(
+                &self.graph,
+                &self.weights,
+                &mut self.quant,
+                &self.cfg,
+                &self.opt,
+                seq,
+                self.paged.as_mut(),
+                run,
+                start,
+            ));
+        }
+
+        // One timing pass over every row of every run: the device streams
+        // the dense weights once for the whole mixed tick.
+        let (cycles, ocm_read, ocm_write) = self.timing_pass(&positions);
+        let stats = self.step_stats(&before, cycles, ocm_read, ocm_write);
+        if tel::enabled() {
+            tel::metrics::counter_add("accel.gemm_weight_bytes", c.gemm_weight_bytes() as u64);
+            tel::metrics::counter_add("accel.gemm_tokens", rows as u64);
+            tel::metrics::gauge_set("accel.gemm_batch_width", rows as f64);
+        }
+        let logits = all_logits.last().cloned().unwrap_or_default();
+        (
+            all_logits,
+            StepResult {
+                logits,
+                cycles,
+                stats,
+            },
+        )
+    }
+
     /// Validates a chunk against the staging limit, context window, and
     /// vocabulary; returns the positions the chunk occupies.
     fn check_chunk(

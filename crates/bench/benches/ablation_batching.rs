@@ -45,6 +45,7 @@ fn serve_once(
             max_batch: slots,
             prefill_chunk: 16,
             queue_cap: 64,
+            unified: None,
         },
     );
     let mut traffic = LoadGen::new(lcfg);

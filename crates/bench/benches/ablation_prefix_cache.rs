@@ -81,6 +81,7 @@ fn serve_once(
             max_batch: 8,
             prefill_chunk: 16,
             queue_cap: 64,
+            unified: None,
         },
     );
     let completions = serve.run_with_source(&mut LoadGen::new(lcfg));

@@ -519,6 +519,10 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "mode",
         "mean",
         "concurrency",
+        "burst-size",
+        "burst-gap",
+        "token-budget",
+        "prefill-ratio",
         "max-new",
         "sampler",
         "seed",
@@ -552,11 +556,30 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         block_size,
         n_blocks,
     };
+    // --prefill-ratio (with or without --token-budget) switches on the
+    // unified mixed prefill+decode scheduler (DESIGN.md §14).
+    let unified = if args.get("prefill-ratio").is_some() || args.get("token-budget").is_some() {
+        let ratio = args.get_u64("prefill-ratio", 50)?;
+        if ratio > 100 {
+            return Err("--prefill-ratio is a percentage (0..=100)".into());
+        }
+        let token_budget = args.get_usize("token-budget", 16)?;
+        if token_budget == 0 {
+            return Err("--token-budget must be >= 1".into());
+        }
+        Some(speedllm_serve::UnifiedConfig {
+            token_budget,
+            prefill_pct: ratio as u32,
+        })
+    } else {
+        None
+    };
     let scfg = ServeConfig {
         slots: if kv == "paged" { n_blocks } else { slots },
         max_batch: args.get_usize("batch", 8)?,
         prefill_chunk: args.get_usize("chunk", if smoke { 4 } else { 16 })?,
         queue_cap: args.get_usize("queue-cap", 64)?,
+        unified,
     };
     let mode = match args.get_or("mode", "closed") {
         "closed" => ArrivalMode::Closed {
@@ -565,7 +588,21 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "open" => ArrivalMode::Open {
             mean_interarrival: args.get_u64("mean", 32)?,
         },
-        other => return Err(format!("unknown --mode `{other}` (open|closed)").into()),
+        "bursty" => {
+            let burst_size = args.get_usize("burst-size", 4)?;
+            let burst_gap = args.get_u64("burst-gap", 64)?;
+            if burst_size == 0 {
+                return Err("--burst-size must be >= 1".into());
+            }
+            if burst_gap == 0 {
+                return Err("--burst-gap must be >= 1".into());
+            }
+            ArrivalMode::Bursty {
+                burst_size,
+                burst_gap,
+            }
+        }
+        other => return Err(format!("unknown --mode `{other}` (open|closed|bursty)").into()),
     };
     let shared_prefix_len = args.get_usize("shared-prefix", 0)?;
     let prompt_lo = 2 + shared_prefix_len;
@@ -597,6 +634,12 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "schedule: {} slots, batch <= {}, prefill chunk {}, queue cap {}",
         scfg.slots, scfg.max_batch, scfg.prefill_chunk, scfg.queue_cap
     );
+    if let Some(u) = scfg.unified {
+        println!(
+            "unified:  token budget {}, prefill ratio {}%",
+            u.token_budget, u.prefill_pct
+        );
+    }
     if kv == "paged" {
         println!("kv:       paged, {n_blocks} blocks x {block_size} tokens (= {slots} flat slots)");
     } else {
@@ -611,6 +654,12 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         ),
         ArrivalMode::Closed { concurrency } => println!(
             "workload: {n_requests} requests, closed loop (concurrency {concurrency}), seed {seed}"
+        ),
+        ArrivalMode::Bursty {
+            burst_size,
+            burst_gap,
+        } => println!(
+            "workload: {n_requests} requests, bursty open loop (bursts of {burst_size}, mean gap {burst_gap} ticks), seed {seed}"
         ),
     }
     println!();

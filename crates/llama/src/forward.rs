@@ -63,17 +63,19 @@ impl RunState {
     }
 }
 
-/// Scratch buffers for the batched decode pass, sequence-major: sequence
-/// `b`'s slice of an `[n * width]` buffer is `[b * width..(b + 1) * width]`,
-/// the same per-sequence layout as [`RunState`], so every per-sequence
-/// kernel (rmsnorm, RoPE, attention, swiglu) runs on exactly the operands
-/// it would see in the sequential path. Only the GEMM staging buffer is
-/// row-major (`[rows][batch]`, the [`ops::matmul`] output layout); its
-/// contents are scattered back to sequence-major immediately after each
-/// matmul.
+/// Scratch buffers for the batched pass, token-row-major: row `r` of an
+/// `[rows * width]` buffer is `[r * width..(r + 1) * width]`, the same
+/// per-token layout as [`RunState`], so every per-token kernel (rmsnorm,
+/// RoPE, attention, swiglu) runs on exactly the operands it would see in
+/// the sequential path. A *row* is one token of one sequence: a decode
+/// step contributes one row, a prefill chunk contributes one row per
+/// chunk token, and rows of the same sequence are contiguous and
+/// position-ordered. Only the GEMM staging buffer is row-major in the
+/// [`ops::matmul`] output sense (`[out_rows][batch]`); its contents are
+/// scattered back to token-row-major immediately after each matmul.
 #[derive(Debug, Clone)]
 struct BatchState {
-    /// Allocated batch capacity; buffers are sized for this many sequences.
+    /// Allocated row capacity; buffers are sized for this many token rows.
     capacity: usize,
     /// Residual streams, `[capacity * dim]`.
     x: Vec<f32>,
@@ -91,9 +93,10 @@ struct BatchState {
     k: Vec<f32>,
     /// Value scratch, `[capacity * kv_dim]`.
     v: Vec<f32>,
-    /// Attention scores for one head of one sequence, `[seq_len]`.
+    /// Attention scores for one head of one row, `[seq_len]`.
     att: Vec<f32>,
-    /// Output logits, `[capacity * vocab_size]`, sequence-major.
+    /// Output logits, `[capacity * vocab_size]`, sequence-major (one
+    /// vector per *sequence*, for its last row).
     logits: Vec<f32>,
     /// Row-major GEMM staging, `[max(dim, hidden_dim, vocab) * capacity]`.
     gemm: Vec<f32>,
@@ -319,47 +322,116 @@ impl Transformer {
         tokens: &[u32],
         positions: &[usize],
     ) -> &[f32] {
-        let c = self.weights.config;
         let n = tokens.len();
         assert!(n >= 1, "empty batch");
         assert_eq!(n, positions.len(), "one position per token");
-        assert_eq!(n, kv.batch_len(), "one KV store per token");
-        for i in 0..n {
+        let counts = vec![1usize; n];
+        self.forward_runs_with_kv(kv, tokens, &counts, positions)
+    }
+
+    /// The **mixed-batch** generalization of
+    /// [`Transformer::forward_batch_with_kv`]: one walk over the layers
+    /// carries a variable number of tokens per sequence, so a single
+    /// weight-streaming GEMM tick can serve N decode tokens *and* M
+    /// prefill-chunk tokens at once (Sarathi-style unified batching,
+    /// DESIGN.md §14).
+    ///
+    /// Sequence `i` contributes the *run* of `counts[i]` consecutive
+    /// tokens starting at `starts[i]` (its rows are the corresponding
+    /// slice of `tokens`, which concatenates all runs in sequence order).
+    /// A decode step is a run of length 1; a prefill chunk is a run of
+    /// its chunk length. Returns the logits of each sequence's **last**
+    /// run token, sequence-major: `out[i * vocab..(i + 1) * vocab]`.
+    ///
+    /// **Bit-identical** to prefilling/decoding each run token-by-token
+    /// through [`Transformer::forward_with_kv`]: every dense projection
+    /// computes each element with the same `dot` over the same operands,
+    /// the per-row kernels run on row slices identical to the sequential
+    /// scratch, and attention is causally exact within a run — all K/V
+    /// rows of a layer are stored before any row attends, and a row at
+    /// position `p` reads keys `0..=p` only, which by the run's
+    /// contiguity are exactly the rows the sequential pass would have
+    /// cached. Layer-major chunk order cannot change any value because a
+    /// token's QKV inputs depend on earlier tokens only through attention
+    /// in *previous* layers.
+    ///
+    /// # Panics
+    /// Panics on an empty batch, an empty run, mismatched
+    /// `tokens`/`counts`/`starts`/batch lengths, a position outside the
+    /// context window, an out-of-vocab token, or a store sized for a
+    /// different context window.
+    pub fn forward_runs_with_kv<B: KvBatch + ?Sized>(
+        &mut self,
+        kv: &mut B,
+        tokens: &[u32],
+        counts: &[usize],
+        starts: &[usize],
+    ) -> &[f32] {
+        let c = self.weights.config;
+        let n_seqs = counts.len();
+        let rows = tokens.len();
+        assert!(n_seqs >= 1, "empty batch");
+        assert_eq!(n_seqs, starts.len(), "one start position per sequence");
+        assert_eq!(n_seqs, kv.batch_len(), "one KV store per sequence");
+        assert_eq!(
+            rows,
+            counts.iter().sum::<usize>(),
+            "token rows must match run counts"
+        );
+        for i in 0..n_seqs {
+            assert!(counts[i] >= 1, "empty run for sequence {i}");
             assert_eq!(
                 kv.kv_capacity(i),
                 c.seq_len,
                 "kv store {i} sized for a different context window"
             );
         }
-        if self.batch.as_ref().map_or(true, |b| b.capacity < n) {
-            self.batch = Some(BatchState::new(&c, n));
+        if self.batch.as_ref().map_or(true, |b| b.capacity < rows) {
+            self.batch = Some(BatchState::new(&c, rows));
         }
         let bs = self.batch.as_mut().expect("batch state just ensured");
-        Self::forward_batch_into(&self.weights, bs, kv, self.strategy, tokens, positions);
-        &bs.logits[..n * c.vocab_size]
+        Self::forward_runs_into(&self.weights, bs, kv, self.strategy, tokens, counts, starts);
+        &bs.logits[..n_seqs * c.vocab_size]
     }
 
-    /// The batched forward pass over explicit parts (the batched twin of
-    /// [`Transformer::forward_into`]): same layer walk, but each dense
-    /// projection is one GEMM over the whole batch, and everything
-    /// per-sequence runs on that sequence's slice of the sequence-major
-    /// scratch.
-    fn forward_batch_into<B: KvBatch + ?Sized>(
+    /// The mixed-batch forward pass over explicit parts (the batched twin
+    /// of [`Transformer::forward_into`]): same layer walk, but each dense
+    /// projection is one GEMM over every token row of every run, and
+    /// everything per-token runs on that row's slice of the row-major
+    /// scratch. The classifier runs only over each sequence's last row —
+    /// the sequential pass computes (and discards) logits for
+    /// intermediate prefill tokens, so skipping them cannot change any
+    /// value that is ever observed.
+    fn forward_runs_into<B: KvBatch + ?Sized>(
         weights: &TransformerWeights,
         bs: &mut BatchState,
         kv: &mut B,
         strategy: MatVecStrategy,
         tokens: &[u32],
-        positions: &[usize],
+        counts: &[usize],
+        starts: &[usize],
     ) {
         let c = weights.config;
-        let n = tokens.len();
+        let rows = tokens.len();
+        let n_seqs = counts.len();
         let dim = c.dim;
         let kv_dim = c.kv_dim();
         let head_dim = c.head_dim();
         let gqa = c.gqa_group();
         let hid = c.hidden_dim;
-        for (&tok, &pos) in tokens.iter().zip(positions) {
+
+        // Row maps: which sequence each token row extends, at which
+        // position. Rows of one run are contiguous and position-ordered,
+        // which is what makes in-run attention causally exact.
+        let mut row_seq = Vec::with_capacity(rows);
+        let mut row_pos = Vec::with_capacity(rows);
+        for (i, (&cnt, &start)) in counts.iter().zip(starts).enumerate() {
+            for off in 0..cnt {
+                row_seq.push(i);
+                row_pos.push(start + off);
+            }
+        }
+        for (&tok, &pos) in tokens.iter().zip(&row_pos) {
             assert!(
                 pos < c.seq_len,
                 "pos {pos} outside context window {}",
@@ -368,18 +440,21 @@ impl Transformer {
             assert!((tok as usize) < c.vocab_size, "token {tok} out of vocab");
         }
 
-        let _fwd = tel::span("cpu", "forward_batch").arg("batch", n as i64);
+        let _fwd = tel::span("cpu", "forward_batch")
+            .arg("batch", n_seqs as i64)
+            .arg("rows", rows as i64);
         if tel::enabled() {
-            // One batched step streams the GEMM weights once for all n
-            // tokens; `gemm_weight_bytes / gemm_tokens` is bytes-per-token.
+            // One mixed tick streams the GEMM weights once for all `rows`
+            // tokens (decode + prefill alike); `gemm_weight_bytes /
+            // gemm_tokens` is bytes-per-token.
             tel::metrics::counter_add("cpu.gemm_weight_bytes", c.gemm_weight_bytes() as u64);
-            tel::metrics::counter_add("cpu.gemm_tokens", n as u64);
-            tel::metrics::gauge_set("cpu.gemm_batch_width", n as f64);
+            tel::metrics::counter_add("cpu.gemm_tokens", rows as u64);
+            tel::metrics::gauge_set("cpu.gemm_batch_width", rows as f64);
         }
 
-        // Gather: token embeddings -> per-sequence residual streams.
-        for (b, &tok) in tokens.iter().enumerate() {
-            bs.x[b * dim..(b + 1) * dim].copy_from_slice(weights.embedding_row(tok as usize));
+        // Gather: token embeddings -> per-row residual streams.
+        for (r, &tok) in tokens.iter().enumerate() {
+            bs.x[r * dim..(r + 1) * dim].copy_from_slice(weights.embedding_row(tok as usize));
         }
 
         for layer in 0..c.n_layers {
@@ -388,10 +463,10 @@ impl Transformer {
             // ---- Attention block ----
             {
                 let _att = tel::span("cpu", "attention_batch").arg("layer", layer as i64);
-                for b in 0..n {
+                for r in 0..rows {
                     ops::rmsnorm(
-                        &mut bs.xb[b * dim..(b + 1) * dim],
-                        &bs.x[b * dim..(b + 1) * dim],
+                        &mut bs.xb[r * dim..(r + 1) * dim],
+                        &bs.x[r * dim..(r + 1) * dim],
                         &lw.rms_att,
                     );
                 }
@@ -399,66 +474,85 @@ impl Transformer {
                     let _qkv = tel::span("cpu", "qkv_batch").arg("layer", layer as i64);
                     run_matmul(
                         strategy,
-                        &mut bs.gemm[..dim * n],
+                        &mut bs.gemm[..dim * rows],
                         &lw.wq,
-                        &bs.xb[..n * dim],
+                        &bs.xb[..rows * dim],
                         dim,
                         dim,
-                        n,
+                        rows,
                     );
-                    scatter_to_seq(&mut bs.q[..n * dim], &bs.gemm[..dim * n], dim, n);
+                    scatter_to_seq(&mut bs.q[..rows * dim], &bs.gemm[..dim * rows], dim, rows);
                     run_matmul(
                         strategy,
-                        &mut bs.gemm[..kv_dim * n],
+                        &mut bs.gemm[..kv_dim * rows],
                         &lw.wk,
-                        &bs.xb[..n * dim],
+                        &bs.xb[..rows * dim],
                         kv_dim,
                         dim,
-                        n,
+                        rows,
                     );
-                    scatter_to_seq(&mut bs.k[..n * kv_dim], &bs.gemm[..kv_dim * n], kv_dim, n);
+                    scatter_to_seq(
+                        &mut bs.k[..rows * kv_dim],
+                        &bs.gemm[..kv_dim * rows],
+                        kv_dim,
+                        rows,
+                    );
                     run_matmul(
                         strategy,
-                        &mut bs.gemm[..kv_dim * n],
+                        &mut bs.gemm[..kv_dim * rows],
                         &lw.wv,
-                        &bs.xb[..n * dim],
+                        &bs.xb[..rows * dim],
                         kv_dim,
                         dim,
-                        n,
+                        rows,
                     );
-                    scatter_to_seq(&mut bs.v[..n * kv_dim], &bs.gemm[..kv_dim * n], kv_dim, n);
+                    scatter_to_seq(
+                        &mut bs.v[..rows * kv_dim],
+                        &bs.gemm[..kv_dim * rows],
+                        kv_dim,
+                        rows,
+                    );
                 }
 
-                for b in 0..n {
-                    let pos = positions[b];
+                // RoPE + KV store for every row **before** any row
+                // attends: a prefill row at position p then finds all
+                // same-run keys `<= p` already cached, exactly as the
+                // token-sequential pass would have left them.
+                for r in 0..rows {
+                    let pos = row_pos[r];
                     ops::rope_inplace(
-                        &mut bs.q[b * dim..(b + 1) * dim],
+                        &mut bs.q[r * dim..(r + 1) * dim],
                         pos,
                         head_dim,
                         ops::ROPE_THETA,
                     );
                     ops::rope_inplace(
-                        &mut bs.k[b * kv_dim..(b + 1) * kv_dim],
+                        &mut bs.k[r * kv_dim..(r + 1) * kv_dim],
                         pos,
                         head_dim,
                         ops::ROPE_THETA,
                     );
                     kv.store(
-                        b,
+                        row_seq[r],
                         layer,
                         pos,
-                        &bs.k[b * kv_dim..(b + 1) * kv_dim],
-                        &bs.v[b * kv_dim..(b + 1) * kv_dim],
+                        &bs.k[r * kv_dim..(r + 1) * kv_dim],
+                        &bs.v[r * kv_dim..(r + 1) * kv_dim],
                     );
                 }
 
                 {
                     let _mha = tel::span("cpu", "mha_batch").arg("layer", layer as i64);
-                    for b in 0..n {
-                        let pos = positions[b];
+                    for r in 0..rows {
+                        let pos = row_pos[r];
+                        let b = row_seq[r];
                         for h in 0..c.n_heads {
                             let kv_head = h / gqa;
-                            let q = &bs.q[b * dim + h * head_dim..b * dim + (h + 1) * head_dim];
+                            let q = &bs.q[r * dim + h * head_dim..r * dim + (h + 1) * head_dim];
+                            // Causal mask inside a mixed tick: row `r`
+                            // scores positions `0..=pos` of its own
+                            // sequence only — later run rows are invisible
+                            // by construction.
                             let att = &mut bs.att[..pos + 1];
                             ops::attention_scores(
                                 att,
@@ -468,7 +562,7 @@ impl Transformer {
                             );
                             ops::softmax(att);
                             let out =
-                                &mut bs.xb[b * dim + h * head_dim..b * dim + (h + 1) * head_dim];
+                                &mut bs.xb[r * dim + h * head_dim..r * dim + (h + 1) * head_dim];
                             ops::attention_mix(
                                 out,
                                 att,
@@ -481,18 +575,18 @@ impl Transformer {
 
                 run_matmul(
                     strategy,
-                    &mut bs.gemm[..dim * n],
+                    &mut bs.gemm[..dim * rows],
                     &lw.wo,
-                    &bs.xb[..n * dim],
+                    &bs.xb[..rows * dim],
                     dim,
                     dim,
-                    n,
+                    rows,
                 );
-                scatter_to_seq(&mut bs.xb2[..n * dim], &bs.gemm[..dim * n], dim, n);
-                for b in 0..n {
+                scatter_to_seq(&mut bs.xb2[..rows * dim], &bs.gemm[..dim * rows], dim, rows);
+                for r in 0..rows {
                     ops::add_inplace(
-                        &mut bs.x[b * dim..(b + 1) * dim],
-                        &bs.xb2[b * dim..(b + 1) * dim],
+                        &mut bs.x[r * dim..(r + 1) * dim],
+                        &bs.xb2[r * dim..(r + 1) * dim],
                     );
                 }
             }
@@ -500,77 +594,90 @@ impl Transformer {
             // ---- FFN block (SwiGLU) ----
             {
                 let _ffn = tel::span("cpu", "ffn_batch").arg("layer", layer as i64);
-                for b in 0..n {
+                for r in 0..rows {
                     ops::rmsnorm(
-                        &mut bs.xb[b * dim..(b + 1) * dim],
-                        &bs.x[b * dim..(b + 1) * dim],
+                        &mut bs.xb[r * dim..(r + 1) * dim],
+                        &bs.x[r * dim..(r + 1) * dim],
                         &lw.rms_ffn,
                     );
                 }
                 run_matmul(
                     strategy,
-                    &mut bs.gemm[..hid * n],
+                    &mut bs.gemm[..hid * rows],
                     &lw.w1,
-                    &bs.xb[..n * dim],
+                    &bs.xb[..rows * dim],
                     hid,
                     dim,
-                    n,
+                    rows,
                 );
-                scatter_to_seq(&mut bs.hb[..n * hid], &bs.gemm[..hid * n], hid, n);
+                scatter_to_seq(&mut bs.hb[..rows * hid], &bs.gemm[..hid * rows], hid, rows);
                 run_matmul(
                     strategy,
-                    &mut bs.gemm[..hid * n],
+                    &mut bs.gemm[..hid * rows],
                     &lw.w3,
-                    &bs.xb[..n * dim],
+                    &bs.xb[..rows * dim],
                     hid,
                     dim,
-                    n,
+                    rows,
                 );
-                scatter_to_seq(&mut bs.hb2[..n * hid], &bs.gemm[..hid * n], hid, n);
-                for b in 0..n {
+                scatter_to_seq(&mut bs.hb2[..rows * hid], &bs.gemm[..hid * rows], hid, rows);
+                for r in 0..rows {
                     ops::swiglu(
-                        &mut bs.hb[b * hid..(b + 1) * hid],
-                        &bs.hb2[b * hid..(b + 1) * hid],
+                        &mut bs.hb[r * hid..(r + 1) * hid],
+                        &bs.hb2[r * hid..(r + 1) * hid],
                     );
                 }
                 run_matmul(
                     strategy,
-                    &mut bs.gemm[..dim * n],
+                    &mut bs.gemm[..dim * rows],
                     &lw.w2,
-                    &bs.hb[..n * hid],
+                    &bs.hb[..rows * hid],
                     dim,
                     hid,
-                    n,
+                    rows,
                 );
-                scatter_to_seq(&mut bs.xb2[..n * dim], &bs.gemm[..dim * n], dim, n);
-                for b in 0..n {
+                scatter_to_seq(&mut bs.xb2[..rows * dim], &bs.gemm[..dim * rows], dim, rows);
+                for r in 0..rows {
                     ops::add_inplace(
-                        &mut bs.x[b * dim..(b + 1) * dim],
-                        &bs.xb2[b * dim..(b + 1) * dim],
+                        &mut bs.x[r * dim..(r + 1) * dim],
+                        &bs.xb2[r * dim..(r + 1) * dim],
                     );
                 }
             }
         }
 
-        // Final norm + classifier.
-        let _cls = tel::span("cpu", "classifier_batch").arg("batch", n as i64);
-        for b in 0..n {
-            ops::rmsnorm_inplace(&mut bs.x[b * dim..(b + 1) * dim], &weights.rms_final);
+        // Final norm + classifier, over each sequence's **last** row only
+        // (intermediate prefill logits are never observed). The last rows
+        // are compacted into `xb` so the classifier still runs as one
+        // GEMM streaming the weight matrix once.
+        let _cls = tel::span("cpu", "classifier_batch").arg("batch", n_seqs as i64);
+        let mut last_rows = Vec::with_capacity(n_seqs);
+        let mut running = 0usize;
+        for &cnt in counts {
+            running += cnt;
+            last_rows.push(running - 1);
+        }
+        for &r in &last_rows {
+            ops::rmsnorm_inplace(&mut bs.x[r * dim..(r + 1) * dim], &weights.rms_final);
+        }
+        for (i, &r) in last_rows.iter().enumerate() {
+            let BatchState { x, xb, .. } = bs;
+            xb[i * dim..(i + 1) * dim].copy_from_slice(&x[r * dim..(r + 1) * dim]);
         }
         run_matmul(
             strategy,
-            &mut bs.gemm[..c.vocab_size * n],
+            &mut bs.gemm[..c.vocab_size * n_seqs],
             weights.classifier(),
-            &bs.x[..n * dim],
+            &bs.xb[..n_seqs * dim],
             c.vocab_size,
             dim,
-            n,
+            n_seqs,
         );
         scatter_to_seq(
-            &mut bs.logits[..n * c.vocab_size],
-            &bs.gemm[..c.vocab_size * n],
+            &mut bs.logits[..n_seqs * c.vocab_size],
+            &bs.gemm[..c.vocab_size * n_seqs],
             c.vocab_size,
-            n,
+            n_seqs,
         );
     }
 
@@ -794,6 +901,95 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mixed_runs_are_bit_identical_to_sequential() {
+        use crate::kv_cache::KvCache;
+        let cfg = ModelConfig::test_tiny();
+        for strategy in [
+            MatVecStrategy::Serial,
+            MatVecStrategy::Parallel { threads: 3 },
+        ] {
+            // Each case: per-sequence (context already cached, run length).
+            // Mixes decode rows (count 1) with prefill chunks (count > 1),
+            // including a chunk continuing a non-empty context.
+            for case in [
+                vec![(0usize, 4usize)],       // pure prefill, one seq
+                vec![(3, 1), (0, 4)],         // decode + cold prefill
+                vec![(2, 1), (1, 3), (4, 1)], // decode, chunk, decode
+                vec![(0, 2), (2, 2)],         // two chunks, one warm
+                vec![(1, 1), (2, 1), (3, 1)], // pure decode (regression)
+            ] {
+                let weights = TransformerWeights::synthetic(cfg, 7);
+                let mut mixed = Transformer::new(weights.clone());
+                mixed.set_strategy(strategy);
+                let mut oracle = Transformer::new(weights);
+                oracle.set_strategy(strategy);
+
+                let n = case.len();
+                let mut kvs_m: Vec<KvCache> = (0..n).map(|_| KvCache::new(&cfg)).collect();
+                let mut kvs_s: Vec<KvCache> = (0..n).map(|_| KvCache::new(&cfg)).collect();
+                for (i, &(ctx, _)) in case.iter().enumerate() {
+                    for p in 0..ctx {
+                        let tok = ((5 * i + p) % 64) as u32;
+                        oracle.forward_with_kv(&mut kvs_s[i], tok, p);
+                        oracle.forward_with_kv(&mut kvs_m[i], tok, p);
+                    }
+                }
+
+                let mut tokens = Vec::new();
+                let mut counts = Vec::new();
+                let mut starts = Vec::new();
+                for (i, &(ctx, run)) in case.iter().enumerate() {
+                    counts.push(run);
+                    starts.push(ctx);
+                    for off in 0..run {
+                        tokens.push(((11 * i + 3 * off + 1) % 64) as u32);
+                    }
+                }
+
+                let mut refs: Vec<&mut KvCache> = kvs_m.iter_mut().collect();
+                let got = mixed
+                    .forward_runs_with_kv(refs.as_mut_slice(), &tokens, &counts, &starts)
+                    .to_vec();
+
+                // Oracle: feed each sequence's run token-by-token; only the
+                // last logits of each run are observable.
+                let mut row = 0usize;
+                for (i, &(ctx, run)) in case.iter().enumerate() {
+                    let mut want = Vec::new();
+                    for off in 0..run {
+                        want = oracle
+                            .forward_with_kv(&mut kvs_s[i], tokens[row], ctx + off)
+                            .to_vec();
+                        row += 1;
+                    }
+                    assert_eq!(
+                        &got[i * cfg.vocab_size..(i + 1) * cfg.vocab_size],
+                        &want[..],
+                        "case {case:?} seq {i} diverged ({strategy:?})"
+                    );
+                    // KV contents must match too: decode again and compare.
+                    let probe = ((i + 9) % 64) as u32;
+                    let pos = ctx + run;
+                    let m = mixed.forward_with_kv(&mut kvs_m[i], probe, pos).to_vec();
+                    let s = oracle.forward_with_kv(&mut kvs_s[i], probe, pos);
+                    assert_eq!(&m[..], s, "case {case:?} seq {i} KV diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "token rows must match run counts")]
+    fn mismatched_run_counts_panic() {
+        use crate::kv_cache::KvCache;
+        let cfg = ModelConfig::test_tiny();
+        let mut t = model();
+        let mut kv = KvCache::new(&cfg);
+        let mut refs = [&mut kv];
+        t.forward_runs_with_kv(refs.as_mut_slice(), &[1, 2, 3], &[2], &[0]);
     }
 
     #[test]

@@ -65,6 +65,20 @@ pub trait Backend {
     /// order, plus the virtual-tick cost of the whole pass.
     fn decode(&mut self, slots: &mut [&mut Self::Slot], tokens: &[u32]) -> (Vec<Vec<f32>>, u64);
 
+    /// Runs one **mixed** tick: `runs[i]` (one or more consecutive tokens
+    /// — a decode step or a prefill chunk) extends `slots[i]` at its
+    /// current context length, all in a single weight-streaming pass
+    /// (Sarathi-style unified batching, DESIGN.md §14). Returns the
+    /// logits after the last token of each run, in order, plus the
+    /// virtual-tick cost of the whole pass. Must be bit-identical to
+    /// running each run alone through [`Backend::prefill`] /
+    /// [`Backend::decode`].
+    fn forward_mixed(
+        &mut self,
+        slots: &mut [&mut Self::Slot],
+        runs: &[&[u32]],
+    ) -> (Vec<Vec<f32>>, u64);
+
     /// Block geometry when this backend serves paged KV, `None` for flat
     /// slots. The scheduler switches to block-budget admission iff this
     /// returns `Some`.
@@ -256,6 +270,54 @@ impl Backend for CpuBackend {
         (out, slots.len() as u64)
     }
 
+    /// One mixed tick through [`Transformer::forward_runs_with_kv`]: every
+    /// decode row and prefill-chunk row of the tick shares the same layer
+    /// walk and weight streams. The virtual-tick cost is the total number
+    /// of token rows carried — per-token, like `prefill` and `decode`, so
+    /// the clock charges work actually done rather than a tick per phase.
+    fn forward_mixed(
+        &mut self,
+        slots: &mut [&mut Self::Slot],
+        runs: &[&[u32]],
+    ) -> (Vec<Vec<f32>>, u64) {
+        assert_eq!(slots.len(), runs.len(), "one token run per sequence");
+        assert!(!slots.is_empty(), "empty batch");
+        let starts: Vec<usize> = slots.iter().map(|s| s.slot_len()).collect();
+        let counts: Vec<usize> = runs.iter().map(|r| r.len()).collect();
+        let tokens: Vec<u32> = runs.iter().flat_map(|r| r.iter().copied()).collect();
+        let rows = tokens.len() as u64;
+        let vocab = self.model.config().vocab_size;
+        let logits: &[f32] = match &mut self.arena {
+            None => {
+                let mut kvs: Vec<&mut KvCache> = slots
+                    .iter_mut()
+                    .map(|s| match &mut **s {
+                        CpuSlot::Flat(kv) => kv,
+                        CpuSlot::Paged(_) => panic!("paged slot in a flat backend"),
+                    })
+                    .collect();
+                self.model
+                    .forward_runs_with_kv(kvs.as_mut_slice(), &tokens, &counts, &starts)
+            }
+            Some(arena) => {
+                let tables: Vec<&mut BlockTable> = slots
+                    .iter_mut()
+                    .map(|s| match &mut **s {
+                        CpuSlot::Paged(table) => table,
+                        CpuSlot::Flat(_) => panic!("flat slot in a paged backend"),
+                    })
+                    .collect();
+                let mut batch = arena.batch_view(tables);
+                self.model
+                    .forward_runs_with_kv(&mut batch, &tokens, &counts, &starts)
+            }
+        };
+        let out = (0..slots.len())
+            .map(|b| logits[b * vocab..(b + 1) * vocab].to_vec())
+            .collect();
+        (out, rows)
+    }
+
     fn block_config(&self) -> Option<BlockConfig> {
         self.arena.as_ref().map(PagedKvArena::block_config)
     }
@@ -333,6 +395,15 @@ impl Backend for AccelBackend {
 
     fn decode(&mut self, slots: &mut [&mut Self::Slot], tokens: &[u32]) -> (Vec<Vec<f32>>, u64) {
         let (logits, step) = self.engine.decode_batch(slots, tokens);
+        (logits, step.cycles.0)
+    }
+
+    fn forward_mixed(
+        &mut self,
+        slots: &mut [&mut Self::Slot],
+        runs: &[&[u32]],
+    ) -> (Vec<Vec<f32>>, u64) {
+        let (logits, step) = self.engine.forward_mixed(slots, runs);
         (logits, step.cycles.0)
     }
 
@@ -429,6 +500,65 @@ mod tests {
             .zip(&la)
             .fold(0.0f32, |m, (a, b)| m.max((a - b).abs()));
         assert!(d < 1e-4, "backends diverged by {d}");
+    }
+
+    #[test]
+    fn cpu_mixed_tick_matches_separate_phases_bit_exactly() {
+        // One tick carrying a decode row + a 3-token prefill chunk must
+        // equal prefill-then-decode run separately, and cost the total
+        // token rows carried.
+        let mut mixed = CpuBackend::new(Transformer::new(weights()));
+        let mut oracle = CpuBackend::new(Transformer::new(weights()));
+
+        // Warm sequence: 2-token context in both backends.
+        let mut warm_m = mixed.new_slot();
+        let mut warm_o = oracle.new_slot();
+        mixed.prefill(&mut warm_m, &[4, 11], 0);
+        oracle.prefill(&mut warm_o, &[4, 11], 0);
+        // Cold sequence starts empty.
+        let mut cold_m = mixed.new_slot();
+        let mut cold_o = oracle.new_slot();
+
+        let mut slots = [&mut warm_m, &mut cold_m];
+        let runs: [&[u32]; 2] = [&[7], &[3, 9, 14]];
+        let (got, cost) = mixed.forward_mixed(&mut slots, &runs);
+        assert_eq!(cost, 4, "mixed tick must cost the rows it carried");
+
+        let mut one = [&mut warm_o];
+        let (dec, _) = oracle.decode(&mut one, &[7]);
+        let (pre, _) = oracle.prefill(&mut cold_o, &[3, 9, 14], 0);
+        assert_eq!(got[0], dec[0], "decode member diverged in mixed tick");
+        assert_eq!(got[1], pre, "prefill member diverged in mixed tick");
+        assert_eq!(warm_m.slot_len(), 3);
+        assert_eq!(cold_m.slot_len(), 3);
+    }
+
+    #[test]
+    fn accel_mixed_tick_matches_separate_phases_bit_exactly() {
+        let make = || {
+            let engine = Engine::new(Arc::new(weights()), OptConfig::full()).unwrap();
+            AccelBackend::new(engine)
+        };
+        let mut mixed = make();
+        let mut oracle = make();
+
+        let mut warm_m = mixed.new_slot();
+        let mut warm_o = oracle.new_slot();
+        mixed.prefill(&mut warm_m, &[4, 11], 0);
+        oracle.prefill(&mut warm_o, &[4, 11], 0);
+        let mut cold_m = mixed.new_slot();
+        let mut cold_o = oracle.new_slot();
+
+        let mut slots = [&mut warm_m, &mut cold_m];
+        let runs: [&[u32]; 2] = [&[7], &[3, 9, 14]];
+        let (got, cost) = mixed.forward_mixed(&mut slots, &runs);
+        assert!(cost > 0, "device pass must cost cycles");
+
+        let mut one = [&mut warm_o];
+        let (dec, _) = oracle.decode(&mut one, &[7]);
+        let (pre, _) = oracle.prefill(&mut cold_o, &[3, 9, 14], 0);
+        assert_eq!(got[0], dec[0], "decode member diverged in mixed tick");
+        assert_eq!(got[1], pre, "prefill member diverged in mixed tick");
     }
 
     #[test]

@@ -105,6 +105,30 @@ impl Completion {
     }
 }
 
+/// Unified mixed-batch scheduling (Sarathi-style, DESIGN.md §14): one
+/// tick carries decode rows **and** prefill-chunk rows in a single
+/// weight-streaming pass, under a per-tick token budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnifiedConfig {
+    /// Token rows one tick may carry, decode + prefill combined
+    /// (clamped to 1..=64, the on-chip staging limit).
+    pub token_budget: usize,
+    /// Share of the budget reserved for prefill rows when both decode
+    /// candidates and cold sequences compete, in percent (clamped to
+    /// 0..=100). At least one decode row always fits, and budget left
+    /// over by either side flows to the other.
+    pub prefill_pct: u32,
+}
+
+impl Default for UnifiedConfig {
+    fn default() -> Self {
+        Self {
+            token_budget: 16,
+            prefill_pct: 50,
+        }
+    }
+}
+
 /// Scheduler parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
@@ -113,12 +137,16 @@ pub struct ServeConfig {
     /// block budget and admission is gated on blocks instead.
     pub slots: usize,
     /// Max sequences per batched decode step (clamped to 1..=64, the
-    /// on-chip staging limit).
+    /// on-chip staging limit). Ignored by the unified scheduler, whose
+    /// token budget is the batch cap.
     pub max_batch: usize,
     /// Prefill chunk length (clamped to 1..=64).
     pub prefill_chunk: usize,
     /// Bounded request-queue depth — admission backpressure.
     pub queue_cap: usize,
+    /// `Some` switches the engine to the unified mixed prefill+decode
+    /// scheduler; `None` keeps the phase-serialized PR 5 loop.
+    pub unified: Option<UnifiedConfig>,
 }
 
 impl Default for ServeConfig {
@@ -128,6 +156,7 @@ impl Default for ServeConfig {
             max_batch: 8,
             prefill_chunk: 16,
             queue_cap: 64,
+            unified: None,
         }
     }
 }
@@ -159,6 +188,17 @@ pub struct ServeStats {
     pub peak_blocks_in_use: u64,
     /// Largest number of concurrently admitted sequences observed.
     pub max_active_observed: usize,
+    /// Unified mixed ticks executed (unified scheduler only). Not
+    /// rendered in reports, so legacy report bytes are unchanged.
+    pub mixed_ticks: u64,
+    /// Ticks that carried decode rows and prefill rows together — the
+    /// overlap the unified scheduler exists to create. Not rendered.
+    pub overlap_ticks: u64,
+    /// Most token rows one tick has carried. Not rendered.
+    pub max_tick_tokens: usize,
+    /// Decode rows pushed to a later tick by the token budget (the
+    /// sampled token is kept, never re-sampled). Not rendered.
+    pub deferred_decodes: u64,
 }
 
 /// A stream of requests the synchronous driver pulls from. `poll` may be
@@ -192,6 +232,10 @@ struct Active<B: Backend> {
     /// Prompt + generated-so-far of a resumed request: what must be
     /// re-prefilled before decoding continues. `None` for first runs.
     resume_context: Option<Vec<u32>>,
+    /// A sampled token the unified token budget pushed to a later tick:
+    /// already in `generated` (and in any resume context), not yet
+    /// forwarded into the KV cache. Consumed without re-sampling.
+    pending: Option<u32>,
     /// One past the last position the budget/context allows.
     end_pos: usize,
     admitted_at: u64,
@@ -269,6 +313,10 @@ impl<B: Backend> ServeEngine<B> {
             max_batch: cfg.max_batch.clamp(1, 64),
             prefill_chunk: cfg.prefill_chunk.clamp(1, 64),
             queue_cap: cfg.queue_cap.max(1),
+            unified: cfg.unified.map(|u| UnifiedConfig {
+                token_budget: u.token_budget.clamp(1, 64),
+                prefill_pct: u.prefill_pct.min(100),
+            }),
         };
         let seq_len = backend.config().seq_len;
         let paged = backend.block_config().map(|bc| {
@@ -406,8 +454,13 @@ impl<B: Backend> ServeEngine<B> {
         self.admit();
         self.stats.max_active_observed = self.stats.max_active_observed.max(self.active.len());
         self.note_block_peak();
-        self.prefill_phase();
-        let finished = self.decode_phase();
+        let finished = match self.cfg.unified {
+            Some(u) => self.unified_tick(u),
+            None => {
+                self.prefill_phase();
+                self.decode_phase()
+            }
+        };
         self.note_block_peak();
         let done = self.evict(finished);
         if tel::enabled() {
@@ -480,6 +533,7 @@ impl<B: Backend> ServeEngine<B> {
                 logits: Vec::new(),
                 generated: Vec::new(),
                 resume_context: None,
+                pending: None,
                 admitted_at: self.now,
                 first_token_at: None,
                 admission_seq: self.admission_seq,
@@ -582,6 +636,7 @@ impl<B: Backend> ServeEngine<B> {
                         logits: Vec::new(),
                         generated: Vec::new(),
                         resume_context: None,
+                        pending: None,
                         admitted_at: self.now,
                         first_token_at: None,
                         admission_seq: self.admission_seq,
@@ -600,6 +655,7 @@ impl<B: Backend> ServeEngine<B> {
                         logits: Vec::new(),
                         generated: p.generated,
                         resume_context: Some(p.resume_context),
+                        pending: None,
                         admitted_at: p.admitted_at,
                         first_token_at: p.first_token_at,
                         admission_seq: p.admission_seq,
@@ -835,6 +891,177 @@ impl<B: Backend> ServeEngine<B> {
         finished
     }
 
+    /// One unified mixed tick (DESIGN.md §14): sample every warm request
+    /// exactly as [`ServeEngine::decode_phase`] does, split the token
+    /// budget between the resulting decode rows and prefill chunks for
+    /// cold requests, and run **one** mixed weight-streaming pass over
+    /// all of it. Decode rows the budget excludes are parked in
+    /// [`Active::pending`] — the sampled token is kept, never
+    /// re-sampled, so token streams stay bit-identical to the
+    /// phase-serialized loop. Returns the indices of requests that
+    /// finished this iteration.
+    fn unified_tick(&mut self, ucfg: UnifiedConfig) -> Vec<usize> {
+        self.ensure_decode_capacity();
+        let budget = ucfg.token_budget;
+        let mut finished: Vec<usize> = Vec::new();
+        // Decode candidates, in active order: a parked token from a
+        // previous tick, or one freshly sampled (mirroring the
+        // single-tenant loop: sample → EOS check → emit).
+        let mut decode_cands: Vec<(usize, u32)> = Vec::new();
+        for (i, a) in self.active.iter_mut().enumerate() {
+            if a.prefilled < a.ctx_len() {
+                continue; // cold: competes for prefill budget below
+            }
+            if let Some(tok) = a.pending.take() {
+                // Budget/EOS checks already ran when this was sampled.
+                decode_cands.push((i, tok));
+                continue;
+            }
+            let pos_next = a.req.prompt.len() + a.generated.len();
+            if pos_next >= a.end_pos {
+                finished.push(i); // zero budget (e.g. max_new_tokens = 0)
+                continue;
+            }
+            let next = a.sampler.sample(&a.logits);
+            if a.req.stop_at_eos && (next == TOKEN_EOS || next == TOKEN_BOS) {
+                finished.push(i);
+                continue;
+            }
+            a.generated.push(next);
+            if a.first_token_at.is_none() {
+                a.first_token_at = Some(self.now);
+            }
+            if pos_next + 1 >= a.end_pos {
+                // Budget exhausted by this token; the final forward's
+                // logits would never be sampled — skip it.
+                finished.push(i);
+                continue;
+            }
+            decode_cands.push((i, next));
+        }
+        let cold: Vec<usize> = self
+            .active
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.prefilled < a.ctx_len())
+            .map(|(i, _)| i)
+            .collect();
+
+        // Budget split: with both classes present, `prefill_pct` of the
+        // budget is reserved for prefill rows — capped at budget − 1 so
+        // at least one decode row always advances (no decode starvation).
+        // Either side's unused share flows to the other.
+        let reserve = if cold.is_empty() {
+            0
+        } else if decode_cands.is_empty() {
+            budget
+        } else {
+            (budget * ucfg.prefill_pct as usize / 100).min(budget - 1)
+        };
+        let n_decode_now = decode_cands.len().min(budget - reserve);
+
+        // Assemble the tick: (active index, run tokens, is_prefill).
+        let mut runs: Vec<(usize, Vec<u32>, bool)> = Vec::new();
+        let mut used = 0usize;
+        for &(i, tok) in &decode_cands[..n_decode_now] {
+            runs.push((i, vec![tok], false));
+            used += 1;
+        }
+        let chunk_len = self.cfg.prefill_chunk;
+        for &i in &cold {
+            if used >= budget {
+                break;
+            }
+            let a = &self.active[i];
+            let ctx_len = a.ctx_len();
+            let len = (ctx_len - a.prefilled).min(chunk_len).min(budget - used);
+            let owner: &[u32] = a.resume_context.as_deref().unwrap_or(&a.req.prompt);
+            runs.push((i, owner[a.prefilled..a.prefilled + len].to_vec(), true));
+            used += len;
+        }
+        // Leftover prefill budget returns to the deferred decodes.
+        let mut taken = n_decode_now;
+        while used < budget && taken < decode_cands.len() {
+            let (i, tok) = decode_cands[taken];
+            runs.push((i, vec![tok], false));
+            used += 1;
+            taken += 1;
+        }
+        for &(i, tok) in &decode_cands[taken..] {
+            self.active[i].pending = Some(tok);
+            self.stats.deferred_decodes += 1;
+        }
+        if runs.is_empty() {
+            return finished;
+        }
+        // One run per sequence, gathered in active-index order.
+        runs.sort_by_key(|r| r.0);
+        let n_decode_rows = runs.iter().filter(|r| !r.2).count();
+        let n_prefill_runs = runs.len() - n_decode_rows;
+
+        let idxs: Vec<usize> = runs.iter().map(|r| r.0).collect();
+        let run_refs: Vec<&[u32]> = runs.iter().map(|r| r.1.as_slice()).collect();
+        let mut slots: Vec<&mut B::Slot> = Vec::with_capacity(idxs.len());
+        {
+            let mut want = idxs.iter().peekable();
+            for (i, a) in self.active.iter_mut().enumerate() {
+                if want.peek() == Some(&&i) {
+                    want.next();
+                    slots.push(a.slot.state_mut());
+                }
+            }
+        }
+        let _g = tel::span("serve", "unified_tick")
+            .arg("rows", used as i64)
+            .arg("decode", n_decode_rows as i64)
+            .arg("prefill_runs", n_prefill_runs as i64);
+        let (logits, cost) = self.backend.forward_mixed(&mut slots, &run_refs);
+        drop(slots);
+        self.now += cost;
+        self.stats.mixed_ticks += 1;
+        self.stats.max_tick_tokens = self.stats.max_tick_tokens.max(used);
+        if n_decode_rows > 0 && n_prefill_runs > 0 {
+            self.stats.overlap_ticks += 1;
+        }
+        if n_decode_rows > 0 {
+            self.stats.decode_batches += 1;
+            self.stats.max_batch_observed = self.stats.max_batch_observed.max(n_decode_rows);
+        }
+        self.stats.prefill_chunks += n_prefill_runs as u64;
+        if tel::enabled() {
+            tel::metrics::gauge_set("serve.batch_size", n_decode_rows as f64);
+            tel::metrics::gauge_set("serve.tick_tokens", used as f64);
+        }
+
+        // Scatter results back. Only observable logits are kept: the
+        // last row of a finished prefill, and every decode row.
+        for ((i, run, is_prefill), l) in runs.into_iter().zip(logits) {
+            let a = &mut self.active[i];
+            if !is_prefill {
+                a.logits = l;
+                continue;
+            }
+            a.prefilled += run.len();
+            if a.prefilled < a.ctx_len() {
+                continue; // mid-prefill logits are never sampled
+            }
+            a.logits = l;
+            if let Some(paged) = &mut self.paged {
+                let bs = paged.alloc.block_size();
+                let full = a.req.prompt.len() / bs;
+                if full > 0 {
+                    let table = B::slot_table_mut(a.slot.state_mut()).expect("paged backend");
+                    paged.radix.insert(
+                        &a.req.prompt[..full * bs],
+                        &table.blocks()[..full],
+                        &mut paged.alloc,
+                    );
+                }
+            }
+        }
+        finished
+    }
+
     /// Releases finished requests' slots (and, on paged backends, their
     /// non-shared blocks) and builds their completions, in admission
     /// order.
@@ -984,6 +1211,7 @@ mod tests {
                 max_batch: 8,
                 prefill_chunk: 4,
                 queue_cap: 16,
+                unified: None,
             },
         )
     }
@@ -1007,6 +1235,7 @@ mod tests {
                 max_batch: 8,
                 prefill_chunk: 4,
                 queue_cap: 16,
+                unified: None,
             },
         )
     }
@@ -1029,6 +1258,139 @@ mod tests {
             out.extend(engine.step());
         }
         out
+    }
+
+    fn cpu_unified_engine(slots: usize, budget: usize, pct: u32) -> ServeEngine<CpuBackend> {
+        let model = Transformer::new(TransformerWeights::synthetic(ModelConfig::test_tiny(), 42));
+        ServeEngine::new(
+            CpuBackend::new(model),
+            ServeConfig {
+                slots,
+                max_batch: 8,
+                prefill_chunk: 4,
+                queue_cap: 16,
+                unified: Some(UnifiedConfig {
+                    token_budget: budget,
+                    prefill_pct: pct,
+                }),
+            },
+        )
+    }
+
+    #[test]
+    fn unified_streams_match_legacy_engine() {
+        // Across tight and ample budgets and prefill ratios, the unified
+        // scheduler must emit exactly the token streams of the
+        // phase-serialized engine (which itself matches the single-tenant
+        // oracle).
+        for (budget, pct) in [(1, 0), (2, 50), (4, 25), (8, 75), (64, 100)] {
+            let mut legacy = cpu_engine(3);
+            let mut unified = cpu_unified_engine(3, budget, pct);
+            for i in 0..6u64 {
+                let r = req(i, vec![1, 3 + i as u32, 9, 2 + i as u32], 8, 50 + i);
+                legacy.submit(r.clone()).unwrap();
+                unified.submit(r).unwrap();
+            }
+            let mut a = drain(&mut legacy);
+            let mut b = drain(&mut unified);
+            a.sort_by_key(|c| c.id);
+            b.sort_by_key(|c| c.id);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(
+                    x.tokens, y.tokens,
+                    "unified (budget {budget}, pct {pct}) changed request {}",
+                    x.id
+                );
+            }
+            assert!(unified.stats().mixed_ticks > 0);
+            assert!(unified.all_slots_free());
+        }
+    }
+
+    #[test]
+    fn unified_tick_overlaps_prefill_with_decode() {
+        // Two early requests decode while a later one prefills: the tick
+        // must carry both classes at once (the ISSUE 6 acceptance
+        // telemetry), visible as overlap_ticks > 0 and a tick wider than
+        // the decode batch alone.
+        let mut unified = cpu_unified_engine(3, 16, 50);
+        for i in 0..2u64 {
+            let mut r = req(i, vec![1, 4 + i as u32], 12, 30 + i);
+            r.stop_at_eos = false;
+            unified.submit(r).unwrap();
+        }
+        // Warm the first two: admit + prefill + first decode ticks.
+        unified.step();
+        unified.step();
+        // A long-prompt request arrives while the others are decoding.
+        let mut late = req(9, vec![1, 7, 8, 9, 10, 11, 12, 13], 4, 99);
+        late.stop_at_eos = false;
+        unified.submit(late).unwrap();
+        let _ = drain(&mut unified);
+        let stats = unified.stats();
+        assert!(
+            stats.overlap_ticks > 0,
+            "a tick must have carried prefill and decode rows together"
+        );
+        assert!(
+            stats.max_tick_tokens > 2,
+            "the mixed tick must be wider than the 2-row decode batch, got {}",
+            stats.max_tick_tokens
+        );
+    }
+
+    #[test]
+    fn unified_budget_one_serializes_but_never_drops() {
+        // token_budget = 1 forces every tick to carry exactly one row.
+        // Decode always wins the split, so requests serialize — streams
+        // must still match the legacy engine exactly.
+        let mut legacy = cpu_engine(2);
+        let mut unified = cpu_unified_engine(2, 1, 50);
+        for i in 0..3u64 {
+            let mut r = req(i, vec![1, 5 + i as u32, 3], 6, 80 + i);
+            r.stop_at_eos = false;
+            legacy.submit(r.clone()).unwrap();
+            unified.submit(r).unwrap();
+        }
+        let mut a = drain(&mut legacy);
+        let mut b = drain(&mut unified);
+        a.sort_by_key(|c| c.id);
+        b.sort_by_key(|c| c.id);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tokens, y.tokens, "budget=1 changed request {}", x.id);
+            assert_eq!(x.tokens.len(), 6);
+        }
+        assert_eq!(unified.stats().max_tick_tokens, 1);
+    }
+
+    #[test]
+    fn unified_tight_budget_defers_decode_rows_without_resampling() {
+        // Three warm decoders through a 2-row budget: one decode row per
+        // tick must be parked in `pending` and resumed later. Streams
+        // must be unchanged — the parked token is never re-sampled.
+        let mut legacy = cpu_engine(3);
+        let mut unified = cpu_unified_engine(3, 2, 50);
+        for i in 0..3u64 {
+            let mut r = req(i, vec![1, 5 + i as u32], 6, 80 + i);
+            r.stop_at_eos = false;
+            legacy.submit(r.clone()).unwrap();
+            unified.submit(r).unwrap();
+        }
+        let mut a = drain(&mut legacy);
+        let mut b = drain(&mut unified);
+        a.sort_by_key(|c| c.id);
+        b.sort_by_key(|c| c.id);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tokens, y.tokens, "deferral changed request {}", x.id);
+            assert_eq!(x.tokens.len(), 6);
+        }
+        let stats = unified.stats();
+        assert!(
+            stats.deferred_decodes > 0,
+            "three decoders through a 2-row budget must defer"
+        );
+        assert!(stats.max_tick_tokens <= 2);
     }
 
     #[test]
@@ -1113,6 +1475,7 @@ mod tests {
                 max_batch: 4,
                 prefill_chunk: 4,
                 queue_cap: 2,
+                unified: None,
             },
         );
         assert!(engine.submit(req(0, vec![1, 3], 2, 0)).is_ok());

@@ -55,6 +55,8 @@ pub mod loadgen;
 pub mod report;
 
 pub use backend::{AccelBackend, Backend, CpuBackend, CpuSlot};
-pub use engine::{Completion, Request, ServeConfig, ServeEngine, ServeStats, TrafficSource};
+pub use engine::{
+    Completion, Request, ServeConfig, ServeEngine, ServeStats, TrafficSource, UnifiedConfig,
+};
 pub use loadgen::{ArrivalMode, LoadGen, LoadGenConfig};
 pub use report::{percentile, Percentiles, ServeReport};

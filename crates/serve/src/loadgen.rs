@@ -30,6 +30,16 @@ pub enum ArrivalMode {
         /// Target number of outstanding requests (≥ 1).
         concurrency: usize,
     },
+    /// Bursty open loop: requests arrive in groups of `burst_size` that
+    /// share one arrival tick, with seeded gaps (uniform on
+    /// `[1, 2·burst_gap]`, same discipline as [`ArrivalMode::Open`])
+    /// between groups — the admission-spike workload of ROADMAP item 1.
+    Bursty {
+        /// Requests per burst (≥ 1).
+        burst_size: usize,
+        /// Mean gap between bursts, in virtual ticks (≥ 1).
+        burst_gap: u64,
+    },
 }
 
 /// Workload shape.
@@ -91,6 +101,14 @@ impl LoadGen {
         if let ArrivalMode::Closed { concurrency } = cfg.mode {
             assert!(concurrency >= 1, "closed loop needs concurrency >= 1");
         }
+        if let ArrivalMode::Bursty {
+            burst_size,
+            burst_gap,
+        } = cfg.mode
+        {
+            assert!(burst_size >= 1, "bursts need at least one request");
+            assert!(burst_gap >= 1, "burst gap must be >= 1");
+        }
 
         // The shared prefix draws from its own salted stream so that
         // `shared_prefix_len = 0` leaves the main stream — and therefore
@@ -127,8 +145,21 @@ impl LoadGen {
             }
             let max_new_tokens = in_range(&mut rng, cfg.max_new_tokens);
             let seed = rng.next_u64();
-            if let ArrivalMode::Open { mean_interarrival } = cfg.mode {
-                clock += 1 + rng.below(2 * mean_interarrival);
+            match cfg.mode {
+                ArrivalMode::Open { mean_interarrival } => {
+                    clock += 1 + rng.below(2 * mean_interarrival);
+                }
+                ArrivalMode::Bursty {
+                    burst_size,
+                    burst_gap,
+                } => {
+                    // One seeded gap per burst; every member of the burst
+                    // lands on the same tick.
+                    if id as usize % burst_size == 0 {
+                        clock += 1 + rng.below(2 * burst_gap);
+                    }
+                }
+                ArrivalMode::Closed { .. } => {}
             }
             pending.push_back(Request {
                 id,
@@ -156,7 +187,7 @@ impl LoadGen {
 impl TrafficSource for LoadGen {
     fn poll(&mut self, now: u64, outstanding: usize, room: usize) -> Vec<Request> {
         let budget = match self.mode {
-            ArrivalMode::Open { .. } => room,
+            ArrivalMode::Open { .. } | ArrivalMode::Bursty { .. } => room,
             ArrivalMode::Closed { concurrency } => {
                 room.min(concurrency.saturating_sub(outstanding))
             }
@@ -164,7 +195,7 @@ impl TrafficSource for LoadGen {
         let mut due = Vec::new();
         while due.len() < budget {
             match self.mode {
-                ArrivalMode::Open { .. } => {
+                ArrivalMode::Open { .. } | ArrivalMode::Bursty { .. } => {
                     if self.pending.front().map_or(true, |r| r.arrival > now) {
                         break;
                     }
@@ -186,7 +217,9 @@ impl TrafficSource for LoadGen {
 
     fn next_arrival(&self, _outstanding: usize) -> Option<u64> {
         match self.mode {
-            ArrivalMode::Open { .. } => self.pending.front().map(|r| r.arrival),
+            ArrivalMode::Open { .. } | ArrivalMode::Bursty { .. } => {
+                self.pending.front().map(|r| r.arrival)
+            }
             // Closed loop: the next request is due immediately whenever
             // the engine has room for it.
             ArrivalMode::Closed { .. } => (!self.pending.is_empty()).then_some(0),
@@ -305,6 +338,58 @@ mod tests {
         }
         // Arrivals are non-decreasing (FIFO schedule).
         assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn bursty_same_seed_is_byte_identical() {
+        let mode = ArrivalMode::Bursty {
+            burst_size: 3,
+            burst_gap: 20,
+        };
+        let a = drain_all(&mut LoadGen::new(&cfg(mode, 7)));
+        let b = drain_all(&mut LoadGen::new(&cfg(mode, 7)));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.prompt, y.prompt);
+            assert_eq!(x.arrival, y.arrival, "arrival trace must be seeded");
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.max_new_tokens, y.max_new_tokens);
+        }
+        let c = drain_all(&mut LoadGen::new(&cfg(mode, 8)));
+        assert!(
+            a.iter()
+                .zip(&c)
+                .any(|(x, y)| x.prompt != y.prompt || x.arrival != y.arrival),
+            "different seeds must produce different traces"
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_cluster_into_bursts() {
+        let mode = ArrivalMode::Bursty {
+            burst_size: 4,
+            burst_gap: 50,
+        };
+        let reqs = drain_all(&mut LoadGen::new(&cfg(mode, 11)));
+        assert_eq!(reqs.len(), 8);
+        // Members of one burst share an arrival tick; bursts are strictly
+        // separated (gap >= 1).
+        for chunk in reqs.chunks(4) {
+            assert!(
+                chunk.iter().all(|r| r.arrival == chunk[0].arrival),
+                "burst members must share an arrival tick"
+            );
+        }
+        assert!(
+            reqs[4].arrival > reqs[0].arrival,
+            "bursts must be separated in time"
+        );
+        // The spike is real: nothing is due at tick 0, everything of the
+        // first burst is due together.
+        let mut gen = LoadGen::new(&cfg(mode, 11));
+        assert!(gen.poll(0, 0, 8).is_empty());
+        let first = gen.next_arrival(0).unwrap();
+        assert_eq!(gen.poll(first, 0, 8).len(), 4, "whole burst due at once");
     }
 
     #[test]

@@ -81,6 +81,33 @@ echo "== batched-decode GEMM identity gate (release) =="
 # permuted batch order, on both backends.
 cargo test --release -q -p speedllm --test batched_decode_props
 
+echo "== unified-batch smoke (mixed prefill+decode ticks, byte-identical reports) =="
+# The unified scheduler shares the virtual clock discipline: the same
+# seeded bursty workload through mixed token-budget ticks must render
+# the same bytes, run to run, on both backends.
+uni_a="$(./target/release/speedllm serve-bench --smoke --mode bursty --burst-size 4 --burst-gap 16 --token-budget 8 --prefill-ratio 50)"
+uni_b="$(./target/release/speedllm serve-bench --smoke --mode bursty --burst-size 4 --burst-gap 16 --token-budget 8 --prefill-ratio 50)"
+if [[ "$uni_a" != "$uni_b" ]]; then
+    echo "unified serve-bench smoke is not deterministic:" >&2
+    diff <(printf '%s\n' "$uni_a") <(printf '%s\n' "$uni_b") >&2 || true
+    exit 1
+fi
+grep -q "requests completed   8" <<<"$uni_a"
+grep -q "token budget 8, prefill ratio 50%" <<<"$uni_a"
+uni_cpu="$(./target/release/speedllm serve-bench --smoke --backend cpu --kv paged --prefill-ratio 25)"
+grep -q "requests completed   8" <<<"$uni_cpu"
+echo "unified-batch smoke OK: deterministic mixed ticks on accel + cpu"
+
+echo "== unified-batch identity gate (release) =="
+# The mixed prefill+decode tick must stay bit-identical to the
+# sequential prefill-then-decode engine in the release profile (debug
+# asserts off): budget × ratio × chunk × flat/paged × serial/parallel
+# grids on both backends, plus the mid-tick-finish / exact-fit /
+# forced-split / preempt-half-prefilled edges and the pure-decode
+# report-byte regression.
+cargo test --release -q -p speedllm --test unified_batch_props
+cargo test --release -q -p speedllm --test unified_batch_telemetry
+
 echo "== batched GEMM ablation smoke (tok/s + weight bytes/token vs width) =="
 gemm_out="$(cargo bench -q -p speedllm-bench --bench ablation_batched_gemm -- --smoke)"
 grep -q "batch 8:" <<<"$gemm_out"

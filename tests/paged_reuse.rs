@@ -30,6 +30,7 @@ fn serve_cfg(slots: usize) -> ServeConfig {
         max_batch: 8,
         prefill_chunk: 4,
         queue_cap: 64,
+        unified: None,
     }
 }
 

@@ -31,6 +31,7 @@ fn serve_cfg(slots: usize) -> ServeConfig {
         max_batch: 4,
         prefill_chunk: 3,
         queue_cap: 16,
+        unified: None,
     }
 }
 

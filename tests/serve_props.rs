@@ -26,6 +26,7 @@ fn cpu_engine(slots: usize, max_batch: usize, chunk: usize) -> ServeEngine<CpuBa
             max_batch,
             prefill_chunk: chunk,
             queue_cap: 64,
+            unified: None,
         },
     )
 }
