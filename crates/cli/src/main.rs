@@ -54,9 +54,18 @@ COMMANDS
              --kv pool|paged --block-size N --shared-prefix N
              --mode open|closed --mean TICKS --concurrency N
              --max-new N --sampler S --seed N [--smoke]
+             --events-out FILE  write the per-request lifecycle event
+             log (JSONL, virtual-tick stamped) for `analyze`
+             --metrics-out FILE  write per-tick scheduler samples
+             (queue depth, batch rows, budget utilization, KV blocks);
+             CSV unless FILE ends in .jsonl
              (--kv paged serves block-granular KV with radix
              prefix sharing and preemptive eviction at the same
              memory budget as --slots flat slots)
+  analyze    phase-breakdown dashboard over a serve-bench event log:
+             per-phase table (queue/prefill/decode/stall), goodput,
+             top-N slowest requests with timelines, anomaly flags
+             --events FILE [--top N]
   help       this text
 
 GLOBAL FLAGS
@@ -80,6 +89,10 @@ thread_local! {
     /// Simulator timeline stashed by a traced command for the combined
     /// trace written at exit.
     static SIM_TRACE: RefCell<Option<speedllm_fpga_sim::trace::TraceBuffer>> =
+        const { RefCell::new(None) };
+    /// Serve lifecycle events stashed by serve-bench for per-request
+    /// tracks in the combined trace written at exit.
+    static SERVE_EVENTS: RefCell<Option<Vec<speedllm_serve::Event>>> =
         const { RefCell::new(None) };
 }
 
@@ -131,6 +144,7 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "devices" => cmd_devices(&args),
         "eval" => cmd_eval(&args),
         "serve-bench" => cmd_serve_bench(&args),
+        "analyze" => cmd_analyze(&args),
         other => return Err(format!("unknown command `{other}`; try `speedllm help`").into()),
     }?;
     finalize_telemetry(args.get("trace-out"))
@@ -192,6 +206,13 @@ fn finalize_telemetry(trace_out: Option<&str>) -> Result<(), Box<dyn std::error:
                     tel::export::SIM_PID,
                     &mut trace,
                 );
+            }
+        });
+        SERVE_EVENTS.with(|t| {
+            if let Some(events) = t.borrow_mut().take() {
+                // One named track per request: the serve run renders as
+                // a gantt of overlapping request lifetimes.
+                speedllm_serve::events_to_chrome(&events, &mut trace);
             }
         });
         let json = tel::export::chrome_trace_json(&tel::drain_spans(), Some(trace));
@@ -488,18 +509,25 @@ fn cmd_devices(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Drives one serve-bench run to completion and renders its report.
+/// Drives one serve-bench run to completion and renders its report,
+/// returning the observability recorder when one was requested.
 fn serve_bench_run<B: speedllm_serve::Backend>(
     backend: B,
     scfg: speedllm_serve::ServeConfig,
     lcfg: &speedllm_serve::LoadGenConfig,
-) -> String {
+    record: bool,
+) -> (String, Option<speedllm_serve::ServeRecorder>) {
     let mut engine = speedllm_serve::ServeEngine::new(backend, scfg);
+    if record {
+        engine.attach_recorder(speedllm_serve::ServeRecorder::new());
+    }
     let name = engine.backend().name();
     let mut traffic = speedllm_serve::LoadGen::new(lcfg);
     let completions = engine.run_with_source(&mut traffic);
-    speedllm_serve::ServeReport::from_run(&completions, engine.stats(), engine.slot_reuses())
-        .render(name)
+    let report =
+        speedllm_serve::ServeReport::from_run(&completions, engine.stats(), engine.slot_reuses())
+            .render(name);
+    (report, engine.take_recorder())
 }
 
 fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
@@ -527,6 +555,8 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "sampler",
         "seed",
         "smoke",
+        "events-out",
+        "metrics-out",
         "trace-out",
     ])?;
     // --smoke: a fixed tiny workload (8 requests on the test-tiny model)
@@ -664,13 +694,21 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
 
-    let report = match (backend, kv) {
+    // Observability exports: the recorder is attached only when some
+    // output wants it, and recording never perturbs the token streams
+    // or the report (asserted by tests/serve_observability.rs).
+    let events_out = args.get("events-out");
+    let metrics_out = args.get("metrics-out");
+    let record = events_out.is_some() || metrics_out.is_some() || args.get("trace-out").is_some();
+
+    let (report, recorder) = match (backend, kv) {
         ("cpu", "pool") => {
             let weights = TransformerWeights::synthetic(preset, seed);
             serve_bench_run(
                 CpuBackend::new(speedllm_llama::forward::Transformer::new(weights)),
                 scfg,
                 &lcfg,
+                record,
             )
         }
         ("cpu", _) => {
@@ -682,19 +720,76 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 ),
                 scfg,
                 &lcfg,
+                record,
             )
         }
         (_, "pool") => {
             let weights = std::sync::Arc::new(TransformerWeights::synthetic(preset, seed));
             let engine = speedllm_accel::engine::Engine::new(weights, OptConfig::full())?;
-            serve_bench_run(AccelBackend::new(engine), scfg, &lcfg)
+            serve_bench_run(AccelBackend::new(engine), scfg, &lcfg, record)
         }
         _ => {
             let weights = std::sync::Arc::new(TransformerWeights::synthetic(preset, seed));
             let engine = speedllm_accel::engine::Engine::new(weights, OptConfig::full())?;
-            serve_bench_run(AccelBackend::new_paged(engine, block_cfg), scfg, &lcfg)
+            serve_bench_run(
+                AccelBackend::new_paged(engine, block_cfg),
+                scfg,
+                &lcfg,
+                record,
+            )
         }
     };
     print!("{report}");
+    if let Some(rec) = recorder {
+        if let Some(path) = events_out {
+            let jsonl = rec.events.to_jsonl();
+            std::fs::write(path, &jsonl)?;
+            println!(
+                "wrote {} lifecycle events ({} bytes) to {path}",
+                rec.events.len(),
+                jsonl.len()
+            );
+            if rec.events.dropped() > 0 {
+                println!("(+{} events dropped)", rec.events.dropped());
+            }
+        }
+        if let Some(path) = metrics_out {
+            let text = if path.ends_with(".jsonl") {
+                rec.ticks.to_jsonl()
+            } else {
+                rec.ticks.to_csv()
+            };
+            std::fs::write(path, &text)?;
+            println!(
+                "wrote {} tick samples ({} bytes) to {path}",
+                rec.ticks.len(),
+                text.len()
+            );
+            if rec.ticks.dropped() > 0 {
+                println!("(+{} tick samples evicted)", rec.ticks.dropped());
+            }
+        }
+        if args.get("trace-out").is_some() {
+            SERVE_EVENTS.with(|s| *s.borrow_mut() = Some(rec.events.events().to_vec()));
+        }
+    }
+    Ok(())
+}
+
+/// `speedllm analyze` — phase-breakdown dashboard over the lifecycle
+/// event JSONL written by `serve-bench --events-out`.
+fn cmd_analyze(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.expect_only(&["events", "top", "trace-out"])?;
+    let path = args
+        .get("events")
+        .ok_or("analyze requires --events FILE (from serve-bench --events-out)")?;
+    let top = args.get_usize("top", 5)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let events = speedllm_serve::parse_events_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    let opts = speedllm_serve::AnalyzeOptions {
+        top,
+        ..Default::default()
+    };
+    print!("{}", speedllm_serve::render_analysis(&events, &opts));
     Ok(())
 }

@@ -1,0 +1,300 @@
+//! Offline analysis of a serve-run event log (`speedllm analyze`).
+//!
+//! Ingests the lifecycle-event JSONL written by
+//! `serve-bench --events-out` (see [`crate::events`]) and renders a
+//! textual dashboard: a phase-breakdown table over all completed
+//! requests, goodput, the top-N slowest requests with ASCII timelines,
+//! and stall/queue anomaly flags. Everything is derived from virtual
+//! ticks, so the rendered text is byte-identical across runs of the
+//! same seed.
+
+use std::fmt::Write as _;
+
+use speedllm_llama::generate::safe_rate;
+
+use crate::events::{phase_breakdowns, Event, RequestPhases};
+use crate::report::Percentiles;
+
+/// Knobs for [`render_analysis`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzeOptions {
+    /// How many slowest requests to list with timelines.
+    pub top: usize,
+    /// Width of each request timeline bar, in characters.
+    pub timeline_width: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        Self {
+            top: 5,
+            timeline_width: 40,
+        }
+    }
+}
+
+/// A request's lifetime as chronological phase segments, rendered as a
+/// fixed-width bar: `Q`ueue, `P`refill, `D`ecode, `S`tall. Character
+/// `i` shows the phase active at tick `arrival + i·e2e/width`.
+fn timeline(p: &RequestPhases, width: usize) -> String {
+    let (Some(adm), Some(fin)) = (p.admitted, p.finished) else {
+        return "-".repeat(width);
+    };
+    let e2e = p.e2e();
+    if e2e == 0 || width == 0 {
+        return "-".repeat(width);
+    }
+    // Build chronological (start, end, char) segments.
+    let mut segs: Vec<(u64, u64, char)> = Vec::new();
+    if adm > p.arrival {
+        segs.push((p.arrival, adm, 'Q'));
+    }
+    // On-device spans between stalls, split at the first-token tick.
+    let mut cursor = adm;
+    let push_on_device = |segs: &mut Vec<(u64, u64, char)>, from: u64, to: u64| {
+        if to <= from {
+            return;
+        }
+        match p.first_token {
+            Some(ft) if ft > from && ft < to => {
+                segs.push((from, ft, 'P'));
+                segs.push((ft, to, 'D'));
+            }
+            Some(ft) if ft <= from => segs.push((from, to, 'D')),
+            _ => segs.push((from, to, 'P')),
+        }
+    };
+    for &(s, e) in &p.stalls {
+        push_on_device(&mut segs, cursor, s);
+        segs.push((s, e, 'S'));
+        cursor = e;
+    }
+    push_on_device(&mut segs, cursor, fin);
+    let mut bar = String::with_capacity(width);
+    for i in 0..width {
+        let t = p.arrival + (i as u64 * e2e) / width as u64;
+        let c = segs
+            .iter()
+            .find(|&&(s, e, _)| t >= s && t < e)
+            .map_or('-', |&(_, _, c)| c);
+        bar.push(c);
+    }
+    bar
+}
+
+/// Renders the analysis dashboard for an event stream (must be in
+/// emission order, as the JSONL file is).
+#[must_use]
+pub fn render_analysis(events: &[Event], opts: &AnalyzeOptions) -> String {
+    let phases = phase_breakdowns(events);
+    let completed: Vec<&RequestPhases> = phases.iter().filter(|p| p.finished.is_some()).collect();
+    let rejected = phases.iter().filter(|p| p.rejected).count();
+    let in_flight = phases.len() - completed.len() - rejected;
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "serve analysis — {} requests ({} completed, {} rejected, {} in-flight), {} events",
+        phases.len(),
+        completed.len(),
+        rejected,
+        in_flight,
+        events.len()
+    );
+    s.push('\n');
+
+    // ── Phase breakdown ────────────────────────────────────────────
+    let _ = writeln!(s, "phase breakdown (completed requests, virtual ticks)");
+    let _ = writeln!(
+        s,
+        "  {:<8} {:>10} {:>7} {:>8} {:>8} {:>8}",
+        "phase", "total", "share", "p50", "p95", "p99"
+    );
+    let total_e2e: u64 = completed.iter().map(|p| p.e2e()).sum();
+    let phase_row = |s: &mut String, name: &str, of: &dyn Fn(&RequestPhases) -> u64| {
+        let total: u64 = completed.iter().map(|p| of(p)).sum();
+        let pct = Percentiles::of(completed.iter().map(|p| of(p)).collect());
+        let share = safe_rate(total as f64, total_e2e as f64) * 100.0;
+        let _ = writeln!(
+            s,
+            "  {:<8} {:>10} {:>6.1}% {:>8} {:>8} {:>8}",
+            name, total, share, pct.p50, pct.p95, pct.p99
+        );
+    };
+    phase_row(&mut s, "queue", &|p| p.queue_wait);
+    phase_row(&mut s, "prefill", &|p| p.prefill);
+    phase_row(&mut s, "decode", &|p| p.decode);
+    phase_row(&mut s, "stall", &|p| p.stall);
+    phase_row(&mut s, "e2e", &|p| p.e2e());
+    s.push('\n');
+
+    // ── Goodput ────────────────────────────────────────────────────
+    let tokens: u64 = completed.iter().map(|p| p.tokens).sum();
+    let first_arrival = completed.iter().map(|p| p.arrival).min().unwrap_or(0);
+    let last_finish = completed
+        .iter()
+        .filter_map(|p| p.finished)
+        .max()
+        .unwrap_or(0);
+    let makespan = last_finish.saturating_sub(first_arrival);
+    let preemptions: u32 = completed.iter().map(|p| p.preemptions).sum();
+    let prefix_hits: u64 = completed.iter().map(|p| p.prefix_hit_tokens).sum();
+    let _ = writeln!(s, "goodput");
+    let _ = writeln!(s, "  tokens generated     {tokens}");
+    let _ = writeln!(s, "  makespan             {makespan} ticks");
+    let _ = writeln!(
+        s,
+        "  goodput              {:.3} tok/ktick",
+        safe_rate(tokens as f64, makespan as f64) * 1000.0
+    );
+    let _ = writeln!(s, "  preemptions          {preemptions}");
+    let _ = writeln!(s, "  prefix-hit tokens    {prefix_hits}");
+    s.push('\n');
+
+    // ── Top-N slowest ──────────────────────────────────────────────
+    let mut slowest: Vec<&&RequestPhases> = completed.iter().collect();
+    // Ties broken by id so the listing is stable across runs.
+    slowest.sort_by_key(|p| (std::cmp::Reverse(p.e2e()), p.id));
+    slowest.truncate(opts.top);
+    let _ = writeln!(
+        s,
+        "top {} slowest requests (Q queue · P prefill · D decode · S stall)",
+        slowest.len()
+    );
+    for p in &slowest {
+        let _ = writeln!(
+            s,
+            "  req {:<6} e2e {:>7}  q {:>6}  p {:>6}  d {:>6}  s {:>6}  |{}|",
+            p.id,
+            p.e2e(),
+            p.queue_wait,
+            p.prefill,
+            p.decode,
+            p.stall,
+            timeline(p, opts.timeline_width)
+        );
+    }
+    s.push('\n');
+
+    // ── Anomalies ──────────────────────────────────────────────────
+    let _ = writeln!(s, "anomalies");
+    let mut any = false;
+    for p in &completed {
+        if p.stall_share() > 0.5 {
+            let _ = writeln!(
+                s,
+                "  req {}: stalled {:.1}% of lifetime (> 50% preempted)",
+                p.id,
+                p.stall_share() * 100.0
+            );
+            any = true;
+        }
+        if p.queue_share() > 0.5 {
+            let _ = writeln!(
+                s,
+                "  req {}: queued {:.1}% of lifetime (> 50% waiting)",
+                p.id,
+                p.queue_share() * 100.0
+            );
+            any = true;
+        }
+    }
+    if rejected > 0 {
+        let _ = writeln!(s, "  {rejected} request(s) rejected (queue backpressure)");
+        any = true;
+    }
+    if in_flight > 0 {
+        let _ = writeln!(s, "  {in_flight} request(s) incomplete at end of log");
+        any = true;
+    }
+    if !any {
+        let _ = writeln!(s, "  none");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+
+    fn ev(tick: u64, req: u64, kind: EventKind) -> Event {
+        Event { tick, req, kind }
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            // req 1: queued 0→4, first token 10, stalled 14→20, done 30.
+            ev(0, 1, EventKind::Enqueued),
+            ev(4, 1, EventKind::Admitted { prefix_hit: 4 }),
+            ev(10, 1, EventKind::FirstToken),
+            ev(14, 1, EventKind::Preempted),
+            ev(20, 1, EventKind::Resumed { prefix_hit: 0 }),
+            ev(30, 1, EventKind::Completed { tokens: 6 }),
+            // req 2: mostly stalled (> 50% → anomaly).
+            ev(0, 2, EventKind::Enqueued),
+            ev(1, 2, EventKind::Admitted { prefix_hit: 0 }),
+            ev(2, 2, EventKind::FirstToken),
+            ev(3, 2, EventKind::Preempted),
+            ev(18, 2, EventKind::Resumed { prefix_hit: 0 }),
+            ev(20, 2, EventKind::Completed { tokens: 2 }),
+            // req 3: bounced off the queue.
+            ev(5, 3, EventKind::Rejected),
+        ]
+    }
+
+    #[test]
+    fn dashboard_sections_render_and_are_deterministic() {
+        let events = sample_events();
+        let a = render_analysis(&events, &AnalyzeOptions::default());
+        let b = render_analysis(&events, &AnalyzeOptions::default());
+        assert_eq!(a, b, "analysis must be byte-stable");
+        assert!(a.contains("3 requests (2 completed, 1 rejected, 0 in-flight)"));
+        assert!(a.contains("phase breakdown"));
+        // e2e share row is exactly 100% of itself.
+        assert!(a.contains("e2e"));
+        assert!(a.contains("100.0%"));
+        assert!(a.contains("goodput"));
+        assert!(a.contains("tokens generated     8"));
+        assert!(a.contains("top 2 slowest requests"));
+        assert!(a.contains("req 1"));
+        // req 2 stalled 15/20 = 75% of its lifetime.
+        assert!(a.contains("req 2: stalled 75.0% of lifetime"));
+        assert!(a.contains("1 request(s) rejected"));
+    }
+
+    #[test]
+    fn timeline_orders_phases_chronologically() {
+        let events = sample_events();
+        let phases = phase_breakdowns(&events);
+        let p1 = phases.iter().find(|p| p.id == 1).unwrap();
+        let bar = timeline(p1, 30);
+        assert_eq!(bar.len(), 30);
+        // Q then P then D, with an S stall strictly inside the D span.
+        let first_q = bar.find('Q').unwrap();
+        let first_p = bar.find('P').unwrap();
+        let first_d = bar.find('D').unwrap();
+        let first_s = bar.find('S').unwrap();
+        assert!(first_q < first_p && first_p < first_d && first_d < first_s);
+        assert!(
+            bar.rfind('D').unwrap() > first_s,
+            "decode resumes after stall"
+        );
+        assert!(!bar.contains('-'));
+    }
+
+    #[test]
+    fn incomplete_and_empty_logs_do_not_panic() {
+        let text = render_analysis(&[], &AnalyzeOptions::default());
+        assert!(text.contains("0 requests"));
+        assert!(text.contains("goodput              0.000 tok/ktick"));
+
+        let events = [
+            ev(0, 9, EventKind::Enqueued),
+            ev(2, 9, EventKind::Admitted { prefix_hit: 0 }),
+        ];
+        let text = render_analysis(&events, &AnalyzeOptions::default());
+        assert!(text.contains("1 in-flight"));
+        assert!(text.contains("1 request(s) incomplete at end of log"));
+    }
+}

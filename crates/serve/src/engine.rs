@@ -45,6 +45,16 @@ use speedllm_llama::tokenizer::{TOKEN_BOS, TOKEN_EOS};
 use speedllm_pagedkv::{BlockAllocator, BlockId, RadixIndex};
 
 use crate::backend::Backend;
+use crate::events::{Event, EventKind, ServeRecorder};
+
+/// Appends a lifecycle event when a recorder is attached. A free
+/// function so call sites inside field-level borrows of the engine can
+/// reach the recorder without re-borrowing `self`.
+fn record(rec: &mut Option<ServeRecorder>, tick: u64, req: u64, kind: EventKind) {
+    if let Some(r) = rec.as_mut() {
+        r.events.push(Event { tick, req, kind });
+    }
+}
 
 /// One generation request.
 #[derive(Debug, Clone)]
@@ -89,6 +99,10 @@ pub struct Completion {
     pub slot_index: usize,
     /// Admission order (0-based, strictly increasing with queue order).
     pub admission_seq: u64,
+    /// Virtual tick each token was sampled at (`token_ticks[0]` equals
+    /// `first_token_at`); consecutive differences are the inter-token
+    /// latencies feeding `ServeReport::itl_ticks`.
+    pub token_ticks: Vec<u64>,
 }
 
 impl Completion {
@@ -241,6 +255,8 @@ struct Active<B: Backend> {
     admitted_at: u64,
     first_token_at: Option<u64>,
     admission_seq: u64,
+    /// Sampling tick of each generated token (parallel to `generated`).
+    token_ticks: Vec<u64>,
 }
 
 impl<B: Backend> Active<B> {
@@ -265,6 +281,8 @@ struct Preempted {
     admitted_at: u64,
     first_token_at: Option<u64>,
     admission_seq: u64,
+    /// Sampling tick of each generated token, carried across the stall.
+    token_ticks: Vec<u64>,
 }
 
 /// Block-budget state of a paged backend: the allocator over the shared
@@ -296,6 +314,15 @@ pub struct ServeEngine<B: Backend> {
     admission_seq: u64,
     stats: ServeStats,
     seq_len: usize,
+    /// Optional observability sink (lifecycle events + tick samples).
+    /// Recording is pure observation: it never touches the clock,
+    /// samplers, or KV state, so token streams and reports are
+    /// bit-identical with or without it.
+    recorder: Option<ServeRecorder>,
+    /// Decode rows carried by the current scheduler iteration.
+    tick_decode_rows: usize,
+    /// Prefill token rows carried by the current scheduler iteration.
+    tick_prefill_tokens: usize,
 }
 
 impl<B: Backend> ServeEngine<B> {
@@ -345,7 +372,28 @@ impl<B: Backend> ServeEngine<B> {
             admission_seq: 0,
             stats: ServeStats::default(),
             seq_len,
+            recorder: None,
+            tick_decode_rows: 0,
+            tick_prefill_tokens: 0,
         }
+    }
+
+    /// Attaches an observability recorder; subsequent requests emit
+    /// lifecycle events and every [`ServeEngine::step`] appends one tick
+    /// sample. Replaces any previous recorder.
+    pub fn attach_recorder(&mut self, recorder: ServeRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached recorder, if any.
+    #[must_use]
+    pub fn recorder(&self) -> Option<&ServeRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Detaches and returns the recorder (e.g. to export after a run).
+    pub fn take_recorder(&mut self) -> Option<ServeRecorder> {
+        self.recorder.take()
     }
 
     /// The scheduler configuration (after clamping).
@@ -440,8 +488,10 @@ impl<B: Backend> ServeEngine<B> {
             if tel::enabled() {
                 tel::metrics::counter_add("serve.rejected", 1);
             }
+            record(&mut self.recorder, req.arrival, req.id, EventKind::Rejected);
             return Err(req);
         }
+        record(&mut self.recorder, req.arrival, req.id, EventKind::Enqueued);
         self.queue.push_back(req);
         Ok(())
     }
@@ -451,6 +501,8 @@ impl<B: Backend> ServeEngine<B> {
     pub fn step(&mut self) -> Vec<Completion> {
         let _g = tel::span("serve", "step").arg("active", self.active.len() as i64);
         self.stats.iterations += 1;
+        self.tick_decode_rows = 0;
+        self.tick_prefill_tokens = 0;
         self.admit();
         self.stats.max_active_observed = self.stats.max_active_observed.max(self.active.len());
         self.note_block_peak();
@@ -463,14 +515,44 @@ impl<B: Backend> ServeEngine<B> {
         };
         self.note_block_peak();
         let done = self.evict(finished);
+        let tick_tokens = self.tick_decode_rows + self.tick_prefill_tokens;
         if tel::enabled() {
             tel::metrics::gauge_set("serve.queue_depth", self.queue.len() as f64);
             tel::metrics::gauge_set("serve.active", self.active.len() as f64);
+            // Emitted for both schedulers so legacy/unified ablations
+            // compare like-for-like (the unified path used to be the
+            // only one setting this).
+            tel::metrics::gauge_set("serve.tick_tokens", tick_tokens as f64);
             if self.paged.is_some() {
                 tel::metrics::gauge_set("serve.blocks_in_use", self.blocks_in_use() as f64);
                 tel::metrics::gauge_set("serve.blocks_cached", self.blocks_cached() as f64);
                 let frag = self.kv_fragmentation();
                 tel::metrics::gauge_set("serve.kv_fragmentation", frag);
+            }
+        }
+        if self.recorder.is_some() {
+            // The per-tick token capacity: the unified token budget, or
+            // the legacy decode batch cap.
+            let budget = self
+                .cfg
+                .unified
+                .map_or(self.cfg.max_batch, |u| u.token_budget);
+            let row = [
+                self.now as f64,
+                self.queue.len() as f64,
+                self.active.len() as f64,
+                self.preempted.len() as f64,
+                self.tick_decode_rows as f64,
+                self.tick_prefill_tokens as f64,
+                tick_tokens as f64,
+                tick_tokens as f64 / budget.max(1) as f64,
+                self.blocks_in_use() as f64,
+                self.blocks_cached() as f64,
+                self.stats.prefix_hit_tokens as f64,
+                self.stats.preemptions as f64,
+            ];
+            if let Some(r) = self.recorder.as_mut() {
+                r.ticks.push(&row);
             }
         }
         done
@@ -525,6 +607,12 @@ impl<B: Backend> ServeEngine<B> {
             }
             let end_pos = (req.prompt.len() + req.max_new_tokens).min(self.seq_len);
             let sampler = Sampler::new(req.sampler, req.seed);
+            record(
+                &mut self.recorder,
+                self.now,
+                req.id,
+                EventKind::Admitted { prefix_hit: 0 },
+            );
             self.active.push(Active {
                 end_pos,
                 sampler,
@@ -537,6 +625,7 @@ impl<B: Backend> ServeEngine<B> {
                 admitted_at: self.now,
                 first_token_at: None,
                 admission_seq: self.admission_seq,
+                token_ticks: Vec::new(),
                 req,
             });
             self.admission_seq += 1;
@@ -589,6 +678,18 @@ impl<B: Backend> ServeEngine<B> {
             }
             self.stats.cache_evicted_blocks += evicted.len() as u64;
             if !evicted.is_empty() {
+                let needy = match &cand {
+                    Cand::Resumed(p) => p.req.id,
+                    Cand::Fresh(r) => r.id,
+                };
+                record(
+                    &mut self.recorder,
+                    self.now,
+                    needy,
+                    EventKind::EvictedCacheBlock {
+                        blocks: evicted.len() as u32,
+                    },
+                );
                 self.backend.on_blocks_freed(&evicted);
             }
             let matched = hit.len() * bs;
@@ -628,6 +729,14 @@ impl<B: Backend> ServeEngine<B> {
                 Cand::Fresh(req) => {
                     let end_pos = (req.prompt.len() + req.max_new_tokens).min(self.seq_len);
                     let sampler = Sampler::new(req.sampler, req.seed);
+                    record(
+                        &mut self.recorder,
+                        self.now,
+                        req.id,
+                        EventKind::Admitted {
+                            prefix_hit: matched as u32,
+                        },
+                    );
                     self.active.push(Active {
                         end_pos,
                         sampler,
@@ -640,6 +749,7 @@ impl<B: Backend> ServeEngine<B> {
                         admitted_at: self.now,
                         first_token_at: None,
                         admission_seq: self.admission_seq,
+                        token_ticks: Vec::new(),
                         req,
                     });
                     self.admission_seq += 1;
@@ -647,6 +757,14 @@ impl<B: Backend> ServeEngine<B> {
                 }
                 Cand::Resumed(p) => {
                     let end_pos = (p.req.prompt.len() + p.req.max_new_tokens).min(self.seq_len);
+                    record(
+                        &mut self.recorder,
+                        self.now,
+                        p.req.id,
+                        EventKind::Resumed {
+                            prefix_hit: matched as u32,
+                        },
+                    );
                     self.active.push(Active {
                         end_pos,
                         sampler: p.sampler,
@@ -659,6 +777,7 @@ impl<B: Backend> ServeEngine<B> {
                         admitted_at: p.admitted_at,
                         first_token_at: p.first_token_at,
                         admission_seq: p.admission_seq,
+                        token_ticks: p.token_ticks,
                         req: p.req,
                     });
                 }
@@ -682,10 +801,20 @@ impl<B: Backend> ServeEngine<B> {
             let _g = tel::span("serve", "prefill_chunk")
                 .arg("req", a.req.id as i64)
                 .arg("tokens", chunk.len() as i64);
+            let chunk_tokens = chunk.len();
             let (logits, cost) = self.backend.prefill(a.slot.state_mut(), chunk, a.prefilled);
             self.now += cost;
             a.prefilled = end;
             self.stats.prefill_chunks += 1;
+            self.tick_prefill_tokens += chunk_tokens;
+            record(
+                &mut self.recorder,
+                self.now,
+                a.req.id,
+                EventKind::PrefillChunk {
+                    tokens: chunk_tokens as u32,
+                },
+            );
             if a.prefilled < ctx_len {
                 continue;
             }
@@ -745,6 +874,15 @@ impl<B: Backend> ServeEngine<B> {
             };
             self.stats.cache_evicted_blocks += evicted.len() as u64;
             if !evicted.is_empty() {
+                let needy = self.active[i].req.id;
+                record(
+                    &mut self.recorder,
+                    self.now,
+                    needy,
+                    EventKind::EvictedCacheBlock {
+                        blocks: evicted.len() as u32,
+                    },
+                );
                 self.backend.on_blocks_freed(&evicted);
             }
             match granted {
@@ -801,6 +939,7 @@ impl<B: Backend> ServeEngine<B> {
         if tel::enabled() {
             tel::metrics::counter_add("serve.preemptions", 1);
         }
+        record(&mut self.recorder, self.now, a.req.id, EventKind::Preempted);
         let mut resume_context = a.req.prompt.clone();
         resume_context.extend_from_slice(&a.generated);
         let p = Preempted {
@@ -811,6 +950,7 @@ impl<B: Backend> ServeEngine<B> {
             admitted_at: a.admitted_at,
             first_token_at: a.first_token_at,
             admission_seq: a.admission_seq,
+            token_ticks: a.token_ticks,
         };
         let pos = self
             .preempted
@@ -842,8 +982,15 @@ impl<B: Backend> ServeEngine<B> {
                 continue;
             }
             a.generated.push(next);
+            a.token_ticks.push(self.now);
             if a.first_token_at.is_none() {
                 a.first_token_at = Some(self.now);
+                record(
+                    &mut self.recorder,
+                    self.now,
+                    a.req.id,
+                    EventKind::FirstToken,
+                );
             }
             if pos_next + 1 >= a.end_pos {
                 // Budget exhausted by this token; the single-tenant loop
@@ -882,6 +1029,20 @@ impl<B: Backend> ServeEngine<B> {
             self.stats.max_batch_observed = self.stats.max_batch_observed.max(idxs.len());
             if tel::enabled() {
                 tel::metrics::gauge_set("serve.batch_size", idxs.len() as f64);
+            }
+            self.tick_decode_rows += idxs.len();
+            if self.recorder.is_some() {
+                for &i in idxs {
+                    let rid = self.active[i].req.id;
+                    record(
+                        &mut self.recorder,
+                        self.now,
+                        rid,
+                        EventKind::DecodeTick {
+                            batch: idxs.len() as u32,
+                        },
+                    );
+                }
             }
             for (&i, l) in idxs.iter().zip(logits) {
                 self.active[i].logits = l;
@@ -928,8 +1089,15 @@ impl<B: Backend> ServeEngine<B> {
                 continue;
             }
             a.generated.push(next);
+            a.token_ticks.push(self.now);
             if a.first_token_at.is_none() {
                 a.first_token_at = Some(self.now);
+                record(
+                    &mut self.recorder,
+                    self.now,
+                    a.req.id,
+                    EventKind::FirstToken,
+                );
             }
             if pos_next + 1 >= a.end_pos {
                 // Budget exhausted by this token; the final forward's
@@ -1030,7 +1198,23 @@ impl<B: Backend> ServeEngine<B> {
         self.stats.prefill_chunks += n_prefill_runs as u64;
         if tel::enabled() {
             tel::metrics::gauge_set("serve.batch_size", n_decode_rows as f64);
-            tel::metrics::gauge_set("serve.tick_tokens", used as f64);
+        }
+        self.tick_decode_rows += n_decode_rows;
+        self.tick_prefill_tokens += used - n_decode_rows;
+        if self.recorder.is_some() {
+            for (i, run, is_prefill) in &runs {
+                let rid = self.active[*i].req.id;
+                let kind = if *is_prefill {
+                    EventKind::PrefillChunk {
+                        tokens: run.len() as u32,
+                    }
+                } else {
+                    EventKind::DecodeTick {
+                        batch: n_decode_rows as u32,
+                    }
+                };
+                record(&mut self.recorder, self.now, rid, kind);
+            }
         }
 
         // Scatter results back. Only observable logits are kept: the
@@ -1093,14 +1277,26 @@ impl<B: Backend> ServeEngine<B> {
                 slot_index: a.slot.index(),
                 admission_seq: a.admission_seq,
                 tokens: a.generated,
+                token_ticks: a.token_ticks,
             };
             self.pool.release(a.slot);
+            record(
+                &mut self.recorder,
+                self.now,
+                completion.id,
+                EventKind::Completed {
+                    tokens: completion.tokens.len() as u32,
+                },
+            );
             if tel::enabled() {
                 tel::metrics::counter_add("serve.tokens_generated", completion.tokens.len() as u64);
                 if let Some(ttft) = completion.ttft() {
                     tel::metrics::observe("serve.ttft_ticks", ttft);
                 }
                 tel::metrics::observe("serve.e2e_ticks", completion.e2e());
+                for w in completion.token_ticks.windows(2) {
+                    tel::metrics::observe("serve.itl_ticks", w[1] - w[0]);
+                }
             }
             self.stats.completed += 1;
             done.push(completion);

@@ -1,0 +1,750 @@
+//! Per-request lifecycle event log (DESIGN.md §15).
+//!
+//! Every request served by [`crate::engine::ServeEngine`] emits a stream
+//! of typed [`Event`]s stamped with the **virtual-tick clock**, so the
+//! log — like every serve report — is byte-reproducible for a given
+//! seed. The log is pure observation: recording never touches sampler
+//! state, KV contents, or the clock, which is what the trace-neutrality
+//! suite asserts (token streams are bit-identical with recording on or
+//! off).
+//!
+//! Three consumers:
+//!
+//! * **JSONL export/ingest** ([`EventLog::to_jsonl`] /
+//!   [`parse_events_jsonl`]) — the `serve-bench --events-out` file, read
+//!   back by `speedllm analyze`.
+//! * **Phase breakdowns** ([`phase_breakdowns`]) — per-request
+//!   queue-wait / prefill / decode / stall tick attribution that
+//!   reconciles *exactly* with the engine's [`crate::engine::Completion`]
+//!   timestamps: `queue + prefill + decode + stall == e2e`, and the
+//!   `first_token` event tick equals the reported TTFT base.
+//! * **Perfetto tracks** ([`events_to_chrome`]) — one named thread per
+//!   request under [`tel::export::SERVE_PID`], rendering a whole serve
+//!   run as a gantt of overlapping request lifetimes.
+
+use speedllm_telemetry as tel;
+
+use tel::export::ChromeTrace;
+use tel::timeseries::TickSeries;
+
+/// What happened to a request at one virtual tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Entered the bounded queue (tick = the request's arrival tick).
+    Enqueued,
+    /// Bounced off the full queue (admission backpressure).
+    Rejected,
+    /// First admission: left the queue and took a slot; `prefix_hit`
+    /// prompt tokens were resolved against the radix cache.
+    Admitted {
+        /// Prompt tokens skipped thanks to radix prefix sharing.
+        prefix_hit: u32,
+    },
+    /// Re-admission after a preemption (same `prefix_hit` meaning).
+    Resumed {
+        /// Context tokens skipped thanks to radix prefix sharing.
+        prefix_hit: u32,
+    },
+    /// One prefill chunk of `tokens` rows was forwarded for this request.
+    PrefillChunk {
+        /// Token rows in the chunk.
+        tokens: u32,
+    },
+    /// The first generated token was sampled.
+    FirstToken,
+    /// The request rode a decode pass that carried `batch` decode rows.
+    DecodeTick {
+        /// Decode rows in the pass.
+        batch: u32,
+    },
+    /// Taken off the device under block pressure; its KV blocks were
+    /// released.
+    Preempted,
+    /// `blocks` cold radix-cached blocks were reclaimed on this request's
+    /// behalf (at admission or mid-decode block grants).
+    EvictedCacheBlock {
+        /// Blocks reclaimed from the prefix cache.
+        blocks: u32,
+    },
+    /// Finished and released its slot with `tokens` generated.
+    Completed {
+        /// Generated tokens (EOS excluded).
+        tokens: u32,
+    },
+}
+
+impl EventKind {
+    /// Stable wire name used in the JSONL export.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Enqueued => "enqueued",
+            EventKind::Rejected => "rejected",
+            EventKind::Admitted { .. } => "admitted",
+            EventKind::Resumed { .. } => "resumed",
+            EventKind::PrefillChunk { .. } => "prefill_chunk",
+            EventKind::FirstToken => "first_token",
+            EventKind::DecodeTick { .. } => "decode_tick",
+            EventKind::Preempted => "preempted",
+            EventKind::EvictedCacheBlock { .. } => "evicted_cache_block",
+            EventKind::Completed { .. } => "completed",
+        }
+    }
+}
+
+/// One lifecycle event: request `req` did `kind` at virtual tick `tick`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual tick (the engine clock) the event was stamped at.
+    pub tick: u64,
+    /// The request's caller-chosen id.
+    pub req: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Renders the event as one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let head = format!(
+            "{{\"tick\":{},\"req\":{},\"ev\":\"{}\"",
+            self.tick,
+            self.req,
+            self.kind.name()
+        );
+        let tail = match self.kind {
+            EventKind::Admitted { prefix_hit } | EventKind::Resumed { prefix_hit } => {
+                format!(",\"prefix_hit\":{prefix_hit}}}")
+            }
+            EventKind::PrefillChunk { tokens } => format!(",\"tokens\":{tokens}}}"),
+            EventKind::DecodeTick { batch } => format!(",\"batch\":{batch}}}"),
+            EventKind::EvictedCacheBlock { blocks } => format!(",\"blocks\":{blocks}}}"),
+            EventKind::Completed { tokens } => format!(",\"tokens\":{tokens}}}"),
+            EventKind::Enqueued
+            | EventKind::Rejected
+            | EventKind::FirstToken
+            | EventKind::Preempted => "}".to_string(),
+        };
+        head + &tail
+    }
+}
+
+/// Bounded event buffer. Like the telemetry span buffer, it keeps the
+/// **first** `capacity` events and counts the overflow — a truncated log
+/// still starts at tick 0, which is what the analyze tool and the gantt
+/// need most.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    events: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Default event capacity: ~1M events ≈ 24 MB, enough for every bench
+/// workload in the repo with headroom.
+pub const EVENT_CAPACITY: usize = 1 << 20;
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::with_capacity(EVENT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    /// An empty log with the default capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty log keeping at most `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event (dropped and counted once full).
+    pub fn push(&mut self, ev: Event) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in emission (chronological) order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped after the buffer filled.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the whole log as JSONL (one event per line).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses one event-JSONL document (the [`EventLog::to_jsonl`] format)
+/// back into events. Tolerates blank lines; any malformed line is an
+/// error naming its line number.
+pub fn parse_events_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(
+            parse_event_line(line).map_err(|e| format!("line {}: {e}: `{line}`", lineno + 1))?,
+        );
+    }
+    Ok(out)
+}
+
+/// Parses one `{"tick":..,"req":..,"ev":"..",...}` object. The format is
+/// flat (no nesting, values are integers or bare identifiers in quotes),
+/// so a field scanner is sufficient — no general JSON parser needed.
+fn parse_event_line(line: &str) -> Result<Event, String> {
+    let body = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    let mut tick: Option<u64> = None;
+    let mut req: Option<u64> = None;
+    let mut ev: Option<String> = None;
+    let mut arg: Option<(String, u64)> = None;
+    for field in body.split(',') {
+        let (key, value) = field.split_once(':').ok_or("field without `:`")?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "tick" => tick = Some(value.parse().map_err(|_| "bad tick")?),
+            "req" => req = Some(value.parse().map_err(|_| "bad req")?),
+            "ev" => ev = Some(value.trim_matches('"').to_string()),
+            other => {
+                let v: u64 = value.parse().map_err(|_| "bad integer argument")?;
+                arg = Some((other.to_string(), v));
+            }
+        }
+    }
+    let tick = tick.ok_or("missing tick")?;
+    let req = req.ok_or("missing req")?;
+    let ev = ev.ok_or("missing ev")?;
+    let arg_u32 = |want: &str| -> Result<u32, String> {
+        match &arg {
+            Some((k, v)) if k == want => Ok(*v as u32),
+            _ => Err(format!("`{ev}` event missing `{want}` argument")),
+        }
+    };
+    let kind = match ev.as_str() {
+        "enqueued" => EventKind::Enqueued,
+        "rejected" => EventKind::Rejected,
+        "admitted" => EventKind::Admitted {
+            prefix_hit: arg_u32("prefix_hit")?,
+        },
+        "resumed" => EventKind::Resumed {
+            prefix_hit: arg_u32("prefix_hit")?,
+        },
+        "prefill_chunk" => EventKind::PrefillChunk {
+            tokens: arg_u32("tokens")?,
+        },
+        "first_token" => EventKind::FirstToken,
+        "decode_tick" => EventKind::DecodeTick {
+            batch: arg_u32("batch")?,
+        },
+        "preempted" => EventKind::Preempted,
+        "evicted_cache_block" => EventKind::EvictedCacheBlock {
+            blocks: arg_u32("blocks")?,
+        },
+        "completed" => EventKind::Completed {
+            tokens: arg_u32("tokens")?,
+        },
+        other => return Err(format!("unknown event kind `{other}`")),
+    };
+    Ok(Event { tick, req, kind })
+}
+
+/// Per-request phase attribution derived from the event log. All values
+/// in virtual ticks; the four phases partition the request's lifetime
+/// exactly: `queue_wait + prefill + decode + stall == e2e()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestPhases {
+    /// The request id.
+    pub id: u64,
+    /// Arrival (= `enqueued` event tick).
+    pub arrival: u64,
+    /// First admission tick.
+    pub admitted: Option<u64>,
+    /// First generated token's sampling tick.
+    pub first_token: Option<u64>,
+    /// Completion tick.
+    pub finished: Option<u64>,
+    /// Ticks spent queued before first admission.
+    pub queue_wait: u64,
+    /// Admission → first token, minus any stall in that span.
+    pub prefill: u64,
+    /// First token → completion, minus any stall in that span.
+    pub decode: u64,
+    /// Total ticks spent preempted (off the device).
+    pub stall: u64,
+    /// The preemption intervals `(preempted_at, resumed_at)`, in order.
+    pub stalls: Vec<(u64, u64)>,
+    /// Generated tokens reported by the `completed` event.
+    pub tokens: u64,
+    /// Times this request was preempted.
+    pub preemptions: u32,
+    /// Prompt/context tokens served from the radix prefix cache.
+    pub prefix_hit_tokens: u64,
+    /// True when the request only ever bounced off the full queue.
+    pub rejected: bool,
+}
+
+impl RequestPhases {
+    /// End-to-end latency (arrival → completion); 0 while incomplete.
+    #[must_use]
+    pub fn e2e(&self) -> u64 {
+        self.finished.map_or(0, |f| f - self.arrival)
+    }
+
+    /// Share of the lifetime spent preempted, in [0, 1].
+    #[must_use]
+    pub fn stall_share(&self) -> f64 {
+        let e2e = self.e2e();
+        if e2e == 0 {
+            0.0
+        } else {
+            self.stall as f64 / e2e as f64
+        }
+    }
+
+    /// Share of the lifetime spent queued, in [0, 1].
+    #[must_use]
+    pub fn queue_share(&self) -> f64 {
+        let e2e = self.e2e();
+        if e2e == 0 {
+            0.0
+        } else {
+            self.queue_wait as f64 / e2e as f64
+        }
+    }
+}
+
+/// Derives one [`RequestPhases`] per request from an event stream (which
+/// must be in emission order, as [`EventLog::events`] and the JSONL file
+/// are). Returns breakdowns sorted by request id.
+#[must_use]
+pub fn phase_breakdowns(events: &[Event]) -> Vec<RequestPhases> {
+    use std::collections::BTreeMap;
+
+    struct Acc {
+        phases: RequestPhases,
+        /// Open preemption start, if currently off the device.
+        preempted_at: Option<u64>,
+        stall_pre_ft: u64,
+        stall_post_ft: u64,
+    }
+    let mut accs: BTreeMap<u64, Acc> = BTreeMap::new();
+    for ev in events {
+        let a = accs.entry(ev.req).or_insert_with(|| Acc {
+            phases: RequestPhases {
+                id: ev.req,
+                arrival: ev.tick,
+                admitted: None,
+                first_token: None,
+                finished: None,
+                queue_wait: 0,
+                prefill: 0,
+                decode: 0,
+                stall: 0,
+                stalls: Vec::new(),
+                tokens: 0,
+                preemptions: 0,
+                prefix_hit_tokens: 0,
+                rejected: true,
+            },
+            preempted_at: None,
+            stall_pre_ft: 0,
+            stall_post_ft: 0,
+        });
+        match ev.kind {
+            EventKind::Enqueued => {
+                a.phases.arrival = ev.tick;
+                a.phases.rejected = false;
+            }
+            EventKind::Rejected => {}
+            EventKind::Admitted { prefix_hit } => {
+                a.phases.admitted = Some(ev.tick);
+                a.phases.prefix_hit_tokens += u64::from(prefix_hit);
+                a.phases.rejected = false;
+            }
+            EventKind::Resumed { prefix_hit } => {
+                a.phases.prefix_hit_tokens += u64::from(prefix_hit);
+                if let Some(start) = a.preempted_at.take() {
+                    let dur = ev.tick - start;
+                    a.phases.stalls.push((start, ev.tick));
+                    if a.phases.first_token.is_some() {
+                        a.stall_post_ft += dur;
+                    } else {
+                        a.stall_pre_ft += dur;
+                    }
+                }
+            }
+            EventKind::FirstToken => {
+                if a.phases.first_token.is_none() {
+                    a.phases.first_token = Some(ev.tick);
+                }
+            }
+            EventKind::Preempted => {
+                a.phases.preemptions += 1;
+                a.preempted_at = Some(ev.tick);
+            }
+            EventKind::Completed { tokens } => {
+                a.phases.finished = Some(ev.tick);
+                a.phases.tokens = u64::from(tokens);
+            }
+            EventKind::PrefillChunk { .. }
+            | EventKind::DecodeTick { .. }
+            | EventKind::EvictedCacheBlock { .. } => {}
+        }
+    }
+    let mut out: Vec<RequestPhases> = accs
+        .into_values()
+        .map(|mut a| {
+            let p = &mut a.phases;
+            if let (Some(adm), Some(fin)) = (p.admitted, p.finished) {
+                p.queue_wait = adm - p.arrival;
+                p.stall = a.stall_pre_ft + a.stall_post_ft;
+                match p.first_token {
+                    Some(ft) => {
+                        p.prefill = (ft - adm) - a.stall_pre_ft;
+                        p.decode = (fin - ft) - a.stall_post_ft;
+                    }
+                    None => {
+                        // Zero-token completion: everything after the
+                        // queue is prefill (nothing was ever decoded).
+                        p.prefill = (fin - adm) - p.stall;
+                        p.decode = 0;
+                    }
+                }
+            }
+            a.phases
+        })
+        .collect();
+    out.sort_by_key(|p| p.id);
+    out
+}
+
+/// Adds per-request lifecycle tracks to a Chrome trace under
+/// [`tel::export::SERVE_PID`]: one named thread per request (in order of
+/// first appearance) carrying `queue`/`prefill`/`decode` phase bars,
+/// `stall` bars for preemption intervals, and instant markers for first
+/// tokens, cache evictions, and rejections. Virtual ticks map 1:1 onto
+/// trace microseconds.
+pub fn events_to_chrome(events: &[Event], trace: &mut ChromeTrace) {
+    use tel::export::SERVE_PID;
+    if events.is_empty() {
+        return;
+    }
+    trace.meta_process_name(SERVE_PID, "serve (virtual ticks)");
+    let mut tids: Vec<u64> = Vec::new();
+    for ev in events {
+        if !tids.contains(&ev.req) {
+            trace.meta_thread_name(SERVE_PID, tids.len() as u32, &format!("req {}", ev.req));
+            tids.push(ev.req);
+        }
+    }
+    let tid_of = |req: u64| tids.iter().position(|&r| r == req).expect("seen") as u32;
+    for p in phase_breakdowns(events) {
+        let tid = tid_of(p.id);
+        let (Some(adm), Some(fin)) = (p.admitted, p.finished) else {
+            continue;
+        };
+        let bar = |trace: &mut ChromeTrace, name: &str, from: u64, to: u64| {
+            if to > from {
+                trace.complete_ext(
+                    SERVE_PID,
+                    tid,
+                    name,
+                    from as f64,
+                    (to - from) as f64,
+                    &[("req", p.id as i64)],
+                    &[("phase", name)],
+                );
+            }
+        };
+        bar(trace, "queue", p.arrival, adm);
+        match p.first_token {
+            Some(ft) => {
+                bar(trace, "prefill", adm, ft);
+                bar(trace, "decode", ft, fin);
+                trace.instant(
+                    SERVE_PID,
+                    tid,
+                    "first_token",
+                    ft as f64,
+                    &[("req", p.id as i64)],
+                    &[],
+                );
+            }
+            None => bar(trace, "prefill", adm, fin),
+        }
+        for &(from, to) in &p.stalls {
+            // Stall bars overlay the phase bar they interrupt; Perfetto
+            // nests them as child slices on the same track.
+            bar(trace, "stall", from, to);
+        }
+    }
+    for ev in events {
+        match ev.kind {
+            EventKind::EvictedCacheBlock { blocks } => trace.instant(
+                SERVE_PID,
+                tid_of(ev.req),
+                "evicted_cache_block",
+                ev.tick as f64,
+                &[("blocks", i64::from(blocks))],
+                &[],
+            ),
+            EventKind::Rejected => trace.instant(
+                SERVE_PID,
+                tid_of(ev.req),
+                "rejected",
+                ev.tick as f64,
+                &[],
+                &[],
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// Column set of the per-tick scheduler sample
+/// ([`ServeRecorder::ticks`]). `budget_util` is the share of the tick's
+/// token budget actually carried (decode batch cap on the legacy
+/// scheduler, token budget on the unified one).
+pub const TICK_COLUMNS: &[&str] = &[
+    "tick",
+    "queue_depth",
+    "active",
+    "preempted",
+    "decode_rows",
+    "prefill_tokens",
+    "tick_tokens",
+    "budget_util",
+    "blocks_in_use",
+    "blocks_cached",
+    "prefix_hit_tokens",
+    "preemptions",
+];
+
+/// Default tick-sample ring capacity (rows kept = the most recent 64k
+/// scheduler iterations).
+pub const TICK_CAPACITY: usize = 1 << 16;
+
+/// The serve-layer observability sink: the lifecycle [`EventLog`] plus
+/// the per-tick [`TickSeries`]. Attach one to a
+/// [`crate::engine::ServeEngine`] with `attach_recorder`; recording is
+/// pure observation and leaves token streams and reports bit-identical.
+#[derive(Debug, Clone)]
+pub struct ServeRecorder {
+    /// The request lifecycle log.
+    pub events: EventLog,
+    /// One scheduler-state sample per engine iteration.
+    pub ticks: TickSeries,
+}
+
+impl Default for ServeRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeRecorder {
+    /// A recorder with default capacities ([`EVENT_CAPACITY`],
+    /// [`TICK_CAPACITY`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(EVENT_CAPACITY, TICK_CAPACITY)
+    }
+
+    /// A recorder with explicit buffer bounds.
+    #[must_use]
+    pub fn with_capacity(event_cap: usize, tick_cap: usize) -> Self {
+        Self {
+            events: EventLog::with_capacity(event_cap),
+            ticks: TickSeries::new(TICK_COLUMNS, tick_cap.max(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tick: u64, req: u64, kind: EventKind) -> Event {
+        Event { tick, req, kind }
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_kind() {
+        let mut log = EventLog::new();
+        let all = [
+            ev(0, 1, EventKind::Enqueued),
+            ev(0, 2, EventKind::Rejected),
+            ev(3, 1, EventKind::Admitted { prefix_hit: 8 }),
+            ev(5, 1, EventKind::PrefillChunk { tokens: 4 }),
+            ev(6, 1, EventKind::FirstToken),
+            ev(7, 1, EventKind::DecodeTick { batch: 3 }),
+            ev(8, 1, EventKind::Preempted),
+            ev(9, 1, EventKind::EvictedCacheBlock { blocks: 2 }),
+            ev(10, 1, EventKind::Resumed { prefix_hit: 0 }),
+            ev(12, 1, EventKind::Completed { tokens: 5 }),
+        ];
+        for e in all {
+            log.push(e);
+        }
+        let jsonl = log.to_jsonl();
+        assert_eq!(jsonl.lines().count(), all.len());
+        let parsed = parse_events_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed, all, "JSONL export must parse back losslessly");
+        // Known spot-check of the wire shape.
+        assert!(jsonl.contains("{\"tick\":3,\"req\":1,\"ev\":\"admitted\",\"prefix_hit\":8}"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines_with_line_numbers() {
+        assert!(parse_events_jsonl("").unwrap().is_empty());
+        let err = parse_events_jsonl("{\"tick\":1,\"req\":2,\"ev\":\"nope\"}").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("unknown event kind"), "{err}");
+        let err =
+            parse_events_jsonl("{\"tick\":0,\"req\":0,\"ev\":\"enqueued\"}\nnot json").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_events_jsonl("{\"req\":0,\"ev\":\"enqueued\"}").unwrap_err();
+        assert!(err.contains("missing tick"), "{err}");
+        let err = parse_events_jsonl("{\"tick\":1,\"req\":0,\"ev\":\"decode_tick\"}").unwrap_err();
+        assert!(err.contains("missing `batch`"), "{err}");
+    }
+
+    #[test]
+    fn capacity_drops_newest_and_counts() {
+        let mut log = EventLog::with_capacity(2);
+        log.push(ev(0, 0, EventKind::Enqueued));
+        log.push(ev(1, 0, EventKind::Admitted { prefix_hit: 0 }));
+        log.push(ev(2, 0, EventKind::FirstToken));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.events()[0].tick, 0, "log keeps the run's beginning");
+    }
+
+    #[test]
+    fn phases_partition_e2e_exactly_including_stalls() {
+        // req 1: queued 0→4, prefills to first token at 10, preempted
+        // 14→20 mid-decode, finishes at 30.
+        let events = [
+            ev(0, 1, EventKind::Enqueued),
+            ev(4, 1, EventKind::Admitted { prefix_hit: 4 }),
+            ev(8, 1, EventKind::PrefillChunk { tokens: 4 }),
+            ev(10, 1, EventKind::FirstToken),
+            ev(12, 1, EventKind::DecodeTick { batch: 2 }),
+            ev(14, 1, EventKind::Preempted),
+            ev(20, 1, EventKind::Resumed { prefix_hit: 0 }),
+            ev(30, 1, EventKind::Completed { tokens: 6 }),
+        ];
+        let ps = phase_breakdowns(&events);
+        assert_eq!(ps.len(), 1);
+        let p = &ps[0];
+        assert_eq!(p.queue_wait, 4);
+        assert_eq!(p.prefill, 6);
+        assert_eq!(p.stall, 6);
+        assert_eq!(p.decode, 14); // (30-10) - 6 stalled
+        assert_eq!(p.e2e(), 30);
+        assert_eq!(p.queue_wait + p.prefill + p.decode + p.stall, p.e2e());
+        assert_eq!(p.stalls, vec![(14, 20)]);
+        assert_eq!(p.preemptions, 1);
+        assert_eq!(p.prefix_hit_tokens, 4);
+        assert_eq!(p.tokens, 6);
+        assert!((p.stall_share() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preemption_before_first_token_lands_in_prefill_span() {
+        let events = [
+            ev(0, 7, EventKind::Enqueued),
+            ev(2, 7, EventKind::Admitted { prefix_hit: 0 }),
+            ev(5, 7, EventKind::Preempted),
+            ev(9, 7, EventKind::Resumed { prefix_hit: 0 }),
+            ev(12, 7, EventKind::FirstToken),
+            ev(16, 7, EventKind::Completed { tokens: 2 }),
+        ];
+        let p = &phase_breakdowns(&events)[0];
+        assert_eq!(p.queue_wait, 2);
+        assert_eq!(p.stall, 4);
+        assert_eq!(p.prefill, 6); // (12-2) - 4 stalled before first token
+        assert_eq!(p.decode, 4);
+        assert_eq!(p.queue_wait + p.prefill + p.decode + p.stall, p.e2e());
+    }
+
+    #[test]
+    fn rejected_only_request_is_flagged() {
+        let events = [ev(5, 9, EventKind::Rejected)];
+        let p = &phase_breakdowns(&events)[0];
+        assert!(p.rejected);
+        assert_eq!(p.finished, None);
+        assert_eq!(p.e2e(), 0);
+    }
+
+    #[test]
+    fn chrome_tracks_are_named_per_request() {
+        let events = [
+            ev(0, 42, EventKind::Enqueued),
+            ev(2, 42, EventKind::Admitted { prefix_hit: 0 }),
+            ev(4, 42, EventKind::FirstToken),
+            ev(3, 7, EventKind::Enqueued),
+            ev(6, 7, EventKind::Rejected),
+            ev(8, 42, EventKind::Completed { tokens: 3 }),
+        ];
+        let mut trace = ChromeTrace::new();
+        events_to_chrome(&events, &mut trace);
+        let json = trace.finish();
+        assert!(json.contains("serve (virtual ticks)"));
+        assert!(json.contains("\"name\":\"req 42\""));
+        assert!(json.contains("\"name\":\"req 7\""));
+        assert!(json.contains("\"name\":\"queue\""));
+        assert!(json.contains("\"name\":\"prefill\""));
+        assert!(json.contains("\"name\":\"decode\""));
+        assert!(json.contains("\"name\":\"first_token\""));
+        assert!(json.contains("\"name\":\"rejected\""));
+        assert!(json.contains("\"phase\":\"queue\""));
+        // Ticks map to whole microseconds.
+        assert!(json.contains("\"ts\":2.000"));
+    }
+}

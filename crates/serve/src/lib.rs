@@ -16,6 +16,14 @@
 //!   (open or closed loop).
 //! * [`report`] — exact-percentile latency/throughput reporting in
 //!   virtual ticks, byte-reproducible for a given seed.
+//! * [`events`] — per-request lifecycle event log (virtual-tick stamped,
+//!   JSONL + Perfetto export), per-tick scheduler samples, and exact
+//!   phase breakdowns (DESIGN.md §15). Attach with
+//!   [`engine::ServeEngine::attach_recorder`]; recording never perturbs
+//!   token streams.
+//! * [`analyze`] — the textual dashboard behind `speedllm analyze`:
+//!   phase-breakdown table, goodput, top-N slowest requests, anomaly
+//!   flags, all derived from the event JSONL.
 //!
 //! ## Quick example
 //!
@@ -49,14 +57,21 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod backend;
 pub mod engine;
+pub mod events;
 pub mod loadgen;
 pub mod report;
 
+pub use analyze::{render_analysis, AnalyzeOptions};
 pub use backend::{AccelBackend, Backend, CpuBackend, CpuSlot};
 pub use engine::{
     Completion, Request, ServeConfig, ServeEngine, ServeStats, TrafficSource, UnifiedConfig,
+};
+pub use events::{
+    events_to_chrome, parse_events_jsonl, phase_breakdowns, Event, EventKind, EventLog,
+    RequestPhases, ServeRecorder,
 };
 pub use loadgen::{ArrivalMode, LoadGen, LoadGenConfig};
 pub use report::{percentile, Percentiles, ServeReport};

@@ -36,13 +36,24 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    fn of(mut sample: Vec<u64>) -> Self {
+    /// Exact nearest-rank p50/p95/p99 of `sample` (unsorted input is
+    /// fine). Degenerate inputs are well-defined, never NaN or panic:
+    /// an empty sample yields all-zero percentiles, a single sample
+    /// repeats that value at every percentile.
+    #[must_use]
+    pub fn of(mut sample: Vec<u64>) -> Self {
         sample.sort_unstable();
         Self {
             p50: percentile(&sample, 50.0),
             p95: percentile(&sample, 95.0),
             p99: percentile(&sample, 99.0),
         }
+    }
+
+    /// True when every percentile is zero (e.g. the empty sample).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.p50 == 0 && self.p95 == 0 && self.p99 == 0
     }
 }
 
@@ -62,6 +73,11 @@ pub struct ServeReport {
     /// Per-output-token latency (first sample → finish, over tokens-1…
     /// computed as milli-ticks per token), for requests with ≥ 2 tokens.
     pub tpot_millis: Percentiles,
+    /// Inter-token latency: the tick gap between consecutive sampled
+    /// tokens, pooled across all requests with ≥ 2 tokens. Unlike
+    /// `tpot_millis` (a per-request average) this exposes the tail a
+    /// single preemption stall puts on one gap.
+    pub itl_ticks: Percentiles,
     /// End-to-end latency (arrival → finish), ticks.
     pub e2e: Percentiles,
     /// Scheduler counters of the run.
@@ -90,6 +106,12 @@ impl ServeReport {
                 })
                 .collect(),
         );
+        let itl = Percentiles::of(
+            completions
+                .iter()
+                .flat_map(|c| c.token_ticks.windows(2).map(|w| w[1] - w[0]))
+                .collect(),
+        );
         let e2e = Percentiles::of(completions.iter().map(Completion::e2e).collect());
         Self {
             requests: completions.len(),
@@ -98,6 +120,7 @@ impl ServeReport {
             tokens_per_kilotick: safe_rate(tokens as f64, makespan as f64) * 1000.0,
             ttft,
             tpot_millis: tpot,
+            itl_ticks: itl,
             e2e,
             stats,
             slot_reuses,
@@ -126,6 +149,11 @@ impl ServeReport {
             s,
             "  tpot p50/p95/p99     {} / {} / {} mticks/tok",
             self.tpot_millis.p50, self.tpot_millis.p95, self.tpot_millis.p99
+        );
+        let _ = writeln!(
+            s,
+            "  itl  p50/p95/p99     {} / {} / {} ticks",
+            self.itl_ticks.p50, self.itl_ticks.p95, self.itl_ticks.p99
         );
         let _ = writeln!(
             s,
@@ -178,6 +206,14 @@ mod tests {
     }
 
     fn completion(id: u64, tokens: usize, arrival: u64, first: u64, finish: u64) -> Completion {
+        // Token sample ticks spread evenly from first token to finish.
+        let token_ticks: Vec<u64> = match tokens {
+            0 => Vec::new(),
+            1 => vec![first],
+            n => (0..n as u64)
+                .map(|i| first + (finish - first) * i / (n as u64 - 1))
+                .collect(),
+        };
         Completion {
             id,
             tokens: vec![9; tokens],
@@ -187,6 +223,7 @@ mod tests {
             finished_at: finish,
             slot_index: 0,
             admission_seq: id,
+            token_ticks,
         }
     }
 
@@ -208,6 +245,9 @@ mod tests {
         // TPOT: req0 = (40-10)*1000/3 = 10000; req1 = (30-12)*1000/1.
         assert_eq!(r.tpot_millis.p50, 10000);
         assert_eq!(r.tpot_millis.p99, 18000);
+        // ITL pools per-token gaps: req0 {10,10,10}, req1 {18}.
+        assert_eq!(r.itl_ticks.p50, 10);
+        assert_eq!(r.itl_ticks.p99, 18);
         let a = r.render("cpu");
         let b = r.render("cpu");
         assert_eq!(a, b);
@@ -222,5 +262,41 @@ mod tests {
         assert!(r
             .render("cpu")
             .contains("throughput           0.000 tok/ktick"));
+    }
+
+    #[test]
+    fn percentiles_of_degenerate_samples_are_well_defined() {
+        // Empty: all zeros, no panic, no NaN anywhere downstream.
+        let p = Percentiles::of(vec![]);
+        assert_eq!((p.p50, p.p95, p.p99), (0, 0, 0));
+        assert!(p.is_zero());
+        // Single sample: every percentile is that value.
+        let p = Percentiles::of(vec![42]);
+        assert_eq!((p.p50, p.p95, p.p99), (42, 42, 42));
+        assert!(!p.is_zero());
+        // Unsorted input is sorted internally.
+        let p = Percentiles::of(vec![30, 10, 20]);
+        assert_eq!(p.p50, 20);
+        assert_eq!(p.p99, 30);
+    }
+
+    #[test]
+    fn zero_and_single_sample_reports_render_without_nan() {
+        // A run with exactly one zero-token completion exercises every
+        // empty-sample branch (no TTFT, no TPOT, no ITL) at once.
+        let r = ServeReport::from_run(&[completion(0, 0, 0, 0, 5)], ServeStats::default(), 1);
+        assert!(r.ttft.is_zero());
+        assert!(r.tpot_millis.is_zero());
+        assert!(r.itl_ticks.is_zero());
+        assert_eq!(r.e2e.p50, 5);
+        let text = r.render("cpu");
+        assert!(!text.contains("NaN"));
+        assert!(text.contains("itl  p50/p95/p99     0 / 0 / 0 ticks"));
+
+        // One single-token completion: e2e defined, gaps still empty.
+        let r = ServeReport::from_run(&[completion(1, 1, 0, 3, 4)], ServeStats::default(), 1);
+        assert_eq!(r.ttft.p50, 3);
+        assert!(r.itl_ticks.is_zero());
+        assert!(!r.render("cpu").contains("NaN"));
     }
 }

@@ -17,6 +17,24 @@ use crate::span::SpanRecord;
 pub const HOST_PID: u32 = 1;
 /// Chrome `pid` used for simulator cycle-timeline events.
 pub const SIM_PID: u32 = 2;
+/// Chrome `pid` used for the serve layer's virtual-tick request tracks.
+pub const SERVE_PID: u32 = 3;
+
+/// Longest string argument value embedded in a trace event, in chars;
+/// longer values are clipped with a trailing `…` so one runaway string
+/// (a prompt, a path) cannot bloat the trace file.
+pub const MAX_STR_ARG: usize = 120;
+
+/// Clips `s` to [`MAX_STR_ARG`] chars, marking truncation with `…`.
+#[must_use]
+pub fn clip_arg(s: &str) -> String {
+    if s.chars().count() <= MAX_STR_ARG {
+        return s.to_string();
+    }
+    let mut out: String = s.chars().take(MAX_STR_ARG.saturating_sub(1)).collect();
+    out.push('…');
+    out
+}
 
 /// Escapes `s` for embedding in a JSON string literal.
 #[must_use]
@@ -81,23 +99,83 @@ impl ChromeTrace {
         dur_us: f64,
         args: &[(&str, i64)],
     ) {
+        self.complete_ext(pid, tid, name, ts_us, dur_us, args, &[]);
+    }
+
+    /// Appends a `ph:"X"` complete event carrying integer **and** string
+    /// arguments. String values are non-static (request text, phase
+    /// labels): they are JSON-escaped and clipped to [`MAX_STR_ARG`]
+    /// chars before embedding.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_ext(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        ts_us: f64,
+        dur_us: f64,
+        args: &[(&str, i64)],
+        str_args: &[(&str, &str)],
+    ) {
         let mut ev = format!(
             "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":{pid},\"tid\":{tid},\
              \"ts\":{ts_us:.3},\"dur\":{dur_us:.3}",
             json_escape(name)
         );
-        if !args.is_empty() {
-            ev.push_str(",\"args\":{");
-            for (i, (k, v)) in args.iter().enumerate() {
-                if i > 0 {
-                    ev.push(',');
-                }
-                ev.push_str(&format!("\"{}\":{v}", json_escape(k)));
-            }
-            ev.push('}');
-        }
+        Self::push_args(&mut ev, args, str_args);
         ev.push('}');
         self.events.push(ev);
+    }
+
+    /// Appends a thread-scoped `ph:"i"` instant event (a vertical marker
+    /// on its track). String arguments are escaped and clipped like
+    /// [`complete_ext`](Self::complete_ext).
+    pub fn instant(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        ts_us: f64,
+        args: &[(&str, i64)],
+        str_args: &[(&str, &str)],
+    ) {
+        let mut ev = format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"{}\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{ts_us:.3}",
+            json_escape(name)
+        );
+        Self::push_args(&mut ev, args, str_args);
+        ev.push('}');
+        self.events.push(ev);
+    }
+
+    /// Renders the shared `"args":{...}` suffix (integer keys first, then
+    /// escaped/clipped strings); emits nothing when both sets are empty.
+    fn push_args(ev: &mut String, args: &[(&str, i64)], str_args: &[(&str, &str)]) {
+        if args.is_empty() && str_args.is_empty() {
+            return;
+        }
+        ev.push_str(",\"args\":{");
+        let mut first = true;
+        for (k, v) in args {
+            if !first {
+                ev.push(',');
+            }
+            first = false;
+            ev.push_str(&format!("\"{}\":{v}", json_escape(k)));
+        }
+        for (k, v) in str_args {
+            if !first {
+                ev.push(',');
+            }
+            first = false;
+            ev.push_str(&format!(
+                "\"{}\":\"{}\"",
+                json_escape(k),
+                json_escape(&clip_arg(v))
+            ));
+        }
+        ev.push('}');
     }
 
     /// Number of events appended so far.
@@ -293,5 +371,51 @@ mod tests {
     #[test]
     fn escape_handles_control_chars() {
         assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn string_args_are_escaped_and_clipped() {
+        let mut t = ChromeTrace::new();
+        t.complete_ext(
+            SERVE_PID,
+            4,
+            "queue",
+            0.0,
+            5.0,
+            &[("req", 7)],
+            &[("phase", "wait\"ing\n")],
+        );
+        let json = t.finish();
+        // Integer args precede string args in one `args` object; the
+        // string value is JSON-escaped.
+        assert!(json.contains("\"args\":{\"req\":7,\"phase\":\"wait\\\"ing\\n\"}"));
+
+        // An oversized value is clipped to MAX_STR_ARG chars ending in …
+        let long = "x".repeat(MAX_STR_ARG * 2);
+        let clipped = clip_arg(&long);
+        assert_eq!(clipped.chars().count(), MAX_STR_ARG);
+        assert!(clipped.ends_with('…'));
+        // A value at the limit passes through untouched.
+        let exact = "y".repeat(MAX_STR_ARG);
+        assert_eq!(clip_arg(&exact), exact);
+
+        let mut t = ChromeTrace::new();
+        t.complete_ext(SERVE_PID, 0, "n", 0.0, 1.0, &[], &[("v", &long)]);
+        let json = t.finish();
+        assert!(json.contains('…'), "embedded oversized arg must be clipped");
+        assert!(!json.contains(&long), "raw oversized arg must not leak");
+    }
+
+    #[test]
+    fn instant_events_render_with_thread_scope() {
+        let mut t = ChromeTrace::new();
+        t.meta_thread_name(SERVE_PID, 2, "req 11");
+        t.instant(SERVE_PID, 2, "first_token", 42.0, &[("tok", 1)], &[]);
+        let json = t.finish();
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"ts\":42.000"));
+        assert!(json.contains("\"name\":\"req 11\""));
+        assert!(json.contains("\"args\":{\"tok\":1}"));
     }
 }

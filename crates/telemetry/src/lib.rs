@@ -19,6 +19,9 @@
 //!   cycle timeline (`fpga_sim::TraceBuffer`) renders into the same
 //!   trace-event stream on its own process track, so simulated DMA/MPE/SFU
 //!   overlap and real host spans sit side by side in one viewer.
+//! * **Time series** ([`timeseries`]) — a bounded ring recorder for
+//!   per-tick scheduler samples (the serve layer's
+//!   `serve-bench --metrics-out`), exporting deterministic CSV/JSONL.
 //!
 //! ## Zero cost when disabled
 //!
@@ -48,6 +51,7 @@ pub mod export;
 pub mod histogram;
 pub mod metrics;
 mod span;
+pub mod timeseries;
 
 pub use span::{span, SpanGuard, SpanRecord};
 

@@ -1,0 +1,185 @@
+//! Fixed-capacity time-series recorder.
+//!
+//! [`TickSeries`] holds one row of named `f64` columns per sample tick in
+//! a bounded ring buffer: when the buffer is full the **oldest** row is
+//! overwritten, so a long run keeps its most recent window (the span
+//! buffer drops newest instead — a trace wants the beginning, a
+//! time-series wants the end). Rows render as CSV (header + rows) or
+//! JSONL, both with deterministic number formatting so two identical runs
+//! export byte-identical files.
+
+use std::collections::VecDeque;
+
+/// Bounded ring of time-series rows with static column names.
+#[derive(Debug, Clone)]
+pub struct TickSeries {
+    columns: &'static [&'static str],
+    rows: VecDeque<Vec<f64>>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Formats an `f64` deterministically: integral values print without a
+/// fraction (`3` not `3.0`), everything else uses Rust's shortest
+/// round-trip form.
+#[must_use]
+pub fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9_007_199_254_740_992.0 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl TickSeries {
+    /// An empty series over `columns`, keeping at most `capacity` rows.
+    ///
+    /// # Panics
+    /// Panics on an empty column set or zero capacity.
+    #[must_use]
+    pub fn new(columns: &'static [&'static str], capacity: usize) -> Self {
+        assert!(!columns.is_empty(), "a series needs at least one column");
+        assert!(capacity > 0, "a series needs room for at least one row");
+        Self {
+            columns,
+            rows: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends one row; evicts the oldest row once full.
+    ///
+    /// # Panics
+    /// Panics when the row width does not match the column set.
+    pub fn push(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width must match the column set"
+        );
+        if self.rows.len() == self.capacity {
+            self.rows.pop_front();
+            self.dropped += 1;
+        }
+        self.rows.push_back(row.to_vec());
+    }
+
+    /// The column names.
+    #[must_use]
+    pub fn columns(&self) -> &'static [&'static str] {
+        self.columns
+    }
+
+    /// Rows currently held (oldest first).
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.rows.iter().map(Vec::as_slice)
+    }
+
+    /// Number of rows currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been recorded (or all were evicted).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders a CSV document: one header line, one line per row.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&fmt_value(*v));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders JSONL: one `{"col":value,...}` object per row.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push('{');
+            for (i, (col, v)) in self.columns.iter().zip(row).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\"{}\":{}",
+                    crate::export::json_escape(col),
+                    fmt_value(*v)
+                ));
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COLS: &[&str] = &["tick", "depth", "util"];
+
+    #[test]
+    fn ring_keeps_most_recent_window() {
+        let mut ts = TickSeries::new(COLS, 2);
+        ts.push(&[1.0, 4.0, 0.5]);
+        ts.push(&[2.0, 5.0, 0.25]);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.dropped(), 0);
+        ts.push(&[3.0, 6.0, 1.0]);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.dropped(), 1);
+        let first: Vec<f64> = ts.rows().next().unwrap().to_vec();
+        assert_eq!(first, vec![2.0, 5.0, 0.25], "oldest row must be evicted");
+    }
+
+    #[test]
+    fn csv_and_jsonl_are_deterministic_and_integer_exact() {
+        let mut ts = TickSeries::new(COLS, 8);
+        ts.push(&[1.0, 3.0, 0.5]);
+        ts.push(&[10.0, 0.0, 0.125]);
+        let csv = ts.to_csv();
+        assert_eq!(csv, "tick,depth,util\n1,3,0.5\n10,0,0.125\n");
+        let jsonl = ts.to_jsonl();
+        assert_eq!(
+            jsonl,
+            "{\"tick\":1,\"depth\":3,\"util\":0.5}\n{\"tick\":10,\"depth\":0,\"util\":0.125}\n"
+        );
+        assert_eq!(csv, ts.to_csv(), "export must be stable");
+    }
+
+    #[test]
+    fn value_formatting_is_integral_when_exact() {
+        assert_eq!(fmt_value(0.0), "0");
+        assert_eq!(fmt_value(-3.0), "-3");
+        assert_eq!(fmt_value(2.5), "2.5");
+        assert_eq!(fmt_value(1_000_000.0), "1000000");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_is_rejected() {
+        let mut ts = TickSeries::new(COLS, 2);
+        ts.push(&[1.0]);
+    }
+}

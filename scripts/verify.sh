@@ -115,9 +115,37 @@ grep -q "batch 8:" <<<"$gemm_out"
 grep -q '"batch_width":"8"' <<<"$gemm_out"
 echo "batched GEMM smoke OK: ablation table + batch_width-stamped JSONL rows"
 
+echo "== observability smoke (lifecycle events + tick metrics + analyze) =="
+obs_dir="$(mktemp -d /tmp/speedllm_verify_obs.XXXXXX)"
+trap 'rm -rf "$obs_dir"' EXIT
+# Exports must be byte-reproducible: same seed, same bytes, run to run.
+./target/release/speedllm serve-bench --smoke \
+    --events-out "$obs_dir/ev_a.jsonl" --metrics-out "$obs_dir/ticks_a.csv" >/dev/null
+./target/release/speedllm serve-bench --smoke \
+    --events-out "$obs_dir/ev_b.jsonl" --metrics-out "$obs_dir/ticks_b.csv" >/dev/null
+cmp "$obs_dir/ev_a.jsonl" "$obs_dir/ev_b.jsonl"
+cmp "$obs_dir/ticks_a.csv" "$obs_dir/ticks_b.csv"
+# The analyzer must ingest the event log back and produce a non-empty
+# phase breakdown that accounts for every smoke request.
+analyze_out="$(./target/release/speedllm analyze --events "$obs_dir/ev_a.jsonl")"
+grep -q "phase breakdown" <<<"$analyze_out"
+grep -q "8 requests (8 completed" <<<"$analyze_out"
+grep -q "top 5 slowest requests" <<<"$analyze_out"
+n_events="$(wc -l < "$obs_dir/ev_a.jsonl")"
+n_ticks="$(tail -n +2 "$obs_dir/ticks_a.csv" | wc -l)"
+if (( n_events < 8 * 4 )); then
+    echo "observability smoke: suspiciously few lifecycle events ($n_events)" >&2
+    exit 1
+fi
+if (( n_ticks < 1 )); then
+    echo "observability smoke: tick series is empty" >&2
+    exit 1
+fi
+echo "observability smoke OK: $n_events events + $n_ticks tick samples, byte-stable, analyze reconciles"
+
 echo "== telemetry smoke (instrumented tiny generate -> Chrome trace) =="
 trace_file="$(mktemp /tmp/speedllm_verify_trace.XXXXXX.json)"
-trap 'rm -f "$trace_file"' EXIT
+trap 'rm -rf "$obs_dir" "$trace_file"' EXIT
 # Capture first, then grep: grep -q closing a live pipe would SIGPIPE the
 # binary and trip pipefail.
 smoke_out="$(./target/release/speedllm run --preset tiny --steps 8 --trace-out "$trace_file")"

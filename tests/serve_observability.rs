@@ -1,0 +1,304 @@
+//! ISSUE 7 acceptance: the serve-layer observability subsystem.
+//!
+//! * **Reconciliation** — for every completed request, the phase
+//!   breakdown reconstructed from the lifecycle event log exactly
+//!   matches the engine's own `Completion` timestamps: queue + prefill +
+//!   decode + stall == e2e, the `first_token` event tick equals the
+//!   reported TTFT base, and admission/finish ticks agree — over a
+//!   seeded bursty workload on both backends, flat and paged (with
+//!   preemption forced).
+//! * **Neutrality** — attaching a recorder and enabling telemetry
+//!   leaves token streams and `ServeReport` bytes bit-identical.
+//! * **Determinism** — every export (event JSONL, tick CSV, Perfetto
+//!   JSON, `analyze` text) is byte-identical across repeated runs.
+//!
+//! The neutrality check toggles process-global telemetry, so it lives in
+//! this single-`#[test]`-per-binary arrangement like
+//! `unified_batch_telemetry.rs`.
+
+use std::sync::Arc;
+
+use speedllm::accel::engine::Engine;
+use speedllm::accel::opt::OptConfig;
+use speedllm::llama::config::ModelConfig;
+use speedllm::llama::forward::Transformer;
+use speedllm::llama::sampler::SamplerKind;
+use speedllm::llama::weights::TransformerWeights;
+use speedllm::pagedkv::BlockConfig;
+use speedllm::serve::{
+    events_to_chrome, phase_breakdowns, render_analysis, AccelBackend, AnalyzeOptions, Backend,
+    Completion, CpuBackend, LoadGen, LoadGenConfig, ServeConfig, ServeEngine, ServeRecorder,
+    ServeReport,
+};
+use speedllm::telemetry as tel;
+
+fn weights() -> TransformerWeights {
+    TransformerWeights::synthetic(ModelConfig::test_tiny(), 42)
+}
+
+/// A seeded bursty workload; `long` makes generations long enough to
+/// force preemption on a tight block budget.
+fn bursty_workload(n: usize, long: bool) -> LoadGenConfig {
+    let cfg = ModelConfig::test_tiny();
+    LoadGenConfig {
+        n_requests: n,
+        mode: speedllm::serve::ArrivalMode::Bursty {
+            burst_size: 3,
+            burst_gap: 40,
+        },
+        prompt_len: (2, 5),
+        shared_prefix_len: 0,
+        max_new_tokens: if long { (16, 20) } else { (1, 8) },
+        sampler: SamplerKind::Temperature(0.8),
+        stop_at_eos: !long,
+        vocab_size: cfg.vocab_size,
+        seq_len: cfg.seq_len,
+        seed: 7,
+    }
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        slots: 2,
+        max_batch: 8,
+        prefill_chunk: 4,
+        queue_cap: 16,
+        unified: None,
+    }
+}
+
+/// Runs a workload with a recorder attached; returns completions, the
+/// recorder, and the rendered report.
+fn run_recorded<B: speedllm::serve::Backend>(
+    backend: B,
+    scfg: ServeConfig,
+    lcfg: &LoadGenConfig,
+) -> (Vec<Completion>, ServeRecorder, String) {
+    let mut engine = ServeEngine::new(backend, scfg);
+    engine.attach_recorder(ServeRecorder::new());
+    let name = engine.backend().name();
+    let completions = engine.run_with_source(&mut LoadGen::new(lcfg));
+    let report =
+        ServeReport::from_run(&completions, engine.stats(), engine.slot_reuses()).render(name);
+    let rec = engine.take_recorder().expect("recorder was attached");
+    (completions, rec, report)
+}
+
+/// The acceptance cross-check: every completion's event-derived phase
+/// breakdown must reconcile exactly with its reported timestamps.
+fn assert_reconciles(label: &str, completions: &[Completion], rec: &ServeRecorder) {
+    assert_eq!(rec.events.dropped(), 0, "{label}: event log overflowed");
+    let phases = phase_breakdowns(rec.events.events());
+    for c in completions {
+        let p = phases
+            .iter()
+            .find(|p| p.id == c.id)
+            .unwrap_or_else(|| panic!("{label}: request {} missing from event log", c.id));
+        assert_eq!(p.arrival, c.arrival, "{label}: req {} arrival", c.id);
+        assert_eq!(
+            p.admitted,
+            Some(c.admitted_at),
+            "{label}: req {} admission tick",
+            c.id
+        );
+        assert_eq!(
+            p.first_token, c.first_token_at,
+            "{label}: req {} first-token tick (must equal reported TTFT base)",
+            c.id
+        );
+        assert_eq!(
+            p.finished,
+            Some(c.finished_at),
+            "{label}: req {} finish tick",
+            c.id
+        );
+        assert_eq!(
+            p.tokens,
+            c.tokens.len() as u64,
+            "{label}: req {} token count",
+            c.id
+        );
+        assert_eq!(
+            p.queue_wait + p.prefill + p.decode + p.stall,
+            c.e2e(),
+            "{label}: req {} phases must sum exactly to e2e",
+            c.id
+        );
+        if let Some(ttft) = c.ttft() {
+            assert_eq!(
+                p.first_token.unwrap() - p.arrival,
+                ttft,
+                "{label}: req {} event-derived TTFT",
+                c.id
+            );
+        }
+        // token_ticks is the ITL substrate: first entry is the TTFT
+        // tick, entries are sorted, and the count matches the output.
+        assert_eq!(c.token_ticks.len(), c.tokens.len());
+        assert_eq!(c.token_ticks.first().copied(), c.first_token_at);
+        assert!(c.token_ticks.windows(2).all(|w| w[0] <= w[1]));
+    }
+    assert!(
+        !rec.ticks.is_empty(),
+        "{label}: tick series recorded nothing"
+    );
+}
+
+#[test]
+fn observability_reconciles_and_never_perturbs_streams() {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            tel::set_enabled(false);
+            tel::reset();
+        }
+    }
+    let _restore = Restore;
+    tel::set_enabled(false);
+    tel::reset();
+
+    // ── Reconciliation: CPU flat, CPU paged (preemption forced), accel ──
+    let lcfg = bursty_workload(10, false);
+    let (completions, rec, _) = run_recorded(
+        CpuBackend::new(Transformer::new(weights())),
+        serve_cfg(),
+        &lcfg,
+    );
+    assert_eq!(completions.len(), 10);
+    assert_reconciles("cpu flat", &completions, &rec);
+
+    // Tight block budget + long generations: preemption stalls must
+    // appear in the breakdown and still reconcile exactly.
+    let long = bursty_workload(3, true);
+    let (completions, rec, _) = run_recorded(
+        CpuBackend::new_paged(
+            Transformer::new(weights()),
+            BlockConfig {
+                block_size: 4,
+                n_blocks: 9,
+            },
+        ),
+        serve_cfg(),
+        &long,
+    );
+    assert_reconciles("cpu paged tight", &completions, &rec);
+    let phases = phase_breakdowns(rec.events.events());
+    assert!(
+        phases.iter().any(|p| p.preemptions > 0 && p.stall > 0),
+        "tight blocks must force a preemption with a visible stall"
+    );
+
+    let accel =
+        || AccelBackend::new(Engine::new(Arc::new(weights()), OptConfig::full()).expect("engine"));
+    let (completions, rec, _) = run_recorded(accel(), serve_cfg(), &lcfg);
+    assert_reconciles("accel flat", &completions, &rec);
+
+    // Unified scheduler: same reconciliation through the mixed tick path.
+    let unified_cfg = ServeConfig {
+        unified: Some(speedllm::serve::UnifiedConfig {
+            token_budget: 8,
+            prefill_pct: 50,
+        }),
+        ..serve_cfg()
+    };
+    let (completions, rec, _) = run_recorded(
+        CpuBackend::new(Transformer::new(weights())),
+        unified_cfg,
+        &lcfg,
+    );
+    assert_reconciles("cpu unified", &completions, &rec);
+
+    // ── Neutrality: recorder + telemetry change nothing observable ──
+    for (label, paged) in [("flat", false), ("paged", true)] {
+        let build = |paged: bool| {
+            if paged {
+                CpuBackend::new_paged(
+                    Transformer::new(weights()),
+                    BlockConfig {
+                        block_size: 4,
+                        n_blocks: 16,
+                    },
+                )
+            } else {
+                CpuBackend::new(Transformer::new(weights()))
+            }
+        };
+        // Baseline: no recorder, telemetry off.
+        let mut engine = ServeEngine::new(build(paged), serve_cfg());
+        let name = engine.backend().name();
+        let base = engine.run_with_source(&mut LoadGen::new(&lcfg));
+        let base_report =
+            ServeReport::from_run(&base, engine.stats(), engine.slot_reuses()).render(name);
+
+        // Instrumented: recorder attached AND telemetry enabled.
+        tel::set_enabled(true);
+        tel::reset();
+        let (instr, _rec, instr_report) = run_recorded(build(paged), serve_cfg(), &lcfg);
+        tel::set_enabled(false);
+        tel::reset();
+
+        assert_eq!(base.len(), instr.len());
+        for (a, b) in base.iter().zip(&instr) {
+            assert_eq!(
+                a.tokens, b.tokens,
+                "cpu {label}: recording changed request {}'s token stream",
+                a.id
+            );
+        }
+        assert_eq!(
+            base_report, instr_report,
+            "cpu {label}: recording changed the report bytes"
+        );
+    }
+    // Accel backend neutrality (flat; the paged path shares the engine
+    // code exercised above).
+    let mut engine = ServeEngine::new(accel(), serve_cfg());
+    let name = engine.backend().name();
+    let base = engine.run_with_source(&mut LoadGen::new(&lcfg));
+    let base_report =
+        ServeReport::from_run(&base, engine.stats(), engine.slot_reuses()).render(name);
+    tel::set_enabled(true);
+    tel::reset();
+    let (instr, _rec, instr_report) = run_recorded(accel(), serve_cfg(), &lcfg);
+    tel::set_enabled(false);
+    tel::reset();
+    for (a, b) in base.iter().zip(&instr) {
+        assert_eq!(a.tokens, b.tokens, "accel: recording changed a stream");
+    }
+    assert_eq!(base_report, instr_report, "accel: report bytes changed");
+
+    // ── Export determinism: two identical runs, byte-identical outputs ──
+    let (_, rec1, report1) = run_recorded(
+        CpuBackend::new(Transformer::new(weights())),
+        serve_cfg(),
+        &lcfg,
+    );
+    let (_, rec2, report2) = run_recorded(
+        CpuBackend::new(Transformer::new(weights())),
+        serve_cfg(),
+        &lcfg,
+    );
+    assert_eq!(report1, report2);
+    assert_eq!(rec1.events.to_jsonl(), rec2.events.to_jsonl());
+    assert_eq!(rec1.ticks.to_csv(), rec2.ticks.to_csv());
+    assert_eq!(rec1.ticks.to_jsonl(), rec2.ticks.to_jsonl());
+    let chrome = |rec: &ServeRecorder| {
+        let mut t = tel::export::ChromeTrace::new();
+        events_to_chrome(rec.events.events(), &mut t);
+        t.finish()
+    };
+    assert_eq!(chrome(&rec1), chrome(&rec2));
+    let opts = AnalyzeOptions::default();
+    let a1 = render_analysis(rec1.events.events(), &opts);
+    let a2 = render_analysis(rec2.events.events(), &opts);
+    assert_eq!(a1, a2);
+    assert!(a1.contains("phase breakdown"));
+    assert!(a1.contains("10 requests (10 completed"));
+
+    // The JSONL round-trips through the parser into the same breakdowns.
+    let parsed = speedllm::serve::parse_events_jsonl(&rec1.events.to_jsonl()).expect("parse");
+    assert_eq!(
+        phase_breakdowns(&parsed),
+        phase_breakdowns(rec1.events.events())
+    );
+}
