@@ -237,6 +237,22 @@ impl SequenceState {
         }
     }
 
+    /// Rolls the sequence back to `len` positions (no-op past the current
+    /// context). Flat storage truncates in place; paged storage pops the
+    /// whole blocks past the keep point and returns them for the owner to
+    /// release — the allocator decides whether a popped block actually
+    /// frees (it may still be CoW-shared with another sequence).
+    /// Speculative decoding uses this to discard rejected draft rows.
+    pub fn truncate(&mut self, len: usize) -> Vec<BlockId> {
+        match &mut self.kv {
+            SeqKv::Flat(kv) => {
+                kv.truncate(len);
+                Vec::new()
+            }
+            SeqKv::Paged(table) => table.rollback(len),
+        }
+    }
+
     /// The block table of a paged sequence (`None` for flat sequences).
     #[must_use]
     pub fn block_table(&self) -> Option<&BlockTable> {
@@ -1204,6 +1220,104 @@ impl Engine {
             tel::metrics::gauge_set("accel.gemm_batch_width", rows as f64);
         }
         let logits = all_logits.last().cloned().unwrap_or_default();
+        (
+            all_logits,
+            StepResult {
+                logits,
+                cycles,
+                stats,
+            },
+        )
+    }
+
+    /// The speculative **verification** pass: like
+    /// [`Engine::forward_mixed`], one device pass carries every run row,
+    /// but the logits of **every** token are collected — sequence `i`'s
+    /// entry is row-major `[runs[i].len() * vocab]`. One verify pass over
+    /// a pending token plus K draft proposals streams the dense weights
+    /// once where K+1 sequential decode steps would stream them K+1
+    /// times; the single [`Engine::timing_pass`] over all rows is what
+    /// models that ~K× weight-traffic cut per accepted run.
+    ///
+    /// Functionally token-sequential per sequence, so each row's logits
+    /// are bit-identical to decoding that prefix through
+    /// [`Engine::decode_batch`] — the property the speculative
+    /// equivalence suite pins.
+    ///
+    /// # Panics
+    /// Same conditions as [`Engine::forward_mixed`].
+    pub fn verify_batch(
+        &mut self,
+        seqs: &mut [&mut SequenceState],
+        runs: &[&[u32]],
+    ) -> (Vec<Vec<f32>>, StepResult) {
+        let c = self.graph.config;
+        assert!(!seqs.is_empty(), "empty batch");
+        assert_eq!(seqs.len(), runs.len(), "one token run per sequence");
+        let rows: usize = runs.iter().map(|r| r.len()).sum();
+        assert!(
+            rows <= 64,
+            "mixed batch of {rows} rows exceeds the staging limit (64)"
+        );
+        let mut positions = Vec::with_capacity(rows);
+        for (seq, run) in seqs.iter().zip(runs) {
+            assert!(!run.is_empty(), "empty run");
+            let start = seq.context_len();
+            let last = start + run.len() - 1;
+            assert!(
+                last < c.seq_len,
+                "pos {last} outside context window {}",
+                c.seq_len
+            );
+            for &t in *run {
+                assert!((t as usize) < c.vocab_size, "token {t} out of vocab");
+            }
+            positions.extend(start..=last);
+        }
+        let before = self.counters_snapshot();
+
+        // Functional pass: token-sequential per sequence (causally exact
+        // through KvAppend program order), keeping every row's logits.
+        let mut all_logits = Vec::with_capacity(seqs.len());
+        for (seq, run) in seqs.iter_mut().zip(runs) {
+            let start = seq.context_len();
+            let mut seq_logits = Vec::with_capacity(run.len() * c.vocab_size);
+            for (i, &tok) in run.iter().enumerate() {
+                for v in &mut seq.values {
+                    *v = None;
+                }
+                for oi in 0..self.graph.ops.len() {
+                    Self::exec_op(
+                        &self.graph,
+                        &self.weights,
+                        &mut self.quant,
+                        &self.cfg,
+                        &self.opt,
+                        seq,
+                        self.paged.as_mut(),
+                        oi,
+                        tok,
+                        start + i,
+                    );
+                }
+                seq_logits.extend_from_slice(seq.value(self.graph.output()));
+            }
+            all_logits.push(seq_logits);
+        }
+
+        // One timing pass over every row: the device streams the dense
+        // weights once for the whole verify tick.
+        let (cycles, ocm_read, ocm_write) = self.timing_pass(&positions);
+        let stats = self.step_stats(&before, cycles, ocm_read, ocm_write);
+        if tel::enabled() {
+            tel::metrics::counter_add("accel.gemm_weight_bytes", c.gemm_weight_bytes() as u64);
+            tel::metrics::counter_add("accel.gemm_tokens", rows as u64);
+            tel::metrics::gauge_set("accel.gemm_batch_width", rows as f64);
+        }
+        let logits = all_logits
+            .last()
+            .map(|l| l[l.len() - c.vocab_size..].to_vec())
+            .unwrap_or_default();
         (
             all_logits,
             StepResult {

@@ -31,6 +31,7 @@ pub mod pipeline;
 pub mod report;
 pub mod roofline;
 pub mod runtime;
+pub mod speculative;
 
 pub use engine::{AccelConfig, Engine, StepResult};
 pub use opt::OptConfig;

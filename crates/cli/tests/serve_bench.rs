@@ -51,3 +51,138 @@ fn open_loop_mode_runs_on_cpu_backend() {
     assert!(a.contains("open loop (mean gap 8 ticks)"));
     assert!(a.contains("requests completed   8"));
 }
+
+/// Runs the binary expecting a clean failure: non-zero exit, an
+/// `error:` line on stderr, and no panic backtrace.
+fn run_err(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_speedllm"))
+        .args(args)
+        .output()
+        .expect("spawn speedllm");
+    assert!(
+        !out.status.success(),
+        "expected failure, got: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let err = String::from_utf8(out.stderr).expect("utf8 stderr");
+    assert!(
+        err.contains("error:"),
+        "stderr should carry an `error:` line, got: {err}"
+    );
+    assert!(!err.contains("panicked"), "bad flags must not panic: {err}");
+    err
+}
+
+#[test]
+fn speculative_smoke_is_deterministic_and_reports_acceptance() {
+    let args = [
+        "serve-bench",
+        "--smoke",
+        "--backend",
+        "cpu",
+        "--spec-k",
+        "4",
+        "--sampler",
+        "argmax",
+    ];
+    let a = run(&args);
+    assert_eq!(a, run(&args), "speculative runs must stay deterministic");
+    assert!(a.contains("spec:     speculative decoding, draft `auto`, k = 4"));
+    assert!(a.contains("spec rounds"));
+    assert!(a.contains("spec acceptance"));
+    // The greedy draft shares the target's trunk shape; acceptance must
+    // be nonzero or speculation is not actually engaging.
+    assert!(
+        !a.contains("(0.000)"),
+        "greedy smoke acceptance must be nonzero:\n{a}"
+    );
+}
+
+#[test]
+fn speculative_flat_and_paged_emit_the_same_token_totals() {
+    let flat = run(&[
+        "serve-bench",
+        "--smoke",
+        "--backend",
+        "cpu",
+        "--spec-k",
+        "2",
+        "--sampler",
+        "argmax",
+    ]);
+    let paged = run(&[
+        "serve-bench",
+        "--smoke",
+        "--backend",
+        "cpu",
+        "--spec-k",
+        "2",
+        "--sampler",
+        "argmax",
+        "--kv",
+        "paged",
+    ]);
+    let tokens = |r: &str| {
+        r.lines()
+            .find(|l| l.contains("tokens generated"))
+            .map(str::to_owned)
+            .expect("report has a tokens row")
+    };
+    assert_eq!(tokens(&flat), tokens(&paged));
+}
+
+#[test]
+fn spec_k_zero_is_a_clean_error() {
+    let err = run_err(&["serve-bench", "--smoke", "--spec-k", "0"]);
+    assert!(err.contains("k must be >= 1"), "got: {err}");
+}
+
+#[test]
+fn missing_draft_checkpoint_is_a_clean_error() {
+    let err = run_err(&[
+        "serve-bench",
+        "--smoke",
+        "--spec-k",
+        "4",
+        "--draft-model",
+        "/no/such/draft.bin",
+    ]);
+    assert!(err.contains("/no/such/draft.bin"), "got: {err}");
+}
+
+#[test]
+fn draft_with_mismatched_vocab_is_a_clean_error() {
+    // The stories260K preset speaks a different vocabulary than the
+    // smoke-test tiny model; enable_speculative must refuse the pair.
+    let err = run_err(&[
+        "serve-bench",
+        "--smoke",
+        "--spec-k",
+        "4",
+        "--draft-model",
+        "stories260k",
+    ]);
+    assert!(err.contains("vocabulary"), "got: {err}");
+}
+
+#[test]
+fn draft_model_without_spec_k_is_a_clean_error() {
+    let err = run_err(&["serve-bench", "--smoke", "--draft-model", "stories260k"]);
+    assert!(
+        err.contains("--draft-model requires --spec-k"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn speculation_cannot_combine_with_the_unified_scheduler() {
+    let err = run_err(&[
+        "serve-bench",
+        "--smoke",
+        "--spec-k",
+        "4",
+        "--token-budget",
+        "8",
+    ]);
+    assert!(err.contains("unified"), "got: {err}");
+}

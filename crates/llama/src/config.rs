@@ -153,6 +153,23 @@ impl ModelConfig {
         }
     }
 
+    /// A stories260K-class draft architecture for speculative decoding
+    /// against `target`: the stories260K trunk (dim 64, 5 layers) with the
+    /// target's `vocab_size` and `seq_len`, so drafted token ids are valid
+    /// target inputs and the draft can shadow the full context. Keeping
+    /// the trunk tiny is what makes the draft pass nearly free — its
+    /// per-token GEMM cost is a small fraction of the target's even after
+    /// adopting a 32K vocab, because the tied classifier reuses the
+    /// embedding.
+    #[must_use]
+    pub fn draft_for(target: &Self) -> Self {
+        Self {
+            vocab_size: target.vocab_size,
+            seq_len: target.seq_len,
+            ..Self::stories260k()
+        }
+    }
+
     /// A deliberately tiny config for unit tests: 2 layers, dim 16.
     #[must_use]
     pub fn test_tiny() -> Self {

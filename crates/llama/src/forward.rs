@@ -229,6 +229,13 @@ impl Transformer {
         self.kv.reset();
     }
 
+    /// Rolls the internal KV cache back to `len` positions (no-op if it is
+    /// already at or below `len`). Speculative decoding uses this to
+    /// discard a draft model's rejected continuations.
+    pub fn truncate_kv(&mut self, len: usize) {
+        self.kv.truncate(len);
+    }
+
     /// Runs one decode step: processes `token` at position `pos` and
     /// returns the logits over the vocabulary.
     ///
@@ -390,18 +397,87 @@ impl Transformer {
             self.batch = Some(BatchState::new(&c, rows));
         }
         let bs = self.batch.as_mut().expect("batch state just ensured");
-        Self::forward_runs_into(&self.weights, bs, kv, self.strategy, tokens, counts, starts);
+        Self::forward_runs_into(
+            &self.weights,
+            bs,
+            kv,
+            self.strategy,
+            tokens,
+            counts,
+            starts,
+            false,
+        );
         &bs.logits[..n_seqs * c.vocab_size]
+    }
+
+    /// Like [`Transformer::forward_runs_with_kv`], but returns the logits
+    /// of **every** token row, row-major: `out[r * vocab..(r + 1) * vocab]`
+    /// is the distribution after row `r` of `tokens` (rows ordered as the
+    /// concatenated runs). This is the verification primitive for
+    /// speculative decoding: one weight-streaming pass scores a pending
+    /// token plus K drafted continuations, and each row's logits are
+    /// bit-identical to what [`Transformer::forward_with_kv`] would have
+    /// produced decoding that prefix token-by-token — the classifier is
+    /// the same GEMM kernel over the same normed residuals, just over all
+    /// rows instead of each sequence's last.
+    ///
+    /// # Panics
+    /// Same conditions as [`Transformer::forward_runs_with_kv`].
+    pub fn forward_runs_all_logits_with_kv<B: KvBatch + ?Sized>(
+        &mut self,
+        kv: &mut B,
+        tokens: &[u32],
+        counts: &[usize],
+        starts: &[usize],
+    ) -> &[f32] {
+        let c = self.weights.config;
+        let n_seqs = counts.len();
+        let rows = tokens.len();
+        assert!(n_seqs >= 1, "empty batch");
+        assert_eq!(n_seqs, starts.len(), "one start position per sequence");
+        assert_eq!(n_seqs, kv.batch_len(), "one KV store per sequence");
+        assert_eq!(
+            rows,
+            counts.iter().sum::<usize>(),
+            "token rows must match run counts"
+        );
+        for i in 0..n_seqs {
+            assert!(counts[i] >= 1, "empty run for sequence {i}");
+            assert_eq!(
+                kv.kv_capacity(i),
+                c.seq_len,
+                "kv store {i} sized for a different context window"
+            );
+        }
+        if self.batch.as_ref().map_or(true, |b| b.capacity < rows) {
+            self.batch = Some(BatchState::new(&c, rows));
+        }
+        let bs = self.batch.as_mut().expect("batch state just ensured");
+        Self::forward_runs_into(
+            &self.weights,
+            bs,
+            kv,
+            self.strategy,
+            tokens,
+            counts,
+            starts,
+            true,
+        );
+        &bs.logits[..rows * c.vocab_size]
     }
 
     /// The mixed-batch forward pass over explicit parts (the batched twin
     /// of [`Transformer::forward_into`]): same layer walk, but each dense
     /// projection is one GEMM over every token row of every run, and
     /// everything per-token runs on that row's slice of the row-major
-    /// scratch. The classifier runs only over each sequence's last row —
-    /// the sequential pass computes (and discards) logits for
-    /// intermediate prefill tokens, so skipping them cannot change any
-    /// value that is ever observed.
+    /// scratch. With `all_logits = false` the classifier runs only over
+    /// each sequence's last row — the sequential pass computes (and
+    /// discards) logits for intermediate prefill tokens, so skipping them
+    /// cannot change any value that is ever observed. With
+    /// `all_logits = true` every row is normed and classified, filling
+    /// `bs.logits` row-major `[rows * vocab]` for speculative
+    /// verification.
+    #[allow(clippy::too_many_arguments)]
     fn forward_runs_into<B: KvBatch + ?Sized>(
         weights: &TransformerWeights,
         bs: &mut BatchState,
@@ -410,6 +486,7 @@ impl Transformer {
         tokens: &[u32],
         counts: &[usize],
         starts: &[usize],
+        all_logits: bool,
     ) {
         let c = weights.config;
         let rows = tokens.len();
@@ -646,7 +723,35 @@ impl Transformer {
             }
         }
 
-        // Final norm + classifier, over each sequence's **last** row only
+        // Final norm + classifier. In the `all_logits` path (speculative
+        // verification) every row is normed in place and classified in one
+        // GEMM, landing row-major in `logits`; each row's values match the
+        // sequential classifier bit-for-bit because rmsnorm and the GEMM
+        // column for that row see exactly the sequential operands.
+        if all_logits {
+            let _cls = tel::span("cpu", "classifier_batch").arg("batch", rows as i64);
+            for r in 0..rows {
+                ops::rmsnorm_inplace(&mut bs.x[r * dim..(r + 1) * dim], &weights.rms_final);
+            }
+            run_matmul(
+                strategy,
+                &mut bs.gemm[..c.vocab_size * rows],
+                weights.classifier(),
+                &bs.x[..rows * dim],
+                c.vocab_size,
+                dim,
+                rows,
+            );
+            scatter_to_seq(
+                &mut bs.logits[..rows * c.vocab_size],
+                &bs.gemm[..c.vocab_size * rows],
+                c.vocab_size,
+                rows,
+            );
+            return;
+        }
+
+        // Otherwise classify each sequence's **last** row only
         // (intermediate prefill logits are never observed). The last rows
         // are compacted into `xb` so the classifier still runs as one
         // GEMM streaming the weight matrix once.
@@ -976,6 +1081,72 @@ mod tests {
                     let m = mixed.forward_with_kv(&mut kvs_m[i], probe, pos).to_vec();
                     let s = oracle.forward_with_kv(&mut kvs_s[i], probe, pos);
                     assert_eq!(&m[..], s, "case {case:?} seq {i} KV diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_logits_rows_match_sequential_decode() {
+        use crate::kv_cache::KvCache;
+        let cfg = ModelConfig::test_tiny();
+        for strategy in [
+            MatVecStrategy::Serial,
+            MatVecStrategy::Parallel { threads: 3 },
+        ] {
+            for case in [
+                vec![(0usize, 4usize)],
+                vec![(3, 1), (0, 4)],
+                vec![(2, 2), (1, 3)],
+            ] {
+                let weights = TransformerWeights::synthetic(cfg, 7);
+                let mut mixed = Transformer::new(weights.clone());
+                mixed.set_strategy(strategy);
+                let mut oracle = Transformer::new(weights);
+                oracle.set_strategy(strategy);
+
+                let n = case.len();
+                let mut kvs_m: Vec<KvCache> = (0..n).map(|_| KvCache::new(&cfg)).collect();
+                let mut kvs_s: Vec<KvCache> = (0..n).map(|_| KvCache::new(&cfg)).collect();
+                for (i, &(ctx, _)) in case.iter().enumerate() {
+                    for p in 0..ctx {
+                        let tok = ((5 * i + p) % 64) as u32;
+                        oracle.forward_with_kv(&mut kvs_s[i], tok, p);
+                        oracle.forward_with_kv(&mut kvs_m[i], tok, p);
+                    }
+                }
+
+                let mut tokens = Vec::new();
+                let mut counts = Vec::new();
+                let mut starts = Vec::new();
+                for (i, &(ctx, run)) in case.iter().enumerate() {
+                    counts.push(run);
+                    starts.push(ctx);
+                    for off in 0..run {
+                        tokens.push(((11 * i + 3 * off + 1) % 64) as u32);
+                    }
+                }
+
+                let mut refs: Vec<&mut KvCache> = kvs_m.iter_mut().collect();
+                let got = mixed
+                    .forward_runs_all_logits_with_kv(refs.as_mut_slice(), &tokens, &counts, &starts)
+                    .to_vec();
+                assert_eq!(got.len(), tokens.len() * cfg.vocab_size);
+
+                // Every row's logits must match the sequential decode of
+                // that prefix — this is what makes speculative
+                // verification exact rather than approximate.
+                let mut row = 0usize;
+                for (i, &(ctx, run)) in case.iter().enumerate() {
+                    for off in 0..run {
+                        let want = oracle.forward_with_kv(&mut kvs_s[i], tokens[row], ctx + off);
+                        assert_eq!(
+                            &got[row * cfg.vocab_size..(row + 1) * cfg.vocab_size],
+                            want,
+                            "case {case:?} seq {i} row {off} diverged ({strategy:?})"
+                        );
+                        row += 1;
+                    }
                 }
             }
         }

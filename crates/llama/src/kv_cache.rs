@@ -66,6 +66,25 @@ impl KvCache {
         self.len = 0;
     }
 
+    /// Shrinks the logical length to `len`, discarding every stored
+    /// position at `len..`. A no-op when the cache is already at or below
+    /// `len`. In debug builds the dropped rows are NaN-poisoned so a read
+    /// past the truncation point is loud — the speculative-decoding
+    /// rejection path relies on truncated rows never being observable.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len {
+            return;
+        }
+        if cfg!(debug_assertions) {
+            for side in [&mut self.k, &mut self.v] {
+                for layer in side.iter_mut() {
+                    layer[len * self.kv_dim..self.len * self.kv_dim].fill(f32::NAN);
+                }
+            }
+        }
+        self.len = len;
+    }
+
     /// Writes the key and value rows for `pos` in `layer`. Positions must
     /// be written in order; writing position `p` sets the logical length to
     /// `p + 1` once the last layer has stored it.
@@ -162,6 +181,13 @@ pub trait KvStore {
     fn key_head(&self, layer: usize, pos: usize, kv_head: usize) -> &[f32];
     /// Value vector of one KV head at `(layer, pos)`.
     fn value_head(&self, layer: usize, pos: usize, kv_head: usize) -> &[f32];
+    /// Shrinks the logical length to `len`, discarding positions at
+    /// `len..` (no-op when already at or below `len`). Speculative
+    /// decoding uses this to roll back rejected draft positions; stores
+    /// whose backing memory outlives the view (the paged arena) only
+    /// shrink the logical mapping here — physical reclamation is the
+    /// owner's job.
+    fn truncate(&mut self, len: usize);
 }
 
 impl KvStore for KvCache {
@@ -183,6 +209,10 @@ impl KvStore for KvCache {
 
     fn value_head(&self, layer: usize, pos: usize, kv_head: usize) -> &[f32] {
         KvCache::value_head(self, layer, pos, kv_head)
+    }
+
+    fn truncate(&mut self, len: usize) {
+        KvCache::truncate(self, len);
     }
 }
 
@@ -441,6 +471,35 @@ mod tests {
         c.store(1, 0, &z, &z);
         c.reset();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn truncate_drops_tail_positions_only() {
+        let mut c = cache();
+        let row: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        for pos in 0..4 {
+            for layer in 0..2 {
+                c.store(layer, pos, &row, &row);
+            }
+        }
+        assert_eq!(c.len(), 4);
+        c.truncate(2);
+        assert_eq!(c.len(), 2);
+        // Kept rows are untouched; dropped rows are poisoned in debug.
+        assert_eq!(c.key_row(0, 1), &row[..]);
+        if cfg!(debug_assertions) {
+            assert!(c.key_row(0, 2).iter().all(|x| x.is_nan()));
+            assert!(c.value_row(1, 3).iter().all(|x| x.is_nan()));
+        }
+        // Truncating to a larger length never grows the cache.
+        c.truncate(10);
+        assert_eq!(c.len(), 2);
+        // Re-storing a truncated position restores normal operation.
+        for layer in 0..2 {
+            c.store(layer, 2, &row, &row);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.key_row(0, 2), &row[..]);
     }
 
     #[test]

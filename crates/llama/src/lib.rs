@@ -48,6 +48,7 @@ pub mod quant;
 pub mod rng;
 pub mod sampler;
 pub mod sparse;
+pub mod speculative;
 pub mod sync;
 pub mod tensor;
 pub mod tokenizer;

@@ -259,6 +259,20 @@ impl BlockTable {
         self.blocks[chain_idx] = b;
     }
 
+    /// Roll the table back to `len` stored tokens, popping every block
+    /// that lies wholly past the new length (including capacity granted
+    /// ahead of the store cursor). Returns the popped blocks in chain
+    /// order; the caller must hand each one back to the allocator —
+    /// `release` drops one reference, so a CoW-shared block survives for
+    /// its other holders and only the last reference actually frees it.
+    /// The block straddling `len` stays mapped: rolled-back positions
+    /// inside it are simply overwritten by the next store.
+    pub fn rollback(&mut self, len: usize) -> Vec<BlockId> {
+        self.len = self.len.min(len);
+        let keep = len.div_ceil(self.block_size).min(self.blocks.len());
+        self.blocks.split_off(keep)
+    }
+
     /// Strip the table for release: hands back the physical chain and
     /// leaves the table empty (so a pooled slot resets clean).
     pub fn take_blocks(&mut self) -> Vec<BlockId> {
@@ -368,5 +382,49 @@ mod tests {
         let mut t = BlockTable::new(4);
         t.push_block(BlockId(0));
         t.locate(4);
+    }
+
+    #[test]
+    fn rollback_pops_whole_blocks_past_the_keep_point() {
+        let mut a = BlockAllocator::new(cfg(4, 4));
+        let mut t = BlockTable::new(4);
+        for _ in 0..4 {
+            t.push_block(a.alloc().unwrap());
+        }
+        t.set_len(13); // blocks 0..3 mapped, position 13 straddles block 3
+                       // Keep 6 tokens: block 1 straddles the cut and stays; 2, 3 pop.
+        let popped = t.rollback(6);
+        assert_eq!(popped, vec![BlockId(2), BlockId(3)]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.blocks(), &[BlockId(0), BlockId(1)]);
+        assert_eq!(t.capacity_tokens(), 8);
+        for b in popped {
+            assert!(a.release(b));
+        }
+        a.check_invariants().unwrap();
+        // Rolling back to the current length is a no-op.
+        assert!(t.rollback(6).is_empty());
+        assert_eq!(t.len(), 6);
+        // Rolling back past the stored length never grows it.
+        assert!(t.rollback(100).is_empty());
+        assert_eq!(t.len(), 6);
+        // A block-boundary cut keeps exactly the full blocks before it.
+        let popped = t.rollback(4);
+        assert_eq!(popped, vec![BlockId(1)]);
+        assert_eq!(t.len(), 4);
+        for b in popped {
+            assert!(a.release(b));
+        }
+        // A CoW-shared popped block survives until its last holder.
+        let shared = a.alloc().unwrap();
+        a.retain(shared);
+        t.push_block(shared);
+        t.note_stored(5);
+        let popped = t.rollback(4);
+        assert_eq!(popped, vec![shared]);
+        assert!(!a.release(shared), "other holder keeps the block alive");
+        assert_eq!(a.refcount(shared), 1);
+        assert!(a.release(shared));
+        a.check_invariants().unwrap();
     }
 }

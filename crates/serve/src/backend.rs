@@ -79,6 +79,21 @@ pub trait Backend {
         runs: &[&[u32]],
     ) -> (Vec<Vec<f32>>, u64);
 
+    /// Runs one speculative **verify** tick: like
+    /// [`Backend::forward_mixed`], every run shares a single
+    /// weight-streaming pass, but the logits of **every** token row are
+    /// returned — entry `i` is row-major `[runs[i].len() * vocab]`. The
+    /// speculative decode phase scores each sequence's pending token plus
+    /// its K draft proposals in one of these ticks.
+    fn verify(&mut self, slots: &mut [&mut Self::Slot], runs: &[&[u32]]) -> (Vec<Vec<f32>>, u64);
+
+    /// Rolls `slot` back to `len` context positions, discarding rejected
+    /// speculative rows. Paged slots pop the whole blocks past the keep
+    /// point and return them — the scheduler releases each through its
+    /// allocator (CoW-aware) and reports actual frees via
+    /// [`Backend::on_blocks_freed`]. Flat slots return an empty vec.
+    fn truncate_slot(slot: &mut Self::Slot, len: usize) -> Vec<BlockId>;
+
     /// Block geometry when this backend serves paged KV, `None` for flat
     /// slots. The scheduler switches to block-budget admission iff this
     /// returns `Some`.
@@ -318,6 +333,67 @@ impl Backend for CpuBackend {
         (out, rows)
     }
 
+    /// One verify tick through
+    /// [`Transformer::forward_runs_all_logits_with_kv`]: the same single
+    /// weight-streaming pass as `forward_mixed`, but every row's logits
+    /// come back (row-major per run) for the accept loop to score. Cost
+    /// stays per-token-row, like every other CPU tick.
+    fn verify(&mut self, slots: &mut [&mut Self::Slot], runs: &[&[u32]]) -> (Vec<Vec<f32>>, u64) {
+        assert_eq!(slots.len(), runs.len(), "one token run per sequence");
+        assert!(!slots.is_empty(), "empty batch");
+        let starts: Vec<usize> = slots.iter().map(|s| s.slot_len()).collect();
+        let counts: Vec<usize> = runs.iter().map(|r| r.len()).collect();
+        let tokens: Vec<u32> = runs.iter().flat_map(|r| r.iter().copied()).collect();
+        let rows = tokens.len() as u64;
+        let vocab = self.model.config().vocab_size;
+        let logits: &[f32] = match &mut self.arena {
+            None => {
+                let mut kvs: Vec<&mut KvCache> = slots
+                    .iter_mut()
+                    .map(|s| match &mut **s {
+                        CpuSlot::Flat(kv) => kv,
+                        CpuSlot::Paged(_) => panic!("paged slot in a flat backend"),
+                    })
+                    .collect();
+                self.model.forward_runs_all_logits_with_kv(
+                    kvs.as_mut_slice(),
+                    &tokens,
+                    &counts,
+                    &starts,
+                )
+            }
+            Some(arena) => {
+                let tables: Vec<&mut BlockTable> = slots
+                    .iter_mut()
+                    .map(|s| match &mut **s {
+                        CpuSlot::Paged(table) => table,
+                        CpuSlot::Flat(_) => panic!("flat slot in a paged backend"),
+                    })
+                    .collect();
+                let mut batch = arena.batch_view(tables);
+                self.model
+                    .forward_runs_all_logits_with_kv(&mut batch, &tokens, &counts, &starts)
+            }
+        };
+        let mut out = Vec::with_capacity(runs.len());
+        let mut row = 0usize;
+        for &cnt in &counts {
+            out.push(logits[row * vocab..(row + cnt) * vocab].to_vec());
+            row += cnt;
+        }
+        (out, rows)
+    }
+
+    fn truncate_slot(slot: &mut Self::Slot, len: usize) -> Vec<BlockId> {
+        match slot {
+            CpuSlot::Flat(kv) => {
+                kv.truncate(len);
+                Vec::new()
+            }
+            CpuSlot::Paged(table) => table.rollback(len),
+        }
+    }
+
     fn block_config(&self) -> Option<BlockConfig> {
         self.arena.as_ref().map(PagedKvArena::block_config)
     }
@@ -405,6 +481,19 @@ impl Backend for AccelBackend {
     ) -> (Vec<Vec<f32>>, u64) {
         let (logits, step) = self.engine.forward_mixed(slots, runs);
         (logits, step.cycles.0)
+    }
+
+    /// One verify tick through [`Engine::verify_batch`]: the cost is the
+    /// simulated cycles of the single mixed device pass, so the ~K×
+    /// weight-traffic cut per accepted run shows up directly in the
+    /// report's tick totals.
+    fn verify(&mut self, slots: &mut [&mut Self::Slot], runs: &[&[u32]]) -> (Vec<Vec<f32>>, u64) {
+        let (logits, step) = self.engine.verify_batch(slots, runs);
+        (logits, step.cycles.0)
+    }
+
+    fn truncate_slot(slot: &mut Self::Slot, len: usize) -> Vec<BlockId> {
+        slot.truncate(len)
     }
 
     fn block_config(&self) -> Option<BlockConfig> {

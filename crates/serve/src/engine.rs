@@ -38,8 +38,9 @@ use std::collections::VecDeque;
 
 use speedllm_telemetry as tel;
 
-use speedllm_llama::kv_cache::{KvCachePool, PooledSlot};
-use speedllm_llama::sampler::{Sampler, SamplerKind};
+use speedllm_llama::forward::Transformer;
+use speedllm_llama::kv_cache::{KvCache, KvCachePool, PooledSlot};
+use speedllm_llama::sampler::{argmax, Sampler, SamplerKind};
 use speedllm_llama::sync::{Receiver, RecvError, Sender, TryRecvError};
 use speedllm_llama::tokenizer::{TOKEN_BOS, TOKEN_EOS};
 use speedllm_pagedkv::{BlockAllocator, BlockId, RadixIndex};
@@ -213,6 +214,14 @@ pub struct ServeStats {
     /// Decode rows pushed to a later tick by the token budget (the
     /// sampled token is kept, never re-sampled). Not rendered.
     pub deferred_decodes: u64,
+    /// Speculative verify rounds run (one per sequence per verify pass).
+    /// Rendered — with the two counters below — only when nonzero, so
+    /// non-speculative report bytes are unchanged.
+    pub spec_rounds: u64,
+    /// Draft tokens proposed across all speculative rounds.
+    pub spec_drafted: u64,
+    /// Draft tokens accepted (the sampler chose the drafted token).
+    pub spec_accepted: u64,
 }
 
 /// A stream of requests the synchronous driver pulls from. `poll` may be
@@ -246,10 +255,16 @@ struct Active<B: Backend> {
     /// Prompt + generated-so-far of a resumed request: what must be
     /// re-prefilled before decoding continues. `None` for first runs.
     resume_context: Option<Vec<u32>>,
-    /// A sampled token the unified token budget pushed to a later tick:
-    /// already in `generated` (and in any resume context), not yet
-    /// forwarded into the KV cache. Consumed without re-sampling.
+    /// A sampled token that is already in `generated` but not yet
+    /// forwarded into the KV cache; consumed without re-sampling. The
+    /// unified scheduler parks budget-deferred tokens here, and the
+    /// speculative scheduler parks the token each verify round scores
+    /// first (the two modes are mutually exclusive).
     pending: Option<u32>,
+    /// The draft model's private KV cache (speculative mode only; `None`
+    /// until the sequence's first speculative round). Dropped on
+    /// preemption — the draft resyncs from the token history for free.
+    draft_kv: Option<KvCache>,
     /// One past the last position the budget/context allows.
     end_pos: usize,
     admitted_at: u64,
@@ -292,6 +307,18 @@ struct PagedKv {
     radix: RadixIndex,
 }
 
+/// Speculative-decoding state (DESIGN.md §16): the shared draft model
+/// and the speculation depth. Enabled via
+/// [`ServeEngine::enable_speculative`]; replaces the legacy decode phase.
+struct SpecServe {
+    /// The small proposer, shared across sequences (each sequence keeps
+    /// its own [`Active::draft_kv`]).
+    draft: Transformer,
+    /// Draft tokens proposed per verify round (clamped per round by the
+    /// remaining budget, context window, and granted blocks).
+    k: usize,
+}
+
 /// Admission candidate: resumes take priority over fresh arrivals so
 /// preemption cannot starve an old request.
 enum Cand {
@@ -314,6 +341,9 @@ pub struct ServeEngine<B: Backend> {
     admission_seq: u64,
     stats: ServeStats,
     seq_len: usize,
+    /// Speculative-decoding state; `Some` switches the legacy scheduler's
+    /// decode phase to draft-then-verify rounds.
+    spec: Option<SpecServe>,
     /// Optional observability sink (lifecycle events + tick samples).
     /// Recording is pure observation: it never touches the clock,
     /// samplers, or KV state, so token streams and reports are
@@ -372,6 +402,7 @@ impl<B: Backend> ServeEngine<B> {
             admission_seq: 0,
             stats: ServeStats::default(),
             seq_len,
+            spec: None,
             recorder: None,
             tick_decode_rows: 0,
             tick_prefill_tokens: 0,
@@ -394,6 +425,61 @@ impl<B: Backend> ServeEngine<B> {
     /// Detaches and returns the recorder (e.g. to export after a run).
     pub fn take_recorder(&mut self) -> Option<ServeRecorder> {
         self.recorder.take()
+    }
+
+    /// Switches the legacy scheduler's decode phase to speculative
+    /// draft-then-verify rounds (DESIGN.md §16): `draft` proposes up to
+    /// `k` greedy continuations per sequence per round, one batched
+    /// verify pass scores every row, and each request's own sampler
+    /// accepts the longest agreeing prefix — token streams stay
+    /// bit-identical to plain decode for any sampler.
+    ///
+    /// # Errors
+    /// Rejects `k == 0` (nothing to speculate), `k > 63` (a run of
+    /// `k + 1` rows would exceed the on-chip staging limit), a draft
+    /// whose vocabulary differs from the target's (draft proposals would
+    /// be meaningless token ids), a draft whose context window is
+    /// shorter than the target's (it could not follow a full-length
+    /// sequence), and engines configured with the unified scheduler
+    /// (speculation replaces the legacy decode phase only).
+    pub fn enable_speculative(&mut self, draft: Transformer, k: usize) -> Result<(), String> {
+        if self.cfg.unified.is_some() {
+            return Err(
+                "speculative decoding replaces the legacy decode phase and cannot be \
+                 combined with the unified scheduler"
+                    .to_string(),
+            );
+        }
+        if k == 0 {
+            return Err("speculative depth k must be >= 1".to_string());
+        }
+        if k > 63 {
+            return Err(format!(
+                "speculative depth {k} exceeds the verify staging limit of 63 draft rows"
+            ));
+        }
+        let target = self.backend.config();
+        let d = draft.config();
+        if d.vocab_size != target.vocab_size {
+            return Err(format!(
+                "draft vocabulary ({}) does not match the target's ({})",
+                d.vocab_size, target.vocab_size
+            ));
+        }
+        if d.seq_len < target.seq_len {
+            return Err(format!(
+                "draft context window ({}) is shorter than the target's ({})",
+                d.seq_len, target.seq_len
+            ));
+        }
+        self.spec = Some(SpecServe { draft, k });
+        Ok(())
+    }
+
+    /// True when speculative decoding is enabled.
+    #[must_use]
+    pub fn speculative(&self) -> bool {
+        self.spec.is_some()
     }
 
     /// The scheduler configuration (after clamping).
@@ -510,7 +596,11 @@ impl<B: Backend> ServeEngine<B> {
             Some(u) => self.unified_tick(u),
             None => {
                 self.prefill_phase();
-                self.decode_phase()
+                if self.spec.is_some() {
+                    self.spec_decode_phase()
+                } else {
+                    self.decode_phase()
+                }
             }
         };
         self.note_block_peak();
@@ -622,6 +712,7 @@ impl<B: Backend> ServeEngine<B> {
                 generated: Vec::new(),
                 resume_context: None,
                 pending: None,
+                draft_kv: None,
                 admitted_at: self.now,
                 first_token_at: None,
                 admission_seq: self.admission_seq,
@@ -746,6 +837,7 @@ impl<B: Backend> ServeEngine<B> {
                         generated: Vec::new(),
                         resume_context: None,
                         pending: None,
+                        draft_kv: None,
                         admitted_at: self.now,
                         first_token_at: None,
                         admission_seq: self.admission_seq,
@@ -774,6 +866,7 @@ impl<B: Backend> ServeEngine<B> {
                         generated: p.generated,
                         resume_context: Some(p.resume_context),
                         pending: None,
+                        draft_kv: None,
                         admitted_at: p.admitted_at,
                         first_token_at: p.first_token_at,
                         admission_seq: p.admission_seq,
@@ -1049,6 +1142,354 @@ impl<B: Backend> ServeEngine<B> {
             }
             start = end;
         }
+        finished
+    }
+
+    /// Speculative variant of [`ServeEngine::ensure_decode_capacity`]: a
+    /// verify round writes up to `k + 1` KV rows per sequence, so each
+    /// warm sequence is granted blocks up to its desired run length.
+    /// Blocks past the one mandatory row (the pending token) are
+    /// best-effort — the proposal later clamps to whatever was granted —
+    /// while the mandatory row falls back to preempting the youngest
+    /// sequence, exactly like plain decode.
+    fn spec_ensure_capacity(&mut self) {
+        if self.paged.is_none() {
+            return;
+        }
+        let k = self.spec.as_ref().expect("speculative mode").k;
+        let mut i = 0;
+        while i < self.active.len() {
+            let (floor, want) = {
+                let a = &self.active[i];
+                let hist = a.req.prompt.len() + a.generated.len();
+                if a.prefilled < a.ctx_len() {
+                    (0, 0) // cold: no decode rows this tick
+                } else if a.pending.is_some() {
+                    // The pending token sits at position hist - 1,
+                    // emitted but not yet written to the KV cache.
+                    let n = hist - 1;
+                    let budget = a.end_pos - hist;
+                    let j = k.min(budget.saturating_sub(1)).min(self.seq_len - 1 - n);
+                    (n + 1, n + 1 + j)
+                } else if hist + 1 < a.end_pos {
+                    // Will sample a fresh token this tick and verify it.
+                    let n = hist;
+                    let budget = a.end_pos - (hist + 1);
+                    let j = k.min(budget.saturating_sub(1)).min(self.seq_len - 1 - n);
+                    (n + 1, n + 1 + j)
+                } else {
+                    (0, 0) // finishes in the sampling pass, no forward
+                }
+            };
+            let cap = B::slot_table_mut(self.active[i].slot.state_mut())
+                .expect("paged backend")
+                .capacity_tokens();
+            if cap >= want {
+                i += 1;
+                continue;
+            }
+            let (granted, evicted) = {
+                let paged = self.paged.as_mut().expect("checked");
+                match paged.alloc.alloc() {
+                    Some(b) => (Some(b), Vec::new()),
+                    None => {
+                        let evicted = paged.radix.evict(1, &mut paged.alloc);
+                        (paged.alloc.alloc(), evicted)
+                    }
+                }
+            };
+            self.stats.cache_evicted_blocks += evicted.len() as u64;
+            if !evicted.is_empty() {
+                let needy = self.active[i].req.id;
+                record(
+                    &mut self.recorder,
+                    self.now,
+                    needy,
+                    EventKind::EvictedCacheBlock {
+                        blocks: evicted.len() as u32,
+                    },
+                );
+                self.backend.on_blocks_freed(&evicted);
+            }
+            match granted {
+                Some(b) => {
+                    // Re-check the same sequence: it may need more blocks.
+                    B::slot_table_mut(self.active[i].slot.state_mut())
+                        .expect("paged backend")
+                        .push_block(b);
+                }
+                None if cap >= floor => {
+                    // The mandatory row fits; the round clamps its
+                    // proposal to the granted capacity.
+                    i += 1;
+                }
+                None => {
+                    let victim = self
+                        .active
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, a)| a.admission_seq)
+                        .map(|(j, _)| j)
+                        .expect("active is non-empty");
+                    self.preempt(victim);
+                    match victim.cmp(&i) {
+                        Ordering::Equal => {}
+                        Ordering::Less => i -= 1,
+                        Ordering::Greater => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rolls the target slot of `active[i]` back to `keep` context
+    /// tokens, releasing popped paged blocks through the allocator
+    /// (shared blocks survive — only the refcount drops) and reporting
+    /// actual frees to the backend so the rows are poisoned.
+    fn rollback_slot(&mut self, i: usize, keep: usize) {
+        let popped = B::truncate_slot(self.active[i].slot.state_mut(), keep);
+        if popped.is_empty() {
+            return;
+        }
+        let paged = self
+            .paged
+            .as_mut()
+            .expect("blocks only pop from paged slots");
+        let mut freed = Vec::new();
+        for b in popped {
+            if paged.alloc.release(b) {
+                freed.push(b);
+            }
+        }
+        if !freed.is_empty() {
+            self.backend.on_blocks_freed(&freed);
+        }
+    }
+
+    /// Replays one sequence's sampler over the verified logits rows,
+    /// accepting the longest prefix on which the sampler agrees with the
+    /// draft, then rolls rejected rows back out of the target slot and
+    /// the draft cache. Returns true when the sequence finished.
+    fn spec_accept(&mut self, i: usize, run: &[u32], rows: &[f32], vocab: usize) -> bool {
+        debug_assert_eq!(rows.len(), run.len() * vocab, "one logits row per token");
+        let n = {
+            let a = &self.active[i];
+            a.req.prompt.len() + a.generated.len() - 1
+        };
+        self.active[i].pending = None;
+        let mut accepted = 0u32;
+        let mut fin = false;
+        // Context tokens to keep after the round; everything the verify
+        // pass wrote past this point is rolled back.
+        let mut keep = n + run.len();
+        let mut draft_keep: Option<usize> = None;
+        for (j, window) in rows.chunks_exact(vocab).enumerate() {
+            let a = &mut self.active[i];
+            let y = a.sampler.sample(window);
+            if a.req.stop_at_eos && (y == TOKEN_EOS || y == TOKEN_BOS) {
+                fin = true;
+                keep = n + j + 1;
+                break;
+            }
+            a.generated.push(y);
+            a.token_ticks.push(self.now);
+            let matched = j + 1 < run.len() && y == run[j + 1];
+            if matched {
+                accepted += 1;
+            }
+            if a.req.prompt.len() + a.generated.len() >= a.end_pos {
+                fin = true;
+                // A matched final token's KV row was verified; keep it.
+                keep = n + j + 1 + usize::from(matched);
+                break;
+            }
+            if !matched {
+                // Mismatch — or the bonus token after a full match (the
+                // last row never has a drafted successor). Either way
+                // `y` is emitted but unverified: park it for next round.
+                a.pending = Some(y);
+                keep = n + j + 1;
+                draft_keep = Some(keep);
+                break;
+            }
+        }
+        self.stats.spec_rounds += 1;
+        self.stats.spec_accepted += u64::from(accepted);
+        let rid = self.active[i].req.id;
+        record(
+            &mut self.recorder,
+            self.now,
+            rid,
+            EventKind::VerifyTick { accepted },
+        );
+        if keep < n + run.len() {
+            self.rollback_slot(i, keep);
+        }
+        if let (Some(dk), Some(dkv)) = (draft_keep, self.active[i].draft_kv.as_mut()) {
+            dkv.truncate(dk);
+        }
+        fin
+    }
+
+    /// Speculative decode phase (DESIGN.md §16). Per warm sequence and
+    /// per tick: park one freshly sampled token exactly as
+    /// [`ServeEngine::decode_phase`] would emit it, have the draft model
+    /// greedily propose up to `k` continuations (host work — zero
+    /// virtual ticks), then score the pending token plus the proposals
+    /// for **all** sequences in batched verify passes and accept per
+    /// sequence via [`ServeEngine::spec_accept`]. Because every emitted
+    /// token is chosen by the request's own sampler over logits that are
+    /// bit-identical to sequential decode, token streams match plain
+    /// decode for any sampler; speculation only changes how many target
+    /// weight streams those tokens cost.
+    fn spec_decode_phase(&mut self) -> Vec<usize> {
+        self.spec_ensure_capacity();
+        let mut finished: Vec<usize> = Vec::new();
+
+        // Sampling pass: one fresh token per warm sequence without a
+        // parked pending token, mirroring decode_phase exactly.
+        for (i, a) in self.active.iter_mut().enumerate() {
+            if a.prefilled < a.ctx_len() || a.pending.is_some() {
+                continue;
+            }
+            let pos_next = a.req.prompt.len() + a.generated.len();
+            if pos_next >= a.end_pos {
+                finished.push(i); // zero budget (e.g. max_new_tokens = 0)
+                continue;
+            }
+            let next = a.sampler.sample(&a.logits);
+            if a.req.stop_at_eos && (next == TOKEN_EOS || next == TOKEN_BOS) {
+                finished.push(i);
+                continue;
+            }
+            a.generated.push(next);
+            a.token_ticks.push(self.now);
+            if a.first_token_at.is_none() {
+                a.first_token_at = Some(self.now);
+                record(
+                    &mut self.recorder,
+                    self.now,
+                    a.req.id,
+                    EventKind::FirstToken,
+                );
+            }
+            if pos_next + 1 >= a.end_pos {
+                // Budget exhausted by this token; nothing left to verify.
+                finished.push(i);
+                continue;
+            }
+            a.pending = Some(next);
+        }
+
+        // Draft pass: propose up to k greedy continuations of each
+        // pending token. Draft forwards are host-side work on a model
+        // orders of magnitude smaller than the target, so they cost
+        // zero virtual ticks; only verify passes advance the clock.
+        let mut members: Vec<usize> = Vec::new();
+        let mut runs: Vec<Vec<u32>> = Vec::new();
+        let spec = self.spec.as_mut().expect("speculative mode");
+        for (i, a) in self.active.iter_mut().enumerate() {
+            let Some(x) = a.pending else { continue };
+            let hist_len = a.req.prompt.len() + a.generated.len();
+            let n = hist_len - 1; // target context before the pending token
+            let budget = a.end_pos - hist_len; // >= 1: pending implies budget
+            let mut j_max = spec
+                .k
+                .min(budget.saturating_sub(1))
+                .min(self.seq_len - 1 - n);
+            if let Some(table) = B::slot_table_mut(a.slot.state_mut()) {
+                j_max = j_max.min(table.capacity_tokens().saturating_sub(n + 1));
+            }
+            let prompt_len = a.req.prompt.len();
+            let (req, generated, draft_kv) = (&a.req, &a.generated, &mut a.draft_kv);
+            let tok = |p: usize| {
+                if p < prompt_len {
+                    req.prompt[p]
+                } else {
+                    generated[p - prompt_len]
+                }
+            };
+            let dkv = draft_kv.get_or_insert_with(|| KvCache::new(spec.draft.config()));
+            // Sync the draft cache to the n-token context: roll back a
+            // longer cache (stale speculation), or replay the history a
+            // fresh/preempted sequence is missing.
+            if dkv.len() > n {
+                dkv.truncate(n);
+            } else {
+                for p in dkv.len()..n {
+                    spec.draft.forward_with_kv(dkv, tok(p), p);
+                }
+            }
+            let mut run = Vec::with_capacity(j_max + 1);
+            run.push(x);
+            let mut cur = x;
+            for j in 0..j_max {
+                let logits = spec.draft.forward_with_kv(dkv, cur, n + j);
+                cur = argmax(logits);
+                run.push(cur);
+            }
+            self.stats.spec_drafted += j_max as u64;
+            record(
+                &mut self.recorder,
+                self.now,
+                a.req.id,
+                EventKind::DraftTick {
+                    tokens: j_max as u32,
+                },
+            );
+            members.push(i);
+            runs.push(run);
+        }
+
+        // Verify pass(es): score every run's rows in as few batched
+        // weight streams as the staging limit allows, then accept.
+        let vocab = self.backend.config().vocab_size;
+        let mut start = 0;
+        while start < members.len() {
+            let mut end = start;
+            let mut rows = 0usize;
+            while end < members.len()
+                && end - start < self.cfg.max_batch
+                && rows + runs[end].len() <= 64
+            {
+                rows += runs[end].len();
+                end += 1;
+            }
+            debug_assert!(end > start, "one run cannot exceed the staging limit");
+            let idxs = &members[start..end];
+            let run_refs: Vec<&[u32]> = runs[start..end].iter().map(Vec::as_slice).collect();
+            let mut slots: Vec<&mut B::Slot> = Vec::with_capacity(idxs.len());
+            {
+                let mut want = idxs.iter().peekable();
+                for (i, a) in self.active.iter_mut().enumerate() {
+                    if want.peek() == Some(&&i) {
+                        want.next();
+                        slots.push(a.slot.state_mut());
+                    }
+                }
+            }
+            let _g = tel::span("serve", "verify_batch")
+                .arg("batch", idxs.len() as i64)
+                .arg("rows", rows as i64);
+            let (logits, cost) = self.backend.verify(&mut slots, &run_refs);
+            drop(slots);
+            self.now += cost;
+            self.stats.decode_batches += 1;
+            self.stats.max_batch_observed = self.stats.max_batch_observed.max(idxs.len());
+            if tel::enabled() {
+                tel::metrics::gauge_set("serve.batch_size", idxs.len() as f64);
+            }
+            self.tick_decode_rows += rows;
+            for (g, &i) in idxs.iter().enumerate() {
+                if self.spec_accept(i, &runs[start + g], &logits[g], vocab) {
+                    finished.push(i);
+                }
+            }
+            start = end;
+        }
+        // Eviction removes back-to-front and needs ascending indices;
+        // sampling-pass and verify-pass finishes interleave.
+        finished.sort_unstable();
         finished
     }
 
@@ -1782,6 +2223,139 @@ mod tests {
         paged.check_paged_invariants().unwrap();
         // The prefix stays cached for future traffic.
         assert!(paged.blocks_cached() >= 2);
+    }
+
+    fn draft_model(seed: u64) -> Transformer {
+        Transformer::new(TransformerWeights::synthetic(
+            ModelConfig::draft_for(&ModelConfig::test_tiny()),
+            seed,
+        ))
+    }
+
+    #[test]
+    fn speculative_streams_match_plain_decode() {
+        // Across depths, KV shapes, and samplers (greedy accepts nearly
+        // everything, temperature nearly nothing), the speculative
+        // scheduler must emit exactly the plain engine's streams.
+        for k in [1, 2, 4] {
+            for paged in [false, true] {
+                let (mut plain, mut spec) = if paged {
+                    (cpu_paged_engine(2, 4, 16), cpu_paged_engine(2, 4, 16))
+                } else {
+                    (cpu_engine(2), cpu_engine(2))
+                };
+                spec.enable_speculative(draft_model(9), k).unwrap();
+                for i in 0..5u64 {
+                    let mut r = req(i, vec![1, 3 + i as u32, 7, 9 + i as u32], 8, 40 + i);
+                    if i % 2 == 0 {
+                        r.sampler = SamplerKind::Argmax;
+                    }
+                    plain.submit(r.clone()).unwrap();
+                    spec.submit(r).unwrap();
+                }
+                let mut a = drain(&mut plain);
+                let mut b = drain(&mut spec);
+                a.sort_by_key(|c| c.id);
+                b.sort_by_key(|c| c.id);
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(
+                        x.tokens, y.tokens,
+                        "speculation (k {k}, paged {paged}) changed request {}",
+                        x.id
+                    );
+                }
+                let s = spec.stats();
+                assert!(s.spec_rounds > 0, "verify rounds must have run");
+                assert!(s.spec_drafted > 0, "draft must have proposed tokens");
+                assert!(
+                    s.spec_accepted > 0,
+                    "greedy requests must accept draft tokens (k {k}, paged {paged})"
+                );
+                spec.check_paged_invariants().unwrap();
+                assert!(spec.all_slots_free());
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_survives_tight_block_budget() {
+        // Same block-starved setup as the preemption test: speculative
+        // rollback and preemption must compose without corrupting the
+        // free list or the token streams.
+        let mut plain = cpu_engine(2);
+        let mut spec = cpu_paged_engine(2, 4, 9);
+        spec.enable_speculative(draft_model(9), 3).unwrap();
+        for i in 0..3u64 {
+            let mut r = req(i, vec![1, 5 + i as u32], 20, 70 + i);
+            r.stop_at_eos = false;
+            r.sampler = SamplerKind::Argmax;
+            plain.submit(r.clone()).unwrap();
+            spec.submit(r).unwrap();
+        }
+        let mut a = drain(&mut plain);
+        let mut b = drain(&mut spec);
+        a.sort_by_key(|c| c.id);
+        b.sort_by_key(|c| c.id);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tokens, y.tokens, "speculation changed request {}", x.id);
+            assert_eq!(x.tokens.len(), 20, "budget must be exhausted");
+        }
+        spec.check_paged_invariants().unwrap();
+        assert!(spec.all_slots_free());
+    }
+
+    #[test]
+    fn speculative_greedy_spends_fewer_verify_passes_than_tokens() {
+        // With a greedy sampler and a strongly agreeing draft, each
+        // verify round should emit more than one token on average.
+        let mut spec = cpu_engine(1);
+        spec.enable_speculative(draft_model(9), 4).unwrap();
+        let mut r = req(0, vec![1, 4, 7], 16, 3);
+        r.sampler = SamplerKind::Argmax;
+        r.stop_at_eos = false;
+        spec.submit(r).unwrap();
+        let done = drain(&mut spec);
+        assert_eq!(done[0].tokens.len(), 16);
+        let s = spec.stats();
+        assert!(
+            s.spec_rounds < 16,
+            "16 tokens should take fewer than 16 verify rounds, took {}",
+            s.spec_rounds
+        );
+        assert!(s.spec_accepted as f64 / s.spec_drafted as f64 > 0.5);
+    }
+
+    #[test]
+    fn enable_speculative_rejects_bad_configs() {
+        let err = cpu_engine(1)
+            .enable_speculative(draft_model(9), 0)
+            .unwrap_err();
+        assert!(err.contains("k must be >= 1"), "{err}");
+        let err = cpu_engine(1)
+            .enable_speculative(draft_model(9), 64)
+            .unwrap_err();
+        assert!(err.contains("staging limit"), "{err}");
+        // Vocabulary mismatch: stories260K speaks 512 tokens, the tiny
+        // target 64.
+        let wrong_vocab =
+            Transformer::new(TransformerWeights::synthetic(ModelConfig::stories260k(), 9));
+        let err = cpu_engine(1)
+            .enable_speculative(wrong_vocab, 4)
+            .unwrap_err();
+        assert!(err.contains("vocabulary"), "{err}");
+        // Context window too short to follow the target.
+        let mut short = ModelConfig::test_tiny();
+        short.seq_len /= 2;
+        let short_draft = Transformer::new(TransformerWeights::synthetic(short, 9));
+        let err = cpu_engine(1)
+            .enable_speculative(short_draft, 4)
+            .unwrap_err();
+        assert!(err.contains("context window"), "{err}");
+        let err = cpu_unified_engine(1, 8, 50)
+            .enable_speculative(draft_model(9), 4)
+            .unwrap_err();
+        assert!(err.contains("unified"), "{err}");
     }
 
     #[test]

@@ -66,6 +66,18 @@ pub enum EventKind {
         /// Blocks reclaimed from the prefix cache.
         blocks: u32,
     },
+    /// The draft model proposed `tokens` speculative continuations for
+    /// this request (speculative decoding only; DESIGN.md §16).
+    DraftTick {
+        /// Draft tokens proposed this round.
+        tokens: u32,
+    },
+    /// The request rode a verify pass and `accepted` of its draft
+    /// proposals matched what its own sampler chose.
+    VerifyTick {
+        /// Draft tokens accepted this round.
+        accepted: u32,
+    },
     /// Finished and released its slot with `tokens` generated.
     Completed {
         /// Generated tokens (EOS excluded).
@@ -87,6 +99,8 @@ impl EventKind {
             EventKind::DecodeTick { .. } => "decode_tick",
             EventKind::Preempted => "preempted",
             EventKind::EvictedCacheBlock { .. } => "evicted_cache_block",
+            EventKind::DraftTick { .. } => "draft_tick",
+            EventKind::VerifyTick { .. } => "verify_tick",
             EventKind::Completed { .. } => "completed",
         }
     }
@@ -119,6 +133,8 @@ impl Event {
             }
             EventKind::PrefillChunk { tokens } => format!(",\"tokens\":{tokens}}}"),
             EventKind::DecodeTick { batch } => format!(",\"batch\":{batch}}}"),
+            EventKind::DraftTick { tokens } => format!(",\"tokens\":{tokens}}}"),
+            EventKind::VerifyTick { accepted } => format!(",\"accepted\":{accepted}}}"),
             EventKind::EvictedCacheBlock { blocks } => format!(",\"blocks\":{blocks}}}"),
             EventKind::Completed { tokens } => format!(",\"tokens\":{tokens}}}"),
             EventKind::Enqueued
@@ -285,6 +301,12 @@ fn parse_event_line(line: &str) -> Result<Event, String> {
         "evicted_cache_block" => EventKind::EvictedCacheBlock {
             blocks: arg_u32("blocks")?,
         },
+        "draft_tick" => EventKind::DraftTick {
+            tokens: arg_u32("tokens")?,
+        },
+        "verify_tick" => EventKind::VerifyTick {
+            accepted: arg_u32("accepted")?,
+        },
         "completed" => EventKind::Completed {
             tokens: arg_u32("tokens")?,
         },
@@ -433,6 +455,8 @@ pub fn phase_breakdowns(events: &[Event]) -> Vec<RequestPhases> {
             }
             EventKind::PrefillChunk { .. }
             | EventKind::DecodeTick { .. }
+            | EventKind::DraftTick { .. }
+            | EventKind::VerifyTick { .. }
             | EventKind::EvictedCacheBlock { .. } => {}
         }
     }
@@ -626,6 +650,8 @@ mod tests {
             ev(8, 1, EventKind::Preempted),
             ev(9, 1, EventKind::EvictedCacheBlock { blocks: 2 }),
             ev(10, 1, EventKind::Resumed { prefix_hit: 0 }),
+            ev(11, 1, EventKind::DraftTick { tokens: 4 }),
+            ev(11, 1, EventKind::VerifyTick { accepted: 3 }),
             ev(12, 1, EventKind::Completed { tokens: 5 }),
         ];
         for e in all {

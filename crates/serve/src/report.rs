@@ -24,6 +24,20 @@ pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.max(1) - 1]
 }
 
+/// [`percentile`] over float samples: the exact same nearest-rank rule,
+/// for consumers whose metrics are wall-clock seconds rather than tick
+/// counts (the bench harness). 0 for an empty sample; NaN-free as long
+/// as the input is.
+#[must_use]
+pub fn percentile_f64(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
 /// p50/p95/p99 of one latency distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Percentiles {
@@ -185,6 +199,26 @@ impl ServeReport {
             "  peak blocks in use   {}",
             self.stats.peak_blocks_in_use
         );
+        // Speculative-decoding rows appear only when speculation ran, so
+        // non-speculative reports stay byte-identical across versions.
+        if self.stats.spec_rounds > 0 {
+            let _ = writeln!(s, "  spec rounds          {}", self.stats.spec_rounds);
+            let _ = writeln!(
+                s,
+                "  spec acceptance      {}/{} drafted ({:.3})",
+                self.stats.spec_accepted,
+                self.stats.spec_drafted,
+                safe_rate(
+                    self.stats.spec_accepted as f64,
+                    self.stats.spec_drafted as f64
+                )
+            );
+            let _ = writeln!(
+                s,
+                "  spec tokens/round    {:.3}",
+                safe_rate(self.tokens as f64, self.stats.spec_rounds as f64)
+            );
+        }
         s
     }
 }
@@ -253,6 +287,34 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("requests completed   3"));
         assert!(a.contains("150.000 tok/ktick"));
+    }
+
+    #[test]
+    fn percentile_f64_matches_integer_nearest_rank() {
+        let ints: Vec<u64> = vec![3, 7, 11, 19, 23];
+        let floats: Vec<f64> = ints.iter().map(|&v| v as f64).collect();
+        for p in [0.0, 12.5, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(percentile(&ints, p) as f64, percentile_f64(&floats, p));
+        }
+        assert_eq!(percentile_f64(&[], 50.0), 0.0);
+        assert_eq!(percentile_f64(&[1.5], 99.0), 1.5);
+    }
+
+    #[test]
+    fn spec_rows_render_only_when_speculation_ran() {
+        let completions = vec![completion(0, 4, 0, 10, 40)];
+        let plain = ServeReport::from_run(&completions, ServeStats::default(), 1);
+        assert!(!plain.render("cpu").contains("spec"));
+        let stats = ServeStats {
+            spec_rounds: 2,
+            spec_drafted: 6,
+            spec_accepted: 3,
+            ..ServeStats::default()
+        };
+        let spec = ServeReport::from_run(&completions, stats, 1).render("cpu");
+        assert!(spec.contains("spec rounds          2"));
+        assert!(spec.contains("spec acceptance      3/6 drafted (0.500)"));
+        assert!(spec.contains("spec tokens/round    2.000"));
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Process-wide fixture cache: build an expensive test fixture once per
+//! test binary and share it across every test that asks for it.
+//!
+//! `cargo test` runs all of a binary's `#[test]` functions inside one
+//! process (on worker threads), so N tests that each synthesize or parse
+//! the same model checkpoint would pay the cost N times. [`cached`]
+//! keys a fixture by `(name, concrete type)` and hands out [`Arc`]
+//! clones, so a cross-model suite can hold, say, the stories260K *and*
+//! stories15M weights simultaneously while building each exactly once.
+//!
+//! Fixtures are immutable by construction (`Arc<T>` is shared): tests
+//! that need a mutable value clone out of the fixture — still far
+//! cheaper than rebuilding when the fixture is model weights.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Store = Mutex<HashMap<(String, TypeId), Arc<dyn Any + Send + Sync>>>;
+
+fn store() -> &'static Store {
+    static STORE: OnceLock<Store> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the fixture registered under `key`, building it with `build`
+/// on first use. The same `key` with a *different* type is a different
+/// fixture (the type is part of the cache key), so a weights fixture and
+/// a token-corpus fixture may share a name without colliding.
+///
+/// The builder runs outside the cache lock so a slow build never blocks
+/// unrelated fixtures; two threads racing on a cold key may both build,
+/// and the first to insert wins (the loser's value is dropped).
+pub fn cached<T, F>(key: &str, build: F) -> Arc<T>
+where
+    T: Send + Sync + 'static,
+    F: FnOnce() -> T,
+{
+    let k = (key.to_owned(), TypeId::of::<T>());
+    if let Some(hit) = store().lock().expect("fixture store poisoned").get(&k) {
+        return Arc::clone(hit)
+            .downcast::<T>()
+            .expect("TypeId in the key guarantees the downcast");
+    }
+    let built: Arc<dyn Any + Send + Sync> = Arc::new(build());
+    let mut map = store().lock().expect("fixture store poisoned");
+    Arc::clone(map.entry(k).or_insert(built))
+        .downcast::<T>()
+        .expect("TypeId in the key guarantees the downcast")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn second_lookup_reuses_the_first_build() {
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+        let a = cached("fixture-reuse", || {
+            BUILDS.fetch_add(1, Ordering::SeqCst);
+            vec![1u32, 2, 3]
+        });
+        let b = cached("fixture-reuse", || {
+            BUILDS.fetch_add(1, Ordering::SeqCst);
+            vec![9u32]
+        });
+        assert!(Arc::ptr_eq(&a, &b), "one fixture, shared");
+        assert_eq!(BUILDS.load(Ordering::SeqCst), 1, "built exactly once");
+        assert_eq!(*b, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn distinct_keys_and_types_are_distinct_fixtures() {
+        let a = cached("fixture-a", || 1u64);
+        let b = cached("fixture-b", || 2u64);
+        assert_eq!((*a, *b), (1, 2));
+        // Same name, different type: no collision.
+        let s = cached("fixture-a", || String::from("text"));
+        assert_eq!(*s, "text");
+        assert_eq!(*cached("fixture-a", || 99u64), 1, "u64 slot untouched");
+    }
+}

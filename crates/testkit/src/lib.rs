@@ -4,8 +4,12 @@
 //! in-repo replacement for the subset of `proptest` this workspace uses,
 //! so the whole test suite builds and runs offline.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
+//! * [`fixture`] — a process-wide `(name, type)`-keyed cache so expensive
+//!   fixtures (synthesized or parsed model weights) build once per test
+//!   binary even when several tests — or several models in one test —
+//!   need them.
 //! * [`strategy`] — generators with shrinking: numeric ranges are
 //!   strategies themselves (`0u64..200`, `-1.0f32..1.0`), tuples compose,
 //!   and [`vec_of`]/[`printable_ascii`]/[`lowercase`]/[`unicode`] cover
@@ -37,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fixture;
 pub mod rng;
 pub mod runner;
 pub mod strategy;

@@ -115,9 +115,54 @@ grep -q "batch 8:" <<<"$gemm_out"
 grep -q '"batch_width":"8"' <<<"$gemm_out"
 echo "batched GEMM smoke OK: ablation table + batch_width-stamped JSONL rows"
 
+echo "== speculative smoke (draft K ahead, one-pass verify, byte-identical) =="
+# Speculation must keep the virtual-clock discipline: same seed, same
+# bytes, run to run — including the lifecycle event log, which now
+# carries draft_tick/verify_tick lines. Greedy sampling with the `auto`
+# draft (a stories260K-shaped trunk at an offset seed) must show nonzero
+# acceptance or speculation is not actually engaging.
+spec_dir="$(mktemp -d /tmp/speedllm_verify_spec.XXXXXX)"
+trap 'rm -rf "$spec_dir"' EXIT
+# Report determinism (no export path in the output), then event-log
+# determinism as a file-level byte compare.
+spec_a="$(./target/release/speedllm serve-bench --smoke --spec-k 4 --sampler argmax)"
+spec_b="$(./target/release/speedllm serve-bench --smoke --spec-k 4 --sampler argmax)"
+./target/release/speedllm serve-bench --smoke --spec-k 4 --sampler argmax \
+    --events-out "$spec_dir/ev_a.jsonl" >/dev/null
+./target/release/speedllm serve-bench --smoke --spec-k 4 --sampler argmax \
+    --events-out "$spec_dir/ev_b.jsonl" >/dev/null
+if [[ "$spec_a" != "$spec_b" ]]; then
+    echo "serve-bench --smoke --spec-k 4 is not deterministic:" >&2
+    diff <(printf '%s\n' "$spec_a") <(printf '%s\n' "$spec_b") >&2 || true
+    exit 1
+fi
+cmp "$spec_dir/ev_a.jsonl" "$spec_dir/ev_b.jsonl"
+grep -q "requests completed   8" <<<"$spec_a"
+grep -q "spec rounds" <<<"$spec_a"
+if grep -Eq "spec acceptance      0/" <<<"$spec_a"; then
+    echo "speculative smoke: greedy acceptance is zero" >&2
+    exit 1
+fi
+grep -q '"ev":"draft_tick"' "$spec_dir/ev_a.jsonl"
+grep -q '"ev":"verify_tick"' "$spec_dir/ev_a.jsonl"
+# Paged KV + speculation: rollback pops blocks, preemption drops draft
+# state; the composition must stay deterministic too.
+spec_paged_a="$(./target/release/speedllm serve-bench --smoke --backend cpu --kv paged --spec-k 3 --sampler argmax)"
+spec_paged_b="$(./target/release/speedllm serve-bench --smoke --backend cpu --kv paged --spec-k 3 --sampler argmax)"
+if [[ "$spec_paged_a" != "$spec_paged_b" ]]; then
+    echo "paged speculative smoke is not deterministic" >&2
+    exit 1
+fi
+grep -q "spec rounds" <<<"$spec_paged_a"
+# The speculative identity gate in the profile serve runs actually use
+# (debug asserts off): stream bit-identity + rollback oracles across
+# K x flat/paged x cpu/accel x serial/parallel x greedy/seeded.
+cargo test --release -q -p speedllm --test speculative_props
+echo "speculative smoke OK: deterministic, nonzero acceptance, events carry draft/verify ticks"
+
 echo "== observability smoke (lifecycle events + tick metrics + analyze) =="
 obs_dir="$(mktemp -d /tmp/speedllm_verify_obs.XXXXXX)"
-trap 'rm -rf "$obs_dir"' EXIT
+trap 'rm -rf "$spec_dir" "$obs_dir"' EXIT
 # Exports must be byte-reproducible: same seed, same bytes, run to run.
 ./target/release/speedllm serve-bench --smoke \
     --events-out "$obs_dir/ev_a.jsonl" --metrics-out "$obs_dir/ticks_a.csv" >/dev/null
@@ -145,7 +190,7 @@ echo "observability smoke OK: $n_events events + $n_ticks tick samples, byte-sta
 
 echo "== telemetry smoke (instrumented tiny generate -> Chrome trace) =="
 trace_file="$(mktemp /tmp/speedllm_verify_trace.XXXXXX.json)"
-trap 'rm -rf "$obs_dir" "$trace_file"' EXIT
+trap 'rm -rf "$spec_dir" "$obs_dir" "$trace_file"' EXIT
 # Capture first, then grep: grep -q closing a live pipe would SIGPIPE the
 # binary and trip pipefail.
 smoke_out="$(./target/release/speedllm run --preset tiny --steps 8 --trace-out "$trace_file")"

@@ -199,6 +199,122 @@ props! {
         prop_assert_eq!(alloc.free_blocks(), n_blocks, "shared blocks leaked");
     }
 
+    /// Speculative-decoding rollback over forked (CoW-shared) chains: a
+    /// child forks the parent, writes on past a block boundary, then
+    /// rolls back to a random keep point. Popped blocks must free exactly
+    /// when the child was their last owner (free-list conservation), and
+    /// the parent's bytes — plus the child's surviving rows — must equal
+    /// those of an arena that never saw the speculative writes.
+    fn rollback_after_fork_conserves_blocks_and_bytes(
+        block_size in 1usize..5,
+        parent_blocks in 1usize..4,
+        grow in 1usize..9,
+        seed in any_u64(),
+    ) {
+        let model = ModelConfig::test_tiny();
+        let n_blocks = 32;
+        let bc = cfg(block_size, n_blocks);
+        let mut alloc = BlockAllocator::new(bc);
+        let mut arena = PagedKvArena::new(&model, bc);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let kv_dim = 8; // test_tiny: 2 kv heads x head_dim 4
+        let layers = model.n_layers;
+        let row = |rng: &mut Xoshiro256| -> Vec<f32> {
+            (0..kv_dim).map(|_| rng.next_f32()).collect()
+        };
+
+        // Parent prefills `parent_blocks` full blocks of distinctive rows.
+        let parent_len = parent_blocks * block_size;
+        let mut parent = BlockTable::new(block_size);
+        let mut written = Vec::new();
+        for pos in 0..parent_len {
+            if parent.capacity_tokens() <= pos {
+                parent.push_block(alloc.alloc().unwrap());
+            }
+            let (k, v) = (row(&mut rng), row(&mut rng));
+            for layer in 0..layers {
+                let (b, s) = parent.locate(pos);
+                arena.store_at(layer, b, s, &k, &v);
+            }
+            parent.note_stored(pos);
+            written.push((k, v));
+        }
+        let baseline: Vec<Vec<f32>> = (0..parent_len)
+            .map(|pos| {
+                let (b, s) = parent.locate(pos);
+                let _ = s;
+                arena.key_head_at(0, b, pos % block_size, 0).to_vec()
+            })
+            .collect();
+
+        // Child forks, then speculates `grow` positions further — crossing
+        // at least one block boundary when grow > block_size — writing
+        // through CoW so the shared tail block gets a private copy first.
+        let mut child = alloc.fork(&parent);
+        let spec_end = parent_len + grow;
+        for pos in parent_len..spec_end {
+            if child.capacity_tokens() <= pos {
+                child.push_block(alloc.alloc().expect("32 blocks is plenty"));
+            }
+            arena.make_writable(&mut alloc, &mut child, pos);
+            let (k, v) = (row(&mut rng), row(&mut rng));
+            for layer in 0..layers {
+                let (b, s) = child.locate(pos);
+                arena.store_at(layer, b, s, &k, &v);
+            }
+            child.note_stored(pos);
+        }
+        let in_use_before = alloc.in_use();
+        prop_assert!(alloc.check_invariants().is_ok());
+
+        // Roll the child back to a random keep point at or past the fork.
+        let keep = parent_len + rng.below(grow as u64 + 1) as usize;
+        let popped = child.rollback(keep);
+        prop_assert_eq!(child.len(), keep, "rollback must set the logical length");
+        prop_assert!(
+            child.capacity_tokens() >= keep,
+            "rollback must keep whole blocks covering the kept context"
+        );
+        let mut freed = 0;
+        for b in popped {
+            if alloc.release(b) {
+                freed += 1;
+            }
+        }
+        // Conservation: exactly the freed blocks left `in_use`.
+        prop_assert_eq!(alloc.in_use(), in_use_before - freed);
+        prop_assert_eq!(alloc.in_use() + alloc.free_blocks(), n_blocks);
+        prop_assert!(alloc.check_invariants().is_ok());
+
+        // Byte oracle: the parent's rows are untouched by the child's
+        // speculative writes and rollback (CoW isolation + rollback only
+        // ever pops the child's own chain).
+        for (pos, want) in baseline.iter().enumerate() {
+            let (b, _) = parent.locate(pos);
+            prop_assert_eq!(
+                arena.key_head_at(0, b, pos % block_size, 0),
+                &want[..],
+                "parent bytes changed at pos {}", pos
+            );
+        }
+        // And the child's kept rows still carry what was written to them.
+        for pos in 0..keep.min(parent_len) {
+            let (b, s) = child.locate(pos);
+            let got: Vec<f32> = (0..model.n_kv_heads)
+                .flat_map(|h| arena.key_head_at(0, b, s, h).to_vec())
+                .collect();
+            prop_assert_eq!(&got, &written[pos].0, "kept child row {} corrupted", pos);
+        }
+
+        for b in parent.take_blocks() {
+            alloc.release(b);
+        }
+        for b in child.take_blocks() {
+            alloc.release(b);
+        }
+        prop_assert_eq!(alloc.free_blocks(), n_blocks, "unwind must drain everything");
+    }
+
     fn copy_on_write_isolates_forked_sequences(
         seed in any_u64(),
     ) {
