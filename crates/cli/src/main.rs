@@ -68,6 +68,23 @@ COMMANDS
              (--kv paged serves block-granular KV with radix
              prefix sharing and preemptive eviction at the same
              memory budget as --slots flat slots)
+  cluster-bench  data-parallel cluster of serve replicas behind one
+             router queue (DESIGN.md §17): prefix-cache-aware /
+             least-loaded / round-robin placement, per-replica
+             backpressure, deterministic fault injection with
+             failover; prints a byte-reproducible cluster report
+             --preset NAME --backend cpu|accel --replicas N
+             --policy prefix|least-loaded|round-robin
+             --fault-at T:R[:U][,T:R[:U]...]  replica R down at
+             cluster tick T (back up at U; omitted = forever)
+             --max-outstanding N  per-replica backpressure cap
+             (outstanding prompt+decode tokens)
+             --requests N --slots N --batch N --chunk N
+             --queue-cap N --block-size N --shared-prefix N
+             --mode open|closed --mean TICKS --concurrency N
+             --max-new N --sampler S --seed N [--smoke]
+             --events-out FILE  merged replica-stamped lifecycle
+             events (JSONL) for `analyze`
   analyze    phase-breakdown dashboard over a serve-bench event log:
              per-phase table (queue/prefill/decode/stall), goodput,
              top-N slowest requests with timelines, anomaly flags
@@ -150,6 +167,7 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "devices" => cmd_devices(&args),
         "eval" => cmd_eval(&args),
         "serve-bench" => cmd_serve_bench(&args),
+        "cluster-bench" => cmd_cluster_bench(&args),
         "analyze" => cmd_analyze(&args),
         other => return Err(format!("unknown command `{other}`; try `speedllm help`").into()),
     }?;
@@ -828,6 +846,245 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         if args.get("trace-out").is_some() {
             SERVE_EVENTS.with(|s| *s.borrow_mut() = Some(rec.events.events().to_vec()));
         }
+    }
+    Ok(())
+}
+
+/// Drives one cluster-bench run (a [`speedllm_router::Cluster`] over N
+/// identical replicas) and returns the rendered report plus the merged
+/// replica-stamped event log when one was requested.
+fn cluster_bench_run<B: speedllm_serve::Backend>(
+    engines: Vec<speedllm_serve::ServeEngine<B>>,
+    ccfg: speedllm_router::ClusterConfig,
+    lcfg: &speedllm_serve::LoadGenConfig,
+    record: bool,
+) -> (String, Option<Vec<speedllm_serve::Event>>) {
+    let mut cluster = speedllm_router::Cluster::new(engines, ccfg);
+    if record {
+        cluster.attach_recorders();
+    }
+    let mut traffic = speedllm_serve::LoadGen::new(lcfg);
+    cluster.run(&mut traffic);
+    let events = record.then(|| cluster.take_events());
+    (cluster.report().render(), events)
+}
+
+/// `speedllm cluster-bench` — N serve replicas behind the router
+/// (DESIGN.md §17), with policy selection, per-replica backpressure, and
+/// deterministic fault injection.
+fn cmd_cluster_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use speedllm_router::{ClusterConfig, FaultPlan, Policy};
+    use speedllm_serve::{ArrivalMode, CpuBackend, LoadGenConfig, ServeConfig, ServeEngine};
+
+    args.expect_only(&[
+        "preset",
+        "backend",
+        "replicas",
+        "policy",
+        "fault-at",
+        "max-outstanding",
+        "requests",
+        "slots",
+        "batch",
+        "chunk",
+        "queue-cap",
+        "block-size",
+        "shared-prefix",
+        "mode",
+        "mean",
+        "concurrency",
+        "max-new",
+        "sampler",
+        "seed",
+        "smoke",
+        "events-out",
+        "trace-out",
+    ])?;
+    let smoke = args.get("smoke").is_some();
+    let backend = args.get_or("backend", "cpu");
+    if !matches!(backend, "cpu" | "accel") {
+        return Err(format!("unknown --backend `{backend}` (cpu|accel)").into());
+    }
+    let preset = parse_preset(args.get_or("preset", if smoke { "tiny" } else { "stories260k" }))?;
+    let n_replicas = args.get_usize("replicas", if smoke { 3 } else { 4 })?;
+    if n_replicas == 0 || n_replicas > usize::from(u16::MAX) {
+        return Err("--replicas must be in 1..=65535".into());
+    }
+    let policy = Policy::parse(args.get_or("policy", "prefix"))?;
+    let faults = match args.get("fault-at") {
+        Some(spec) => spec
+            .split(',')
+            .map(FaultPlan::parse)
+            .collect::<Result<Vec<_>, _>>()?,
+        None => Vec::new(),
+    };
+    for f in &faults {
+        if f.replica >= n_replicas {
+            return Err(format!(
+                "--fault-at names replica {} but the cluster has {n_replicas}",
+                f.replica
+            )
+            .into());
+        }
+    }
+    let dead_forever: std::collections::BTreeSet<usize> = faults
+        .iter()
+        .filter(|f| f.up_tick == u64::MAX)
+        .map(|f| f.replica)
+        .collect();
+    if dead_forever.len() == n_replicas {
+        return Err("--fault-at downs every replica forever; the cluster could never drain".into());
+    }
+    let n_requests = args.get_usize("requests", if smoke { 12 } else { 32 })?;
+    let seed = args.get_u64("seed", 42)?;
+    let sampler = parse_sampler(args.get_or("sampler", "temp:0.8"))?;
+    let slots = args.get_usize("slots", if smoke { 2 } else { 4 })?;
+    // The smoke workload's 4-token shared prefix must fill at least one
+    // block for prefix routing to have anything to see.
+    let block_size = args.get_usize("block-size", if smoke { 4 } else { 8 })?;
+    if block_size == 0 {
+        return Err("--block-size must be >= 1".into());
+    }
+    // Every replica gets the same KV budget: `slots` flat slots' worth of
+    // paged blocks (the prefix policy needs the radix cache, so the
+    // cluster always serves paged KV).
+    let n_blocks = slots * preset.seq_len.div_ceil(block_size);
+    let block_cfg = speedllm_pagedkv::BlockConfig {
+        block_size,
+        n_blocks,
+    };
+    let scfg = ServeConfig {
+        slots: n_blocks,
+        max_batch: args.get_usize("batch", 8)?,
+        prefill_chunk: args.get_usize("chunk", if smoke { 4 } else { 16 })?,
+        queue_cap: args.get_usize("queue-cap", 64)?,
+        unified: None,
+    };
+    let mode = match args.get_or("mode", "open") {
+        "open" => ArrivalMode::Open {
+            mean_interarrival: args.get_u64("mean", if smoke { 8 } else { 32 })?,
+        },
+        "closed" => ArrivalMode::Closed {
+            concurrency: args.get_usize("concurrency", n_replicas * slots)?,
+        },
+        other => return Err(format!("unknown --mode `{other}` (open|closed)").into()),
+    };
+    let shared_prefix_len = args.get_usize("shared-prefix", if smoke { 4 } else { 0 })?;
+    let prompt_lo = 2 + shared_prefix_len;
+    let prompt_hi = (preset.seq_len / 4).clamp(2, 12).max(prompt_lo);
+    if prompt_hi > preset.seq_len {
+        return Err(
+            format!("--shared-prefix {shared_prefix_len} does not fit the context window").into(),
+        );
+    }
+    let max_new = args
+        .get_usize("max-new", if smoke { 6 } else { 16 })?
+        .max(1);
+    let max_outstanding = args.get_usize("max-outstanding", usize::MAX)?;
+    if max_outstanding < prompt_hi + max_new {
+        return Err(format!(
+            "--max-outstanding {max_outstanding} is below the largest request \
+             ({prompt_hi} prompt + {max_new} new tokens); nothing could ever dispatch"
+        )
+        .into());
+    }
+    let lcfg = LoadGenConfig {
+        n_requests,
+        mode,
+        prompt_len: (prompt_lo, prompt_hi),
+        shared_prefix_len,
+        max_new_tokens: (1, max_new),
+        sampler,
+        stop_at_eos: true,
+        vocab_size: preset.vocab_size,
+        seq_len: preset.seq_len,
+        seed,
+    };
+    let ccfg = ClusterConfig {
+        policy,
+        max_outstanding_tokens: max_outstanding,
+        faults: faults.clone(),
+    };
+
+    println!("model:    {preset}");
+    println!("cluster:  {n_replicas} replicas, policy {policy}");
+    println!(
+        "schedule: per replica: batch <= {}, prefill chunk {}, queue cap {}",
+        scfg.max_batch, scfg.prefill_chunk, scfg.queue_cap
+    );
+    println!(
+        "kv:       paged, {n_blocks} blocks x {block_size} tokens per replica (= {slots} flat slots)"
+    );
+    if shared_prefix_len > 0 {
+        println!("prefix:   {shared_prefix_len} shared tokens per prompt");
+    }
+    if max_outstanding != usize::MAX {
+        println!("cap:      {max_outstanding} outstanding tokens per replica");
+    }
+    for f in &faults {
+        if f.up_tick == u64::MAX {
+            println!(
+                "fault:    replica {} down at tick {} (forever)",
+                f.replica, f.down_tick
+            );
+        } else {
+            println!(
+                "fault:    replica {} down at tick {}, back at {}",
+                f.replica, f.down_tick, f.up_tick
+            );
+        }
+    }
+    match mode {
+        ArrivalMode::Open { mean_interarrival } => println!(
+            "workload: {n_requests} requests, open loop (mean gap {mean_interarrival} ticks), seed {seed}"
+        ),
+        ArrivalMode::Closed { concurrency } => println!(
+            "workload: {n_requests} requests, closed loop (concurrency {concurrency}), seed {seed}"
+        ),
+        ArrivalMode::Bursty { .. } => unreachable!("cluster-bench offers open|closed"),
+    }
+    println!();
+
+    let events_out = args.get("events-out");
+    let record = events_out.is_some();
+    let (report, events) = if backend == "cpu" {
+        let engines: Vec<ServeEngine<CpuBackend>> = (0..n_replicas)
+            .map(|_| {
+                let weights = TransformerWeights::synthetic(preset, seed);
+                ServeEngine::new(
+                    CpuBackend::new_paged(
+                        speedllm_llama::forward::Transformer::new(weights),
+                        block_cfg,
+                    ),
+                    scfg,
+                )
+            })
+            .collect();
+        cluster_bench_run(engines, ccfg, &lcfg, record)
+    } else {
+        let weights = std::sync::Arc::new(TransformerWeights::synthetic(preset, seed));
+        let engines = (0..n_replicas)
+            .map(|_| {
+                let engine =
+                    speedllm_accel::engine::Engine::new(weights.clone(), OptConfig::full())?;
+                Ok(ServeEngine::new(
+                    speedllm_serve::AccelBackend::new_paged(engine, block_cfg),
+                    scfg,
+                ))
+            })
+            .collect::<Result<Vec<_>, Box<dyn std::error::Error>>>()?;
+        cluster_bench_run(engines, ccfg, &lcfg, record)
+    };
+    print!("{report}");
+    if let Some(path) = events_out {
+        let events = events.expect("recorded when --events-out is set");
+        let jsonl: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        std::fs::write(path, &jsonl)?;
+        println!(
+            "wrote {} lifecycle events ({} bytes) to {path}",
+            events.len(),
+            jsonl.len()
+        );
     }
     Ok(())
 }

@@ -104,6 +104,31 @@ impl RadixIndex {
         chain
     }
 
+    /// Length in tokens of the longest cached prefix of `tokens`, as a
+    /// side-effect-free probe: no LRU stamp is touched and no refcount
+    /// is taken, so a router can rank replicas by expected prefix hit
+    /// without pinning blocks on replicas it may not choose. Agrees
+    /// with [`RadixIndex::lookup`]: for any `tokens` and cap,
+    /// `lookup(tokens, cap).len() * block_size
+    ///  == longest_prefix_len(tokens).min(cap / block_size * block_size)`.
+    #[must_use]
+    pub fn longest_prefix_len(&self, tokens: &[u32]) -> usize {
+        let limit = tokens.len() / self.block_size;
+        let mut matched = 0;
+        let mut children = &self.root_children;
+        for d in 0..limit {
+            let chunk = &tokens[d * self.block_size..(d + 1) * self.block_size];
+            match children.get(chunk) {
+                Some(&id) => {
+                    matched += 1;
+                    children = &self.node(id).children;
+                }
+                None => break,
+            }
+        }
+        matched * self.block_size
+    }
+
     /// Caches the chain `blocks` under the token prefix `tokens` (which
     /// must cover at least `blocks.len() * block_size` tokens). Each
     /// *newly* cached block gains one tree refcount via `alloc.retain`;
@@ -321,6 +346,47 @@ mod tests {
         assert_eq!(idx.cached_blocks(), 2);
         assert_eq!(idx.lookup(&[5, 6, 7, 8], 4), &[]);
         assert_eq!(idx.lookup(&[1, 2, 3, 4], 4), a, "hot chain survived");
+        idx.check_invariants(&alloc).unwrap();
+    }
+
+    #[test]
+    fn probe_agrees_with_lookup_and_takes_no_refcounts() {
+        let (mut idx, mut alloc) = setup(8);
+        let toks = [1, 2, 3, 4, 5, 6];
+        let blocks = chain(&mut alloc, 3);
+        idx.insert(&toks, &blocks, &mut alloc);
+        let refs_before: Vec<_> = blocks.iter().map(|&b| alloc.refcount(b)).collect();
+        // Full-chain, partial, divergent, and sub-block probes.
+        assert_eq!(idx.longest_prefix_len(&toks), 6);
+        assert_eq!(idx.longest_prefix_len(&[1, 2, 3, 9]), 2);
+        assert_eq!(idx.longest_prefix_len(&[7, 7]), 0);
+        assert_eq!(idx.longest_prefix_len(&[1]), 0, "sub-block never matches");
+        // Probing neither retains blocks nor perturbs the LRU order.
+        let refs_after: Vec<_> = blocks.iter().map(|&b| alloc.refcount(b)).collect();
+        assert_eq!(refs_before, refs_after, "probe must not take refcounts");
+        // Probe-then-lookup agreement across caps.
+        for cap in 0..=toks.len() {
+            let hit = idx.lookup(&toks, cap);
+            let capped = idx.longest_prefix_len(&toks).min(cap / 2 * 2);
+            assert_eq!(hit.len() * 2, capped, "cap {cap}");
+        }
+        idx.check_invariants(&alloc).unwrap();
+    }
+
+    #[test]
+    fn probe_does_not_disturb_eviction_order() {
+        let (mut idx, mut alloc) = setup(8);
+        let a = chain(&mut alloc, 1);
+        let b = chain(&mut alloc, 1);
+        idx.insert(&[1, 2], &a, &mut alloc);
+        idx.insert(&[5, 6], &b, &mut alloc);
+        for &blk in a.iter().chain(&b) {
+            alloc.release(blk);
+        }
+        // A lookup would re-stamp chain `a` and make `b` the eviction
+        // victim; the probe must leave `a` the oldest entry.
+        assert_eq!(idx.longest_prefix_len(&[1, 2]), 2);
+        assert_eq!(idx.evict(1, &mut alloc), a, "probe kept a cold");
         idx.check_invariants(&alloc).unwrap();
     }
 

@@ -1,0 +1,89 @@
+//! Deterministic fault injection: a plan that takes a replica down at a
+//! fixed cluster tick and (optionally) brings it back later. Faults are
+//! part of the cluster configuration, so a faulted run is exactly as
+//! reproducible as a healthy one — the property suite leans on this to
+//! compare faulted token streams against a no-fault oracle.
+
+/// One scheduled replica outage on the cluster clock.
+///
+/// At `down_tick` the replica is marked down and every incomplete
+/// request on it (queued, in flight, or preempted) is drained back into
+/// the router queue for re-routing. At `up_tick` (exclusive of any work
+/// in between — the replica rejoins empty) it becomes routable again;
+/// `u64::MAX` means it never comes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Index of the replica to kill.
+    pub replica: usize,
+    /// Cluster tick at which the replica goes down.
+    pub down_tick: u64,
+    /// Cluster tick at which it rejoins (`u64::MAX` = never).
+    pub up_tick: u64,
+}
+
+impl FaultPlan {
+    /// A plan that takes `replica` down at `down_tick` forever.
+    #[must_use]
+    pub fn down_forever(replica: usize, down_tick: u64) -> Self {
+        Self {
+            replica,
+            down_tick,
+            up_tick: u64::MAX,
+        }
+    }
+
+    /// Parses the CLI spelling `T:R` (down at tick T forever) or
+    /// `T:R:U` (down at T, back up at U).
+    ///
+    /// # Errors
+    /// Returns a message on malformed specs or `U <= T`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let bad = |what: &str| format!("bad --fault-at `{s}`: {what} (expected T:R or T:R:U)");
+        if parts.len() != 2 && parts.len() != 3 {
+            return Err(bad("wrong number of fields"));
+        }
+        let down_tick: u64 = parts[0].parse().map_err(|_| bad("bad tick"))?;
+        let replica: usize = parts[1].parse().map_err(|_| bad("bad replica"))?;
+        let up_tick = match parts.get(2) {
+            Some(p) => p.parse().map_err(|_| bad("bad up tick"))?,
+            None => u64::MAX,
+        };
+        if up_tick <= down_tick {
+            return Err(bad("up tick must be after the down tick"));
+        }
+        Ok(Self {
+            replica,
+            down_tick,
+            up_tick,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_both_spellings() {
+        assert_eq!(
+            FaultPlan::parse("12:1").unwrap(),
+            FaultPlan::down_forever(1, 12)
+        );
+        assert_eq!(
+            FaultPlan::parse("5:0:30").unwrap(),
+            FaultPlan {
+                replica: 0,
+                down_tick: 5,
+                up_tick: 30
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in ["", "5", "a:1", "5:b", "5:1:2:3", "5:1:5", "9:1:4"] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+}

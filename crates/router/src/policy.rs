@@ -1,0 +1,195 @@
+//! Routing policy stack (DESIGN.md §17).
+//!
+//! The router picks a replica for the request at the head of its queue
+//! from the **candidate set** — live replicas whose outstanding-token
+//! load leaves room under the backpressure cap. All three policies are
+//! deterministic: ties break by load and then by replica index, so a
+//! cluster run renders byte-identical reports run to run.
+
+use std::fmt;
+
+/// Which replica gets the next request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Prefix-cache-aware placement: the replica whose radix index holds
+    /// the longest cached prefix of the prompt (probed side-effect-free
+    /// via `ServeEngine::prefix_hit_len`), ties broken by least load.
+    /// Falls back to least-loaded when no replica has a cached prefix.
+    Prefix,
+    /// Least outstanding tokens (queued + in-flight), ties broken by
+    /// replica index.
+    LeastLoaded,
+    /// Fixed rotation over live candidates, blind to cache and load.
+    RoundRobin,
+}
+
+impl Policy {
+    /// Parses the CLI spelling (`prefix`, `least-loaded`, `round-robin`).
+    ///
+    /// # Errors
+    /// Returns a message naming the valid spellings on anything else.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "prefix" => Ok(Policy::Prefix),
+            "least-loaded" => Ok(Policy::LeastLoaded),
+            "round-robin" => Ok(Policy::RoundRobin),
+            other => Err(format!(
+                "unknown policy `{other}` (expected prefix, least-loaded, or round-robin)"
+            )),
+        }
+    }
+
+    /// The CLI spelling.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Prefix => "prefix",
+            Policy::LeastLoaded => "least-loaded",
+            Policy::RoundRobin => "round-robin",
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a routing decision landed where it did (counted per decision in
+/// the cluster report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteReason {
+    /// A replica held a cached prefix of the prompt (prefix policy).
+    PrefixHit,
+    /// Chosen for having the least outstanding tokens (least-loaded
+    /// policy, or the prefix policy's cold-prompt fallback).
+    LeastLoaded,
+    /// Next in the rotation (round-robin policy).
+    RoundRobin,
+}
+
+/// One live replica the policy may choose, as seen at decision time.
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// Replica index.
+    pub index: usize,
+    /// Outstanding tokens (queued + in-flight) routed to it.
+    pub outstanding_tokens: usize,
+    /// Longest cached prefix of the prompt on it, in tokens.
+    pub prefix_hit: usize,
+}
+
+impl Policy {
+    /// Picks a candidate, or `None` when the set is empty (every live
+    /// replica is at its backpressure cap — the request waits at the
+    /// router). `rr_next` is the round-robin cursor, advanced only by
+    /// that policy. Candidates must be sorted by `index` (the router
+    /// builds them that way).
+    pub fn choose(&self, cands: &[Candidate], rr_next: &mut usize) -> Option<(usize, RouteReason)> {
+        if cands.is_empty() {
+            return None;
+        }
+        match self {
+            Policy::RoundRobin => {
+                // First candidate at or past the cursor, wrapping.
+                let pick = cands
+                    .iter()
+                    .find(|c| c.index >= *rr_next)
+                    .unwrap_or(&cands[0]);
+                *rr_next = pick.index + 1;
+                Some((pick.index, RouteReason::RoundRobin))
+            }
+            Policy::LeastLoaded => {
+                let pick = cands
+                    .iter()
+                    .min_by_key(|c| (c.outstanding_tokens, c.index))
+                    .expect("non-empty");
+                Some((pick.index, RouteReason::LeastLoaded))
+            }
+            Policy::Prefix => {
+                let pick = cands
+                    .iter()
+                    .min_by_key(|c| {
+                        (
+                            std::cmp::Reverse(c.prefix_hit),
+                            c.outstanding_tokens,
+                            c.index,
+                        )
+                    })
+                    .expect("non-empty");
+                let reason = if pick.prefix_hit > 0 {
+                    RouteReason::PrefixHit
+                } else {
+                    RouteReason::LeastLoaded
+                };
+                Some((pick.index, reason))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(index: usize, load: usize, hit: usize) -> Candidate {
+        Candidate {
+            index,
+            outstanding_tokens: load,
+            prefix_hit: hit,
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for p in [Policy::Prefix, Policy::LeastLoaded, Policy::RoundRobin] {
+            assert_eq!(Policy::parse(p.name()).unwrap(), p);
+        }
+        assert!(Policy::parse("random").is_err());
+    }
+
+    #[test]
+    fn round_robin_rotates_over_candidates_and_wraps() {
+        let cands = [cand(0, 9, 4), cand(2, 0, 9)];
+        let mut cursor = 0;
+        let order: Vec<usize> = (0..4)
+            .map(|_| {
+                Policy::RoundRobin
+                    .choose(&cands, &mut cursor)
+                    .map(|(i, _)| i)
+                    .unwrap()
+            })
+            .collect();
+        // Blind to load and prefix hits; skips the missing replica 1.
+        assert_eq!(order, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_by_index() {
+        let mut cursor = 0;
+        let cands = [cand(0, 5, 0), cand(1, 3, 0), cand(2, 3, 0)];
+        assert_eq!(
+            Policy::LeastLoaded.choose(&cands, &mut cursor),
+            Some((1, RouteReason::LeastLoaded))
+        );
+    }
+
+    #[test]
+    fn prefix_prefers_longest_hit_and_falls_back_to_load() {
+        let mut cursor = 0;
+        let cands = [cand(0, 1, 4), cand(1, 9, 8), cand(2, 0, 0)];
+        assert_eq!(
+            Policy::Prefix.choose(&cands, &mut cursor),
+            Some((1, RouteReason::PrefixHit)),
+            "longest hit wins even under load"
+        );
+        let cold = [cand(0, 5, 0), cand(1, 2, 0)];
+        assert_eq!(
+            Policy::Prefix.choose(&cold, &mut cursor),
+            Some((1, RouteReason::LeastLoaded)),
+            "cold prompts fall back to least-loaded"
+        );
+        assert_eq!(Policy::Prefix.choose(&[], &mut cursor), None);
+    }
+}

@@ -1,0 +1,223 @@
+//! The cluster-level report: router rows (routing decisions by reason,
+//! prefix-hit rate at placement, failover counts, load imbalance) over
+//! the aggregated per-replica [`ServeReport`]s. Everything derives from
+//! the deterministic cluster clock, so the rendered text is
+//! byte-identical run to run for a given configuration.
+
+use std::fmt;
+
+use speedllm_llama::generate::safe_rate;
+use speedllm_serve::{Completion, Percentiles, ServeReport};
+
+use crate::policy::Policy;
+
+/// Router-level counters accumulated over a cluster run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouterStats {
+    /// Dispatches to a replica (re-dispatches after failover included).
+    pub routed: u64,
+    /// Decisions taken because a replica held a cached prompt prefix.
+    pub routed_prefix: u64,
+    /// Decisions taken by least outstanding tokens (including the
+    /// prefix policy's cold-prompt fallback).
+    pub routed_least_loaded: u64,
+    /// Decisions taken by the round-robin rotation.
+    pub routed_round_robin: u64,
+    /// Prompt tokens already cached on the chosen replica at placement,
+    /// summed over dispatches (whatever the policy — this measures what
+    /// placement achieved, not what it aimed for).
+    pub prefix_hit_tokens_at_placement: u64,
+    /// Prompt tokens dispatched (denominator of the placement hit rate).
+    pub prompt_tokens_at_placement: u64,
+    /// Requests drained off a downed replica and returned to the router
+    /// queue.
+    pub failed_over: u64,
+    /// Failed-over requests whose re-route landed on a *different*
+    /// replica than the one that died.
+    pub rebalanced: u64,
+    /// Sum of per-tick max/min outstanding-token ratios over live
+    /// replicas (sampled only when ≥ 2 replicas are live with nonzero
+    /// load).
+    pub imbalance_sum: f64,
+    /// Ticks contributing to `imbalance_sum`.
+    pub imbalance_samples: u64,
+}
+
+impl RouterStats {
+    /// Placement-time prefix hit rate in [0, 1].
+    #[must_use]
+    pub fn prefix_hit_rate(&self) -> f64 {
+        safe_rate(
+            self.prefix_hit_tokens_at_placement as f64,
+            self.prompt_tokens_at_placement as f64,
+        )
+    }
+
+    /// Mean per-tick max/min outstanding-token ratio, or `None` when
+    /// never sampled (single replica, or never two loaded replicas).
+    #[must_use]
+    pub fn mean_imbalance(&self) -> Option<f64> {
+        (self.imbalance_samples > 0).then(|| self.imbalance_sum / self.imbalance_samples as f64)
+    }
+}
+
+/// FNV-1a 64-bit digest over `(id, tokens)` pairs sorted by id: two runs
+/// emitted bit-identical streams iff their digests agree. The
+/// policy-identity gate in `scripts/verify.sh` compares this line
+/// between `cluster-bench` runs under different routing policies.
+#[must_use]
+pub fn stream_digest(completions: &[Completion]) -> u64 {
+    let mut sorted: Vec<&Completion> = completions.iter().collect();
+    sorted.sort_by_key(|c| c.id);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for c in sorted {
+        eat(&c.id.to_le_bytes());
+        for &t in &c.tokens {
+            eat(&t.to_le_bytes());
+        }
+    }
+    h
+}
+
+/// The whole-cluster report: aggregate latency/throughput on the
+/// cluster clock, the router rows, and one [`ServeReport`] per replica
+/// (on each replica's own virtual clock).
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Replica count.
+    pub replicas: usize,
+    /// Routing policy the run used.
+    pub policy: Policy,
+    /// Requests completed cluster-wide.
+    pub requests: usize,
+    /// Tokens generated cluster-wide.
+    pub tokens: u64,
+    /// First arrival → last completion, in cluster ticks.
+    pub makespan: u64,
+    /// Arrival → first token, in cluster ticks (router queue included).
+    pub ttft: Percentiles,
+    /// Arrival → completion, in cluster ticks.
+    pub e2e: Percentiles,
+    /// Arrival → (final) dispatch, in cluster ticks.
+    pub queue_wait: Percentiles,
+    /// Router counters.
+    pub router: RouterStats,
+    /// FNV-1a digest of the emitted token streams ([`stream_digest`]).
+    pub digest: u64,
+    /// One serve report per replica, indexed by replica.
+    pub per_replica: Vec<ServeReport>,
+    /// Backend name (shared by every replica).
+    pub backend: String,
+}
+
+impl ClusterReport {
+    /// Renders the report (the `Display` impl defers here).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let r = &self.router;
+        s.push_str(&format!(
+            "cluster-bench report ({} backend, {} replicas, policy {})\n",
+            self.backend, self.replicas, self.policy
+        ));
+        s.push_str(&format!("  requests completed   {}\n", self.requests));
+        s.push_str(&format!("  tokens generated     {}\n", self.tokens));
+        s.push_str(&format!(
+            "  makespan             {} cluster ticks\n",
+            self.makespan
+        ));
+        s.push_str(&format!(
+            "  throughput           {:.3} tok/ktick\n",
+            safe_rate(self.tokens as f64, self.makespan as f64) * 1000.0
+        ));
+        s.push_str(&format!(
+            "  ttft p50/p95/p99     {} / {} / {} cluster ticks\n",
+            self.ttft.p50, self.ttft.p95, self.ttft.p99
+        ));
+        s.push_str(&format!(
+            "  e2e p50/p95/p99      {} / {} / {} cluster ticks\n",
+            self.e2e.p50, self.e2e.p95, self.e2e.p99
+        ));
+        s.push_str(&format!(
+            "  router queue wait    {} / {} / {} cluster ticks (p50/p95/p99)\n",
+            self.queue_wait.p50, self.queue_wait.p95, self.queue_wait.p99
+        ));
+        s.push_str(&format!(
+            "  routing decisions    {} (prefix {}, least-loaded {}, round-robin {})\n",
+            r.routed, r.routed_prefix, r.routed_least_loaded, r.routed_round_robin
+        ));
+        s.push_str(&format!(
+            "  prefix hit at placement {} / {} prompt tokens ({:.1}%)\n",
+            r.prefix_hit_tokens_at_placement,
+            r.prompt_tokens_at_placement,
+            r.prefix_hit_rate() * 100.0
+        ));
+        s.push_str(&format!(
+            "  failed over          {} (rebalanced {})\n",
+            r.failed_over, r.rebalanced
+        ));
+        match r.mean_imbalance() {
+            Some(m) => s.push_str(&format!(
+                "  load imbalance       {m:.2} (mean max/min outstanding tokens)\n"
+            )),
+            None => s.push_str("  load imbalance       n/a\n"),
+        }
+        s.push_str(&format!("  token stream digest  {:#018x}\n", self.digest));
+        s.push_str("\nper-replica reports\n");
+        for (i, rep) in self.per_replica.iter().enumerate() {
+            s.push_str(&format!("-- replica {i} --\n"));
+            s.push_str(&rep.render(&self.backend));
+        }
+        s
+    }
+}
+
+impl fmt::Display for ClusterReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completion(id: u64, tokens: Vec<u32>) -> Completion {
+        Completion {
+            id,
+            tokens,
+            arrival: 0,
+            admitted_at: 0,
+            first_token_at: Some(1),
+            finished_at: 2,
+            slot_index: 0,
+            admission_seq: id,
+            token_ticks: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn digest_is_order_independent_but_stream_sensitive() {
+        let a = [completion(1, vec![5, 6]), completion(2, vec![7])];
+        let b = [completion(2, vec![7]), completion(1, vec![5, 6])];
+        assert_eq!(stream_digest(&a), stream_digest(&b), "sorted by id");
+        let c = [completion(1, vec![5, 9]), completion(2, vec![7])];
+        assert_ne!(stream_digest(&a), stream_digest(&c));
+        // Token/id boundaries must not alias.
+        let d = [completion(1, vec![5]), completion(2, vec![6, 7])];
+        assert_ne!(stream_digest(&a), stream_digest(&d));
+    }
+
+    #[test]
+    fn router_stats_rates_handle_empty_runs() {
+        let r = RouterStats::default();
+        assert_eq!(r.prefix_hit_rate(), 0.0);
+        assert_eq!(r.mean_imbalance(), None);
+    }
+}

@@ -82,6 +82,33 @@ fn timeline(p: &RequestPhases, width: usize) -> String {
     bar
 }
 
+/// One queue/prefill/decode/stall/e2e phase table over a set of
+/// completed requests (the global table, and one per replica when the
+/// log carries replica stamps).
+fn phase_table(s: &mut String, completed: &[&RequestPhases]) {
+    let _ = writeln!(
+        s,
+        "  {:<8} {:>10} {:>7} {:>8} {:>8} {:>8}",
+        "phase", "total", "share", "p50", "p95", "p99"
+    );
+    let total_e2e: u64 = completed.iter().map(|p| p.e2e()).sum();
+    let phase_row = |s: &mut String, name: &str, of: &dyn Fn(&RequestPhases) -> u64| {
+        let total: u64 = completed.iter().map(|p| of(p)).sum();
+        let pct = Percentiles::of(completed.iter().map(|p| of(p)).collect());
+        let share = safe_rate(total as f64, total_e2e as f64) * 100.0;
+        let _ = writeln!(
+            s,
+            "  {:<8} {:>10} {:>6.1}% {:>8} {:>8} {:>8}",
+            name, total, share, pct.p50, pct.p95, pct.p99
+        );
+    };
+    phase_row(s, "queue", &|p| p.queue_wait);
+    phase_row(s, "prefill", &|p| p.prefill);
+    phase_row(s, "decode", &|p| p.decode);
+    phase_row(s, "stall", &|p| p.stall);
+    phase_row(s, "e2e", &|p| p.e2e());
+}
+
 /// Renders the analysis dashboard for an event stream (must be in
 /// emission order, as the JSONL file is).
 #[must_use]
@@ -105,28 +132,35 @@ pub fn render_analysis(events: &[Event], opts: &AnalyzeOptions) -> String {
 
     // ── Phase breakdown ────────────────────────────────────────────
     let _ = writeln!(s, "phase breakdown (completed requests, virtual ticks)");
-    let _ = writeln!(
-        s,
-        "  {:<8} {:>10} {:>7} {:>8} {:>8} {:>8}",
-        "phase", "total", "share", "p50", "p95", "p99"
-    );
-    let total_e2e: u64 = completed.iter().map(|p| p.e2e()).sum();
-    let phase_row = |s: &mut String, name: &str, of: &dyn Fn(&RequestPhases) -> u64| {
-        let total: u64 = completed.iter().map(|p| of(p)).sum();
-        let pct = Percentiles::of(completed.iter().map(|p| of(p)).collect());
-        let share = safe_rate(total as f64, total_e2e as f64) * 100.0;
-        let _ = writeln!(
-            s,
-            "  {:<8} {:>10} {:>6.1}% {:>8} {:>8} {:>8}",
-            name, total, share, pct.p50, pct.p95, pct.p99
-        );
-    };
-    phase_row(&mut s, "queue", &|p| p.queue_wait);
-    phase_row(&mut s, "prefill", &|p| p.prefill);
-    phase_row(&mut s, "decode", &|p| p.decode);
-    phase_row(&mut s, "stall", &|p| p.stall);
-    phase_row(&mut s, "e2e", &|p| p.e2e());
+    phase_table(&mut s, &completed);
     s.push('\n');
+
+    // ── Per-replica breakdown (merged cluster logs only) ───────────
+    let replicas: std::collections::BTreeSet<u16> =
+        events.iter().filter_map(|e| e.replica).collect();
+    if !replicas.is_empty() {
+        let _ = writeln!(s, "phase breakdown by replica");
+        for r in replicas {
+            let local: Vec<Event> = events
+                .iter()
+                .filter(|e| e.replica == Some(r))
+                .copied()
+                .collect();
+            let local_phases = phase_breakdowns(&local);
+            let local_completed: Vec<&RequestPhases> = local_phases
+                .iter()
+                .filter(|p| p.finished.is_some())
+                .collect();
+            let _ = writeln!(
+                s,
+                "  replica {r} — {} events, {} requests completed",
+                local.len(),
+                local_completed.len()
+            );
+            phase_table(&mut s, &local_completed);
+        }
+        s.push('\n');
+    }
 
     // ── Goodput ────────────────────────────────────────────────────
     let tokens: u64 = completed.iter().map(|p| p.tokens).sum();
@@ -219,7 +253,12 @@ mod tests {
     use crate::events::EventKind;
 
     fn ev(tick: u64, req: u64, kind: EventKind) -> Event {
-        Event { tick, req, kind }
+        Event {
+            tick,
+            req,
+            kind,
+            replica: None,
+        }
     }
 
     fn sample_events() -> Vec<Event> {
@@ -261,6 +300,32 @@ mod tests {
         // req 2 stalled 15/20 = 75% of its lifetime.
         assert!(a.contains("req 2: stalled 75.0% of lifetime"));
         assert!(a.contains("1 request(s) rejected"));
+    }
+
+    #[test]
+    fn replica_stamped_logs_get_a_per_replica_phase_table() {
+        // Unstamped logs must not grow the new section.
+        let plain = render_analysis(&sample_events(), &AnalyzeOptions::default());
+        assert!(!plain.contains("phase breakdown by replica"));
+
+        // Stamp req 1 onto replica 0 and req 2 onto replica 3.
+        let stamped: Vec<Event> = sample_events()
+            .into_iter()
+            .map(|e| Event {
+                replica: match e.req {
+                    1 => Some(0),
+                    2 => Some(3),
+                    _ => None,
+                },
+                ..e
+            })
+            .collect();
+        let a = render_analysis(&stamped, &AnalyzeOptions::default());
+        let b = render_analysis(&stamped, &AnalyzeOptions::default());
+        assert_eq!(a, b, "replica grouping must stay byte-stable");
+        assert!(a.contains("phase breakdown by replica"));
+        assert!(a.contains("replica 0 — 6 events, 1 requests completed"));
+        assert!(a.contains("replica 3 — 6 events, 1 requests completed"));
     }
 
     #[test]

@@ -53,7 +53,12 @@ use crate::events::{Event, EventKind, ServeRecorder};
 /// reach the recorder without re-borrowing `self`.
 fn record(rec: &mut Option<ServeRecorder>, tick: u64, req: u64, kind: EventKind) {
     if let Some(r) = rec.as_mut() {
-        r.events.push(Event { tick, req, kind });
+        r.events.push(Event {
+            tick,
+            req,
+            kind,
+            replica: None,
+        });
     }
 }
 
@@ -552,6 +557,63 @@ impl<B: Backend> ServeEngine<B> {
                 p.radix.check_invariants(&p.alloc)
             }
         }
+    }
+
+    /// Longest prefix of `tokens` the radix prefix cache could serve at
+    /// admission, in tokens. A pure probe (no refcounts taken, no LRU
+    /// stamps touched) capped exactly like admission caps its lookup —
+    /// at least one token is always left to prefill — so a cluster
+    /// router can rank replicas by the hit each would actually credit.
+    /// Always 0 on flat (non-paged) backends.
+    #[must_use]
+    pub fn prefix_hit_len(&self, tokens: &[u32]) -> usize {
+        match &self.paged {
+            None => 0,
+            Some(p) => {
+                let bs = p.radix.block_size();
+                let cap = tokens.len().saturating_sub(1) / bs * bs;
+                p.radix.longest_prefix_len(tokens).min(cap)
+            }
+        }
+    }
+
+    /// Drains every incomplete request — queued, in flight, and
+    /// preempted — handing back the **original** [`Request`]s so a
+    /// cluster router can re-route them after a replica failure. Slots
+    /// and KV blocks are released with the same bookkeeping as
+    /// preemption (radix-cached blocks survive, like a drain for
+    /// maintenance); per-request progress is discarded, which is safe
+    /// because seeded samplers regenerate bit-identical streams from
+    /// scratch on any replica. Returns admitted requests first in
+    /// admission order, then the queue in FIFO order.
+    pub fn take_incomplete(&mut self) -> Vec<Request> {
+        let mut admitted: Vec<(u64, Request)> = Vec::new();
+        for mut a in std::mem::take(&mut self.active) {
+            if let Some(table) = B::slot_table_mut(a.slot.state_mut()) {
+                let chain = table.take_blocks();
+                let paged = self.paged.as_mut().expect("paged backend");
+                let mut freed = Vec::new();
+                for b in chain {
+                    if paged.alloc.release(b) {
+                        freed.push(b);
+                    }
+                }
+                if !freed.is_empty() {
+                    self.backend.on_blocks_freed(&freed);
+                }
+            }
+            self.pool.release(a.slot);
+            admitted.push((a.admission_seq, a.req));
+        }
+        for p in std::mem::take(&mut self.preempted) {
+            admitted.push((p.admission_seq, p.req));
+        }
+        admitted.sort_by_key(|&(seq, _)| seq);
+        let mut out: Vec<Request> = admitted.into_iter().map(|(_, r)| r).collect();
+        out.extend(self.queue.drain(..));
+        debug_assert!(self.is_idle() && self.all_slots_free());
+        debug_assert!(self.check_paged_invariants().is_ok());
+        out
     }
 
     /// Enqueues a request, or hands it back when the bounded queue is full

@@ -115,34 +115,46 @@ pub struct Event {
     pub req: u64,
     /// What happened.
     pub kind: EventKind,
+    /// Replica that emitted the event, when the log merges several
+    /// engines (the cluster router stamps this; a single-engine log
+    /// leaves it `None` and the wire format is byte-unchanged).
+    pub replica: Option<u16>,
 }
 
 impl Event {
     /// Renders the event as one JSONL line (no trailing newline).
     #[must_use]
     pub fn to_json(&self) -> String {
-        let head = format!(
+        let mut out = format!(
             "{{\"tick\":{},\"req\":{},\"ev\":\"{}\"",
             self.tick,
             self.req,
             self.kind.name()
         );
-        let tail = match self.kind {
+        match self.kind {
             EventKind::Admitted { prefix_hit } | EventKind::Resumed { prefix_hit } => {
-                format!(",\"prefix_hit\":{prefix_hit}}}")
+                out.push_str(&format!(",\"prefix_hit\":{prefix_hit}"));
             }
-            EventKind::PrefillChunk { tokens } => format!(",\"tokens\":{tokens}}}"),
-            EventKind::DecodeTick { batch } => format!(",\"batch\":{batch}}}"),
-            EventKind::DraftTick { tokens } => format!(",\"tokens\":{tokens}}}"),
-            EventKind::VerifyTick { accepted } => format!(",\"accepted\":{accepted}}}"),
-            EventKind::EvictedCacheBlock { blocks } => format!(",\"blocks\":{blocks}}}"),
-            EventKind::Completed { tokens } => format!(",\"tokens\":{tokens}}}"),
+            EventKind::PrefillChunk { tokens } => out.push_str(&format!(",\"tokens\":{tokens}")),
+            EventKind::DecodeTick { batch } => out.push_str(&format!(",\"batch\":{batch}")),
+            EventKind::DraftTick { tokens } => out.push_str(&format!(",\"tokens\":{tokens}")),
+            EventKind::VerifyTick { accepted } => {
+                out.push_str(&format!(",\"accepted\":{accepted}"))
+            }
+            EventKind::EvictedCacheBlock { blocks } => {
+                out.push_str(&format!(",\"blocks\":{blocks}"))
+            }
+            EventKind::Completed { tokens } => out.push_str(&format!(",\"tokens\":{tokens}")),
             EventKind::Enqueued
             | EventKind::Rejected
             | EventKind::FirstToken
-            | EventKind::Preempted => "}".to_string(),
-        };
-        head + &tail
+            | EventKind::Preempted => {}
+        }
+        if let Some(replica) = self.replica {
+            out.push_str(&format!(",\"replica\":{replica}"));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -257,6 +269,7 @@ fn parse_event_line(line: &str) -> Result<Event, String> {
     let mut tick: Option<u64> = None;
     let mut req: Option<u64> = None;
     let mut ev: Option<String> = None;
+    let mut replica: Option<u16> = None;
     let mut arg: Option<(String, u64)> = None;
     for field in body.split(',') {
         let (key, value) = field.split_once(':').ok_or("field without `:`")?;
@@ -266,6 +279,7 @@ fn parse_event_line(line: &str) -> Result<Event, String> {
             "tick" => tick = Some(value.parse().map_err(|_| "bad tick")?),
             "req" => req = Some(value.parse().map_err(|_| "bad req")?),
             "ev" => ev = Some(value.trim_matches('"').to_string()),
+            "replica" => replica = Some(value.parse().map_err(|_| "bad replica")?),
             other => {
                 let v: u64 = value.parse().map_err(|_| "bad integer argument")?;
                 arg = Some((other.to_string(), v));
@@ -312,7 +326,12 @@ fn parse_event_line(line: &str) -> Result<Event, String> {
         },
         other => return Err(format!("unknown event kind `{other}`")),
     };
-    Ok(Event { tick, req, kind })
+    Ok(Event {
+        tick,
+        req,
+        kind,
+        replica,
+    })
 }
 
 /// Per-request phase attribution derived from the event log. All values
@@ -354,7 +373,7 @@ impl RequestPhases {
     /// End-to-end latency (arrival → completion); 0 while incomplete.
     #[must_use]
     pub fn e2e(&self) -> u64 {
-        self.finished.map_or(0, |f| f - self.arrival)
+        self.finished.map_or(0, |f| f.saturating_sub(self.arrival))
     }
 
     /// Share of the lifetime spent preempted, in [0, 1].
@@ -431,7 +450,7 @@ pub fn phase_breakdowns(events: &[Event]) -> Vec<RequestPhases> {
             EventKind::Resumed { prefix_hit } => {
                 a.phases.prefix_hit_tokens += u64::from(prefix_hit);
                 if let Some(start) = a.preempted_at.take() {
-                    let dur = ev.tick - start;
+                    let dur = ev.tick.saturating_sub(start);
                     a.phases.stalls.push((start, ev.tick));
                     if a.phases.first_token.is_some() {
                         a.stall_post_ft += dur;
@@ -465,17 +484,21 @@ pub fn phase_breakdowns(events: &[Event]) -> Vec<RequestPhases> {
         .map(|mut a| {
             let p = &mut a.phases;
             if let (Some(adm), Some(fin)) = (p.admitted, p.finished) {
-                p.queue_wait = adm - p.arrival;
+                // Saturating arithmetic: a single-engine log partitions
+                // exactly, but a merged cluster log mixes per-replica
+                // clocks (a failed-over request's events span two
+                // replicas), where the attribution is best-effort.
+                p.queue_wait = adm.saturating_sub(p.arrival);
                 p.stall = a.stall_pre_ft + a.stall_post_ft;
                 match p.first_token {
                     Some(ft) => {
-                        p.prefill = (ft - adm) - a.stall_pre_ft;
-                        p.decode = (fin - ft) - a.stall_post_ft;
+                        p.prefill = ft.saturating_sub(adm).saturating_sub(a.stall_pre_ft);
+                        p.decode = fin.saturating_sub(ft).saturating_sub(a.stall_post_ft);
                     }
                     None => {
                         // Zero-token completion: everything after the
                         // queue is prefill (nothing was ever decoded).
-                        p.prefill = (fin - adm) - p.stall;
+                        p.prefill = fin.saturating_sub(adm).saturating_sub(p.stall);
                         p.decode = 0;
                     }
                 }
@@ -634,7 +657,12 @@ mod tests {
     use super::*;
 
     fn ev(tick: u64, req: u64, kind: EventKind) -> Event {
-        Event { tick, req, kind }
+        Event {
+            tick,
+            req,
+            kind,
+            replica: None,
+        }
     }
 
     #[test]
@@ -663,6 +691,36 @@ mod tests {
         assert_eq!(parsed, all, "JSONL export must parse back losslessly");
         // Known spot-check of the wire shape.
         assert!(jsonl.contains("{\"tick\":3,\"req\":1,\"ev\":\"admitted\",\"prefix_hit\":8}"));
+    }
+
+    #[test]
+    fn replica_stamp_round_trips_and_is_absent_when_none() {
+        let plain = ev(4, 2, EventKind::DecodeTick { batch: 3 });
+        assert_eq!(
+            plain.to_json(),
+            "{\"tick\":4,\"req\":2,\"ev\":\"decode_tick\",\"batch\":3}"
+        );
+        let stamped = Event {
+            replica: Some(5),
+            ..plain
+        };
+        let line = stamped.to_json();
+        assert_eq!(
+            line,
+            "{\"tick\":4,\"req\":2,\"ev\":\"decode_tick\",\"batch\":3,\"replica\":5}"
+        );
+        let parsed = parse_events_jsonl(&line).unwrap();
+        assert_eq!(parsed, vec![stamped]);
+        // Argument-free kinds carry the stamp too.
+        let bare = Event {
+            replica: Some(0),
+            ..ev(1, 9, EventKind::FirstToken)
+        };
+        assert_eq!(
+            bare.to_json(),
+            "{\"tick\":1,\"req\":9,\"ev\":\"first_token\",\"replica\":0}"
+        );
+        assert_eq!(parse_events_jsonl(&bare.to_json()).unwrap(), vec![bare]);
     }
 
     #[test]

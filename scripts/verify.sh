@@ -209,4 +209,52 @@ assert any(e["pid"] == 2 for e in spans), "no simulator spans"
 print(f"telemetry smoke OK: {len(spans)} spans")
 EOF
 
+echo "== cluster smoke (router + replicas, byte-identical, fault-tolerant) =="
+cl_dir="$(mktemp -d /tmp/speedllm_verify_cluster.XXXXXX)"
+trap 'rm -rf "$spec_dir" "$obs_dir" "$trace_file" "$cl_dir"' EXIT
+# Every routing policy must be byte-reproducible: the full stdout
+# (cluster report + per-replica reports) AND the merged replica-stamped
+# event export must match between double runs. The trailing "wrote ...
+# to PATH" line is dropped: it names the (different) output files.
+for policy in prefix least-loaded round-robin; do
+    a="$(./target/release/speedllm cluster-bench --smoke --replicas 3 --policy "$policy" \
+        --events-out "$cl_dir/ev_a.jsonl" | grep -v '^wrote ')"
+    b="$(./target/release/speedllm cluster-bench --smoke --replicas 3 --policy "$policy" \
+        --events-out "$cl_dir/ev_b.jsonl" | grep -v '^wrote ')"
+    if [[ "$a" != "$b" ]]; then
+        echo "cluster-bench --policy $policy is not deterministic" >&2
+        exit 1
+    fi
+    cmp "$cl_dir/ev_a.jsonl" "$cl_dir/ev_b.jsonl"
+    grep -q '"replica":' "$cl_dir/ev_a.jsonl"
+    echo "$a" > "$cl_dir/report_$policy.txt"
+done
+# Placement policy must never change what gets generated — per-request
+# seeded samplers make token streams routing-independent.
+rr_digest="$(grep 'token stream digest' "$cl_dir/report_round-robin.txt")"
+px_digest="$(grep 'token stream digest' "$cl_dir/report_prefix.txt")"
+if [[ "$rr_digest" != "$px_digest" ]]; then
+    echo "routing policy changed the token streams: $px_digest vs $rr_digest" >&2
+    exit 1
+fi
+# Fault injection: kill replica 0 mid-run; the router must fail its work
+# over and still complete every request with the no-fault digest.
+fault_out="$(./target/release/speedllm cluster-bench --smoke --replicas 3 --fault-at 20:0)"
+grep -q "requests completed   12" <<<"$fault_out"
+failed_over="$(grep -m1 'failed over' <<<"$fault_out" | awk '{print $3}')"
+if (( failed_over < 1 )); then
+    echo "fault at tick 20 drained nothing (failed over $failed_over)" >&2
+    exit 1
+fi
+fault_digest="$(grep 'token stream digest' <<<"$fault_out")"
+if [[ "$fault_digest" != "$px_digest" ]]; then
+    echo "failover changed the token streams: $fault_digest vs $px_digest" >&2
+    exit 1
+fi
+# The prefix policy must actually land warm placements on the smoke
+# shared-prefix workload.
+grep -E 'prefix hit at placement +[1-9]' "$cl_dir/report_prefix.txt" >/dev/null
+cargo test --release -q -p speedllm --test router_props
+echo "cluster smoke OK: 3 policies deterministic, streams policy- and fault-invariant ($failed_over failed over)"
+
 echo "verify OK"

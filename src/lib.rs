@@ -19,6 +19,9 @@
 //! * [`pagedkv`] — the block-granular paged KV-cache (free-list allocator,
 //!   block tables, radix-tree prefix sharing) behind `--kv paged` serving.
 //! * [`serve`] — the continuous-batching serve layer over either backend.
+//! * [`router`] — the cluster front-end: N serve replicas behind one
+//!   queue with prefix-aware routing, load-aware admission, and
+//!   deterministic failover.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +42,7 @@ pub use speedllm_fpga_sim as fpga;
 pub use speedllm_gpu_model as gpu;
 pub use speedllm_llama as llama;
 pub use speedllm_pagedkv as pagedkv;
+pub use speedllm_router as router;
 pub use speedllm_serve as serve;
 pub use speedllm_telemetry as telemetry;
 
