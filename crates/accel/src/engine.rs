@@ -34,7 +34,7 @@ use speedllm_fpga_sim::stats::SimStats;
 use speedllm_fpga_sim::trace::TraceBuffer;
 use speedllm_llama::kv_cache::KvCache;
 use speedllm_llama::ops;
-use speedllm_llama::quant::QuantMatrix;
+use speedllm_llama::quant::{QuantKind, QuantMatrix};
 use speedllm_llama::weights::TransformerWeights;
 use speedllm_pagedkv::{BlockConfig, BlockId, BlockTable, PagedKvArena};
 
@@ -104,12 +104,20 @@ impl AccelConfig {
         let mpe = match opt.precision {
             Precision::Fp32 => MpeConfig::u280_fp32(),
             Precision::Int8 => MpeConfig::u280_int8(),
+            Precision::Int4 => MpeConfig::u280_int4(),
         };
+        let mut hbm = HbmConfig::u280();
+        if opt.precision != Precision::Fp32 {
+            // Quantized weight streams move in group-sized transfers (32 B
+            // Q8_0 / 16 B Q4_0 payloads), so the design point narrows the
+            // burst to halve padding waste on those small reads.
+            hbm.burst_bytes = 32;
+        }
         let (rd_ch, wr_ch) = if opt.stream_parallel { (24, 8) } else { (8, 8) };
         let pipelined = opt.stream_parallel;
         Self {
             mpe,
-            hbm: HbmConfig::u280(),
+            hbm,
             read_dma: DmaConfig {
                 channels: rd_ch,
                 setup_cycles: 16,
@@ -528,22 +536,39 @@ impl Engine {
     }
 
     /// Weight bytes streamed per element in the active precision
-    /// (including Q8_0 scale overhead for int8).
+    /// (including group-scale overhead for the quantized kinds).
     fn matrix_bytes(&self, rows: usize, cols: usize) -> u64 {
         match self.opt.precision {
             Precision::Fp32 => (rows * cols * 4) as u64,
             // int8 payload + one f32 scale per 32-wide group per row.
             Precision::Int8 => (rows * cols + rows * cols.div_ceil(32) * 4) as u64,
+            // two int4 elements per byte + the same per-group scales.
+            Precision::Int4 => (rows * cols.div_ceil(2) + rows * cols.div_ceil(32) * 4) as u64,
         }
     }
 
+    /// Bytes one device pass streams for the dense GEMM operands under the
+    /// active weight precision — the compressed counterpart of
+    /// `ModelConfig::gemm_weight_bytes`, and what the
+    /// `accel.gemm_weight_bytes` telemetry adds per batched tick.
+    fn gemm_stream_bytes(&self) -> u64 {
+        let c = &self.graph.config;
+        let (d, kv, h) = (c.dim, c.kv_dim(), c.hidden_dim);
+        let per_layer = self.matrix_bytes(d, d) * 2 // wq, wo
+            + self.matrix_bytes(kv, d) * 2 // wk, wv
+            + self.matrix_bytes(h, d) * 2 // w1, w3
+            + self.matrix_bytes(d, h); // w2
+        per_layer * c.n_layers as u64 + self.matrix_bytes(c.vocab_size, d)
+    }
+
     /// Bytes one K or V row of `kv_dim` elements occupies in HBM under the
-    /// configured KV precision (Q8_0 payload + group scales for int8).
+    /// configured KV precision (quantized payload + group scales).
     fn kv_row_bytes(&self) -> u64 {
         let kv_dim = self.graph.config.kv_dim();
         match self.cfg.kv_precision {
             Precision::Fp32 => (kv_dim * 4) as u64,
             Precision::Int8 => (kv_dim + kv_dim.div_ceil(32) * 4) as u64,
+            Precision::Int4 => (kv_dim.div_ceil(2) + kv_dim.div_ceil(32) * 4) as u64,
         }
     }
 
@@ -616,10 +641,15 @@ impl Engine {
                             ops::matvec(&mut out, w, &x, rows, cols);
                         }
                     }
-                    Precision::Int8 => {
+                    Precision::Int8 | Precision::Int4 => {
+                        let kind = if opt.precision == Precision::Int8 {
+                            QuantKind::Int8
+                        } else {
+                            QuantKind::Int4
+                        };
                         let qm = quant.entry(wref).or_insert_with(|| {
                             let (w, r, c) = Self::resolve_matrix(weights, wref);
-                            QuantMatrix::quantize(w, r, c)
+                            QuantMatrix::quantize_with(w, r, c, kind)
                         });
                         qm.matvec(&mut out, &x);
                     }
@@ -1131,7 +1161,7 @@ impl Engine {
             // Same batched-GEMM accounting as the CPU path (`cpu.gemm_*`):
             // one device pass streams the dense weights once for the whole
             // batch, so bytes-per-token falls with the batch width.
-            tel::metrics::counter_add("accel.gemm_weight_bytes", c.gemm_weight_bytes() as u64);
+            tel::metrics::counter_add("accel.gemm_weight_bytes", self.gemm_stream_bytes());
             tel::metrics::counter_add("accel.gemm_tokens", seqs.len() as u64);
             tel::metrics::gauge_set("accel.gemm_batch_width", seqs.len() as f64);
         }
@@ -1215,7 +1245,7 @@ impl Engine {
         let (cycles, ocm_read, ocm_write) = self.timing_pass(&positions);
         let stats = self.step_stats(&before, cycles, ocm_read, ocm_write);
         if tel::enabled() {
-            tel::metrics::counter_add("accel.gemm_weight_bytes", c.gemm_weight_bytes() as u64);
+            tel::metrics::counter_add("accel.gemm_weight_bytes", self.gemm_stream_bytes());
             tel::metrics::counter_add("accel.gemm_tokens", rows as u64);
             tel::metrics::gauge_set("accel.gemm_batch_width", rows as f64);
         }
@@ -1310,7 +1340,7 @@ impl Engine {
         let (cycles, ocm_read, ocm_write) = self.timing_pass(&positions);
         let stats = self.step_stats(&before, cycles, ocm_read, ocm_write);
         if tel::enabled() {
-            tel::metrics::counter_add("accel.gemm_weight_bytes", c.gemm_weight_bytes() as u64);
+            tel::metrics::counter_add("accel.gemm_weight_bytes", self.gemm_stream_bytes());
             tel::metrics::counter_add("accel.gemm_tokens", rows as u64);
             tel::metrics::gauge_set("accel.gemm_batch_width", rows as f64);
         }
@@ -1517,6 +1547,36 @@ mod tests {
         let got = e.decode_step(3, 0);
         // Quantized arithmetic: looser tolerance, but same ballpark.
         assert!(max_diff(&expected, &got.logits) < 0.15);
+    }
+
+    #[test]
+    fn int4_logits_are_close_to_reference_and_cpu_int4() {
+        let weights = TransformerWeights::synthetic(ModelConfig::test_tiny(), 42);
+        let mut reference = Transformer::new(weights.clone());
+        let mut e = Engine::new(Arc::new(weights.clone()), OptConfig::full_int4()).unwrap();
+        let expected = reference.forward(3, 0).to_vec();
+        let got = e.decode_step(3, 0);
+        // 4-bit weights: looser still, but same ballpark.
+        assert!(max_diff(&expected, &got.logits) < 0.6);
+        // And bit-identical to the CPU fused dequant path — both stream the
+        // same Q4_0 payload through the same accumulation order.
+        let mut cpu = Transformer::new(weights);
+        cpu.set_quant_mode(speedllm_llama::quant::QuantMode::Int4);
+        assert_eq!(cpu.forward(3, 0).to_vec(), got.logits);
+    }
+
+    #[test]
+    fn quantized_weight_traffic_is_compressed() {
+        let mut f32e = engine(OptConfig::full());
+        let mut i8e = engine(OptConfig::full_int8());
+        let mut i4e = engine(OptConfig::full_int4());
+        let rf = f32e.decode_step(0, 0).stats.hbm.read_bytes;
+        let r8 = i8e.decode_step(0, 0).stats.hbm.read_bytes;
+        let r4 = i4e.decode_step(0, 0).stats.hbm.read_bytes;
+        // Weight reads dominate a decode step; int8 should cut the stream
+        // to well under ⅓ of f32, and int4 below int8.
+        assert!(r8 * 3 < rf, "int8 {r8} vs f32 {rf}");
+        assert!(r4 < r8, "int4 {r4} vs int8 {r8}");
     }
 
     #[test]

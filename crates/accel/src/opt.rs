@@ -90,6 +90,15 @@ impl OptConfig {
         }
     }
 
+    /// SpeedLLM with the int4 MPE design point (nibble-packed weights).
+    #[must_use]
+    pub fn full_int4() -> Self {
+        Self {
+            precision: Precision::Int4,
+            ..Self::full()
+        }
+    }
+
     /// The four variants of Fig. 2, in presentation order.
     #[must_use]
     pub fn paper_variants() -> [(&'static str, OptConfig); 4] {
@@ -129,6 +138,7 @@ impl OptConfig {
             match self.precision {
                 Precision::Fp32 => "",
                 Precision::Int8 => "/i8",
+                Precision::Int4 => "/i4",
             }
         )
     }
@@ -180,5 +190,6 @@ mod tests {
         assert_eq!(OptConfig::full().short_name(), "PRF");
         assert_eq!(OptConfig::unoptimized().short_name(), "prf");
         assert_eq!(OptConfig::full_int8().short_name(), "PRF/i8");
+        assert_eq!(OptConfig::full_int4().short_name(), "PRF/i4");
     }
 }

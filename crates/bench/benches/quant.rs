@@ -12,10 +12,11 @@ use speedllm_llama::rng::Xoshiro256;
 use std::hint::black_box;
 
 fn print_precision_comparison() {
-    println!("--- int8 vs fp32 accelerator (stories260K, simulated) ---");
+    println!("--- int8/int4 vs fp32 accelerator (stories260K, simulated) ---");
     for (name, opt) in [
         ("fp32", OptConfig::full()),
         ("int8", OptConfig::full_int8()),
+        ("int4", OptConfig::full_int4()),
     ] {
         let sys = AcceleratedLlm::synthetic(ModelConfig::stories260k(), 42, opt).unwrap();
         let mut session = sys.session(speedllm_llama::sampler::SamplerKind::Argmax, 0);

@@ -122,10 +122,17 @@ pub fn parse_variant(name: &str) -> Result<OptConfig, ParseError> {
         "no-reuse" => Ok(OptConfig::no_reuse()),
         "unoptimized" | "baseline" => Ok(OptConfig::unoptimized()),
         "int8" => Ok(OptConfig::full_int8()),
+        "int4" => Ok(OptConfig::full_int4()),
         other => Err(ParseError(format!(
-            "unknown variant `{other}` (full|no-fuse|no-parallel|no-reuse|unoptimized|int8)"
+            "unknown variant `{other}` (full|no-fuse|no-parallel|no-reuse|unoptimized|int8|int4)"
         ))),
     }
+}
+
+/// Parses a `--quant` weight precision: `f32`, `int8`, or `int4`.
+pub fn parse_quant(name: &str) -> Result<speedllm_llama::QuantMode, ParseError> {
+    speedllm_llama::QuantMode::parse(name)
+        .ok_or_else(|| ParseError(format!("unknown quant mode `{name}` (f32|int8|int4)")))
 }
 
 /// Parses a `--sampler` spec: `argmax`, `temp:0.9`, `topp:0.9,0.95`,
@@ -209,7 +216,13 @@ mod tests {
         assert_eq!(parse_variant("full").unwrap(), OptConfig::full());
         assert_eq!(parse_variant("baseline").unwrap(), OptConfig::unoptimized());
         assert_eq!(parse_variant("int8").unwrap(), OptConfig::full_int8());
+        assert_eq!(parse_variant("int4").unwrap(), OptConfig::full_int4());
         assert!(parse_variant("hyper").is_err());
+        assert_eq!(
+            parse_quant("int4").unwrap(),
+            speedllm_llama::QuantMode::Int4
+        );
+        assert!(parse_quant("fp16").is_err());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::process::ExitCode;
 
 use speedllm_telemetry as tel;
 
-use args::{parse_preset, parse_sampler, parse_variant, Args};
+use args::{parse_preset, parse_quant, parse_sampler, parse_variant, Args};
 use speedllm_accel::opt::OptConfig;
 use speedllm_accel::report::{fmt_bytes, fmt_joules, fmt_seconds, Table};
 use speedllm_accel::runtime::AcceleratedLlm;
@@ -24,6 +24,7 @@ use speedllm_fpga_sim::resources::Resources;
 use speedllm_gpu_model::{GpuSpec, U280_PRICE_USD};
 use speedllm_llama::tokenizer::Tokenizer;
 use speedllm_llama::weights::TransformerWeights;
+use speedllm_llama::QuantMode;
 
 const HELP: &str = "\
 speedllm — FPGA LLM-accelerator simulator (SpeedLLM reproduction)
@@ -46,6 +47,9 @@ COMMANDS
              --preset NAME --steps N
   eval       perplexity of each MPE/KV precision vs the fp32 reference
              --preset NAME --tokens N --seed N
+             --engines cpu|accel|all (default all)
+             --gate-int8 FRAC --gate-int4 FRAC  exit nonzero when the
+             quantized perplexity drifts more than FRAC from fp32
   serve-bench  continuous-batching serve loop over seeded synthetic
              traffic; prints a deterministic TTFT/latency/throughput
              report in virtual ticks
@@ -54,6 +58,10 @@ COMMANDS
              --kv pool|paged --block-size N --shared-prefix N
              --mode open|closed --mean TICKS --concurrency N
              --max-new N --sampler S --seed N [--smoke]
+             --quant f32|int8|int4  weight precision for the serve hot
+             path (DESIGN.md §18): group-quantized weights streamed
+             through fused dequant-GEMM kernels (f32 accumulate);
+             cpu and accel int4 logits are bit-identical
              --spec-k N  speculative decoding: draft N tokens ahead and
              verify them in one batched target pass (DESIGN.md §16);
              the emitted streams stay bit-identical to plain decoding
@@ -460,10 +468,38 @@ fn cmd_trace(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    args.expect_only(&["preset", "tokens", "seed", "trace-out"])?;
+    args.expect_only(&[
+        "preset",
+        "tokens",
+        "seed",
+        "engines",
+        "gate-int8",
+        "gate-int4",
+        "trace-out",
+    ])?;
     let preset = parse_preset(args.get_or("preset", "tiny"))?;
     let n_tokens = args.get_usize("tokens", 24)?.max(2).min(preset.seq_len);
     let seed = args.get_u64("seed", 42)?;
+    let engines = args.get_or("engines", "all");
+    if !matches!(engines, "cpu" | "accel" | "all") {
+        return Err(Box::new(args::ParseError(format!(
+            "unknown --engines `{engines}` (cpu|accel|all)"
+        ))));
+    }
+    let parse_gate = |key: &str| -> Result<Option<f64>, Box<dyn std::error::Error>> {
+        match args.get(key) {
+            None => Ok(None),
+            Some(v) => Ok(Some(v.parse::<f64>().map_err(|_| {
+                args::ParseError(format!(
+                    "--{key} expects a max relative ppl drift like 0.05, got `{v}`"
+                ))
+            })?)),
+        }
+    };
+    let gates = [
+        (QuantMode::Int8, parse_gate("gate-int8")?),
+        (QuantMode::Int4, parse_gate("gate-int4")?),
+    ];
 
     use speedllm_llama::eval::{evaluate_reference, evaluate_with};
     use speedllm_llama::forward::Transformer;
@@ -474,6 +510,16 @@ fn cmd_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let base = evaluate_reference(&mut Transformer::new(weights.clone()), &tokens);
 
+    // Worst observed |ppl/ppl_f32 - 1| per quant mode, across engines.
+    let mut drift: Vec<(QuantMode, f64)> = Vec::new();
+    let mut record = |mode: QuantMode, ppl: f64| {
+        let d = (ppl / base.perplexity() - 1.0).abs();
+        match drift.iter_mut().find(|(m, _)| *m == mode) {
+            Some((_, worst)) => *worst = worst.max(d),
+            None => drift.push((mode, d)),
+        }
+    };
+
     let mut table = Table::new(&["engine", "perplexity", "bits/token", "vs reference"]);
     table.row(vec![
         "CPU reference (fp32)".into(),
@@ -481,27 +527,79 @@ fn cmd_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         format!("{:.3}", base.bits_per_token()),
         "1.000x".into(),
     ]);
-    for (name, opt) in [
-        ("accelerator fp32", OptConfig::full()),
-        ("accelerator int8", OptConfig::full_int8()),
-    ] {
-        let sys = AcceleratedLlm::new(
-            weights.clone(),
-            Tokenizer::synthetic(preset.vocab_size, seed),
-            opt,
-        )?;
-        let mut session = sys.session(speedllm_llama::sampler::SamplerKind::Argmax, 0);
-        let r = evaluate_with(preset.vocab_size, &tokens, |t, p| session.step(t, p).logits);
-        table.row(vec![
-            name.into(),
-            format!("{:.2}", r.perplexity()),
-            format!("{:.3}", r.bits_per_token()),
-            format!("{:.3}x", r.perplexity() / base.perplexity()),
-        ]);
+    if engines != "accel" {
+        for mode in [QuantMode::Int8, QuantMode::Int4] {
+            let mut model = Transformer::new(weights.clone());
+            model.set_quant_mode(mode);
+            let r = evaluate_with(preset.vocab_size, &tokens, |t, p| {
+                model.forward(t, p).to_vec()
+            });
+            record(mode, r.perplexity());
+            table.row(vec![
+                format!("CPU {} (fused dequant-GEMM)", mode.name()),
+                format!("{:.2}", r.perplexity()),
+                format!("{:.3}", r.bits_per_token()),
+                format!("{:.3}x", r.perplexity() / base.perplexity()),
+            ]);
+        }
+    }
+    if engines != "cpu" {
+        for (name, mode, opt) in [
+            ("accelerator fp32", QuantMode::F32, OptConfig::full()),
+            ("accelerator int8", QuantMode::Int8, OptConfig::full_int8()),
+            ("accelerator int4", QuantMode::Int4, OptConfig::full_int4()),
+        ] {
+            let sys = AcceleratedLlm::new(
+                weights.clone(),
+                Tokenizer::synthetic(preset.vocab_size, seed),
+                opt,
+            )?;
+            let mut session = sys.session(speedllm_llama::sampler::SamplerKind::Argmax, 0);
+            let r = evaluate_with(preset.vocab_size, &tokens, |t, p| session.step(t, p).logits);
+            if mode != QuantMode::F32 {
+                record(mode, r.perplexity());
+            }
+            table.row(vec![
+                name.into(),
+                format!("{:.2}", r.perplexity()),
+                format!("{:.3}", r.bits_per_token()),
+                format!("{:.3}x", r.perplexity() / base.perplexity()),
+            ]);
+        }
     }
     println!("scoring {} tokens on {preset}\n", n_tokens - 1);
     println!("{}", table.render());
     println!("(untrained synthetic weights: perplexity sits near the vocabulary size;\n the column to watch is the relative drift of quantized engines)");
+
+    for (mode, bound) in gates {
+        let Some(bound) = bound else { continue };
+        let worst = drift
+            .iter()
+            .find(|(m, _)| *m == mode)
+            .map(|(_, d)| *d)
+            .ok_or_else(|| {
+                format!(
+                    "--gate-{} set but no {} engine ran",
+                    mode.name(),
+                    mode.name()
+                )
+            })?;
+        if worst > bound {
+            return Err(format!(
+                "perplexity gate failed: {} drift {:.4} exceeds bound {:.4}",
+                mode.name(),
+                worst,
+                bound
+            )
+            .into());
+        }
+        println!(
+            "ppl gate {}: worst relative drift {:.4} within bound {:.4}",
+            mode.name(),
+            worst,
+            bound
+        );
+    }
     Ok(())
 }
 
@@ -592,6 +690,7 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "chunk",
         "queue-cap",
         "kv",
+        "quant",
         "block-size",
         "shared-prefix",
         "mode",
@@ -637,6 +736,11 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if !matches!(kv, "pool" | "paged") {
         return Err(format!("unknown --kv `{kv}` (pool|paged)").into());
     }
+    // --quant selects the weight precision for the serve hot path
+    // (DESIGN.md §18): the CPU backend streams a group-quantized
+    // WeightStore through the fused dequant-GEMM kernels, the accel
+    // backend selects the matching int8/int4 MPE design point.
+    let quant = parse_quant(args.get_or("quant", "f32"))?;
     let slots = args.get_usize("slots", if smoke { 2 } else { 4 })?;
     let block_size = args.get_usize("block-size", 8)?;
     if block_size == 0 {
@@ -746,6 +850,12 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if shared_prefix_len > 0 {
         println!("prefix:   {shared_prefix_len} shared tokens per prompt");
     }
+    if quant != speedllm_llama::QuantMode::F32 {
+        println!(
+            "quant:    {} weights (fused dequant-GEMM, f32 accumulate)",
+            quant.name()
+        );
+    }
     if let Some(k) = spec_k {
         println!("spec:     speculative decoding, draft `{draft_spec}`, k = {k}");
     }
@@ -772,38 +882,41 @@ fn cmd_serve_bench(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let metrics_out = args.get("metrics-out");
     let record = events_out.is_some() || metrics_out.is_some() || args.get("trace-out").is_some();
 
+    // The accel backend realizes --quant as its MPE/HBM design point.
+    let accel_opt = match quant {
+        speedllm_llama::QuantMode::F32 => OptConfig::full(),
+        speedllm_llama::QuantMode::Int8 => OptConfig::full_int8(),
+        speedllm_llama::QuantMode::Int4 => OptConfig::full_int4(),
+    };
+    let cpu_model = |preset, seed| {
+        let mut model =
+            speedllm_llama::forward::Transformer::new(TransformerWeights::synthetic(preset, seed));
+        model.set_quant_mode(quant);
+        model
+    };
     let (report, recorder) = match (backend, kv) {
-        ("cpu", "pool") => {
-            let weights = TransformerWeights::synthetic(preset, seed);
-            serve_bench_run(
-                CpuBackend::new(speedllm_llama::forward::Transformer::new(weights)),
-                scfg,
-                &lcfg,
-                record,
-                spec,
-            )?
-        }
-        ("cpu", _) => {
-            let weights = TransformerWeights::synthetic(preset, seed);
-            serve_bench_run(
-                CpuBackend::new_paged(
-                    speedllm_llama::forward::Transformer::new(weights),
-                    block_cfg,
-                ),
-                scfg,
-                &lcfg,
-                record,
-                spec,
-            )?
-        }
+        ("cpu", "pool") => serve_bench_run(
+            CpuBackend::new(cpu_model(preset, seed)),
+            scfg,
+            &lcfg,
+            record,
+            spec,
+        )?,
+        ("cpu", _) => serve_bench_run(
+            CpuBackend::new_paged(cpu_model(preset, seed), block_cfg),
+            scfg,
+            &lcfg,
+            record,
+            spec,
+        )?,
         (_, "pool") => {
             let weights = std::sync::Arc::new(TransformerWeights::synthetic(preset, seed));
-            let engine = speedllm_accel::engine::Engine::new(weights, OptConfig::full())?;
+            let engine = speedllm_accel::engine::Engine::new(weights, accel_opt)?;
             serve_bench_run(AccelBackend::new(engine), scfg, &lcfg, record, spec)?
         }
         _ => {
             let weights = std::sync::Arc::new(TransformerWeights::synthetic(preset, seed));
-            let engine = speedllm_accel::engine::Engine::new(weights, OptConfig::full())?;
+            let engine = speedllm_accel::engine::Engine::new(weights, accel_opt)?;
             serve_bench_run(
                 AccelBackend::new_paged(engine, block_cfg),
                 scfg,

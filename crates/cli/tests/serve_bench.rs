@@ -132,6 +132,78 @@ fn speculative_flat_and_paged_emit_the_same_token_totals() {
 }
 
 #[test]
+fn quantized_runs_are_byte_identical_across_backends_and_kv_layouts() {
+    // The quantized serve hot path (DESIGN.md §18) must stay exactly as
+    // reproducible as f32: fused dequant-GEMM accumulates in a fixed
+    // order, so double runs render the same bytes on every backend × KV
+    // layout corner.
+    for quant in ["int8", "int4"] {
+        for backend in ["cpu", "accel"] {
+            for kv in ["pool", "paged"] {
+                let args = [
+                    "serve-bench",
+                    "--smoke",
+                    "--backend",
+                    backend,
+                    "--kv",
+                    kv,
+                    "--quant",
+                    quant,
+                ];
+                let a = run(&args);
+                assert_eq!(
+                    a,
+                    run(&args),
+                    "{quant} on {backend}/{kv} must render the same bytes"
+                );
+                assert!(
+                    a.contains(&format!("quant:    {quant} weights")),
+                    "report must announce the quant mode:\n{a}"
+                );
+                assert!(a.contains("requests completed   8"));
+            }
+        }
+    }
+}
+
+#[test]
+fn quant_mode_changes_accel_timing_but_not_cpu_token_accounting() {
+    // On the simulated accelerator the quantized weight stream narrows
+    // HBM traffic, so virtual-tick timing must actually move; the report
+    // is still deterministic (checked above), just different from f32.
+    let f32_run = run(&["serve-bench", "--smoke", "--backend", "accel"]);
+    let int8_run = run(&[
+        "serve-bench",
+        "--smoke",
+        "--backend",
+        "accel",
+        "--quant",
+        "int8",
+    ]);
+    assert_ne!(
+        f32_run, int8_run,
+        "int8 must change the accel timing report"
+    );
+    // The CPU backend charges per-token virtual ticks independent of the
+    // weight format: completion counts survive quantization.
+    let cpu = run(&[
+        "serve-bench",
+        "--smoke",
+        "--backend",
+        "cpu",
+        "--quant",
+        "int4",
+    ]);
+    assert!(cpu.contains("requests completed   8"));
+}
+
+#[test]
+fn bad_quant_mode_is_a_clean_error() {
+    let err = run_err(&["serve-bench", "--smoke", "--quant", "fp16"]);
+    assert!(err.contains("unknown quant mode"), "got: {err}");
+}
+
+#[test]
 fn spec_k_zero_is_a_clean_error() {
     let err = run_err(&["serve-bench", "--smoke", "--spec-k", "0"]);
     assert!(err.contains("k must be >= 1"), "got: {err}");

@@ -15,18 +15,21 @@ use crate::cycles::Cycles;
 pub enum Precision {
     /// IEEE 754 single precision (llama2.c default).
     Fp32,
-    /// Q8_0 int8 weights/activations with f32 group rescale.
+    /// Q8_0 int8 weights with f32 group rescale.
     Int8,
+    /// Q4_0 nibble-packed int4 weights with f32 group rescale.
+    Int4,
 }
 
 impl Precision {
-    /// Bytes per stored weight element (Q8_0 scale overhead is counted by
+    /// Bits per stored weight element (group-scale overhead is counted by
     /// the quantizer, not here).
     #[must_use]
-    pub fn weight_bytes(&self) -> usize {
+    pub fn weight_bits(&self) -> usize {
         match self {
-            Precision::Fp32 => 4,
-            Precision::Int8 => 1,
+            Precision::Fp32 => 32,
+            Precision::Int8 => 8,
+            Precision::Int4 => 4,
         }
     }
 
@@ -36,6 +39,7 @@ impl Precision {
         match self {
             Precision::Fp32 => 0.2, // fp32 MAC ≈ 5 DSP48E2 slices
             Precision::Int8 => 2.0, // DSP48E2 packs two int8 MACs
+            Precision::Int4 => 4.0, // and four int4 MACs
         }
     }
 }
@@ -80,6 +84,17 @@ impl MpeConfig {
             vec_width: 80,
             pipeline_depth: 10,
             precision: Precision::Int8,
+        }
+    }
+
+    /// The int4 design point: same DSP budget, 4 MACs per DSP.
+    #[must_use]
+    pub fn u280_int4() -> Self {
+        Self {
+            lanes: 64,
+            vec_width: 160,
+            pipeline_depth: 10,
+            precision: Precision::Int4,
         }
     }
 
@@ -290,5 +305,15 @@ mod tests {
         let f = Mpe::new(MpeConfig::u280_fp32());
         let q = Mpe::new(MpeConfig::u280_int8());
         assert!(q.tile_cost(768, 288) < f.tile_cost(768, 288));
+    }
+
+    #[test]
+    fn int4_design_point_fits_u280_dsp_budget() {
+        let cfg = MpeConfig::u280_int4();
+        assert_eq!(cfg.dsp_count(), 2560);
+        assert!(cfg.macs_per_cycle() > MpeConfig::u280_int8().macs_per_cycle());
+        let q8 = Mpe::new(MpeConfig::u280_int8());
+        let q4 = Mpe::new(MpeConfig::u280_int4());
+        assert!(q4.tile_cost(768, 288) <= q8.tile_cost(768, 288));
     }
 }

@@ -137,6 +137,7 @@ pub fn estimate_mpe(config: &MpeConfig) -> Resources {
     let (lut_per_mac, ff_per_mac) = match config.precision {
         crate::mpe::Precision::Fp32 => (420, 610),
         crate::mpe::Precision::Int8 => (60, 90),
+        crate::mpe::Precision::Int4 => (40, 60),
     };
     Resources {
         luts: macs * lut_per_mac + 20_000,

@@ -7,6 +7,7 @@ use speedllm_telemetry as tel;
 use crate::config::ModelConfig;
 use crate::kv_cache::{KvBatch, KvCache, KvStore};
 use crate::ops;
+use crate::quant::{QuantKind, QuantMatrix, QuantMode, QuantWeights};
 use crate::weights::TransformerWeights;
 
 /// How dense matvecs are executed.
@@ -137,39 +138,140 @@ fn scatter_to_seq(dst: &mut [f32], src: &[f32], rows: usize, batch: usize) {
     }
 }
 
+/// The weight stream the dense projections read: the original f32 tensors,
+/// or a group-quantized compressed copy built once by
+/// [`Transformer::set_quant_mode`]. Everything that is *not* a GEMM operand
+/// (norm weights, the embedding gather, RoPE, attention over the KV cache)
+/// always stays f32 — quantization only changes what streams through the
+/// matmul kernels.
+pub enum WeightStore {
+    /// Stream the original f32 weights.
+    F32,
+    /// Stream a [`QuantWeights`] compressed copy through the fused
+    /// dequant-GEMM kernels in [`crate::qgemm`].
+    Quant(QuantWeights),
+}
+
+impl WeightStore {
+    /// Builds the store for `mode` (quantizing every GEMM operand of
+    /// `weights` when the mode is a quantized kind).
+    #[must_use]
+    pub fn for_mode(weights: &TransformerWeights, mode: QuantMode) -> Self {
+        match mode.kind() {
+            None => Self::F32,
+            Some(kind) => Self::Quant(QuantWeights::quantize(weights, kind)),
+        }
+    }
+
+    /// The mode this store realizes.
+    #[must_use]
+    pub fn mode(&self) -> QuantMode {
+        match self {
+            Self::F32 => QuantMode::F32,
+            Self::Quant(q) => match q.kind() {
+                QuantKind::Int8 => QuantMode::Int8,
+                QuantKind::Int4 => QuantMode::Int4,
+            },
+        }
+    }
+
+    /// Bytes one GEMM tick streams when every projection is read once —
+    /// the compressed stream for quantized stores, the f32 stream
+    /// otherwise. This is what the `gemm_weight_bytes` telemetry counts.
+    #[must_use]
+    pub fn gemm_weight_bytes(&self, c: &ModelConfig) -> usize {
+        match self {
+            Self::F32 => c.gemm_weight_bytes(),
+            Self::Quant(q) => q.gemm_weight_bytes(),
+        }
+    }
+
+    fn layer(&self, layer: usize) -> Option<&crate::quant::QuantLayer> {
+        match self {
+            Self::F32 => None,
+            Self::Quant(q) => Some(&q.layers[layer]),
+        }
+    }
+
+    fn classifier(&self) -> Option<&QuantMatrix> {
+        match self {
+            Self::F32 => None,
+            Self::Quant(q) => Some(&q.classifier),
+        }
+    }
+}
+
+/// One resolved GEMM operand: an f32 slice or a quantized matrix.
+#[derive(Clone, Copy)]
+enum MatW<'a> {
+    F32(&'a [f32]),
+    Quant(&'a QuantMatrix),
+}
+
+#[inline]
+fn matw<'a>(q: Option<&'a QuantMatrix>, f: &'a [f32]) -> MatW<'a> {
+    match q {
+        Some(qm) => MatW::Quant(qm),
+        None => MatW::F32(f),
+    }
+}
+
 /// Dispatches a dense matvec according to the chosen strategy.
 fn run_matvec(
     strategy: MatVecStrategy,
     out: &mut [f32],
-    w: &[f32],
+    w: MatW<'_>,
     x: &[f32],
     rows: usize,
     cols: usize,
 ) {
-    match strategy {
-        MatVecStrategy::Serial => ops::matvec(out, w, x, rows, cols),
-        MatVecStrategy::Parallel { threads } => {
-            crate::parallel::par_matvec(out, w, x, rows, cols, threads.max(1));
+    match w {
+        MatW::F32(w) => match strategy {
+            MatVecStrategy::Serial => ops::matvec(out, w, x, rows, cols),
+            MatVecStrategy::Parallel { threads } => {
+                crate::parallel::par_matvec(out, w, x, rows, cols, threads.max(1));
+            }
+        },
+        MatW::Quant(qm) => {
+            debug_assert_eq!((qm.rows(), qm.cols()), (rows, cols));
+            match strategy {
+                MatVecStrategy::Serial => crate::qgemm::qmatvec(out, qm, x),
+                MatVecStrategy::Parallel { threads } => {
+                    crate::parallel::par_qmatvec(out, qm, x, threads.max(1));
+                }
+            }
         }
     }
 }
 
 /// Dispatches a batched dense matmul according to the chosen strategy.
 /// Serial and parallel kernels compute every element with the same
-/// [`ops::dot`], so the choice affects wall-clock only, never values.
+/// accumulation order (f32 [`ops::dot`], or its fused-dequant twin in
+/// [`crate::qgemm`]), so the choice affects wall-clock only, never values.
 fn run_matmul(
     strategy: MatVecStrategy,
     out: &mut [f32],
-    w: &[f32],
+    w: MatW<'_>,
     xs: &[f32],
     rows: usize,
     cols: usize,
     batch: usize,
 ) {
-    match strategy {
-        MatVecStrategy::Serial => ops::matmul(out, w, xs, rows, cols, batch),
-        MatVecStrategy::Parallel { threads } => {
-            crate::parallel::par_matmul(out, w, xs, rows, cols, batch, threads.max(1));
+    match w {
+        MatW::F32(w) => match strategy {
+            MatVecStrategy::Serial => ops::matmul(out, w, xs, rows, cols, batch),
+            MatVecStrategy::Parallel { threads } => {
+                crate::parallel::par_matmul(out, w, xs, rows, cols, batch, threads.max(1));
+            }
+        },
+        MatW::Quant(qm) => {
+            debug_assert_eq!((qm.rows(), qm.cols()), (rows, cols));
+            match strategy {
+                MatVecStrategy::Serial => crate::qgemm::qmatmul(out, qm, xs, batch),
+                MatVecStrategy::Parallel { threads } => {
+                    crate::parallel::par_qmatmul(out, qm, xs, batch, threads.max(1));
+                }
+            }
         }
     }
 }
@@ -178,6 +280,9 @@ fn run_matmul(
 /// needed to decode token-by-token.
 pub struct Transformer {
     weights: TransformerWeights,
+    /// Which weight stream the dense projections read; f32 until
+    /// [`Transformer::set_quant_mode`] selects a quantized kind.
+    store: WeightStore,
     state: RunState,
     /// Batched-decode scratch, allocated on first batched call and grown
     /// to the largest batch width seen since.
@@ -194,6 +299,7 @@ impl Transformer {
         let kv = KvCache::new(&weights.config);
         Self {
             weights,
+            store: WeightStore::F32,
             state,
             batch: None,
             kv,
@@ -204,6 +310,31 @@ impl Transformer {
     /// Selects the matvec execution strategy.
     pub fn set_strategy(&mut self, strategy: MatVecStrategy) {
         self.strategy = strategy;
+    }
+
+    /// Selects the weight precision for every dense projection. A
+    /// quantized mode builds the compressed [`WeightStore`] once
+    /// (deterministically — same weights, same payload) and all forward
+    /// entry points, sequential and batched alike, then stream it through
+    /// the fused dequant-GEMM kernels. `QuantMode::F32` restores the
+    /// original tensors.
+    pub fn set_quant_mode(&mut self, mode: QuantMode) {
+        if self.store.mode() != mode {
+            self.store = WeightStore::for_mode(&self.weights, mode);
+        }
+    }
+
+    /// The active weight precision.
+    #[must_use]
+    pub fn quant_mode(&self) -> QuantMode {
+        self.store.mode()
+    }
+
+    /// Bytes one GEMM tick streams under the active weight precision —
+    /// what the `cpu.gemm_weight_bytes` telemetry adds per forward call.
+    #[must_use]
+    pub fn gemm_weight_bytes(&self) -> usize {
+        self.store.gemm_weight_bytes(&self.weights.config)
     }
 
     /// The architecture config.
@@ -245,6 +376,7 @@ impl Transformer {
     pub fn forward(&mut self, token: u32, pos: usize) -> &[f32] {
         Self::forward_into(
             &self.weights,
+            &self.store,
             &mut self.state,
             &mut self.kv,
             self.strategy,
@@ -290,6 +422,7 @@ impl Transformer {
         );
         Self::forward_into(
             &self.weights,
+            &self.store,
             &mut self.state,
             kv,
             self.strategy,
@@ -399,6 +532,7 @@ impl Transformer {
         let bs = self.batch.as_mut().expect("batch state just ensured");
         Self::forward_runs_into(
             &self.weights,
+            &self.store,
             bs,
             kv,
             self.strategy,
@@ -455,6 +589,7 @@ impl Transformer {
         let bs = self.batch.as_mut().expect("batch state just ensured");
         Self::forward_runs_into(
             &self.weights,
+            &self.store,
             bs,
             kv,
             self.strategy,
@@ -480,6 +615,7 @@ impl Transformer {
     #[allow(clippy::too_many_arguments)]
     fn forward_runs_into<B: KvBatch + ?Sized>(
         weights: &TransformerWeights,
+        store: &WeightStore,
         bs: &mut BatchState,
         kv: &mut B,
         strategy: MatVecStrategy,
@@ -523,8 +659,9 @@ impl Transformer {
         if tel::enabled() {
             // One mixed tick streams the GEMM weights once for all `rows`
             // tokens (decode + prefill alike); `gemm_weight_bytes /
-            // gemm_tokens` is bytes-per-token.
-            tel::metrics::counter_add("cpu.gemm_weight_bytes", c.gemm_weight_bytes() as u64);
+            // gemm_tokens` is bytes-per-token. Quantized stores report the
+            // compressed stream.
+            tel::metrics::counter_add("cpu.gemm_weight_bytes", store.gemm_weight_bytes(&c) as u64);
             tel::metrics::counter_add("cpu.gemm_tokens", rows as u64);
             tel::metrics::gauge_set("cpu.gemm_batch_width", rows as f64);
         }
@@ -536,6 +673,7 @@ impl Transformer {
 
         for layer in 0..c.n_layers {
             let lw = &weights.layers[layer];
+            let qlw = store.layer(layer);
 
             // ---- Attention block ----
             {
@@ -552,7 +690,7 @@ impl Transformer {
                     run_matmul(
                         strategy,
                         &mut bs.gemm[..dim * rows],
-                        &lw.wq,
+                        matw(qlw.map(|q| &q.wq), &lw.wq),
                         &bs.xb[..rows * dim],
                         dim,
                         dim,
@@ -562,7 +700,7 @@ impl Transformer {
                     run_matmul(
                         strategy,
                         &mut bs.gemm[..kv_dim * rows],
-                        &lw.wk,
+                        matw(qlw.map(|q| &q.wk), &lw.wk),
                         &bs.xb[..rows * dim],
                         kv_dim,
                         dim,
@@ -577,7 +715,7 @@ impl Transformer {
                     run_matmul(
                         strategy,
                         &mut bs.gemm[..kv_dim * rows],
-                        &lw.wv,
+                        matw(qlw.map(|q| &q.wv), &lw.wv),
                         &bs.xb[..rows * dim],
                         kv_dim,
                         dim,
@@ -653,7 +791,7 @@ impl Transformer {
                 run_matmul(
                     strategy,
                     &mut bs.gemm[..dim * rows],
-                    &lw.wo,
+                    matw(qlw.map(|q| &q.wo), &lw.wo),
                     &bs.xb[..rows * dim],
                     dim,
                     dim,
@@ -681,7 +819,7 @@ impl Transformer {
                 run_matmul(
                     strategy,
                     &mut bs.gemm[..hid * rows],
-                    &lw.w1,
+                    matw(qlw.map(|q| &q.w1), &lw.w1),
                     &bs.xb[..rows * dim],
                     hid,
                     dim,
@@ -691,7 +829,7 @@ impl Transformer {
                 run_matmul(
                     strategy,
                     &mut bs.gemm[..hid * rows],
-                    &lw.w3,
+                    matw(qlw.map(|q| &q.w3), &lw.w3),
                     &bs.xb[..rows * dim],
                     hid,
                     dim,
@@ -707,7 +845,7 @@ impl Transformer {
                 run_matmul(
                     strategy,
                     &mut bs.gemm[..dim * rows],
-                    &lw.w2,
+                    matw(qlw.map(|q| &q.w2), &lw.w2),
                     &bs.hb[..rows * hid],
                     dim,
                     hid,
@@ -736,7 +874,7 @@ impl Transformer {
             run_matmul(
                 strategy,
                 &mut bs.gemm[..c.vocab_size * rows],
-                weights.classifier(),
+                matw(store.classifier(), weights.classifier()),
                 &bs.x[..rows * dim],
                 c.vocab_size,
                 dim,
@@ -772,7 +910,7 @@ impl Transformer {
         run_matmul(
             strategy,
             &mut bs.gemm[..c.vocab_size * n_seqs],
-            weights.classifier(),
+            matw(store.classifier(), weights.classifier()),
             &bs.xb[..n_seqs * dim],
             c.vocab_size,
             dim,
@@ -790,6 +928,7 @@ impl Transformer {
     /// KV cache while reusing the shared scratch state.
     fn forward_into<K: KvStore + ?Sized>(
         weights: &TransformerWeights,
+        store: &WeightStore,
         state: &mut RunState,
         kv: &mut K,
         strategy: MatVecStrategy,
@@ -815,7 +954,8 @@ impl Transformer {
         if tel::enabled() {
             // The sequential path streams the GEMM weights once per token —
             // the baseline the batched counters are compared against.
-            tel::metrics::counter_add("cpu.gemm_weight_bytes", c.gemm_weight_bytes() as u64);
+            // Quantized stores report the compressed stream.
+            tel::metrics::counter_add("cpu.gemm_weight_bytes", store.gemm_weight_bytes(&c) as u64);
             tel::metrics::counter_add("cpu.gemm_tokens", 1);
             tel::metrics::gauge_set("cpu.gemm_batch_width", 1.0);
         }
@@ -828,6 +968,7 @@ impl Transformer {
         for layer in 0..c.n_layers {
             let st = &mut *state;
             let lw = &weights.layers[layer];
+            let qlw = store.layer(layer);
 
             // ---- Attention block ----
             {
@@ -835,9 +976,30 @@ impl Transformer {
                 ops::rmsnorm(&mut st.xb, &st.x, &lw.rms_att);
                 {
                     let _qkv = tel::span("cpu", "qkv").arg("layer", layer as i64);
-                    run_matvec(strategy, &mut st.q, &lw.wq, &st.xb, dim, dim);
-                    run_matvec(strategy, &mut st.k, &lw.wk, &st.xb, kv_dim, dim);
-                    run_matvec(strategy, &mut st.v, &lw.wv, &st.xb, kv_dim, dim);
+                    run_matvec(
+                        strategy,
+                        &mut st.q,
+                        matw(qlw.map(|q| &q.wq), &lw.wq),
+                        &st.xb,
+                        dim,
+                        dim,
+                    );
+                    run_matvec(
+                        strategy,
+                        &mut st.k,
+                        matw(qlw.map(|q| &q.wk), &lw.wk),
+                        &st.xb,
+                        kv_dim,
+                        dim,
+                    );
+                    run_matvec(
+                        strategy,
+                        &mut st.v,
+                        matw(qlw.map(|q| &q.wv), &lw.wv),
+                        &st.xb,
+                        kv_dim,
+                        dim,
+                    );
                 }
 
                 // Rotary embeddings on q (all heads) and k (kv heads).
@@ -861,7 +1023,14 @@ impl Transformer {
                 }
 
                 // Output projection + residual.
-                run_matvec(strategy, &mut st.xb2, &lw.wo, &st.xb, dim, dim);
+                run_matvec(
+                    strategy,
+                    &mut st.xb2,
+                    matw(qlw.map(|q| &q.wo), &lw.wo),
+                    &st.xb,
+                    dim,
+                    dim,
+                );
                 ops::add_inplace(&mut st.x, &st.xb2);
             }
 
@@ -869,10 +1038,31 @@ impl Transformer {
             {
                 let _ffn = tel::span("cpu", "ffn").arg("layer", layer as i64);
                 ops::rmsnorm(&mut st.xb, &st.x, &lw.rms_ffn);
-                run_matvec(strategy, &mut st.hb, &lw.w1, &st.xb, c.hidden_dim, dim);
-                run_matvec(strategy, &mut st.hb2, &lw.w3, &st.xb, c.hidden_dim, dim);
+                run_matvec(
+                    strategy,
+                    &mut st.hb,
+                    matw(qlw.map(|q| &q.w1), &lw.w1),
+                    &st.xb,
+                    c.hidden_dim,
+                    dim,
+                );
+                run_matvec(
+                    strategy,
+                    &mut st.hb2,
+                    matw(qlw.map(|q| &q.w3), &lw.w3),
+                    &st.xb,
+                    c.hidden_dim,
+                    dim,
+                );
                 ops::swiglu(&mut st.hb, &st.hb2);
-                run_matvec(strategy, &mut st.xb2, &lw.w2, &st.hb, dim, c.hidden_dim);
+                run_matvec(
+                    strategy,
+                    &mut st.xb2,
+                    matw(qlw.map(|q| &q.w2), &lw.w2),
+                    &st.hb,
+                    dim,
+                    c.hidden_dim,
+                );
                 ops::add_inplace(&mut st.x, &st.xb2);
             }
         }
@@ -883,7 +1073,7 @@ impl Transformer {
         run_matvec(
             strategy,
             &mut state.logits,
-            weights.classifier(),
+            matw(store.classifier(), weights.classifier()),
             &state.x,
             c.vocab_size,
             dim,
@@ -1006,6 +1196,78 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn quantized_batched_forward_is_bit_identical_to_sequential() {
+        use crate::kv_cache::KvCache;
+        let cfg = ModelConfig::test_tiny();
+        for mode in [QuantMode::Int8, QuantMode::Int4] {
+            for strategy in [
+                MatVecStrategy::Serial,
+                MatVecStrategy::Parallel { threads: 3 },
+            ] {
+                for n in [1usize, 3, 5] {
+                    let weights = TransformerWeights::synthetic(cfg, 7);
+                    let mut batched = Transformer::new(weights.clone());
+                    batched.set_strategy(strategy);
+                    batched.set_quant_mode(mode);
+                    let mut oracle = Transformer::new(weights);
+                    oracle.set_strategy(strategy);
+                    oracle.set_quant_mode(mode);
+                    assert_eq!(oracle.quant_mode(), mode);
+
+                    let mut kvs_b: Vec<KvCache> = (0..n).map(|_| KvCache::new(&cfg)).collect();
+                    let mut kvs_s: Vec<KvCache> = (0..n).map(|_| KvCache::new(&cfg)).collect();
+                    for step in 0..3 {
+                        let tokens: Vec<u32> =
+                            (0..n).map(|i| ((7 * i + step) % 64) as u32).collect();
+                        let positions: Vec<usize> = kvs_b.iter().map(KvCache::len).collect();
+                        let mut refs: Vec<&mut KvCache> = kvs_b.iter_mut().collect();
+                        let got = batched
+                            .forward_batch_with_kv(refs.as_mut_slice(), &tokens, &positions)
+                            .to_vec();
+                        for (i, kv) in kvs_s.iter_mut().enumerate() {
+                            let want = oracle.forward_with_kv(kv, tokens[i], positions[i]);
+                            assert_eq!(
+                                &got[i * cfg.vocab_size..(i + 1) * cfg.vocab_size],
+                                want,
+                                "{mode:?} batch {n} seq {i} step {step} diverged ({strategy:?})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_logits_stay_close_to_f32() {
+        let cfg = ModelConfig::test_tiny();
+        let weights = TransformerWeights::synthetic(cfg, 11);
+        let mut exact = Transformer::new(weights.clone());
+        let mut quant = Transformer::new(weights);
+        quant.set_quant_mode(QuantMode::Int8);
+        for pos in 0..4 {
+            let want = exact.forward((pos as u32 * 3) % 64, pos).to_vec();
+            let got = quant.forward((pos as u32 * 3) % 64, pos).to_vec();
+            let max_err = want
+                .iter()
+                .zip(&got)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max_err < 0.5, "int8 logits drifted {max_err} at pos {pos}");
+            assert_ne!(want, got, "quantization must actually perturb values");
+        }
+        // Switching back restores the exact f32 stream.
+        quant.set_quant_mode(QuantMode::F32);
+        quant.reset();
+        exact.reset();
+        assert_eq!(
+            exact.forward(5, 0).to_vec(),
+            quant.forward(5, 0).to_vec(),
+            "f32 mode must restore the original weights"
+        );
     }
 
     #[test]

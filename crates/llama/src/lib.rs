@@ -44,6 +44,7 @@ pub mod generate;
 pub mod kv_cache;
 pub mod ops;
 pub mod parallel;
+pub mod qgemm;
 pub mod quant;
 pub mod rng;
 pub mod sampler;
@@ -55,7 +56,8 @@ pub mod tokenizer;
 pub mod weights;
 
 pub use config::ModelConfig;
-pub use forward::{MatVecStrategy, Transformer};
+pub use forward::{MatVecStrategy, Transformer, WeightStore};
+pub use quant::QuantMode;
 pub use sampler::{Sampler, SamplerKind};
 pub use tokenizer::Tokenizer;
 pub use weights::TransformerWeights;

@@ -140,6 +140,70 @@ pub fn par_matmul(
     });
 }
 
+/// Parallel fused dequant matvec: the quantized twin of [`par_matvec`].
+/// Rows are statically partitioned and each worker runs
+/// [`crate::qgemm::qmatvec_rows`], so results are bit-identical regardless
+/// of thread count. Falls back to the serial kernel when the work is too
+/// small to amortize thread wake-up.
+pub fn par_qmatvec(out: &mut [f32], w: &crate::quant::QuantMatrix, x: &[f32], threads: usize) {
+    let (rows, cols) = (w.rows(), w.cols());
+    assert_eq!(out.len(), rows);
+    assert_eq!(x.len(), cols);
+    let threads = threads.max(1);
+    if threads == 1 || rows * cols < PAR_MIN_MACS_PER_THREAD * 2 {
+        crate::qgemm::qmatvec(out, w, x);
+        return;
+    }
+    let ranges = split_ranges(rows, threads);
+    std::thread::scope(|s| {
+        let mut rest = out;
+        for range in &ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let range = range.clone();
+            s.spawn(move || {
+                crate::qgemm::qmatvec_rows(chunk, w, range, x);
+            });
+        }
+    });
+}
+
+/// Parallel batched fused dequant-GEMM: the quantized twin of
+/// [`par_matmul`]. Workers run [`crate::qgemm::qmatmul_rows_xt`] over
+/// disjoint row ranges of the shared batch-major transpose, so results are
+/// bit-identical to the serial [`crate::qgemm::qmatmul`] regardless of
+/// thread count.
+pub fn par_qmatmul(
+    out: &mut [f32],
+    w: &crate::quant::QuantMatrix,
+    xs: &[f32],
+    batch: usize,
+    threads: usize,
+) {
+    let (rows, cols) = (w.rows(), w.cols());
+    assert_eq!(out.len(), rows * batch);
+    assert_eq!(xs.len(), batch * cols);
+    let threads = threads.max(1);
+    if threads == 1 || rows * cols * batch < PAR_MIN_MACS_PER_THREAD * 2 {
+        crate::qgemm::qmatmul(out, w, xs, batch);
+        return;
+    }
+    let ranges = split_ranges(rows, threads);
+    let xt = crate::ops::transpose_batch_major(xs, cols, batch);
+    let xt: &[f32] = &xt;
+    std::thread::scope(|s| {
+        let mut rest = out;
+        for range in &ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len() * batch);
+            rest = tail;
+            let range = range.clone();
+            s.spawn(move || {
+                crate::qgemm::qmatmul_rows_xt(chunk, w, xt, range, batch);
+            });
+        }
+    });
+}
+
 /// A fixed-size worker pool for `'static` jobs.
 ///
 /// Jobs are closures sent over an unbounded channel; [`ThreadPool::join`]

@@ -1,0 +1,225 @@
+//! Fused dequant-GEMM kernels over group-quantized weights.
+//!
+//! These mirror the weight-reuse shape of [`crate::ops::matmul`]: one pass
+//! over the quantized weight matrix per batched tick. Each [`GROUP`]-wide
+//! weight group is dequantized **once** into a register-resident block
+//! ([`QuantMatrix::dequant_group_into`]) and then applied across every
+//! batch column, so the compressed payload — not the f32 expansion — is
+//! what streams from memory per tick.
+//!
+//! Determinism contract: [`qmatvec`] accumulates each output element with a
+//! single f32 accumulator in increasing column order, and the batched
+//! [`qmatmul`] lanes replay exactly that mul-then-add sequence per lane
+//! (independent accumulator chains, never reassociated). A batched result
+//! is therefore **bit-identical** to `batch` independent [`qmatvec`] calls,
+//! which is what keeps quantized serve reports byte-reproducible across
+//! batch compositions and double runs. [`crate::parallel::par_qmatmul`]
+//! hands disjoint row ranges of these kernels to its workers, preserving
+//! the same per-element order.
+
+use crate::ops::transpose_batch_major;
+use crate::quant::{QuantMatrix, GROUP};
+use std::ops::Range;
+
+/// Fused dequant matvec over a row range: `out[r - rows.start] =
+/// Σ_c dequant(w[r, c]) · x[c]`, one f32 accumulator per row in increasing
+/// `c` — the reference accumulation order every batched lane replays.
+pub fn qmatvec_rows(out: &mut [f32], w: &QuantMatrix, rows: Range<usize>, x: &[f32]) {
+    debug_assert_eq!(out.len(), rows.len());
+    debug_assert!(rows.end <= w.rows());
+    debug_assert_eq!(x.len(), w.cols());
+    let cols = w.cols();
+    let mut wg = [0.0f32; GROUP];
+    for (o, r) in out.iter_mut().zip(rows) {
+        let mut acc = 0.0f32;
+        for g in 0..w.groups_per_row() {
+            w.dequant_group_into(r, g, &mut wg);
+            let c0 = g * GROUP;
+            let n = (cols - c0).min(GROUP);
+            for (&wv, &xv) in wg[..n].iter().zip(&x[c0..c0 + n]) {
+                acc += wv * xv;
+            }
+        }
+        *o = acc;
+    }
+}
+
+/// Fused dequant matvec: `out[r] = dequant(w[r, :]) · x`.
+pub fn qmatvec(out: &mut [f32], w: &QuantMatrix, x: &[f32]) {
+    debug_assert_eq!(out.len(), w.rows());
+    qmatvec_rows(out, w, 0..w.rows(), x);
+}
+
+/// One quantized weight row against `L` batch lanes of batch-major
+/// activations. The group is dequantized once into `wg` registers, then
+/// each expanded weight multiplies all `L` lanes — the weight-reuse core.
+/// Per lane this is [`qmatvec_rows`]'s exact accumulation sequence.
+#[inline]
+fn qrow_lanes<const L: usize>(
+    w: &QuantMatrix,
+    r: usize,
+    xt: &[f32],
+    batch: usize,
+    b0: usize,
+) -> [f32; L] {
+    let cols = w.cols();
+    let mut acc = [0.0f32; L];
+    let mut wg = [0.0f32; GROUP];
+    for g in 0..w.groups_per_row() {
+        w.dequant_group_into(r, g, &mut wg);
+        let c0 = g * GROUP;
+        let n = (cols - c0).min(GROUP);
+        for (i, &wv) in wg[..n].iter().enumerate() {
+            let xc = &xt[(c0 + i) * batch..];
+            let x: &[f32; L] = xc[b0..b0 + L].try_into().expect("lane block in bounds");
+            for l in 0..L {
+                acc[l] += wv * x[l];
+            }
+        }
+    }
+    acc
+}
+
+/// Batched fused dequant-GEMM inner kernel over pre-transposed
+/// (batch-major) activations: `out[(r - rows.start) * batch + b] =
+/// dequant(w[r, :]) · x_b` for `r` in `rows`. Lanes are processed in
+/// blocks of 8/4/2/1 exactly like [`crate::ops::matmul_rows_xt`], so each
+/// quantized row is streamed (and dequantized) once per row visit and
+/// reused across every batch lane.
+pub fn qmatmul_rows_xt(
+    out: &mut [f32],
+    w: &QuantMatrix,
+    xt: &[f32],
+    rows: Range<usize>,
+    batch: usize,
+) {
+    debug_assert_eq!(out.len(), rows.len() * batch);
+    debug_assert!(rows.end <= w.rows());
+    debug_assert_eq!(xt.len(), w.cols() * batch);
+    for (out_row, r) in out.chunks_exact_mut(batch).zip(rows) {
+        let mut b0 = 0;
+        while b0 + 8 <= batch {
+            out_row[b0..b0 + 8].copy_from_slice(&qrow_lanes::<8>(w, r, xt, batch, b0));
+            b0 += 8;
+        }
+        if b0 + 4 <= batch {
+            out_row[b0..b0 + 4].copy_from_slice(&qrow_lanes::<4>(w, r, xt, batch, b0));
+            b0 += 4;
+        }
+        if b0 + 2 <= batch {
+            out_row[b0..b0 + 2].copy_from_slice(&qrow_lanes::<2>(w, r, xt, batch, b0));
+            b0 += 2;
+        }
+        if b0 < batch {
+            out_row[b0] = qrow_lanes::<1>(w, r, xt, batch, b0)[0];
+        }
+    }
+}
+
+/// Batched fused dequant-GEMM with weight reuse: `out[r * batch + b] =
+/// dequant(w[r, :]) · xs[b]` for sequence-major activations, row-major
+/// output — the quantized twin of [`crate::ops::matmul`]. A batch of B
+/// decode steps streams the compressed matrix once instead of B times,
+/// and every element is bit-identical to a [`qmatvec`] call.
+pub fn qmatmul(out: &mut [f32], w: &QuantMatrix, xs: &[f32], batch: usize) {
+    debug_assert_eq!(out.len(), w.rows() * batch);
+    debug_assert_eq!(xs.len(), batch * w.cols());
+    if batch == 1 {
+        qmatvec(out, w, xs);
+        return;
+    }
+    let xt = transpose_batch_major(xs, w.cols(), batch);
+    qmatmul_rows_xt(out, w, &xt, 0..w.rows(), batch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::QuantKind;
+    use crate::rng::Xoshiro256;
+
+    fn random_case(rows: usize, cols: usize, batch: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut w = vec![0.0f32; rows * cols];
+        let mut xs = vec![0.0f32; batch * cols];
+        rng.fill_normal(&mut w, 0.2);
+        rng.fill_normal(&mut xs, 1.0);
+        (w, xs)
+    }
+
+    /// Satellite: pins `QuantMatrix::matvec` (now the serve-path kernel)
+    /// against the quantize→dequantize→`ops::matvec` reference — exact,
+    /// because both accumulate identical dequantized values in the same
+    /// order — and within `error_bound()` of the f32 original.
+    #[test]
+    fn matvec_is_pinned_to_dequantized_reference() {
+        for kind in [QuantKind::Int8, QuantKind::Int4] {
+            let (rows, cols) = (20, 100); // partial trailing group
+            let (w, x) = random_case(rows, cols, 1, 11);
+            let qm = QuantMatrix::quantize_with(&w, rows, cols, kind);
+            let mut got = vec![0.0f32; rows];
+            qm.matvec(&mut got, &x);
+
+            let deq = qm.dequantize();
+            let mut reference = vec![0.0f32; rows];
+            crate::ops::matvec(&mut reference, &deq, &x, rows, cols);
+            assert_eq!(
+                got, reference,
+                "{kind:?}: must replay dequantized matvec exactly"
+            );
+
+            let mut exact = vec![0.0f32; rows];
+            crate::ops::matvec(&mut exact, &w, &x, rows, cols);
+            let l1: f32 = x.iter().map(|v| v.abs()).sum();
+            let bound = qm.error_bound() * l1 + 1e-6;
+            for (e, a) in exact.iter().zip(&got) {
+                assert!(
+                    (e - a).abs() <= bound,
+                    "{kind:?}: {e} vs {a}, bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_qmatmul_is_bit_identical_to_qmatvec() {
+        for kind in [QuantKind::Int8, QuantKind::Int4] {
+            for batch in [1, 2, 3, 5, 8, 11] {
+                let (rows, cols) = (17, 70);
+                let (w, xs) = random_case(rows, cols, batch, 21 + batch as u64);
+                let qm = QuantMatrix::quantize_with(&w, rows, cols, kind);
+                let mut batched = vec![0.0f32; rows * batch];
+                qmatmul(&mut batched, &qm, &xs, batch);
+                let mut single = vec![0.0f32; rows];
+                for b in 0..batch {
+                    qmatvec(&mut single, &qm, &xs[b * cols..(b + 1) * cols]);
+                    for r in 0..rows {
+                        assert_eq!(
+                            batched[r * batch + b].to_bits(),
+                            single[r].to_bits(),
+                            "{kind:?} batch {batch} row {r} lane {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_range_kernel_matches_full_kernel() {
+        let (rows, cols, batch) = (24, 64, 4);
+        let (w, xs) = random_case(rows, cols, batch, 5);
+        let qm = QuantMatrix::quantize(&w, rows, cols);
+        let xt = transpose_batch_major(&xs, cols, batch);
+        let mut full = vec![0.0f32; rows * batch];
+        qmatmul_rows_xt(&mut full, &qm, &xt, 0..rows, batch);
+        let mut part = vec![0.0f32; 10 * batch];
+        qmatmul_rows_xt(&mut part, &qm, &xt, 7..17, batch);
+        assert_eq!(&full[7 * batch..17 * batch], &part[..]);
+        let mut vecs = vec![0.0f32; 10];
+        qmatvec_rows(&mut vecs, &qm, 7..17, &xs[..cols]);
+        for r in 0..10 {
+            assert_eq!(vecs[r].to_bits(), part[r * batch].to_bits());
+        }
+    }
+}

@@ -1,14 +1,153 @@
-//! Q8_0 group quantization.
+//! Group-wise weight quantization: Q8_0 (int8) and Q4_0 (packed int4).
 //!
 //! The paper motivates FPGAs partly by their native support for
-//! mixed-precision arithmetic; the accelerator's MPE therefore has an int8
-//! mode. This module provides the reference quantization scheme backing it:
-//! **Q8_0** — groups of `GROUP` weights share one `f32` scale, each weight
-//! stored as a signed byte (`w ≈ scale · q`), identical to llama2.c's
-//! quantized runtime.
+//! mixed-precision arithmetic; the accelerator's MPE has int8/int4 modes
+//! and the serve decode hot path is HBM weight traffic. This module
+//! provides the reference formats backing both:
+//!
+//! - **Q8_0** — groups of [`GROUP`] weights share one `f32` scale, each
+//!   weight stored as a signed byte (`w ≈ scale · q`), identical to
+//!   llama2.c's quantized runtime.
+//! - **Q4_0** — same group-scale layout with weights narrowed to 4 bits,
+//!   two per byte (`q ∈ [-7, 7]`, stored biased by +8 so a packed nibble
+//!   is always a valid unsigned value).
+//!
+//! [`QuantMatrix`] stores a row-major matrix in a flat group-scale layout
+//! (payload bytes + one scale per row-group) so the fused dequant-GEMM
+//! kernels in [`crate::qgemm`] can stream it group-at-a-time, and
+//! [`QuantWeights`] quantizes every GEMM operand of a transformer for the
+//! serve-path [`crate::forward`] weight store.
+
+use crate::weights::TransformerWeights;
 
 /// Number of weights sharing a scale factor.
 pub const GROUP: usize = 32;
+
+/// Bias added to an int4 value before nibble packing (`q + 8 ∈ [0, 15]`).
+pub const INT4_BIAS: i8 = 8;
+
+/// Storage kind of a quantized weight payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantKind {
+    /// 8-bit signed weights, one byte per element.
+    Int8,
+    /// 4-bit weights packed two per byte, biased by [`INT4_BIAS`].
+    Int4,
+}
+
+impl QuantKind {
+    /// Bits per stored weight element.
+    #[must_use]
+    pub fn bits(self) -> usize {
+        match self {
+            Self::Int8 => 8,
+            Self::Int4 => 4,
+        }
+    }
+
+    /// Payload bytes of one full [`GROUP`]-wide group.
+    #[must_use]
+    pub fn group_bytes(self) -> usize {
+        GROUP * self.bits() / 8
+    }
+
+    /// Largest representable magnitude (`scale = absmax / max_q`).
+    #[must_use]
+    pub fn max_q(self) -> f32 {
+        match self {
+            Self::Int8 => 127.0,
+            Self::Int4 => 7.0,
+        }
+    }
+
+    /// Lower-case display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Int8 => "int8",
+            Self::Int4 => "int4",
+        }
+    }
+}
+
+/// Serve-facing weight precision selection: full precision or one of the
+/// quantized kinds. This is what `--quant f32|int8|int4` parses into.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QuantMode {
+    /// Stream the original f32 weights (the pre-quantization hot path).
+    #[default]
+    F32,
+    /// Q8_0 group-quantized weights.
+    Int8,
+    /// Q4_0 nibble-packed weights.
+    Int4,
+}
+
+impl QuantMode {
+    /// Parses `"f32" | "int8" | "int4"`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "f32" | "fp32" => Some(Self::F32),
+            "int8" | "i8" => Some(Self::Int8),
+            "int4" | "i4" => Some(Self::Int4),
+            _ => None,
+        }
+    }
+
+    /// Lower-case display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::F32 => "f32",
+            Self::Int8 => "int8",
+            Self::Int4 => "int4",
+        }
+    }
+
+    /// The quantized storage kind, if any.
+    #[must_use]
+    pub fn kind(self) -> Option<QuantKind> {
+        match self {
+            Self::F32 => None,
+            Self::Int8 => Some(QuantKind::Int8),
+            Self::Int4 => Some(QuantKind::Int4),
+        }
+    }
+}
+
+/// Packs int4 values (`q ∈ [-8, 7]`) two per byte: even index in the low
+/// nibble, odd index in the high nibble, each biased by [`INT4_BIAS`]. An
+/// odd-length slice pads the final high nibble with a biased zero.
+#[must_use]
+pub fn pack_nibbles(vals: &[i8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len().div_ceil(2));
+    for pair in vals.chunks(2) {
+        debug_assert!((-8..=7).contains(&pair[0]));
+        let lo = (pair[0] + INT4_BIAS) as u8;
+        let hi = if pair.len() == 2 {
+            debug_assert!((-8..=7).contains(&pair[1]));
+            (pair[1] + INT4_BIAS) as u8
+        } else {
+            INT4_BIAS as u8
+        };
+        out.push(lo | (hi << 4));
+    }
+    out
+}
+
+/// Inverse of [`pack_nibbles`]: recovers `len` signed int4 values.
+#[must_use]
+pub fn unpack_nibbles(bytes: &[u8], len: usize) -> Vec<i8> {
+    assert!(bytes.len() * 2 >= len, "short nibble payload");
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let b = bytes[i / 2];
+        let nib = if i % 2 == 0 { b & 0x0F } else { b >> 4 };
+        out.push(nib as i8 - INT4_BIAS);
+    }
+    out
+}
 
 /// A Q8_0-quantized tensor: `q.len() == groups * GROUP`,
 /// `scales.len() == groups`. Trailing partial groups are zero-padded.
@@ -74,29 +213,88 @@ impl QuantTensor {
     }
 }
 
-/// A Q8_0-quantized row-major matrix for quantized matvec.
-#[derive(Debug, Clone)]
+/// A group-quantized row-major matrix in a flat group-scale layout.
+///
+/// Rows are quantized independently so row tiles stay group-aligned: each
+/// row holds `groups_per_row = cols.div_ceil(GROUP)` groups, and the
+/// payload for group `(r, g)` sits at `(r * groups_per_row + g) *
+/// kind.group_bytes()`. Trailing partial groups are zero-padded so every
+/// stored group is exactly [`GROUP`] wide.
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantMatrix {
+    kind: QuantKind,
     rows: usize,
     cols: usize,
-    /// Each row quantized independently so row tiles stay group-aligned.
-    row_data: Vec<QuantTensor>,
+    groups_per_row: usize,
+    /// Packed payload: int8 stores one byte per element; int4 packs two
+    /// elements per byte ([`pack_nibbles`] layout).
+    data: Vec<u8>,
+    /// `scales[r * groups_per_row + g]`.
+    scales: Vec<f32>,
 }
 
 impl QuantMatrix {
-    /// Quantizes a row-major `rows × cols` matrix, one [`QuantTensor`] per
-    /// row.
+    /// Quantizes a row-major `rows × cols` matrix as Q8_0 (the historic
+    /// default; see [`Self::quantize_with`] for int4).
     #[must_use]
     pub fn quantize(w: &[f32], rows: usize, cols: usize) -> Self {
-        assert_eq!(w.len(), rows * cols);
-        let row_data = (0..rows)
-            .map(|r| QuantTensor::quantize(&w[r * cols..(r + 1) * cols]))
-            .collect();
+        Self::quantize_with(w, rows, cols, QuantKind::Int8)
+    }
+
+    /// Quantizes a row-major `rows × cols` matrix with per-row-group
+    /// symmetric absmax scaling in the requested storage kind.
+    #[must_use]
+    pub fn quantize_with(w: &[f32], rows: usize, cols: usize, kind: QuantKind) -> Self {
+        assert_eq!(w.len(), rows * cols, "matrix shape mismatch");
+        let groups_per_row = cols.div_ceil(GROUP);
+        let gbytes = kind.group_bytes();
+        let mut data = vec![0u8; rows * groups_per_row * gbytes];
+        let mut scales = vec![0.0f32; rows * groups_per_row];
+        for r in 0..rows {
+            let row = &w[r * cols..(r + 1) * cols];
+            for g in 0..groups_per_row {
+                let start = g * GROUP;
+                let end = (start + GROUP).min(cols);
+                let chunk = &row[start..end];
+                let absmax = chunk.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                let scale = if absmax == 0.0 {
+                    0.0
+                } else {
+                    absmax / kind.max_q()
+                };
+                scales[r * groups_per_row + g] = scale;
+                let mut qbuf = [0i8; GROUP];
+                if scale > 0.0 {
+                    let max_q = kind.max_q();
+                    for (slot, &x) in qbuf.iter_mut().zip(chunk) {
+                        *slot = (x / scale).round().clamp(-max_q, max_q) as i8;
+                    }
+                }
+                let dst = &mut data[(r * groups_per_row + g) * gbytes..][..gbytes];
+                match kind {
+                    QuantKind::Int8 => {
+                        for (d, &q) in dst.iter_mut().zip(&qbuf) {
+                            *d = q as u8;
+                        }
+                    }
+                    QuantKind::Int4 => dst.copy_from_slice(&pack_nibbles(&qbuf)),
+                }
+            }
+        }
         Self {
+            kind,
             rows,
             cols,
-            row_data,
+            groups_per_row,
+            data,
+            scales,
         }
+    }
+
+    /// Storage kind.
+    #[must_use]
+    pub fn kind(&self) -> QuantKind {
+        self.kind
     }
 
     /// Number of rows.
@@ -111,34 +309,180 @@ impl QuantMatrix {
         self.cols
     }
 
-    /// Total payload bytes.
+    /// Groups per row (`cols.div_ceil(GROUP)`).
     #[must_use]
-    pub fn bytes(&self) -> usize {
-        self.row_data.iter().map(QuantTensor::bytes).sum()
+    pub fn groups_per_row(&self) -> usize {
+        self.groups_per_row
     }
 
-    /// Quantized matvec: the activation vector is quantized per-group on
-    /// the fly (as llama2.c's runtime does), then integer dot products are
-    /// accumulated in i32 and rescaled — the exact arithmetic an int8 MPE
-    /// performs.
-    pub fn matvec(&self, out: &mut [f32], x: &[f32]) {
-        assert_eq!(out.len(), self.rows);
-        assert_eq!(x.len(), self.cols);
-        let xq = QuantTensor::quantize(x);
-        for (o, row) in out.iter_mut().zip(&self.row_data) {
-            let mut acc = 0.0f32;
-            let groups = row.scales.len();
-            for g in 0..groups {
-                let start = g * GROUP;
-                let end = ((g + 1) * GROUP).min(self.cols);
-                let mut isum = 0i32;
-                for i in start..end {
-                    isum += row.q[i] as i32 * xq.q[i] as i32;
+    /// Per-group scales, indexed `[r * groups_per_row + g]`.
+    #[must_use]
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Logical streamed payload bytes: packed weight elements plus one
+    /// f32 scale per group. Zero-padding of trailing partial groups is
+    /// storage slack, not stream traffic, so it is excluded — this is the
+    /// number the `gemm_weight_bytes` telemetry reports.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        let payload = match self.kind {
+            QuantKind::Int8 => self.cols,
+            QuantKind::Int4 => self.cols.div_ceil(2),
+        };
+        self.rows * (payload + self.groups_per_row * 4)
+    }
+
+    /// Worst-case absolute reconstruction error bound: half a quantization
+    /// step per group, maximized over groups.
+    #[must_use]
+    pub fn error_bound(&self) -> f32 {
+        self.scales.iter().fold(0.0f32, |m, &s| m.max(s)) * 0.5
+    }
+
+    /// Dequantizes group `g` of row `r` into a register-resident block —
+    /// the fused-kernel primitive: each weight group is expanded once and
+    /// then applied across every batch column.
+    #[inline]
+    pub fn dequant_group_into(&self, r: usize, g: usize, out: &mut [f32; GROUP]) {
+        debug_assert!(r < self.rows && g < self.groups_per_row);
+        let idx = r * self.groups_per_row + g;
+        let scale = self.scales[idx];
+        let gbytes = self.kind.group_bytes();
+        let src = &self.data[idx * gbytes..][..gbytes];
+        match self.kind {
+            QuantKind::Int8 => {
+                for (o, &b) in out.iter_mut().zip(src) {
+                    *o = (b as i8) as f32 * scale;
                 }
-                acc += isum as f32 * row.scales[g] * xq.scales[g];
             }
-            *o = acc;
+            QuantKind::Int4 => {
+                for (pair, &b) in out.chunks_exact_mut(2).zip(src) {
+                    pair[0] = ((b & 0x0F) as i8 - INT4_BIAS) as f32 * scale;
+                    pair[1] = ((b >> 4) as i8 - INT4_BIAS) as f32 * scale;
+                }
+            }
         }
+    }
+
+    /// Reconstructs row `r` as f32 (padding excluded).
+    #[must_use]
+    pub fn dequantize_row(&self, r: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        let mut group = [0.0f32; GROUP];
+        for g in 0..self.groups_per_row {
+            self.dequant_group_into(r, g, &mut group);
+            let start = g * GROUP;
+            let end = (start + GROUP).min(self.cols);
+            out[start..end].copy_from_slice(&group[..end - start]);
+        }
+        out
+    }
+
+    /// Reconstructs the full matrix as row-major f32.
+    #[must_use]
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            out.extend_from_slice(&self.dequantize_row(r));
+        }
+        out
+    }
+
+    /// Fused dequant matvec: weights are dequantized group-at-a-time into
+    /// registers and accumulated in f32 (weight-only quantization — the
+    /// activations stay full precision). Delegates to the kernel module so
+    /// the serve path and this entry point share one accumulation order.
+    pub fn matvec(&self, out: &mut [f32], x: &[f32]) {
+        crate::qgemm::qmatvec(out, self, x);
+    }
+}
+
+/// One transformer layer's GEMM operands, quantized.
+#[derive(Debug, Clone)]
+pub struct QuantLayer {
+    /// Query projection, `dim × dim`.
+    pub wq: QuantMatrix,
+    /// Key projection, `kv_dim × dim`.
+    pub wk: QuantMatrix,
+    /// Value projection, `kv_dim × dim`.
+    pub wv: QuantMatrix,
+    /// Attention output projection, `dim × dim`.
+    pub wo: QuantMatrix,
+    /// FFN gate projection, `hidden × dim`.
+    pub w1: QuantMatrix,
+    /// FFN down projection, `dim × hidden`.
+    pub w2: QuantMatrix,
+    /// FFN up projection, `hidden × dim`.
+    pub w3: QuantMatrix,
+}
+
+/// Every GEMM operand of a transformer, group-quantized — the compressed
+/// weight stream the serve hot path reads instead of the f32 tensors.
+/// Norm weights and the embedding lookup stay f32 (they are O(dim), not
+/// O(dim²), and never ride the GEMM stream).
+#[derive(Debug, Clone)]
+pub struct QuantWeights {
+    kind: QuantKind,
+    /// Per-layer quantized projections.
+    pub layers: Vec<QuantLayer>,
+    /// Classifier head, `vocab × dim` (shared embedding or `wcls`).
+    pub classifier: QuantMatrix,
+}
+
+impl QuantWeights {
+    /// Quantizes every GEMM operand of `w`.
+    #[must_use]
+    pub fn quantize(w: &TransformerWeights, kind: QuantKind) -> Self {
+        let c = &w.config;
+        let (dim, kv_dim, hid) = (c.dim, c.kv_dim(), c.hidden_dim);
+        let layers = w
+            .layers
+            .iter()
+            .map(|lw| QuantLayer {
+                wq: QuantMatrix::quantize_with(&lw.wq, dim, dim, kind),
+                wk: QuantMatrix::quantize_with(&lw.wk, kv_dim, dim, kind),
+                wv: QuantMatrix::quantize_with(&lw.wv, kv_dim, dim, kind),
+                wo: QuantMatrix::quantize_with(&lw.wo, dim, dim, kind),
+                w1: QuantMatrix::quantize_with(&lw.w1, hid, dim, kind),
+                w2: QuantMatrix::quantize_with(&lw.w2, dim, hid, kind),
+                w3: QuantMatrix::quantize_with(&lw.w3, hid, dim, kind),
+            })
+            .collect();
+        let classifier = QuantMatrix::quantize_with(w.classifier(), c.vocab_size, dim, kind);
+        Self {
+            kind,
+            layers,
+            classifier,
+        }
+    }
+
+    /// Storage kind.
+    #[must_use]
+    pub fn kind(&self) -> QuantKind {
+        self.kind
+    }
+
+    /// Compressed bytes one decode tick streams when every GEMM operand is
+    /// read once — the quantized counterpart of
+    /// [`crate::config::ModelConfig::gemm_weight_bytes`].
+    #[must_use]
+    pub fn gemm_weight_bytes(&self) -> usize {
+        let per_layer: usize = self
+            .layers
+            .iter()
+            .map(|l| {
+                l.wq.bytes()
+                    + l.wk.bytes()
+                    + l.wv.bytes()
+                    + l.wo.bytes()
+                    + l.w1.bytes()
+                    + l.w2.bytes()
+                    + l.w3.bytes()
+            })
+            .sum();
+        per_layer + self.classifier.bytes()
     }
 }
 
@@ -194,6 +538,36 @@ mod tests {
     }
 
     #[test]
+    fn nibble_pack_unpack_round_trips() {
+        let vals: Vec<i8> = (-8..=7).collect();
+        let packed = pack_nibbles(&vals);
+        assert_eq!(packed.len(), 8);
+        assert_eq!(unpack_nibbles(&packed, vals.len()), vals);
+        // Odd length pads the final high nibble with zero.
+        let odd = [3i8, -5, 7];
+        let packed = pack_nibbles(&odd);
+        assert_eq!(packed.len(), 2);
+        assert_eq!(unpack_nibbles(&packed, 3), odd);
+        assert_eq!(packed[1] >> 4, INT4_BIAS as u8);
+    }
+
+    #[test]
+    fn matrix_round_trip_is_within_error_bound() {
+        for kind in [QuantKind::Int8, QuantKind::Int4] {
+            let mut rng = Xoshiro256::seed_from_u64(7);
+            let (rows, cols) = (12, 70); // partial trailing group
+            let mut w = vec![0.0f32; rows * cols];
+            rng.fill_normal(&mut w, 0.3);
+            let qm = QuantMatrix::quantize_with(&w, rows, cols, kind);
+            let back = qm.dequantize();
+            let bound = qm.error_bound() + 1e-7;
+            for (a, b) in w.iter().zip(&back) {
+                assert!((a - b).abs() <= bound, "{kind:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
     fn quant_matvec_tracks_f32_matvec() {
         let rows = 24;
         let cols = 96;
@@ -208,8 +582,7 @@ mod tests {
         let mut approx = vec![0.0f32; rows];
         qm.matvec(&mut approx, &x);
         for (e, a) in exact.iter().zip(&approx) {
-            // int8 weights and activations: expect ~1% relative scale error
-            // against activations of unit magnitude.
+            // Weight-only int8: well under the old W8A8 tolerance.
             assert!((e - a).abs() < 0.08, "{e} vs {a}");
         }
     }
@@ -221,6 +594,19 @@ mod tests {
         assert!(qm.bytes() < 128 * 128 * 4 / 3, "got {}", qm.bytes());
         assert_eq!(qm.rows(), 128);
         assert_eq!(qm.cols(), 128);
+        let q4 = QuantMatrix::quantize_with(&w, 128, 128, QuantKind::Int4);
+        assert!(q4.bytes() < qm.bytes(), "int4 must beat int8");
+    }
+
+    #[test]
+    fn logical_bytes_exclude_group_padding() {
+        // 16 cols → one half-full group per row: stream 16 B + 1 scale,
+        // not the 32 B the padded storage holds.
+        let w = vec![1.0f32; 4 * 16];
+        let qm = QuantMatrix::quantize(&w, 4, 16);
+        assert_eq!(qm.bytes(), 4 * (16 + 4));
+        let q4 = QuantMatrix::quantize_with(&w, 4, 16, QuantKind::Int4);
+        assert_eq!(q4.bytes(), 4 * (8 + 4));
     }
 
     #[test]
@@ -238,5 +624,22 @@ mod tests {
         for (o, xi) in out.iter().zip(&x) {
             assert!((o - 2.0 * xi).abs() < 0.05, "{o} vs {}", 2.0 * xi);
         }
+    }
+
+    #[test]
+    fn quant_weights_compress_the_gemm_stream() {
+        let config = crate::config::ModelConfig::test_tiny();
+        let weights = TransformerWeights::synthetic(config, 3);
+        let f32_bytes = config.gemm_weight_bytes();
+        let q8 = QuantWeights::quantize(&weights, QuantKind::Int8);
+        let q4 = QuantWeights::quantize(&weights, QuantKind::Int4);
+        assert!(
+            q8.gemm_weight_bytes() * 3 < f32_bytes,
+            "int8 {} vs f32 {f32_bytes}",
+            q8.gemm_weight_bytes()
+        );
+        assert!(q4.gemm_weight_bytes() < q8.gemm_weight_bytes());
+        assert_eq!(q8.layers.len(), config.n_layers);
+        assert_eq!(q8.classifier.rows(), config.vocab_size);
     }
 }

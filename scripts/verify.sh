@@ -257,4 +257,67 @@ grep -E 'prefix hit at placement +[1-9]' "$cl_dir/report_prefix.txt" >/dev/null
 cargo test --release -q -p speedllm --test router_props
 echo "cluster smoke OK: 3 policies deterministic, streams policy- and fault-invariant ($failed_over failed over)"
 
+echo "== quantized serve smoke (fused dequant-GEMM, byte-identical, compressed stream) =="
+# The quantized hot path (DESIGN.md §18) must keep the virtual-clock
+# discipline: int8 and int4 double runs render the same bytes on both
+# backends and both KV layouts.
+for quant in int8 int4; do
+    for backend in cpu accel; do
+        for kvopt in pool paged; do
+            q_a="$(./target/release/speedllm serve-bench --smoke --backend "$backend" --kv "$kvopt" --quant "$quant")"
+            q_b="$(./target/release/speedllm serve-bench --smoke --backend "$backend" --kv "$kvopt" --quant "$quant")"
+            if [[ "$q_a" != "$q_b" ]]; then
+                echo "serve-bench --quant $quant ($backend/$kvopt) is not deterministic:" >&2
+                diff <(printf '%s\n' "$q_a") <(printf '%s\n' "$q_b") >&2 || true
+                exit 1
+            fi
+            grep -q "quant:    $quant weights" <<<"$q_a"
+            grep -q "requests completed   8" <<<"$q_a"
+        done
+    done
+done
+# The gemm_weight_bytes telemetry must report the compressed stream:
+# int8 strictly under 1/3 of the f32 weight bytes per token, int4
+# strictly under int8.
+quant_dir="$(mktemp -d /tmp/speedllm_verify_quant.XXXXXX)"
+trap 'rm -rf "$spec_dir" "$obs_dir" "$trace_file" "$cl_dir" "$quant_dir"' EXIT
+for quant in f32 int8 int4; do
+    ./target/release/speedllm serve-bench --smoke --backend cpu --quant "$quant" \
+        --trace-out "$quant_dir/trace_$quant.json" > "$quant_dir/out_$quant.txt"
+done
+python3 - "$quant_dir" <<'EOF'
+import sys
+def bytes_per_token(path):
+    bytes_ = tokens = None
+    for line in open(path):
+        cols = line.split()
+        if cols[:1] == ["cpu.gemm_weight_bytes"]:
+            bytes_ = int(cols[1])
+        if cols[:1] == ["cpu.gemm_tokens"]:
+            tokens = int(cols[1])
+    assert bytes_ and tokens, f"{path}: missing cpu.gemm_* counters"
+    return bytes_ / tokens
+d = sys.argv[1]
+f32 = bytes_per_token(f"{d}/out_f32.txt")
+i8 = bytes_per_token(f"{d}/out_int8.txt")
+i4 = bytes_per_token(f"{d}/out_int4.txt")
+assert i8 * 3 < f32, f"int8 stream not under 1/3 of f32: {i8} vs {f32}"
+assert i4 < i8, f"int4 stream not under int8: {i4} vs {i8}"
+print(f"weight stream/token OK: f32 {f32:.0f} B, int8 {i8:.0f} B ({f32/i8:.2f}x), int4 {i4:.0f} B ({f32/i4:.2f}x)")
+EOF
+# Perplexity-delta gate on stories15M: quantized CPU engines must track
+# the fp32 reference (eval exits nonzero past the bound).
+./target/release/speedllm eval --preset stories15m --tokens 24 --engines cpu \
+    --gate-int8 0.02 --gate-int4 0.10 | tail -2
+# The quantized identity gates in the profile serve runs actually use
+# (debug asserts off): kernel bit-identity, round-trip bounds, pack/unpack
+# exactness, and the serve-bench double-run corners.
+cargo test --release -q -p speedllm --test quant_props
+cargo test --release -q -p speedllm-cli --test serve_bench quant
+echo "== quant ablation smoke (tok/s + weight MB/token, quant-stamped JSONL) =="
+quant_bench="$(cargo bench -q -p speedllm-bench --bench ablation_quant -- --smoke)"
+grep -q "int4 batch 8:" <<<"$quant_bench"
+grep -q '"quant":"int8"' <<<"$quant_bench"
+echo "quantized serve smoke OK: int8/int4 deterministic on both backends, stream compressed, ppl gated"
+
 echo "verify OK"

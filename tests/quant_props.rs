@@ -1,0 +1,155 @@
+//! Property-based tests (speedllm-testkit) over the quantized weight
+//! path (DESIGN.md §18): Q8_0/Q4_0 round-trip error bounds, group-scale
+//! monotonicity, nibble pack/unpack exactness, and the bit-identity
+//! contracts of the fused dequant-GEMM kernels (batched vs per-column,
+//! parallel vs serial).
+//!
+//! Every property runs a 64-case budget; runs are reproducible from a
+//! fixed seed (override with `TESTKIT_SEED=<u64>` to replay a failure).
+
+use speedllm_testkit::prelude::*;
+
+use speedllm::llama::parallel::{par_qmatmul, par_qmatvec};
+use speedllm::llama::qgemm::{qmatmul, qmatvec};
+use speedllm::llama::quant::{pack_nibbles, unpack_nibbles, QuantKind, QuantMatrix};
+use speedllm::llama::rng::Xoshiro256;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64, sigma: f32) -> Vec<f32> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut w = vec![0.0f32; rows * cols];
+    rng.fill_normal(&mut w, sigma);
+    w
+}
+
+fn random_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut x = vec![0.0f32; n];
+    rng.fill_normal(&mut x, 1.0);
+    x
+}
+
+props! {
+    #![config(cases = 64)]
+
+    fn int8_matrix_round_trip_error_is_bounded(
+        rows in 1usize..12,
+        cols in 1usize..80,
+        seed in any_u64(),
+    ) {
+        let w = random_matrix(rows, cols, seed, 0.5);
+        let qm = QuantMatrix::quantize_with(&w, rows, cols, QuantKind::Int8);
+        let back = qm.dequantize();
+        let bound = qm.error_bound() + 1e-6;
+        for (a, b) in w.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= bound, "{} vs {} (bound {})", a, b, bound);
+        }
+    }
+
+    fn int4_matrix_round_trip_error_is_bounded(
+        rows in 1usize..12,
+        cols in 1usize..80,
+        seed in any_u64(),
+    ) {
+        let w = random_matrix(rows, cols, seed, 0.5);
+        let qm = QuantMatrix::quantize_with(&w, rows, cols, QuantKind::Int4);
+        let back = qm.dequantize();
+        let bound = qm.error_bound() + 1e-6;
+        for (a, b) in w.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= bound, "{} vs {} (bound {})", a, b, bound);
+        }
+        // int4 has 7 steps per half-range vs int8's 127: its bound is
+        // strictly coarser on the same payload.
+        let q8 = QuantMatrix::quantize_with(&w, rows, cols, QuantKind::Int8);
+        prop_assert!(qm.error_bound() >= q8.error_bound());
+    }
+
+    fn group_scales_are_monotone_under_input_scaling(
+        cols in 1usize..100,
+        k in 1.5f32..16.0,
+        seed in any_u64(),
+    ) {
+        // Symmetric absmax quantization: scaling the weights by k > 1
+        // scales every group scale by exactly k (absmax is homogeneous).
+        let w = random_matrix(2, cols, seed, 0.5);
+        let scaled: Vec<f32> = w.iter().map(|v| v * k).collect();
+        for kind in [QuantKind::Int8, QuantKind::Int4] {
+            let qa = QuantMatrix::quantize_with(&w, 2, cols, kind);
+            let qb = QuantMatrix::quantize_with(&scaled, 2, cols, kind);
+            for (a, b) in qa.scales().iter().zip(qb.scales()) {
+                prop_assert!(*b >= *a, "scale shrank under k={}: {} -> {}", k, a, b);
+                if *a > 0.0 {
+                    let ratio = b / a;
+                    prop_assert!(
+                        (ratio - k).abs() <= k * 1e-5,
+                        "scale ratio {} != k {}", ratio, k
+                    );
+                }
+            }
+        }
+    }
+
+    fn nibble_pack_unpack_is_exact(values in vec_of(-8i8..8, 0..130)) {
+        // Q4_0 codes live in [-8, 7] (biased to [0, 15] inside the pack);
+        // pack/unpack must be lossless for every length parity.
+        let packed = pack_nibbles(&values);
+        prop_assert_eq!(packed.len(), values.len().div_ceil(2));
+        let back = unpack_nibbles(&packed, values.len());
+        prop_assert_eq!(back, values);
+    }
+
+    fn batched_qmatmul_is_bit_identical_to_per_column_qmatvec(
+        rows in 1usize..10,
+        cols in 1usize..70,
+        batch in 1usize..10,
+        seed in any_u64(),
+    ) {
+        let w = random_matrix(rows, cols, seed, 0.3);
+        for kind in [QuantKind::Int8, QuantKind::Int4] {
+            let qm = QuantMatrix::quantize_with(&w, rows, cols, kind);
+            // Column-major activations: xs[b * cols ..][.. cols].
+            let xs = random_vec(cols * batch, seed ^ 0x9e37);
+            let mut got = vec![0.0f32; rows * batch];
+            qmatmul(&mut got, &qm, &xs, batch);
+            for b in 0..batch {
+                let mut want = vec![0.0f32; rows];
+                qmatvec(&mut want, &qm, &xs[b * cols..(b + 1) * cols]);
+                for (r, wv) in want.iter().enumerate() {
+                    prop_assert_eq!(
+                        got[r * batch + b].to_bits(),
+                        wv.to_bits(),
+                        "row {} lane {} differs", r, b
+                    );
+                }
+            }
+        }
+    }
+
+    fn parallel_quant_kernels_are_bit_identical_to_serial(
+        rows in 1usize..24,
+        cols in 1usize..70,
+        batch in 1usize..6,
+        threads in 2usize..5,
+        seed in any_u64(),
+    ) {
+        let w = random_matrix(rows, cols, seed, 0.3);
+        for kind in [QuantKind::Int8, QuantKind::Int4] {
+            let qm = QuantMatrix::quantize_with(&w, rows, cols, kind);
+            let x = random_vec(cols, seed ^ 0x51ed);
+            let mut serial = vec![0.0f32; rows];
+            qmatvec(&mut serial, &qm, &x);
+            let mut par = vec![1.0f32; rows];
+            par_qmatvec(&mut par, &qm, &x, threads);
+            for (a, b) in serial.iter().zip(&par) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            let xs = random_vec(cols * batch, seed ^ 0xabcd);
+            let mut serial_m = vec![0.0f32; rows * batch];
+            qmatmul(&mut serial_m, &qm, &xs, batch);
+            let mut par_m = vec![1.0f32; rows * batch];
+            par_qmatmul(&mut par_m, &qm, &xs, batch, threads);
+            for (a, b) in serial_m.iter().zip(&par_m) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}
